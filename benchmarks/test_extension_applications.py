@@ -1,0 +1,101 @@
+"""Benchmarks for the extension applications (denoising, covariance, temporal).
+
+These run the [15]-style applications and the [14] autoregressive setting at
+compact scale, asserting the qualitative claims each extension makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.applications.covariance import SparseLowRankCovariance
+from repro.applications.denoise import GraphDenoiser
+from repro.evaluation.metrics import auc_score
+from repro.temporal.autoregressive import AutoregressiveLinkPredictor
+from repro.temporal.snapshots import evolve_snapshots
+
+
+def test_graph_denoising(benchmark, rng):
+    """Denoised scores separate consistent from inconsistent links."""
+    n, communities = 60, 4
+    labels = np.arange(n) % communities
+    clean = (labels[:, None] == labels[None, :]).astype(float)
+    np.fill_diagonal(clean, 0.0)
+    noisy = clean.copy()
+    rows, cols = np.triu_indices(n, k=1)
+    flip = rng.random(rows.shape[0]) < 0.08
+    noisy[rows[flip], cols[flip]] = 1.0 - noisy[rows[flip], cols[flip]]
+    noisy[cols[flip], rows[flip]] = noisy[rows[flip], cols[flip]]
+
+    denoiser = benchmark.pedantic(
+        lambda: GraphDenoiser(tau=8.0).fit(noisy), rounds=1, iterations=1
+    )
+    scores = denoiser.scores
+    consistency_labels = clean[rows, cols]
+    auc = auc_score(scores[rows, cols], consistency_labels)
+    print(f"\ndenoising: AUC(consistent links) = {auc:.3f}")
+    # The noisy observation itself scores ~0.92 (8% flips); denoising must
+    # recover structure beyond it.
+    noisy_auc = auc_score(noisy[rows, cols], consistency_labels)
+    assert auc > noisy_auc
+
+
+def test_covariance_shrinkage(benchmark, rng):
+    """In the low-rank-truth, few-samples regime, shrinkage does not lose
+    Frobenius accuracy while concentrating the spectrum."""
+    n_features, n_samples = 30, 15
+    loadings = rng.normal(size=(n_features, 2))
+    truth = loadings @ loadings.T + 0.1 * np.eye(n_features)
+    samples = rng.multivariate_normal(
+        np.zeros(n_features), truth, size=n_samples
+    )
+
+    estimator = benchmark.pedantic(
+        lambda: SparseLowRankCovariance(gamma=0.01, tau=2.0).fit(samples),
+        rounds=1,
+        iterations=1,
+    )
+    centered = samples - samples.mean(axis=0)
+    empirical = centered.T @ centered / (n_samples - 1)
+    error_shrunk = np.linalg.norm(estimator.covariance - truth)
+    error_raw = np.linalg.norm(empirical - truth)
+    print(
+        f"\ncovariance: ‖shrunk − truth‖={error_shrunk:.2f} "
+        f"vs ‖empirical − truth‖={error_raw:.2f}"
+    )
+    assert error_shrunk <= error_raw
+
+    def top2_mass(matrix):
+        eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        return eigenvalues[:2].sum() / max(eigenvalues.sum(), 1e-12)
+
+    assert top2_mass(estimator.covariance) > top2_mass(empirical)
+
+
+def test_temporal_autoregression(benchmark):
+    """Longer decayed history beats last-snapshot-only on new links."""
+    sequence = evolve_snapshots(
+        n_nodes=80, n_steps=7, n_communities=4, persistence=0.85,
+        random_state=23,
+    )
+    history = sequence.snapshots[:-1]
+    future = sequence.snapshots[-1]
+    last = history[-1]
+    rows, cols = np.triu_indices(sequence.n_nodes, k=1)
+    absent = last[rows, cols] == 0
+    labels = future[rows, cols][absent]
+
+    def run():
+        out = {}
+        for window in (1, 5):
+            model = AutoregressiveLinkPredictor(window=window).fit(history)
+            out[window] = auc_score(
+                model.scores[rows, cols][absent], labels
+            )
+        return out
+
+    aucs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ntemporal new-link AUC: window=1 → {aucs[1]:.3f}, "
+          f"window=5 → {aucs[5]:.3f}")
+    assert aucs[5] > 0.55
+    assert aucs[5] >= aucs[1] - 0.02

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 4 (α_s sweep at fixed α_t).
+
+Paper reference: with α_t = 0 the model leans only on transferred
+information and increasing α_s does not recover the full model's
+performance; with α_t = 1 a moderate α_s helps before over-weighting the
+source degrades the fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure4 import run_figure4
+
+ALPHAS = (0.0, 0.5, 1.0)
+
+
+def test_figure4_alpha_s(benchmark):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={
+            "fixed_alpha_t": (0.0, 1.0),
+            "alphas": ALPHAS,
+            "scale": 60,
+            "n_folds": 2,
+            "precision_k": 10,
+            "random_state": 13,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    curves = result["curves"]
+
+    with_target = np.array(curves[(1.0, "auc")])
+    without_target = np.array(curves[(0.0, "auc")])
+
+    # All points are valid AUCs and the sweep produced one value per α_s.
+    for series in (with_target, without_target):
+        assert series.shape == (len(ALPHAS),)
+        assert np.all((series >= 0.0) & (series <= 1.0))
+
+    # Figure 4's observation: the target's own attribute term matters —
+    # with α_t = 1 the best point dominates the α_t = 0 curve.
+    assert with_target.max() > without_target.max() - 0.02
+
+    # With α_t = 1, enabling the source term (α_s > 0) reaches at least the
+    # no-transfer point (the "moderate α_s helps" panel).
+    assert with_target[1:].max() >= with_target[0] - 0.02
+
+    print()
+    print(result["text"])

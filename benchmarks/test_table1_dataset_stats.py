@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table I (dataset statistics).
+
+Paper reference (Table I): Twitter 5,223 users / 9.49M tweets / 164,920
+follow links; Foursquare 5,392 users / 48,756 tips / 76,972 friend links;
+3,388 anchor links.  The synthetic world reproduces the *asymmetries* —
+the target posts an order of magnitude more, the source checks in on every
+post, the target is denser — at laptop scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_dataset_stats(benchmark):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"scale": 150, "random_state": 3},
+        rounds=3, iterations=1,
+    )
+    stats = result["stats"]
+    target_stats = stats["twitter-like"]
+    source_stats = stats["foursquare-like"]
+
+    # Table I shape: every property populated.
+    for network_stats in stats.values():
+        assert network_stats["users"] > 0
+        assert network_stats["posts"] > 0
+        assert network_stats["social_links"] > 0
+
+    # Twitter-like posts far more but checks in rarely; Foursquare-like
+    # posts always carry a check-in (exactly as in the paper's Table I).
+    assert target_stats["posts"] > 2 * source_stats["posts"]
+    assert source_stats["locate_links"] == source_stats["posts"]
+    assert target_stats["locate_links"] < target_stats["posts"] * 0.25
+
+    # The target is the denser network (164,920 vs 76,972 in the paper).
+    assert target_stats["social_links"] > source_stats["social_links"]
+
+    # A majority of users are anchored (3,388 / 5,223 in the paper).
+    assert result["anchors"] > 0.5 * target_stats["users"]
+
+    print()
+    print(result["text"])

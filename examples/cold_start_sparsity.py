@@ -1,0 +1,83 @@
+"""Cold start: transfer matters most when the target is sparse.
+
+The paper motivates Social Link Transfer by information sparsity: a young
+network (or a new region of one) has too few observed links to predict from
+alone.  This example progressively hides larger fractions of the target's
+links and compares SLAMPRED (with transfer) against SLAMPRED-T (target only)
+— the sparser the target, the larger the transfer gain.
+
+Run with::
+
+    python examples/cold_start_sparsity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SlamPred,
+    SlamPredT,
+    SocialGraph,
+    TransferTask,
+    auc_score,
+    generate_aligned_pair,
+)
+
+HIDE_FRACTIONS = (0.2, 0.4, 0.6, 0.8)
+
+
+def hide_links(graph: SocialGraph, fraction: float, rng) -> tuple:
+    """Split the graph's links into (training view, hidden links)."""
+    links = sorted(graph.links())
+    n_hide = int(round(len(links) * fraction))
+    hidden_idx = rng.choice(len(links), size=n_hide, replace=False)
+    hidden = [links[i] for i in sorted(hidden_idx.tolist())]
+    return graph.mask_links(hidden), hidden
+
+
+def main() -> None:
+    aligned = generate_aligned_pair(scale=100, random_state=31)
+    graph = SocialGraph.from_network(aligned.target)
+    rng = np.random.default_rng(31)
+    print(f"target has {graph.n_links} links; "
+          f"{len(aligned.anchors[0])} anchors to the source\n")
+    print("hidden  density  SLAMPRED  SLAMPRED-T  transfer gain")
+    print("-" * 55)
+    for fraction in HIDE_FRACTIONS:
+        training, hidden = hide_links(graph, fraction, rng)
+        negatives_pool = [
+            p for p in training.non_links() if p not in set(hidden)
+        ]
+        neg_idx = rng.choice(
+            len(negatives_pool), size=len(hidden), replace=False
+        )
+        pairs = hidden + [negatives_pool[i] for i in sorted(neg_idx.tolist())]
+        labels = np.concatenate(
+            [np.ones(len(hidden)), np.zeros(len(pairs) - len(hidden))]
+        )
+        aucs = {}
+        for cls in (SlamPred, SlamPredT):
+            task = TransferTask(
+                target=aligned.target,
+                training_graph=training,
+                sources=list(aligned.sources),
+                anchors=list(aligned.anchors),
+                random_state=np.random.default_rng(31),
+            )
+            model = cls().fit(task)
+            aucs[model.name] = auc_score(model.score_pairs(pairs), labels)
+        gain = aucs["SLAMPRED"] - aucs["SLAMPRED-T"]
+        print(
+            f"{fraction:6.0%}  {training.density():7.3f}  "
+            f"{aucs['SLAMPRED']:8.3f}  {aucs['SLAMPRED-T']:10.3f}  "
+            f"{gain:+13.3f}"
+        )
+    print(
+        "\nthe sparser the observed target, the more the aligned source "
+        "contributes"
+    )
+
+
+if __name__ == "__main__":
+    main()

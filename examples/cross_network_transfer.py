@@ -1,0 +1,65 @@
+"""Cross-network transfer: how much do anchor links buy you?
+
+The paper's central question (Table II): as more anchor links align the
+target with the source network, how does link prediction improve — and does
+the domain-adapted SLAMPRED extract more from them than naive feature
+merging (SCAN) or PU learning (PL)?
+
+This example runs a compact anchor-ratio sweep and prints the AUC series per
+method, highlighting the gap at full alignment.
+
+Run with::
+
+    python examples/cross_network_transfer.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_aligned_pair
+from repro.evaluation import MethodSpec, run_anchor_sweep
+from repro.models import PLPredictor, ScanPredictor, SlamPred, SlamPredT
+
+RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    aligned = generate_aligned_pair(scale=100, random_state=11)
+    methods = [
+        MethodSpec("SLAMPRED", SlamPred, uses_sources=True),
+        MethodSpec("SLAMPRED-T", SlamPredT, uses_sources=False),
+        MethodSpec("SCAN", ScanPredictor, uses_sources=True),
+        MethodSpec("PL", PLPredictor, uses_sources=True),
+    ]
+    print(f"sweeping anchor ratios {RATIOS} over "
+          f"{len(aligned.anchors[0])} available anchors…\n")
+    sweep = run_anchor_sweep(
+        aligned,
+        methods=methods,
+        ratios=RATIOS,
+        n_folds=3,
+        precision_k=20,
+        random_state=11,
+    )
+
+    header = "method      " + "  ".join(f"{r:>6.2f}" for r in RATIOS)
+    print(header)
+    print("-" * len(header))
+    for method in sweep.methods:
+        series = sweep.series(method, "auc")
+        row = "  ".join(f"{value:6.3f}" for value in series)
+        print(f"{method:<12}{row}")
+
+    full = sweep.cell("SLAMPRED", 1.0).mean("auc")
+    alone = sweep.cell("SLAMPRED-T", 1.0).mean("auc")
+    print(
+        f"\ntransfer gain at full alignment: "
+        f"{full - alone:+.3f} AUC over the target-only model"
+    )
+    print(
+        "note how SLAMPRED improves steadily with the ratio while the "
+        "target-only row stays flat"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""End-to-end SLT without ground-truth anchors.
+
+The paper assumes anchor links are given; in practice they are often
+*inferred* (network alignment, Kong et al. CIKM'13).  This example runs the
+full pipeline with no alignment supervision at all:
+
+1. predict anchor links from cross-network attribute profiles
+   (:mod:`repro.alignment` — optimal one-to-one matching of
+   reciprocal-weighted profile similarities);
+2. feed the *predicted* anchors to SLAMPRED and compare against the
+   ground-truth-anchored and unaligned models.
+
+Run with::
+
+    python examples/inferred_anchors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SlamPred,
+    SlamPredT,
+    SocialGraph,
+    TransferTask,
+    auc_score,
+    generate_aligned_pair,
+    k_fold_link_splits,
+)
+from repro.alignment import AnchorPredictor
+
+
+def main() -> None:
+    aligned = generate_aligned_pair(scale=120, random_state=19)
+    target, source = aligned.target, aligned.sources[0]
+
+    # --- step 1: infer the anchors -------------------------------------
+    predictor = AnchorPredictor(min_similarity=0.05)
+    predicted_anchors = predictor.predict(target, source)
+    quality = predictor.evaluate(predicted_anchors, aligned.anchors[0])
+    print(f"true anchors      : {len(aligned.anchors[0])}")
+    print(f"predicted anchors : {len(predicted_anchors)}")
+    print(
+        f"anchor prediction : precision={quality['precision']:.3f} "
+        f"recall={quality['recall']:.3f} f1={quality['f1']:.3f}"
+    )
+
+    # --- step 2: link transfer with each anchor source ------------------
+    graph = SocialGraph.from_network(target)
+    split = k_fold_link_splits(graph, n_folds=5, random_state=19)[0]
+
+    def run(model, anchors):
+        if anchors is None:
+            task = TransferTask(
+                target=target,
+                training_graph=split.training_graph,
+                random_state=np.random.default_rng(19),
+            )
+        else:
+            task = TransferTask(
+                target=target,
+                training_graph=split.training_graph,
+                sources=[source],
+                anchors=[anchors],
+                random_state=np.random.default_rng(19),
+            )
+        model.fit(task)
+        return auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+
+    print("\nanchor source            AUC")
+    print("-" * 33)
+    print(f"{'none (SLAMPRED-T)':24s} {run(SlamPredT(), None):.3f}")
+    print(f"{'inferred anchors':24s} {run(SlamPred(), predicted_anchors):.3f}")
+    print(f"{'ground-truth anchors':24s} {run(SlamPred(), aligned.anchors[0]):.3f}")
+    print(
+        "\neven imperfectly inferred anchors recover part of the transfer "
+        "gain — wrong anchors mostly contribute noise that the calibrated "
+        "readout down-weights"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Multiple aligned source networks (the paper's K > 1 setting).
+
+Definition 2 allows K source networks aligned with the target; SLAMPRED sums
+one intimacy term per source with its own weight α_k.  This example builds a
+world observed by THREE platforms — a Twitter-like target plus a
+Foursquare-like and an Instagram-like source — and measures what each
+source, and both together, contribute.
+
+Run with::
+
+    python examples/multi_source_transfer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AttributeConfig,
+    NetworkConfig,
+    SlamPred,
+    SlamPredT,
+    SocialGraph,
+    TransferTask,
+    WorldConfig,
+    auc_score,
+    k_fold_link_splits,
+)
+from repro.synth import AlignedNetworkGenerator
+
+
+def three_platform_world(scale: int = 100) -> WorldConfig:
+    """Target + two sources with different attribute personalities."""
+    return WorldConfig(
+        n_persons=scale,
+        n_communities=max(2, scale // 40),
+        n_locations=max(12, scale // 5),
+        vocabulary_size=max(60, scale),
+        link_correlation=0.7,
+        target=NetworkConfig(
+            name="twitter-like",
+            participation=0.9,
+            p_in=0.28,
+            p_out=0.012,
+            attributes=AttributeConfig(
+                posts_per_user=12.0, checkin_probability=0.08,
+                words_per_post=8, platform_bias=0.15,
+            ),
+        ),
+        sources=[
+            NetworkConfig(
+                name="foursquare-like",
+                participation=0.85,
+                p_in=0.18,
+                p_out=0.008,
+                attributes=AttributeConfig(
+                    posts_per_user=4.0, checkin_probability=1.0,
+                    words_per_post=5, platform_bias=0.15,
+                ),
+            ),
+            NetworkConfig(
+                name="instagram-like",
+                participation=0.85,
+                p_in=0.22,
+                p_out=0.01,
+                attributes=AttributeConfig(
+                    posts_per_user=7.0, checkin_probability=0.5,
+                    words_per_post=3, platform_bias=0.15,
+                ),
+            ),
+        ],
+    ).validate()
+
+
+def main() -> None:
+    aligned = AlignedNetworkGenerator(three_platform_world()).generate(
+        random_state=41
+    )
+    print("networks:")
+    for network in aligned.networks:
+        print(f"  {network.name:17s} {network.n_users:4d} users "
+              f"{network.n_social_links:5d} links")
+    print(f"anchors: {[len(a) for a in aligned.anchors]}")
+
+    graph = SocialGraph.from_network(aligned.target)
+    split = k_fold_link_splits(graph, n_folds=5, random_state=41)[0]
+
+    def evaluate(model, sources, anchors):
+        task = TransferTask(
+            target=aligned.target,
+            training_graph=split.training_graph,
+            sources=sources,
+            anchors=anchors,
+            random_state=np.random.default_rng(41),
+        )
+        model.fit(task)
+        return auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+
+    print("\nconfiguration                       AUC")
+    print("-" * 42)
+    rows = [
+        ("target only (SLAMPRED-T)", SlamPredT(), [], []),
+        ("+ foursquare-like", SlamPred(), aligned.sources[:1], aligned.anchors[:1]),
+        ("+ instagram-like", SlamPred(), aligned.sources[1:], aligned.anchors[1:]),
+        ("+ both sources", SlamPred(), aligned.sources, aligned.anchors),
+        (
+            "+ both, instagram down-weighted",
+            SlamPred(alpha_sources=[1.0, 0.5]),
+            aligned.sources,
+            aligned.anchors,
+        ),
+    ]
+    for label, model, sources, anchors in rows:
+        auc = evaluate(model, list(sources), list(anchors))
+        print(f"{label:34s} {auc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Anatomy of the optimizer: CCCP convergence and the regularizer knobs.
+
+Reproduces the paper's Figure 3 convergence behaviour on a fresh fit and
+then shows what the two regularizers do to the predictor matrix:
+
+* γ (ℓ1) controls sparsity — larger γ zeroes more candidate pairs;
+* τ (trace norm) controls rank — larger τ forces a lower-rank, more
+  community-smoothed predictor.
+
+Run with::
+
+    python examples/optimizer_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SlamPredT, SocialGraph, TransferTask, generate_aligned_pair
+from repro.utils.matrices import density
+
+
+def sparkline(series, width=48) -> str:
+    """Tiny ASCII chart of a numeric series."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    series = np.asarray(series, dtype=float)
+    if len(series) > width:
+        bucket = len(series) / width
+        series = np.array(
+            [series[int(i * bucket)] for i in range(width)]
+        )
+    low, high = series.min(), series.max()
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))]
+        for value in series
+    )
+
+
+def main() -> None:
+    aligned = generate_aligned_pair(scale=100, random_state=5)
+    graph = SocialGraph.from_network(aligned.target)
+
+    task = TransferTask(
+        target=aligned.target,
+        training_graph=graph,
+        random_state=5,
+    )
+
+    print("=== Figure 3: CCCP convergence ===")
+    model = SlamPredT(tolerance=1e-6, outer_iterations=60).fit(task)
+    history = model.result.history
+    print(f"proximal iterations : {history.n_iterations}")
+    print(f"CCCP rounds         : {model.result.n_rounds} "
+          f"(converged={model.result.converged})")
+    print(f"||S^h||_1           : {sparkline(history.variable_norms)}")
+    print(f"||S^h - S^h-1||_1   : {sparkline(history.update_norms)}")
+    print(f"final update norm   : {history.update_norms[-1]:.2e}")
+
+    print("\n=== gamma (sparsity) sweep ===")
+    print("gamma   density(S)")
+    for gamma in (0.01, 0.1, 0.5, 1.0):
+        model = SlamPredT(gamma=gamma).fit(task)
+        print(f"{gamma:5.2f}   {density(model.score_matrix, atol=1e-6):.3f}")
+
+    print("\n=== tau (low rank) sweep ===")
+    print("tau     top-10% spectral mass of S")
+    for tau in (0.1, 1.0, 4.0, 8.0):
+        model = SlamPredT(tau=tau).fit(task)
+        singular = np.linalg.svd(model.score_matrix, compute_uv=False)
+        top = max(1, len(singular) // 10)
+        mass = singular[:top].sum() / singular.sum()
+        print(f"{tau:5.2f}   {mass:.3f}")
+
+
+if __name__ == "__main__":
+    main()

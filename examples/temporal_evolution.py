@@ -1,0 +1,67 @@
+"""Link prediction in a time-evolving graph (extension, ref. [14]).
+
+The paper's sparse + low-rank machinery also powers the autoregressive
+formulation of Richard et al. (JMLR 2014): predict the *next* snapshot of an
+evolving network from a decayed history of past snapshots.  This example
+evolves a community-structured graph for several steps, fits the
+autoregressive estimator on the history, and measures how well it foresees
+the links that appear at the next step.
+
+Run with::
+
+    python examples/temporal_evolution.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import auc_score
+from repro.temporal import AutoregressiveLinkPredictor, evolve_snapshots
+
+
+def main() -> None:
+    sequence = evolve_snapshots(
+        n_nodes=100,
+        n_steps=8,
+        n_communities=4,
+        persistence=0.85,
+        random_state=29,
+    )
+    print(
+        f"{sequence.n_steps} snapshots over {sequence.n_nodes} nodes; "
+        f"links per snapshot ≈ "
+        f"{int(np.mean([s.sum() / 2 for s in sequence.snapshots]))}"
+    )
+    churn = len(sequence.new_links(1))
+    print(f"~{churn} new links appear per step\n")
+
+    history = sequence.snapshots[:-1]
+    future = sequence.snapshots[-1]
+    last = history[-1]
+    rows, cols = np.triu_indices(sequence.n_nodes, k=1)
+    absent = last[rows, cols] == 0
+    labels = future[rows, cols][absent]
+
+    print("window  decay  AUC(next snapshot)  AUC(new links only)")
+    print("-" * 56)
+    for window, decay in [(1, 0.6), (3, 0.6), (5, 0.6), (5, 0.9)]:
+        model = AutoregressiveLinkPredictor(window=window, decay=decay)
+        model.fit(history)
+        all_auc = auc_score(model.scores[rows, cols], future[rows, cols])
+        new_auc = auc_score(model.scores[rows, cols][absent], labels)
+        print(f"{window:6d}  {decay:5.1f}  {all_auc:18.3f}  {new_auc:19.3f}")
+
+    model = AutoregressiveLinkPredictor(window=5).fit(history)
+    hits = sum(
+        future[i, j] == 1.0 for i, j, _ in model.predict_new_links(top_k=20)
+    )
+    base_rate = labels.mean()
+    print(
+        f"\ntop-20 predicted new links: {hits}/20 materialize at T+1 "
+        f"(base rate {base_rate:.1%} → {hits / 20 / base_rate:.1f}x lift)"
+    )
+
+
+if __name__ == "__main__":
+    main()

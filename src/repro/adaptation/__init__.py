@@ -1,0 +1,46 @@
+"""Cross-network domain adaptation by manifold alignment.
+
+Section III-C of the paper: intimacy feature vectors of *link instances* from
+the target and source networks are projected into a shared ``c``-dimensional
+latent space.  Three supervision signals drive the projection:
+
+* **aligned social links** (``W_A``) — pairs of link instances whose two
+  endpoints are connected by anchor links must land close;
+* **similar link-existence labels** (``W_S``) — instances that are both
+  links (or both non-links) should land close;
+* **dissimilar labels** (``W_D``) — link vs non-link instances should land
+  far apart.
+
+The optimal linear maps are the generalized eigenvectors of
+``Z(μL_A + L_S)Zᵀ x = λ Z L_D Zᵀ x`` (Theorem 1), computed per network block
+and applied to whole feature tensors.
+"""
+
+from repro.adaptation.indicators import (
+    LinkInstanceSample,
+    sample_link_instances,
+    aligned_indicator,
+    similar_indicator,
+    dissimilar_indicator,
+    build_joint_indicators,
+)
+from repro.adaptation.laplacian import laplacian_matrix
+from repro.adaptation.projection import (
+    ProjectionResult,
+    solve_projections,
+)
+from repro.adaptation.adapter import DomainAdapter, align_source_to_target
+
+__all__ = [
+    "LinkInstanceSample",
+    "sample_link_instances",
+    "aligned_indicator",
+    "similar_indicator",
+    "dissimilar_indicator",
+    "build_joint_indicators",
+    "laplacian_matrix",
+    "ProjectionResult",
+    "solve_projections",
+    "DomainAdapter",
+    "align_source_to_target",
+]

@@ -1,0 +1,25 @@
+"""Graph Laplacians of the indicator matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import AlignmentError
+from repro.utils.matrices import is_square
+
+
+def laplacian_matrix(weights: np.ndarray) -> np.ndarray:
+    """Unnormalized Laplacian ``L = D − W`` of a symmetric weight matrix.
+
+    ``D`` is the diagonal row-sum matrix, exactly as the paper defines
+    ``L_A = D_A − W_A``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if not is_square(weights):
+        raise AlignmentError(
+            f"weight matrix must be square, got shape {weights.shape}"
+        )
+    if not np.allclose(weights, weights.T, atol=1e-9):
+        raise AlignmentError("weight matrix must be symmetric")
+    degrees = weights.sum(axis=1)
+    return np.diag(degrees) - weights

@@ -1,0 +1,23 @@
+"""Anchor link prediction (network alignment).
+
+The SLT problem assumes anchor links are given, but the paper's ecosystem
+(Kong, Zhang & Yu, CIKM 2013 [8]; the "integrated anchor and social link
+prediction" line [33]) infers them: given two networks known to share users,
+which account pairs belong to the same person?
+
+This package provides a profile-similarity anchor predictor with the
+one-to-one constraint enforced by optimal bipartite matching
+(``scipy.optimize.linear_sum_assignment``), so the full pipeline — infer
+anchors, then transfer links with SLAMPRED — runs end to end without
+ground-truth alignment.
+"""
+
+from repro.alignment.profiles import UserProfileBuilder, profile_similarity
+from repro.alignment.matcher import AnchorPredictor, match_users
+
+__all__ = [
+    "UserProfileBuilder",
+    "profile_similarity",
+    "AnchorPredictor",
+    "match_users",
+]

@@ -1,0 +1,160 @@
+"""One-to-one anchor matching.
+
+Anchor links obey the one-to-one constraint (a person has at most one
+account per network), so anchor prediction is a bipartite assignment
+problem: maximize total profile similarity subject to each user matching at
+most once.  Solved exactly with the Hungarian algorithm
+(``scipy.optimize.linear_sum_assignment``); matches below a confidence
+threshold are discarded so unshared users stay unmatched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.optimize
+
+from repro.alignment.profiles import UserProfileBuilder, profile_similarity
+from repro.exceptions import AlignmentError
+from repro.networks.aligned import AnchorLinks
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.utils.validation import check_probability
+
+
+def match_users(
+    similarity: np.ndarray, min_similarity: float = 0.0
+) -> List[Tuple[int, int, float]]:
+    """Optimal one-to-one matching of a similarity matrix.
+
+    Returns ``(row, column, similarity)`` triples for matched pairs with
+    similarity strictly above ``min_similarity``.
+    """
+    similarity = np.asarray(similarity, dtype=float)
+    if similarity.ndim != 2:
+        raise AlignmentError(
+            f"similarity must be a 2-D matrix, got shape {similarity.shape}"
+        )
+    if similarity.size == 0:
+        return []
+    rows, cols = scipy.optimize.linear_sum_assignment(-similarity)
+    return [
+        (int(r), int(c), float(similarity[r, c]))
+        for r, c in zip(rows, cols)
+        if similarity[r, c] > min_similarity
+    ]
+
+
+class AnchorPredictor:
+    """Predict anchor links between two networks from attribute profiles.
+
+    Parameters
+    ----------
+    min_similarity:
+        Confidence floor: matched pairs at or below this cosine similarity
+        are discarded (prevents forcing matches for users who exist in
+        only one network).
+    weight_sharpness:
+        Exponent applied to each attribute family's reciprocal-best-match
+        rate when combining similarity matrices.  Higher values
+        concentrate the weight on the most identity-informative family;
+        4.0 performs best across seeds on the synthetic worlds.
+    profile_builder:
+        Profile construction strategy; defaults to location + hour + word.
+
+    Examples
+    --------
+    >>> from repro.synth import generate_aligned_pair
+    >>> from repro.alignment import AnchorPredictor
+    >>> aligned = generate_aligned_pair(scale=60, random_state=2)
+    >>> predictor = AnchorPredictor(min_similarity=0.2)
+    >>> predicted = predictor.predict(aligned.target, aligned.sources[0])
+    >>> len(predicted) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        min_similarity: float = 0.1,
+        weight_sharpness: float = 4.0,
+        profile_builder: UserProfileBuilder = None,
+    ):
+        self.min_similarity = check_probability(min_similarity, "min_similarity")
+        if weight_sharpness <= 0:
+            raise AlignmentError(
+                f"weight_sharpness must be > 0, got {weight_sharpness}"
+            )
+        self.weight_sharpness = float(weight_sharpness)
+        self.profile_builder = profile_builder or UserProfileBuilder()
+
+    def similarity_matrix(
+        self,
+        network_a: HeterogeneousNetwork,
+        network_b: HeterogeneousNetwork,
+    ) -> np.ndarray:
+        """Cross-network user similarity ``(n_a, n_b)``.
+
+        Each attribute family contributes its own cosine-similarity matrix,
+        weighted by its *reciprocal-best-match rate*: the fraction of users
+        whose best candidate also picks them back.  A family that truly
+        identifies people produces mutually consistent argmaxes; one
+        dominated by shared community/platform behaviour (or thin data,
+        like check-ins on a network that rarely checks in) does not — all
+        measured without ground-truth anchors.
+        """
+        blocks = self.profile_builder.build_blocks(network_a, network_b)
+        combined = None
+        total_weight = 0.0
+        for part, (profiles_a, profiles_b) in blocks.items():
+            similarity = profile_similarity(profiles_a, profiles_b)
+            weight = (
+                self._reciprocal_match_rate(similarity)
+                ** self.weight_sharpness
+            )
+            total_weight += weight
+            weighted = weight * similarity
+            combined = weighted if combined is None else combined + weighted
+        if combined is None or total_weight == 0.0:
+            n_a, n_b = network_a.n_users, network_b.n_users
+            return np.zeros((n_a, n_b))
+        return combined / total_weight
+
+    @staticmethod
+    def _reciprocal_match_rate(similarity: np.ndarray) -> float:
+        """Fraction of rows whose argmax column argmaxes back to them."""
+        if similarity.size == 0 or not similarity.any():
+            return 0.0
+        best_cols = similarity.argmax(axis=1)
+        best_rows = similarity.argmax(axis=0)
+        reciprocal = best_rows[best_cols] == np.arange(similarity.shape[0])
+        return float(reciprocal.mean())
+
+    def predict(
+        self,
+        network_a: HeterogeneousNetwork,
+        network_b: HeterogeneousNetwork,
+    ) -> AnchorLinks:
+        """Predict one-to-one anchor links from ``network_a`` to ``network_b``."""
+        similarity = self.similarity_matrix(network_a, network_b)
+        ids_a = network_a.user_ids
+        ids_b = network_b.user_ids
+        matches = match_users(similarity, self.min_similarity)
+        return AnchorLinks(
+            (ids_a[r], ids_b[c]) for r, c, _ in matches
+        )
+
+    def evaluate(
+        self, predicted: AnchorLinks, truth: AnchorLinks
+    ) -> dict:
+        """Precision / recall / F1 of predicted anchors against the truth."""
+        predicted_pairs = set(predicted.pairs)
+        true_pairs = set(truth.pairs)
+        hits = len(predicted_pairs & true_pairs)
+        precision = hits / len(predicted_pairs) if predicted_pairs else 0.0
+        recall = hits / len(true_pairs) if true_pairs else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,174 @@
+"""Cross-network user profiles for anchor prediction.
+
+Two accounts of the same person look alike in the attribute dimensions that
+travel across platforms: *where* they check in, *when* they are active and
+*what* vocabulary they use.  (Network-local structure does not transfer
+directly — user ids differ — so profiles are attribute-only.)
+
+Profiles of two networks are comparable because locations, hour buckets and
+word ids live in shared world-level spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlignmentError
+from repro.features.spatial import user_location_counts
+from repro.features.temporal import user_hour_histograms
+
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+PROFILE_PARTS = ("location", "hour", "word")
+
+
+class UserProfileBuilder:
+    """Build comparable per-user attribute profiles for a network pair.
+
+    Parameters
+    ----------
+    parts:
+        Which attribute families to include, a subset of
+        :data:`PROFILE_PARTS`.
+
+    use_idf:
+        Weight word and location columns by inverse user frequency computed
+        over the *union* of both networks' users.  Platform-trending and
+        community-shared items are common (low weight); a person's own
+        favorites are rare (high weight), which is exactly the identity
+        signal the matcher needs.
+
+    Notes
+    -----
+    Word columns are restricted to the vocabulary union of both networks so
+    the two profile matrices share a column space; location and hour spaces
+    are world-level already.
+    """
+
+    def __init__(self, parts: Sequence[str] = PROFILE_PARTS, use_idf: bool = True):
+        unknown = [p for p in parts if p not in PROFILE_PARTS]
+        if unknown:
+            raise AlignmentError(
+                f"unknown profile parts {unknown}; supported {PROFILE_PARTS}"
+            )
+        if not parts:
+            raise AlignmentError("at least one profile part is required")
+        self.parts = tuple(parts)
+        self.use_idf = bool(use_idf)
+
+    def build_blocks(
+        self,
+        network_a: HeterogeneousNetwork,
+        network_b: HeterogeneousNetwork,
+    ) -> dict:
+        """Per-part profile block pairs ``{part: (A_block, B_block)}``.
+
+        Each block is L2-normalized per user so no attribute family
+        dominates by raw volume.
+        """
+        blocks = {}
+        if "location" in self.parts:
+            blocks["location"] = self._location_blocks(network_a, network_b)
+        if "hour" in self.parts:
+            blocks["hour"] = (
+                _row_normalize(user_hour_histograms(network_a)),
+                _row_normalize(user_hour_histograms(network_b)),
+            )
+        if "word" in self.parts:
+            blocks["word"] = self._word_blocks(network_a, network_b)
+        return blocks
+
+    def build_pair(
+        self,
+        network_a: HeterogeneousNetwork,
+        network_b: HeterogeneousNetwork,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated profile matrices ``(n_a, d)`` and ``(n_b, d)``."""
+        blocks = self.build_blocks(network_a, network_b)
+        ordered = [blocks[p] for p in self.parts if p in blocks]
+        return (
+            np.hstack([a for a, _ in ordered]),
+            np.hstack([b for _, b in ordered]),
+        )
+
+    def _location_blocks(self, network_a, network_b):
+        counts_a = user_location_counts(network_a)
+        counts_b = user_location_counts(network_b)
+        width = max(counts_a.shape[1], counts_b.shape[1])
+        counts_a = _pad_columns(counts_a, width)
+        counts_b = _pad_columns(counts_b, width)
+        counts_a, counts_b = self._maybe_idf(counts_a, counts_b)
+        return _row_normalize(counts_a), _row_normalize(counts_b)
+
+    def _maybe_idf(self, counts_a, counts_b):
+        if not self.use_idf:
+            return counts_a, counts_b
+        pooled = np.vstack([counts_a, counts_b])
+        n_users = pooled.shape[0]
+        frequency = (pooled > 0).sum(axis=0)
+        weights = np.log(1.0 + n_users / (1.0 + frequency))
+        return counts_a * weights[None, :], counts_b * weights[None, :]
+
+    def _word_blocks(self, network_a, network_b):
+        words_a = sorted(
+            {w for post in network_a.posts() for w in post.word_ids}
+        )
+        words_b = sorted(
+            {w for post in network_b.posts() for w in post.word_ids}
+        )
+        vocabulary = sorted(set(words_a) | set(words_b))
+        index = {w: i for i, w in enumerate(vocabulary)}
+
+        def counts(network):
+            out = np.zeros((network.n_users, len(vocabulary)))
+            user_index = network.user_index()
+            for post in network.posts():
+                row = user_index[post.author_id]
+                for word in post.word_ids:
+                    out[row, index[word]] += 1
+            return out
+
+        counts_a, counts_b = self._maybe_idf(counts(network_a), counts(network_b))
+        return _row_normalize(counts_a), _row_normalize(counts_b)
+
+
+def profile_similarity(
+    profiles_a: np.ndarray, profiles_b: np.ndarray
+) -> np.ndarray:
+    """Cosine similarity between every cross-network user pair.
+
+    Returns ``(n_a, n_b)``; rows with empty profiles score 0 everywhere.
+    """
+    profiles_a = np.asarray(profiles_a, dtype=float)
+    profiles_b = np.asarray(profiles_b, dtype=float)
+    if profiles_a.shape[1] != profiles_b.shape[1]:
+        raise AlignmentError(
+            f"profile dimensionalities differ: {profiles_a.shape[1]} vs "
+            f"{profiles_b.shape[1]}"
+        )
+    norm_a = np.linalg.norm(profiles_a, axis=1)
+    norm_b = np.linalg.norm(profiles_b, axis=1)
+    safe_a = np.where(norm_a > 0, norm_a, 1.0)
+    safe_b = np.where(norm_b > 0, norm_b, 1.0)
+    similarity = (profiles_a / safe_a[:, None]) @ (
+        profiles_b / safe_b[:, None]
+    ).T
+    similarity[norm_a == 0, :] = 0.0
+    similarity[:, norm_b == 0] = 0.0
+    return similarity
+
+
+def _row_normalize(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe[:, None]
+
+
+def _pad_columns(matrix: np.ndarray, width: int) -> np.ndarray:
+    if matrix.shape[1] >= width:
+        return matrix
+    padded = np.zeros((matrix.shape[0], width))
+    padded[:, : matrix.shape[1]] = matrix
+    return padded

@@ -1,0 +1,20 @@
+"""Other applications of the sparse + low-rank estimation machinery.
+
+Richard, Savalle & Vayatis (ICML 2012) — the estimation framework the paper
+builds on — list three applications of simultaneously sparse and low-rank
+matrix estimation: **link prediction** (the paper's core, in
+:mod:`repro.models`), **graph denoising** and **covariance estimation**.
+This package implements the other two on the same proximal stack:
+
+* :class:`GraphDenoiser` — recover a consistent low-rank community
+  structure from an adjacency matrix corrupted by spurious / missing links
+  (the setting of Zhi, Han & Gu, ECML-PKDD 2015, cited as [38]);
+* :class:`SparseLowRankCovariance` — shrinkage covariance estimation where
+  the population covariance is a low-rank factor model plus a sparse
+  residual.
+"""
+
+from repro.applications.denoise import GraphDenoiser
+from repro.applications.covariance import SparseLowRankCovariance
+
+__all__ = ["GraphDenoiser", "SparseLowRankCovariance"]

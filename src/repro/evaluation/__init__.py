@@ -1,0 +1,70 @@
+"""Evaluation: metrics, link splits, fold harness and the anchor sweep.
+
+Mirrors the paper's protocol (Section IV-B): the target's existing links are
+partitioned into 5 folds; four train, one is hidden as ground truth.  Models
+score the hidden links against sampled non-links and are measured by AUC and
+Precision@100 across anchor-link sampling ratios.
+"""
+
+from repro.evaluation.metrics import (
+    auc_score,
+    precision_at_k,
+    recall_at_k,
+    average_precision,
+    f1_at_threshold,
+)
+from repro.evaluation.curves import (
+    roc_curve,
+    precision_recall_curve,
+    auc_from_roc,
+)
+from repro.evaluation.splits import (
+    LinkSplit,
+    k_fold_link_splits,
+    sample_negative_pairs,
+)
+from repro.evaluation.harness import (
+    EvaluationResult,
+    FoldOutcome,
+    evaluate_model,
+    cross_validate,
+)
+from repro.evaluation.selection import GridSearchResult, grid_search
+from repro.evaluation.anchor_sweep import (
+    AnchorSweepResult,
+    MethodSpec,
+    run_anchor_sweep,
+    default_method_specs,
+)
+from repro.evaluation.reporting import (
+    format_cell,
+    format_sweep_table,
+    format_stats_table,
+)
+
+__all__ = [
+    "auc_score",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "f1_at_threshold",
+    "roc_curve",
+    "precision_recall_curve",
+    "auc_from_roc",
+    "LinkSplit",
+    "k_fold_link_splits",
+    "sample_negative_pairs",
+    "EvaluationResult",
+    "FoldOutcome",
+    "evaluate_model",
+    "cross_validate",
+    "AnchorSweepResult",
+    "MethodSpec",
+    "run_anchor_sweep",
+    "default_method_specs",
+    "GridSearchResult",
+    "grid_search",
+    "format_cell",
+    "format_sweep_table",
+    "format_stats_table",
+]

@@ -1,0 +1,77 @@
+"""ROC and precision-recall curves.
+
+The paper reports scalar AUC / Precision@100; these helpers expose the full
+curves behind those scalars for diagnostic plotting.  Both return points at
+every distinct score threshold (tied scores collapse into one step, so the
+curves are exact for tie-heavy matrix predictors).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.evaluation.metrics import _validate
+from repro.exceptions import EvaluationError
+
+
+def roc_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points ``(false_positive_rate, true_positive_rate, thresholds)``.
+
+    Points are ordered from the strictest threshold (nothing predicted) to
+    the loosest (everything predicted); the first point is (0, 0) and the
+    last (1, 1).
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = float(labels.sum())
+    n_neg = float(labels.size - labels.sum())
+    if n_pos == 0 or n_neg == 0:
+        raise EvaluationError("ROC needs both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    # Indices where the threshold actually drops (last of each tie group).
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if scores.size > 1 else np.array([], dtype=int)
+    cut = np.concatenate([distinct, [scores.size - 1]])
+    tps = np.cumsum(sorted_labels)[cut]
+    fps = (cut + 1) - tps
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut]])
+    return fpr, tpr, thresholds
+
+
+def precision_recall_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """PR curve points ``(precision, recall, thresholds)``.
+
+    Ordered from the strictest threshold to the loosest; recall runs from
+    its first attainable value to 1.0.
+    """
+    scores, labels = _validate(scores, labels)
+    n_pos = float(labels.sum())
+    if n_pos == 0:
+        raise EvaluationError("PR curve needs at least one positive")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if scores.size > 1 else np.array([], dtype=int)
+    cut = np.concatenate([distinct, [scores.size - 1]])
+    tps = np.cumsum(sorted_labels)[cut]
+    predicted = cut + 1.0
+    precision = tps / predicted
+    recall = tps / n_pos
+    return precision, recall, sorted_scores[cut]
+
+
+def auc_from_roc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Trapezoidal area under an ROC curve (cross-check for auc_score)."""
+    fpr = np.asarray(fpr, dtype=float)
+    tpr = np.asarray(tpr, dtype=float)
+    if fpr.shape != tpr.shape or fpr.size < 2:
+        raise EvaluationError("need matching fpr/tpr arrays with >= 2 points")
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,111 @@
+"""Ranking metrics for link prediction.
+
+The paper reports AUC and Precision@100.  AUC is computed rank-based
+(Mann-Whitney) with proper tie handling — matrix-estimation predictors can
+emit many tied zero scores, and ties must receive half credit rather than
+arbitrary ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+from repro.exceptions import EvaluationError
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray):
+    scores = np.asarray(scores, dtype=float).ravel()
+    labels = np.asarray(labels, dtype=float).ravel()
+    if scores.shape != labels.shape:
+        raise EvaluationError(
+            f"scores ({scores.shape}) and labels ({labels.shape}) "
+            "must have the same length"
+        )
+    if scores.size == 0:
+        raise EvaluationError("cannot evaluate on zero instances")
+    if not np.all(np.isin(labels, (0.0, 1.0))):
+        raise EvaluationError("labels must be binary 0/1")
+    return scores, labels
+
+
+def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (rank-based, ties get half credit).
+
+    Raises :class:`EvaluationError` when only one class is present.
+    """
+    scores, labels = _validate(scores, labels)
+    positives = labels == 1.0
+    n_pos = int(positives.sum())
+    n_neg = int(labels.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise EvaluationError(
+            f"AUC needs both classes; got {n_pos} positives, {n_neg} negatives"
+        )
+    ranks = rankdata(scores)
+    rank_sum = float(ranks[positives].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def precision_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
+    """Fraction of positives among the top-``k`` scored instances.
+
+    Ties at the cutoff are resolved by expected value: tied instances share
+    the remaining slots proportionally, so the metric is deterministic and
+    order-independent.
+    """
+    scores, labels = _validate(scores, labels)
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    k = min(int(k), scores.size)
+    order = np.argsort(-scores, kind="stable")
+    cutoff_score = scores[order[k - 1]]
+    above = scores > cutoff_score
+    n_above = int(above.sum())
+    hits = float(labels[above].sum())
+    tied = scores == cutoff_score
+    n_tied = int(tied.sum())
+    slots = k - n_above
+    if n_tied > 0 and slots > 0:
+        hits += float(labels[tied].sum()) * slots / n_tied
+    return hits / k
+
+
+def recall_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
+    """Fraction of all positives recovered in the top ``k`` (tie-averaged)."""
+    scores, labels = _validate(scores, labels)
+    total_pos = float(labels.sum())
+    if total_pos == 0:
+        raise EvaluationError("recall@k needs at least one positive")
+    return precision_at_k(scores, labels, k) * min(int(k), scores.size) / total_pos
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Ties are broken by stable descending sort; with heavy ties prefer
+    :func:`auc_score` which handles them exactly.
+    """
+    scores, labels = _validate(scores, labels)
+    total_pos = float(labels.sum())
+    if total_pos == 0:
+        raise EvaluationError("average precision needs at least one positive")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    cumulative_hits = np.cumsum(sorted_labels)
+    precision = cumulative_hits / np.arange(1, labels.size + 1)
+    return float((precision * sorted_labels).sum() / total_pos)
+
+
+def f1_at_threshold(
+    scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
+) -> float:
+    """F1 of the hard classification ``score >= threshold``."""
+    scores, labels = _validate(scores, labels)
+    predicted = scores >= threshold
+    true_pos = float((predicted & (labels == 1.0)).sum())
+    if true_pos == 0:
+        return 0.0
+    precision = true_pos / float(predicted.sum())
+    recall = true_pos / float(labels.sum())
+    return 2 * precision * recall / (precision + recall)

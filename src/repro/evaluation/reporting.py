@@ -1,0 +1,71 @@
+"""Plain-text table formatting for experiment output.
+
+Renders the sweep results in the paper's ``mean±std`` cell style so the
+benchmark harness can print rows directly comparable to Table II, and the
+dataset statistics in the Table I layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evaluation.anchor_sweep import AnchorSweepResult
+
+
+def format_cell(mean: float, std: float, digits: int = 3) -> str:
+    """One ``mean±std`` cell, e.g. ``0.941±0.019``."""
+    return f"{mean:.{digits}f}±{std:.{digits}f}"
+
+
+def format_sweep_table(
+    result: AnchorSweepResult,
+    metric: str,
+    title: str = None,
+    digits: int = 3,
+) -> str:
+    """Render one metric of an anchor sweep as an aligned text table."""
+    header = ["method"] + [f"{r:.1f}" for r in result.ratios]
+    rows: List[List[str]] = [header]
+    for method in result.methods:
+        row = [method]
+        for ratio in result.ratios:
+            cell = result.cell(method, ratio)
+            row.append(format_cell(cell.mean(metric), cell.std(metric), digits))
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_stats_table(
+    stats_by_network: Dict[str, Dict[str, int]], title: str = None
+) -> str:
+    """Render per-network statistics in the Table I layout."""
+    networks = list(stats_by_network)
+    properties: List[str] = []
+    for stats in stats_by_network.values():
+        for key in stats:
+            if key not in properties:
+                properties.append(key)
+    header = ["property"] + networks
+    rows = [header]
+    for prop in properties:
+        rows.append(
+            [prop]
+            + [f"{stats_by_network[net].get(prop, 0):,}" for net in networks]
+        )
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class NetworkError(ReproError):
+    """A network container was queried or mutated inconsistently."""
+
+
+class UnknownNodeError(NetworkError):
+    """A node identifier does not exist in the network."""
+
+
+class DuplicateNodeError(NetworkError):
+    """A node identifier was added twice to the same network."""
+
+
+class AlignmentError(ReproError):
+    """Anchor links reference unknown users or violate one-to-one-ness."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction was asked for something it cannot produce."""
+
+
+class OptimizationError(ReproError):
+    """An optimization routine diverged or was configured inconsistently."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before :meth:`fit` was called."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation routine received degenerate or inconsistent input."""
+
+
+class SerializationError(ReproError):
+    """A network or model could not be serialized or deserialized."""

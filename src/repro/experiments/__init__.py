@@ -1,0 +1,31 @@
+"""Paper experiment reproductions.
+
+One module per table / figure of the paper's evaluation section:
+
+* :mod:`repro.experiments.table1` — dataset statistics;
+* :mod:`repro.experiments.table2` — methods × anchor ratios (AUC, P@100);
+* :mod:`repro.experiments.figure3` — CCCP convergence curves;
+* :mod:`repro.experiments.figure4` — α_s sweep at fixed α_t;
+* :mod:`repro.experiments.figure5` — α_t sweep at fixed α_s.
+
+Run from the command line::
+
+    python -m repro.experiments table2 --scale 120 --folds 3
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_table1",
+    "run_table2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+]

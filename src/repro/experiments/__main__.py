@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    get_result_runner,
+)
+from repro.experiments.serialize import dump_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce a table or figure of the SLAMPRED paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None, help="synthetic population size"
+    )
+    parser.add_argument(
+        "--folds", type=int, default=None, help="cross-validation folds"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="random seed"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the structured result to PATH as JSON "
+        "(with 'all', one file per experiment: PATH.<name>.json)",
+    )
+    return parser
+
+
+_NO_FOLDS = ("table1", "figure3")
+
+
+def main(argv=None) -> int:
+    """Run the chosen experiment(s) and print the output."""
+    args = build_parser().parse_args(argv)
+    base_kwargs = {}
+    if args.scale is not None:
+        base_kwargs["scale"] = args.scale
+    if args.folds is not None:
+        base_kwargs["n_folds"] = args.folds
+    if args.seed is not None:
+        base_kwargs["random_state"] = args.seed
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for index, name in enumerate(names):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        kwargs = dict(base_kwargs)
+        if name in _NO_FOLDS:
+            kwargs.pop("n_folds", None)
+        if args.json is None:
+            get_experiment(name)(**kwargs)
+            continue
+        result = get_result_runner(name)(**kwargs)
+        print(result.get("text", result.get("auc_text", "")))
+        path = (
+            args.json
+            if args.experiment != "all"
+            else f"{args.json}.{name}.json"
+        )
+        dump_result(result, path)
+        print(f"[written {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

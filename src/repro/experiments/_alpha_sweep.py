@@ -1,0 +1,97 @@
+"""Shared machinery for the α_t / α_s parameter-analysis figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.evaluation.harness import cross_validate
+from repro.evaluation.splits import k_fold_link_splits
+from repro.models.slampred import SlamPred
+
+from repro.networks.social import SocialGraph
+from repro.synth.generator import generate_aligned_pair
+from repro.utils.rng import RandomState, ensure_rng
+
+DEFAULT_ALPHAS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_alpha_sweep(
+    sweep_parameter: str,
+    fixed_values: Sequence[float],
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    scale: int = 100,
+    n_folds: int = 3,
+    precision_k: int = 20,
+    random_state: RandomState = 17,
+) -> Dict:
+    """Sweep one intimacy weight while fixing the other.
+
+    Parameters
+    ----------
+    sweep_parameter:
+        ``"alpha_s"`` (Figure 4: α_t fixed, α_s swept) or ``"alpha_t"``
+        (Figure 5: α_s fixed, α_t swept).
+    fixed_values:
+        Values of the *fixed* parameter — the paper uses {0.0, 1.0}, one
+        panel pair each.
+
+    Returns
+    -------
+    dict with ``alphas``, ``curves`` mapping
+    ``(fixed_value, metric) -> list of means`` and ``text``.
+    """
+    if sweep_parameter not in ("alpha_s", "alpha_t"):
+        raise ValueError(
+            f"sweep_parameter must be 'alpha_s' or 'alpha_t', "
+            f"got {sweep_parameter!r}"
+        )
+    rng = ensure_rng(random_state)
+    aligned = generate_aligned_pair(scale=scale, random_state=rng)
+    splits = k_fold_link_splits(
+        SocialGraph.from_network(aligned.target),
+        n_folds=n_folds,
+        random_state=rng,
+    )
+    precision_metric = f"precision@{precision_k}"
+    curves: Dict[Tuple[float, str], List[float]] = {}
+    for fixed in fixed_values:
+        for metric in ("auc", precision_metric):
+            curves[(fixed, metric)] = []
+        for alpha in alphas:
+            if sweep_parameter == "alpha_s":
+                alpha_t, alpha_s = fixed, alpha
+            else:
+                alpha_t, alpha_s = alpha, fixed
+            result = cross_validate(
+                lambda: SlamPred(alpha_target=alpha_t, alpha_sources=alpha_s),
+                aligned,
+                splits,
+                random_state=rng,
+                precision_k=precision_k,
+            )
+            for metric in ("auc", precision_metric):
+                curves[(fixed, metric)].append(result.mean(metric))
+    text = _render(sweep_parameter, fixed_values, alphas, curves)
+    return {
+        "alphas": list(alphas),
+        "curves": curves,
+        "precision_metric": precision_metric,
+        "text": text,
+    }
+
+
+def _render(sweep_parameter, fixed_values, alphas, curves) -> str:
+    fixed_name = "alpha_t" if sweep_parameter == "alpha_s" else "alpha_s"
+    lines = [f"Parameter analysis: sweeping {sweep_parameter}"]
+    header = f"{sweep_parameter:>9}"
+    for alpha in alphas:
+        header += f"  {alpha:>7.1f}"
+    for fixed in fixed_values:
+        for metric in sorted({m for (f, m) in curves if f == fixed}):
+            lines.append(f"\n{fixed_name} = {fixed}, metric = {metric}")
+            lines.append(header)
+            row = f"{'value':>9}"
+            for value in curves[(fixed, metric)]:
+                row += f"  {value:7.3f}"
+            lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Figure 4 — effect of α_s with α_t fixed.
+
+The paper fixes the target intimacy weight α_t ∈ {0.0, 1.0} and sweeps the
+source weight α_s over {0.0, 0.2, …, 1.0}, observing:
+
+* with α_t = 0, increasing α_s slightly degrades performance (transferred
+  information alone can't replace the target's own attributes);
+* with α_t = 1, moderate α_s helps before overfitting to the source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments._alpha_sweep import DEFAULT_ALPHAS, run_alpha_sweep
+from repro.utils.rng import RandomState
+
+
+def run_figure4(
+    fixed_alpha_t: Sequence[float] = (0.0, 1.0),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    scale: int = 100,
+    n_folds: int = 3,
+    precision_k: int = 20,
+    random_state: RandomState = 17,
+) -> Dict:
+    """Run the α_s sweep (see :func:`run_alpha_sweep` for the output shape)."""
+    return run_alpha_sweep(
+        "alpha_s",
+        fixed_values=fixed_alpha_t,
+        alphas=alphas,
+        scale=scale,
+        n_folds=n_folds,
+        precision_k=precision_k,
+        random_state=random_state,
+    )
+
+
+def main(**kwargs) -> None:
+    """Print the Figure 4 reproduction."""
+    print(run_figure4(**kwargs)["text"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Figure 5 — effect of α_t with α_s fixed.
+
+The paper fixes the source intimacy weight α_s ∈ {0.0, 1.0} and sweeps the
+target weight α_t over {0.0, 0.2, …, 1.0}, observing an inverted-U:
+incorporating the target's attribute intimacy helps up to a point, after
+which over-weighting it makes the model overfit the attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments._alpha_sweep import DEFAULT_ALPHAS, run_alpha_sweep
+from repro.utils.rng import RandomState
+
+
+def run_figure5(
+    fixed_alpha_s: Sequence[float] = (0.0, 1.0),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    scale: int = 100,
+    n_folds: int = 3,
+    precision_k: int = 20,
+    random_state: RandomState = 17,
+) -> Dict:
+    """Run the α_t sweep (see :func:`run_alpha_sweep` for the output shape)."""
+    return run_alpha_sweep(
+        "alpha_t",
+        fixed_values=fixed_alpha_s,
+        alphas=alphas,
+        scale=scale,
+        n_folds=n_folds,
+        precision_k=precision_k,
+        random_state=random_state,
+    )
+
+
+def main(**kwargs) -> None:
+    """Print the Figure 5 reproduction."""
+    print(run_figure5(**kwargs)["text"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Registry mapping experiment names to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figure3 import main as figure3_main, run_figure3
+from repro.experiments.figure4 import main as figure4_main, run_figure4
+from repro.experiments.figure5 import main as figure5_main, run_figure5
+from repro.experiments.table1 import main as table1_main, run_table1
+from repro.experiments.table2 import main as table2_main, run_table2
+
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
+    "table1": table1_main,
+    "table2": table2_main,
+    "figure3": figure3_main,
+    "figure4": figure4_main,
+    "figure5": figure5_main,
+}
+"""Experiment name → printing entry point."""
+
+RESULT_RUNNERS: Dict[str, Callable[..., dict]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+}
+"""Experiment name → structured-result runner (used for --json output)."""
+
+
+def get_experiment(name: str) -> Callable[..., None]:
+    """Look up an experiment's printing runner by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def get_result_runner(name: str) -> Callable[..., dict]:
+    """Look up an experiment's structured-result runner by name."""
+    try:
+        return RESULT_RUNNERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(RESULT_RUNNERS)}"
+        ) from None

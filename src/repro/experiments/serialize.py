@@ -1,0 +1,87 @@
+"""JSON-serializable views of experiment results.
+
+The ``run_*`` functions return dicts that mix plain values with result
+objects (:class:`~repro.evaluation.anchor_sweep.AnchorSweepResult`, numpy
+arrays).  These helpers flatten everything into JSON-compatible structures
+so experiment outputs can be archived or diffed across runs
+(``python -m repro.experiments table2 --json out.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.evaluation.anchor_sweep import AnchorSweepResult
+from repro.evaluation.harness import EvaluationResult
+
+
+def sweep_to_dict(sweep: AnchorSweepResult) -> Dict[str, Any]:
+    """Flatten an anchor sweep into nested dicts of per-fold metrics."""
+    return {
+        "ratios": list(sweep.ratios),
+        "methods": {
+            method: {
+                str(ratio): evaluation_to_dict(sweep.cell(method, ratio))
+                for ratio in sweep.ratios
+            }
+            for method in sweep.methods
+        },
+    }
+
+
+def evaluation_to_dict(result: EvaluationResult) -> Dict[str, Any]:
+    """Flatten one cross-validation result."""
+    return {
+        "model": result.model_name,
+        "metrics": {
+            metric: {
+                "values": [float(v) for v in values],
+                "mean": result.mean(metric),
+                "std": result.std(metric),
+            }
+            for metric, values in result.metrics.items()
+        },
+    }
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert an experiment result into JSON-compatible types.
+
+    Handles numpy scalars/arrays, the evaluation result objects, tuples and
+    dict keys that are not strings; anything else unrecognized is
+    stringified rather than failing, so archiving never loses a run.
+    """
+    if isinstance(value, AnchorSweepResult):
+        return sweep_to_dict(value)
+    if isinstance(value, EvaluationResult):
+        return evaluation_to_dict(value)
+    if isinstance(value, dict):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def dump_result(result: Dict[str, Any], path: str) -> None:
+    """Write an experiment result dict to ``path`` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(result), handle, indent=2, sort_keys=True)

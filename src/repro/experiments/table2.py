@@ -1,0 +1,84 @@
+"""Table II — method comparison across anchor-link sampling ratios.
+
+Reproduces the paper's main result table: twelve methods evaluated by AUC
+and Precision@k on 5-fold link splits, with the anchor links between the
+target and the source sampled at ratios 0.0 … 1.0.
+
+The paper's headline observations this reproduction preserves:
+
+* SLAMPRED dominates and improves steadily with the anchor ratio;
+* SLAMPRED ≥ SLAMPRED-T ≥ SLAMPRED-H;
+* methods without domain adaptation (PL, SCAN) do not benefit reliably
+  from more anchors;
+* target-only methods and the unsupervised predictors are flat in the
+  ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.evaluation.anchor_sweep import (
+    AnchorSweepResult,
+    default_method_specs,
+    run_anchor_sweep,
+)
+from repro.evaluation.reporting import format_sweep_table
+from repro.synth.generator import generate_aligned_pair
+from repro.utils.rng import RandomState
+
+FAST_RATIOS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_table2(
+    scale: int = 120,
+    ratios: Sequence[float] = FAST_RATIOS,
+    n_folds: int = 3,
+    precision_k: int = 20,
+    random_state: RandomState = 17,
+) -> Dict:
+    """Run the anchor sweep and render both metric tables.
+
+    Default parameters are laptop-scale (the full 11-ratio 5-fold sweep at
+    scale 300 takes substantially longer); pass ``ratios=DEFAULT_RATIOS`` and
+    ``n_folds=5`` for the paper-shaped run.
+
+    Returns ``sweep`` (the :class:`AnchorSweepResult`), ``auc_text`` and
+    ``precision_text``.
+    """
+    aligned = generate_aligned_pair(scale=scale, random_state=random_state)
+    sweep: AnchorSweepResult = run_anchor_sweep(
+        aligned,
+        methods=default_method_specs(),
+        ratios=ratios,
+        n_folds=n_folds,
+        precision_k=precision_k,
+        random_state=random_state,
+    )
+    auc_text = format_sweep_table(
+        sweep, "auc", title="Table II (AUC) — methods × anchor ratio"
+    )
+    precision_metric = f"precision@{precision_k}"
+    precision_text = format_sweep_table(
+        sweep,
+        precision_metric,
+        title=f"Table II (Precision@{precision_k}) — methods × anchor ratio",
+    )
+    return {
+        "sweep": sweep,
+        "auc_text": auc_text,
+        "precision_text": precision_text,
+        "precision_metric": precision_metric,
+    }
+
+
+def main(**kwargs) -> None:
+    """Print both Table II reproductions."""
+    result = run_table2(**kwargs)
+    print(result["auc_text"])
+    print()
+    print(result["precision_text"])
+
+
+if __name__ == "__main__":
+    main()

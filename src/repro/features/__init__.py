@@ -1,0 +1,55 @@
+"""Intimacy feature extraction.
+
+Section III-B of the paper scores user pairs with *intimacy features*
+extracted from heterogeneous attribute information (the feature families of
+Zhang et al., ICDM 2013).  Feature values for all pairs of one network form a
+3-way tensor ``X ∈ R^{d×n×n}`` (:class:`FeatureTensor`), whose slice ``k`` is
+the k-th feature evaluated on every pair.
+
+Families implemented:
+
+* structural — common neighbors, Jaccard, Adamic-Adar, resource allocation,
+  preferential attachment, truncated Katz (:mod:`repro.features.structural`)
+* spatial — check-in profile similarity (:mod:`repro.features.spatial`)
+* temporal — hour-of-day activity similarity (:mod:`repro.features.temporal`)
+* textual — word-usage similarity (:mod:`repro.features.textual`)
+* meta-path — U→P→{L,W,T}→P→U path counts over the HIN
+  (:mod:`repro.features.metapath`)
+"""
+
+from repro.features.tensor import FeatureTensor
+from repro.features.structural import (
+    common_neighbors_matrix,
+    jaccard_matrix,
+    adamic_adar_matrix,
+    resource_allocation_matrix,
+    preferential_attachment_matrix,
+    katz_matrix,
+)
+from repro.features.spatial import user_location_counts, checkin_similarity
+from repro.features.temporal import user_hour_histograms, temporal_similarity
+from repro.features.textual import user_word_counts, word_usage_similarity
+from repro.features.metapath import (
+    metapath_count_matrix,
+    METAPATHS,
+)
+from repro.features.intimacy import IntimacyFeatureExtractor
+
+__all__ = [
+    "FeatureTensor",
+    "common_neighbors_matrix",
+    "jaccard_matrix",
+    "adamic_adar_matrix",
+    "resource_allocation_matrix",
+    "preferential_attachment_matrix",
+    "katz_matrix",
+    "user_location_counts",
+    "checkin_similarity",
+    "user_hour_histograms",
+    "temporal_similarity",
+    "user_word_counts",
+    "word_usage_similarity",
+    "metapath_count_matrix",
+    "METAPATHS",
+    "IntimacyFeatureExtractor",
+]

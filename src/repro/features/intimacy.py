@@ -1,0 +1,158 @@
+"""The end-to-end intimacy feature pipeline.
+
+:class:`IntimacyFeatureExtractor` turns one heterogeneous network (plus a
+*training* view of its social structure) into the paper's feature tensor
+``X ∈ R^{d×n×n}``.  Structural features are always computed from the
+training view so held-out test links never leak into the features.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.features.metapath import METAPATHS, metapath_count_matrix
+from repro.features.spatial import checkin_similarity
+from repro.features.structural import (
+    adamic_adar_matrix,
+    common_neighbors_matrix,
+    jaccard_matrix,
+    katz_matrix,
+    preferential_attachment_matrix,
+    resource_allocation_matrix,
+)
+from repro.features.temporal import temporal_similarity
+from repro.features.tensor import FeatureTensor
+from repro.features.textual import word_usage_similarity
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.social import SocialGraph
+
+STRUCTURAL_FEATURES = (
+    "common_neighbors",
+    "jaccard",
+    "adamic_adar",
+    "resource_allocation",
+    "preferential_attachment",
+    "katz",
+)
+ATTRIBUTE_FEATURES = (
+    "checkin_similarity",
+    "temporal_similarity",
+    "word_similarity",
+)
+METAPATH_FEATURES = tuple(f"metapath_{mp}" for mp in METAPATHS)
+
+DEFAULT_FEATURES = STRUCTURAL_FEATURES + ATTRIBUTE_FEATURES + METAPATH_FEATURES
+"""All features the extractor can produce, in canonical order."""
+
+
+class IntimacyFeatureExtractor:
+    """Extract the intimacy feature tensor of one network.
+
+    Parameters
+    ----------
+    features:
+        Which features to extract, a subset of :data:`DEFAULT_FEATURES`
+        (defaults to all of them).
+    katz_beta, katz_max_length:
+        Parameters of the truncated Katz structural feature.
+    normalize:
+        Whether to max-normalize each slice (recommended; puts counts and
+        cosines on a common scale before domain adaptation).
+
+    Examples
+    --------
+    >>> from repro.synth import generate_aligned_pair
+    >>> aligned = generate_aligned_pair(scale=60, random_state=0)
+    >>> extractor = IntimacyFeatureExtractor()
+    >>> tensor = extractor.extract(aligned.target)
+    >>> tensor.n_users == aligned.target.n_users
+    True
+    """
+
+    def __init__(
+        self,
+        features: Sequence[str] = None,
+        katz_beta: float = 0.05,
+        katz_max_length: int = 3,
+        normalize: bool = True,
+    ):
+        if features is None:
+            features = DEFAULT_FEATURES
+        unknown = [f for f in features if f not in DEFAULT_FEATURES]
+        if unknown:
+            raise FeatureError(
+                f"unknown features {unknown}; supported: {list(DEFAULT_FEATURES)}"
+            )
+        if len(features) == 0:
+            raise FeatureError("at least one feature must be requested")
+        self.features = tuple(features)
+        self.katz_beta = katz_beta
+        self.katz_max_length = katz_max_length
+        self.normalize = normalize
+
+    @property
+    def n_features(self) -> int:
+        """Number of slices the extractor produces (the paper's d)."""
+        return len(self.features)
+
+    def extract(
+        self,
+        network: HeterogeneousNetwork,
+        training_graph: Optional[SocialGraph] = None,
+    ) -> FeatureTensor:
+        """Build the feature tensor.
+
+        Parameters
+        ----------
+        network:
+            Heterogeneous network supplying attribute information.
+        training_graph:
+            Social structure to compute structural features from.  Pass the
+            *training* view during evaluation so test links do not leak;
+            defaults to the network's full structure.
+        """
+        if training_graph is None:
+            training_graph = SocialGraph.from_network(network)
+        if training_graph.n_users != network.n_users:
+            raise FeatureError(
+                f"training graph has {training_graph.n_users} users but the "
+                f"network has {network.n_users}"
+            )
+        adjacency = training_graph.adjacency
+        matrices: List[np.ndarray] = []
+        for name in self.features:
+            matrices.append(self._compute(name, network, adjacency))
+        tensor = FeatureTensor.from_matrices(matrices, list(self.features))
+        return tensor.normalized() if self.normalize else tensor
+
+    # ------------------------------------------------------------------
+    def _compute(
+        self,
+        name: str,
+        network: HeterogeneousNetwork,
+        adjacency: np.ndarray,
+    ) -> np.ndarray:
+        if name == "common_neighbors":
+            return common_neighbors_matrix(adjacency)
+        if name == "jaccard":
+            return jaccard_matrix(adjacency)
+        if name == "adamic_adar":
+            return adamic_adar_matrix(adjacency)
+        if name == "resource_allocation":
+            return resource_allocation_matrix(adjacency)
+        if name == "preferential_attachment":
+            return preferential_attachment_matrix(adjacency)
+        if name == "katz":
+            return katz_matrix(adjacency, self.katz_beta, self.katz_max_length)
+        if name == "checkin_similarity":
+            return checkin_similarity(network)
+        if name == "temporal_similarity":
+            return temporal_similarity(network)
+        if name == "word_similarity":
+            return word_usage_similarity(network)
+        if name.startswith("metapath_"):
+            return metapath_count_matrix(network, name[len("metapath_"):])
+        raise FeatureError(f"unknown feature {name!r}")

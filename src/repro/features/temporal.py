@@ -1,0 +1,29 @@
+"""Temporal (activity-pattern) intimacy features.
+
+Users active at the same hours of the day are more likely to interact.  Each
+user gets a 24-bin posting-hour histogram; pairs are scored by cosine
+similarity of the histograms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.spatial import cosine_similarity_matrix
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+N_HOUR_BINS = 24
+
+
+def user_hour_histograms(network: HeterogeneousNetwork) -> np.ndarray:
+    """Hour-of-day posting histograms ``(n_users, 24)`` in user-id order."""
+    user_index = network.user_index()
+    histograms = np.zeros((network.n_users, N_HOUR_BINS))
+    for post in network.posts():
+        histograms[user_index[post.author_id], post.hour] += 1
+    return histograms
+
+
+def temporal_similarity(network: HeterogeneousNetwork) -> np.ndarray:
+    """Cosine similarity of hour histograms (``n×n``, zero diagonal)."""
+    return cosine_similarity_matrix(user_hour_histograms(network))

@@ -1,0 +1,59 @@
+"""Link prediction models: SLAMPRED and all comparison baselines.
+
+The experiment section of the paper compares four families:
+
+* sparse + low-rank matrix estimation — :class:`SlamPred`,
+  :class:`SlamPredT`, :class:`SlamPredH`;
+* PU-classification link prediction — :class:`PLPredictor` and its -T / -S
+  variants (spy-technique positive-unlabeled learning);
+* supervised classification — :class:`ScanPredictor` and -T / -S variants;
+* unsupervised predictors — :class:`PreferentialAttachment`,
+  :class:`CommonNeighbors`, :class:`JaccardCoefficient` (plus Adamic-Adar,
+  resource allocation and Katz extensions).
+
+All share the :class:`LinkPredictor` interface: ``fit(task)`` on a
+:class:`TransferTask` and ``score_pairs(pairs)`` on target user pairs.
+"""
+
+from repro.models.base import LinkPredictor, TransferTask
+from repro.models.classifiers import LogisticRegression
+from repro.models.unsupervised import (
+    UnsupervisedPredictor,
+    CommonNeighbors,
+    JaccardCoefficient,
+    PreferentialAttachment,
+    AdamicAdar,
+    ResourceAllocation,
+    KatzIndex,
+)
+from repro.models.scan import ScanPredictor
+from repro.models.pu import PLPredictor
+from repro.models.slampred import SlamPred, SlamPredT, SlamPredH
+from repro.models.persistence import (
+    FrozenPredictor,
+    save_predictor,
+    load_predictor,
+)
+from repro.models.recommender import LinkRecommender
+
+__all__ = [
+    "LinkPredictor",
+    "TransferTask",
+    "LogisticRegression",
+    "UnsupervisedPredictor",
+    "CommonNeighbors",
+    "JaccardCoefficient",
+    "PreferentialAttachment",
+    "AdamicAdar",
+    "ResourceAllocation",
+    "KatzIndex",
+    "ScanPredictor",
+    "PLPredictor",
+    "SlamPred",
+    "SlamPredT",
+    "SlamPredH",
+    "FrozenPredictor",
+    "save_predictor",
+    "load_predictor",
+    "LinkRecommender",
+]

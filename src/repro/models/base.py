@@ -1,0 +1,156 @@
+"""Common model interface and the transfer task description.
+
+Every predictor consumes a :class:`TransferTask` — the full Social Link
+Transfer setting of Definition 3: the target network with a *training* view
+of its social structure (test links masked), plus the aligned source
+networks and the (possibly down-sampled) anchor links.  Models that ignore
+parts of the task (e.g. SLAMPRED-H ignores attributes and sources) simply
+don't read them, which keeps the evaluation harness model-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AlignmentError, NotFittedError
+from repro.networks.aligned import AlignedNetworks, AnchorLinks
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.social import SocialGraph
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class TransferTask:
+    """One Social Link Transfer problem instance.
+
+    Attributes
+    ----------
+    target:
+        The target heterogeneous network ``G^t`` (attributes only — its link
+        structure must be read from ``training_graph``).
+    training_graph:
+        The target's social structure with the test fold masked out.
+    sources:
+        The aligned source networks ``G^1 … G^K``.
+    anchors:
+        Anchor links from the target to each source (already sampled to the
+        experiment's anchor ratio).
+    random_state:
+        Seed models should use for their internal sampling.
+    """
+
+    target: HeterogeneousNetwork
+    training_graph: SocialGraph
+    sources: List[HeterogeneousNetwork] = field(default_factory=list)
+    anchors: List[AnchorLinks] = field(default_factory=list)
+    random_state: RandomState = None
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != len(self.anchors):
+            raise AlignmentError(
+                f"{len(self.sources)} sources but {len(self.anchors)} "
+                "anchor sets"
+            )
+        if self.training_graph.n_users != self.target.n_users:
+            raise AlignmentError(
+                f"training graph covers {self.training_graph.n_users} users "
+                f"but the target has {self.target.n_users}"
+            )
+
+    @property
+    def n_sources(self) -> int:
+        """Number of aligned source networks."""
+        return len(self.sources)
+
+    @classmethod
+    def from_aligned(
+        cls,
+        aligned: AlignedNetworks,
+        training_graph: SocialGraph = None,
+        random_state: RandomState = None,
+    ) -> "TransferTask":
+        """Build a task from an aligned bundle (full structure as training)."""
+        if training_graph is None:
+            training_graph = SocialGraph.from_network(aligned.target)
+        return cls(
+            target=aligned.target,
+            training_graph=training_graph,
+            sources=list(aligned.sources),
+            anchors=list(aligned.anchors),
+            random_state=random_state,
+        )
+
+
+class LinkPredictor(abc.ABC):
+    """Abstract link predictor.
+
+    Subclasses implement :meth:`_fit` and :meth:`_score_pairs`; the base
+    class enforces the fitted-before-scoring contract.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._fitted
+
+    @property
+    def name(self) -> str:
+        """Display name used in result tables (class name by default)."""
+        return type(self).__name__
+
+    def fit(self, task: TransferTask) -> "LinkPredictor":
+        """Train on a transfer task; returns ``self`` for chaining."""
+        self._fit(task)
+        self._fitted = True
+        return self
+
+    def score_pairs(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Confidence scores for target user pairs (higher = more likely)."""
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before scoring"
+            )
+        if len(pairs) == 0:
+            return np.zeros(0)
+        return np.asarray(self._score_pairs(list(pairs)), dtype=float)
+
+    @abc.abstractmethod
+    def _fit(self, task: TransferTask) -> None:
+        """Subclass hook: train the model."""
+
+    @abc.abstractmethod
+    def _score_pairs(self, pairs: List[Tuple[int, int]]) -> np.ndarray:
+        """Subclass hook: score the given pairs."""
+
+
+class MatrixPredictor(LinkPredictor):
+    """Base for predictors whose output is a full score matrix.
+
+    Subclasses set ``self._score_matrix`` in :meth:`_fit`; scoring reads the
+    matrix entries.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._score_matrix: np.ndarray = None
+
+    @property
+    def score_matrix(self) -> np.ndarray:
+        """The full ``n×n`` score matrix (the paper's predictor ``S``)."""
+        if self._score_matrix is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before reading scores"
+            )
+        return self._score_matrix
+
+    def _score_pairs(self, pairs: List[Tuple[int, int]]) -> np.ndarray:
+        rows = np.array([p[0] for p in pairs], dtype=int)
+        cols = np.array([p[1] for p in pairs], dtype=int)
+        return self._score_matrix[rows, cols]

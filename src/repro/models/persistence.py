@@ -1,0 +1,98 @@
+"""Persistence for fitted matrix predictors.
+
+A fitted SLAMPRED model is, operationally, its score matrix plus the
+hyper-parameters that produced it.  ``save_predictor`` /
+``load_predictor`` round-trip that state through a compressed ``.npz`` so a
+trained predictor can be shipped to a serving process that never imports
+the training stack.
+
+Loaded predictors come back as :class:`FrozenPredictor` — scoring works,
+refitting is deliberately unsupported (retrain from source data instead).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.models.base import MatrixPredictor, TransferTask
+
+_FORMAT_VERSION = 1
+
+
+class FrozenPredictor(MatrixPredictor):
+    """A deserialized score-matrix predictor.
+
+    Parameters
+    ----------
+    score_matrix:
+        The fitted ``n×n`` confidence matrix.
+    metadata:
+        The saved model's name and hyper-parameters (read-only diagnostics).
+    """
+
+    def __init__(self, score_matrix: np.ndarray, metadata: Dict = None):
+        super().__init__()
+        score_matrix = np.asarray(score_matrix, dtype=float)
+        if score_matrix.ndim != 2 or score_matrix.shape[0] != score_matrix.shape[1]:
+            raise SerializationError(
+                f"score matrix must be square, got {score_matrix.shape}"
+            )
+        self._score_matrix = score_matrix
+        self.metadata = dict(metadata or {})
+        self._fitted = True
+
+    @property
+    def name(self) -> str:
+        return self.metadata.get("name", "FrozenPredictor")
+
+    def _fit(self, task: TransferTask) -> None:
+        raise SerializationError(
+            "FrozenPredictor cannot be refitted; train a fresh model instead"
+        )
+
+
+def save_predictor(model: MatrixPredictor, path: str) -> None:
+    """Write a fitted matrix predictor to ``path`` (.npz).
+
+    Serializes the score matrix plus a JSON metadata blob containing the
+    model name and its scalar hyper-parameters.
+    """
+    matrix = model.score_matrix  # raises NotFittedError when unfitted
+    metadata = {"name": model.name, "class": type(model).__name__}
+    for key, value in vars(model).items():
+        if key.startswith("_"):
+            continue
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            metadata[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(v, (int, float, str, bool)) for v in value
+        ):
+            metadata[key] = list(value)
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        score_matrix=matrix,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_predictor(path: str) -> FrozenPredictor:
+    """Read a predictor previously written by :func:`save_predictor`."""
+    try:
+        with np.load(path) as data:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported predictor format version {version}"
+                )
+            matrix = data["score_matrix"]
+            metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+    except (KeyError, ValueError, OSError) as exc:
+        raise SerializationError(f"cannot load predictor: {exc}") from exc
+    return FrozenPredictor(matrix, metadata)

@@ -1,0 +1,185 @@
+"""PL — PU-classification based link prediction (Zhang, Yu & Zhou, KDD'14).
+
+Existing links are *positive* instances and everything else is *unlabeled*;
+link prediction becomes positive-unlabeled learning.  The classical two-step
+spy technique is used:
+
+1. a fraction of the positives ("spies") is hidden among the unlabeled set
+   and a first classifier is trained on positives-vs-unlabeled;
+2. unlabeled instances scoring below (almost) every spy are taken as
+   *reliable negatives* and a second classifier is trained on positives vs
+   reliable negatives.
+
+Features are the merged (non-adapted) target + source intimacy vectors, as
+in :mod:`repro.models.scan`.  Variants: ``PLPredictor()`` (PL),
+``PLPredictor.target_only()`` (PL-T), ``PLPredictor.source_only()`` (PL-S).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.models._pair_features import (
+    extract_task_tensors,
+    merged_pair_features,
+    sample_training_pairs,
+)
+from repro.models.base import LinkPredictor, TransferTask
+from repro.models.classifiers import LogisticRegression
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+class PLPredictor(LinkPredictor):
+    """Spy-technique PU link predictor.
+
+    Parameters
+    ----------
+    use_target, use_sources:
+        Which feature blocks to include (see the -T / -S variants).
+    unlabeled_ratio:
+        Unlabeled non-link instances sampled per positive.
+    spy_fraction:
+        Fraction of positives hidden as spies in step one.
+    spy_percentile:
+        Spy-score percentile used as the reliable-negative threshold (5.0
+        reproduces the classical "below almost every spy" rule).
+    l2:
+        Classifier regularization strength.
+    """
+
+    def __init__(
+        self,
+        use_target: bool = True,
+        use_sources: bool = True,
+        unlabeled_ratio: float = 5.0,
+        spy_fraction: float = 0.15,
+        spy_percentile: float = 5.0,
+        l2: float = 1.0,
+        extractor: IntimacyFeatureExtractor = None,
+        display_name: str = None,
+    ):
+        super().__init__()
+        if not use_target and not use_sources:
+            raise ConfigurationError(
+                "at least one of use_target / use_sources must be set"
+            )
+        self.use_target = bool(use_target)
+        self.use_sources = bool(use_sources)
+        self.unlabeled_ratio = check_positive(unlabeled_ratio, "unlabeled_ratio")
+        self.spy_fraction = check_in_range(
+            spy_fraction, "spy_fraction", 0.0, 1.0, inclusive=False
+        )
+        self.spy_percentile = check_in_range(
+            spy_percentile, "spy_percentile", 0.0, 100.0
+        )
+        # The paper's PL [37] extracts its features from meta paths; the
+        # default extractor mirrors that (common neighbors is the U-U-U
+        # social meta path).  Pass a custom extractor for the full bank.
+        self.extractor = extractor or IntimacyFeatureExtractor(
+            features=(
+                "common_neighbors",
+                "metapath_UPWPU",
+                "metapath_UPTPU",
+                "metapath_UPLPU",
+            )
+        )
+        self.l2 = l2
+        self.classifier = LogisticRegression(l2=l2)
+        self._display_name = display_name or self._default_name()
+        self._target_tensor = None
+        self._source_tensors = None
+        self._anchors = None
+
+    def _default_name(self) -> str:
+        if self.use_target and self.use_sources:
+            return "PL"
+        return "PL-T" if self.use_target else "PL-S"
+
+    @property
+    def name(self) -> str:
+        return self._display_name
+
+    @classmethod
+    def target_only(cls, **kwargs) -> "PLPredictor":
+        """The PL-T variant (target features only)."""
+        return cls(use_target=True, use_sources=False, **kwargs)
+
+    @classmethod
+    def source_only(cls, **kwargs) -> "PLPredictor":
+        """The PL-S variant (source features only)."""
+        return cls(use_target=False, use_sources=True, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _fit(self, task: TransferTask) -> None:
+        rng = ensure_rng(task.random_state)
+        target_tensor, source_tensors = extract_task_tensors(task, self.extractor)
+        self._target_tensor = target_tensor if self.use_target else None
+        self._source_tensors = source_tensors if self.use_sources else []
+        self._anchors = list(task.anchors) if self.use_sources else []
+        pairs, labels = sample_training_pairs(task, self.unlabeled_ratio, rng)
+        features = self._features(pairs)
+        positives = features[labels == 1.0]
+        unlabeled = features[labels == 0.0]
+        if len(positives) == 0 or len(unlabeled) == 0:
+            # Nothing to separate; fall back to a plain supervised fit.
+            self.classifier.fit(features, labels)
+            return
+        reliable_negatives = self._select_reliable_negatives(
+            positives, unlabeled, rng
+        )
+        self.classifier = LogisticRegression(l2=self.l2)
+        stacked = np.vstack([positives, reliable_negatives])
+        stacked_labels = np.concatenate(
+            [np.ones(len(positives)), np.zeros(len(reliable_negatives))]
+        )
+        self.classifier.fit(stacked, stacked_labels)
+
+    def _select_reliable_negatives(
+        self,
+        positives: np.ndarray,
+        unlabeled: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n_spies = max(1, int(round(len(positives) * self.spy_fraction)))
+        spy_idx = rng.choice(len(positives), size=n_spies, replace=False)
+        spy_mask = np.zeros(len(positives), dtype=bool)
+        spy_mask[spy_idx] = True
+        spies = positives[spy_mask]
+        remaining_positives = positives[~spy_mask]
+        if len(remaining_positives) == 0:
+            remaining_positives = positives
+        step_one = LogisticRegression(l2=self.l2)
+        step_one_features = np.vstack([remaining_positives, unlabeled, spies])
+        step_one_labels = np.concatenate(
+            [
+                np.ones(len(remaining_positives)),
+                np.zeros(len(unlabeled) + len(spies)),
+            ]
+        )
+        step_one.fit(step_one_features, step_one_labels)
+        threshold = float(
+            np.percentile(step_one.predict_proba(spies), self.spy_percentile)
+        )
+        unlabeled_scores = step_one.predict_proba(unlabeled)
+        reliable = unlabeled[unlabeled_scores < threshold]
+        if len(reliable) == 0:
+            # No unlabeled instance scored below the spies — keep the whole
+            # unlabeled pool as (noisy) negatives rather than failing.
+            reliable = unlabeled
+        return reliable
+
+    def _score_pairs(self, pairs: List[Tuple[int, int]]) -> np.ndarray:
+        return self.classifier.predict_proba(self._features(pairs))
+
+    def _features(self, pairs: List[Tuple[int, int]]) -> np.ndarray:
+        return merged_pair_features(
+            pairs,
+            target_tensor=self._target_tensor,
+            source_tensors=self._source_tensors,
+            anchors=self._anchors,
+        )

@@ -1,0 +1,464 @@
+"""SLAMPRED — sparse and low-rank matrix estimation based link prediction.
+
+The paper's full pipeline (Section III):
+
+1. extract intimacy feature tensors for the target (from its *training*
+   structure) and for every aligned source network;
+2. when anchors exist, fit the :class:`~repro.adaptation.DomainAdapter` and
+   obtain adapted tensors ``X̂^t, X̂^1, …, X̂^K`` re-indexed onto the target's
+   user pairs;
+3. form the constant intimacy gradient
+   ``∇v = α_t · Σ_c |X̂^t(c,:,:)| + Σ_k α_k · Σ_c |X̂^k(c,:,:)|``
+   (the paper's formula; absolute values make the ℓ1 intimacy term's
+   gradient correct regardless of latent-feature signs — slices are
+   max-normalized first so feature families contribute comparably);
+4. run the proximal-operator CCCP (Algorithm 1) from ``S = A`` with the
+   squared-Frobenius loss, the τ trace-norm prox, the γ ℓ1 prox and the
+   projection onto the admissible set (the non-negative orthant; scores are
+   rescaled into [0, 1] after optimization so the predictor is a confidence
+   function as Definition 3 requires).
+
+The regularization defaults are recalibrated to the synthetic substrate's
+scale (the paper's γ = τ = 1 applies to its crawled Twitter matrix): see
+DESIGN.md §5 and the ablation benchmarks for the sensitivity analysis.
+
+Variants:
+
+* :class:`SlamPred` — full model (structure + attributes + sources);
+* :class:`SlamPredT` — target network only (structure + attributes);
+* :class:`SlamPredH` — homogeneous: target structure only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adaptation.adapter import DomainAdapter, align_source_to_target
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.features.tensor import FeatureTensor
+from repro.models.base import MatrixPredictor, TransferTask
+from repro.optim.cccp import CCCPResult, CCCPSolver
+from repro.optim.convergence import ConvergenceCriterion
+from repro.optim.forward_backward import ForwardBackwardSolver
+from repro.optim.losses import SquaredFrobeniusLoss
+from repro.optim.proximal import BoxProjection, L1Prox, TraceNormProx
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.matrices import zero_diagonal
+from repro.utils.validation import (
+    check_integer,
+    check_non_negative,
+    check_positive,
+)
+
+
+class SlamPred(MatrixPredictor):
+    """The full SLAMPRED model.
+
+    Parameters
+    ----------
+    alpha_target:
+        Weight α_t of the target's intimacy term.
+    alpha_sources:
+        Weight α_k of each source's intimacy term — a scalar applied to all
+        sources or one value per source.
+    learn_alphas:
+        When True (default), the final combination of the target intimacy
+        and the transferred affinities is *calibrated on the training
+        structure* (a logistic stacking over the component scores and the
+        anchor-coverage indicators) instead of using the fixed α weights
+        directly; the fixed α still scale each component before stacking,
+        so α = 0 removes a component exactly (Figures 4/5 still sweep
+        them).  This automates the careful α selection the paper performs
+        by validation (Section IV-D2).
+    gamma:
+        ℓ1 (sparsity) regularization weight (paper: 1.0).
+    tau:
+        Trace-norm (low-rank) regularization weight (paper: 1.0).
+    mu:
+        Anchor-cost weight inside the domain adaptation (paper: 1.0).
+    intimacy_scale:
+        Overall multiplier on the intimacy gradient ∇v.  The calibrated
+        gradient lives in [0, 1] while the loss gradient spans [−2, 2];
+        the multiplier balances the two so the trace-norm/ℓ1 corrections
+        refine rather than drown the intimacy ranking (see the
+        gradient-scale ablation benchmark).
+    svd_rank:
+        When set, the trace-norm prox uses a truncated (Lanczos) SVD of
+        this rank instead of a full SVD per step — the scalable path for
+        networks with thousands of users.
+    latent_dimension:
+        Shared latent feature dimension ``c``.
+    step_size:
+        Proximal gradient learning rate θ (paper: 0.001; the default here is
+        larger because the surrogate loss is well conditioned and the
+        evaluation sweeps many fits — see DESIGN.md).
+    inner_iterations:
+        Proximal steps per CCCP round.
+    outer_iterations:
+        Maximum CCCP rounds.
+    tolerance:
+        ℓ1 convergence tolerance on both loops.
+    instances_per_network:
+        Link-instance sample size for fitting the adaptation; ``None``
+        scales with the target size (see
+        :class:`~repro.adaptation.DomainAdapter`).
+    extractor:
+        Intimacy feature extractor (defaults to the full feature set).
+    use_attributes, use_sources:
+        Ablation switches (the -T / -H variants preset them).
+
+    Examples
+    --------
+    >>> from repro.synth import generate_aligned_pair
+    >>> from repro.models import SlamPred, TransferTask
+    >>> aligned = generate_aligned_pair(scale=60, random_state=3)
+    >>> task = TransferTask.from_aligned(aligned, random_state=3)
+    >>> model = SlamPred().fit(task)
+    >>> model.score_matrix.shape == (aligned.target.n_users,) * 2
+    True
+    """
+
+    def __init__(
+        self,
+        alpha_target: float = 1.0,
+        alpha_sources=1.0,
+        gamma: float = 0.05,
+        tau: float = 1.0,
+        mu: float = 1.0,
+        intimacy_scale: float = 4.0,
+        svd_rank: Optional[int] = None,
+        latent_dimension: int = 5,
+        step_size: float = 0.05,
+        inner_iterations: int = 25,
+        outer_iterations: int = 40,
+        tolerance: float = 1e-3,
+        instances_per_network: Optional[int] = None,
+        extractor: IntimacyFeatureExtractor = None,
+        use_attributes: bool = True,
+        use_sources: bool = True,
+        learn_alphas: bool = True,
+        display_name: str = None,
+    ):
+        super().__init__()
+        self.learn_alphas = bool(learn_alphas)
+        self.alpha_target = check_non_negative(alpha_target, "alpha_target")
+        if np.isscalar(alpha_sources):
+            self.alpha_sources = [check_non_negative(alpha_sources, "alpha_sources")]
+            self._broadcast_alpha = True
+        else:
+            self.alpha_sources = [
+                check_non_negative(a, f"alpha_sources[{i}]")
+                for i, a in enumerate(alpha_sources)
+            ]
+            self._broadcast_alpha = False
+        self.gamma = check_non_negative(gamma, "gamma")
+        self.tau = check_non_negative(tau, "tau")
+        self.mu = check_non_negative(mu, "mu")
+        self.intimacy_scale = check_positive(intimacy_scale, "intimacy_scale")
+        if svd_rank is None:
+            self.svd_rank = None
+        else:
+            self.svd_rank = check_integer(svd_rank, "svd_rank", minimum=1)
+        self.latent_dimension = check_integer(
+            latent_dimension, "latent_dimension", minimum=1
+        )
+        self.step_size = check_positive(step_size, "step_size")
+        self.inner_iterations = check_integer(
+            inner_iterations, "inner_iterations", minimum=1
+        )
+        self.outer_iterations = check_integer(
+            outer_iterations, "outer_iterations", minimum=1
+        )
+        self.tolerance = check_positive(tolerance, "tolerance")
+        if instances_per_network is None:
+            self.instances_per_network = None
+        else:
+            self.instances_per_network = check_integer(
+                instances_per_network, "instances_per_network", minimum=2
+            )
+        self.extractor = extractor or IntimacyFeatureExtractor()
+        self.use_attributes = bool(use_attributes)
+        self.use_sources = bool(use_sources)
+        if self.use_sources and not self.use_attributes:
+            raise ConfigurationError(
+                "use_sources requires use_attributes (transfer is carried "
+                "by attribute features)"
+            )
+        self._display_name = display_name or self._default_name()
+        self._result: Optional[CCCPResult] = None
+        self._adapter: Optional[DomainAdapter] = None
+
+    def _default_name(self) -> str:
+        if self.use_sources:
+            return "SLAMPRED"
+        return "SLAMPRED-T" if self.use_attributes else "SLAMPRED-H"
+
+    @property
+    def name(self) -> str:
+        return self._display_name
+
+    @property
+    def result(self) -> CCCPResult:
+        """The CCCP run record (history feeds the Figure 3 reproduction)."""
+        if self._result is None:
+            raise NotFittedError(f"{self.name} has not been fitted")
+        return self._result
+
+    @property
+    def adapter(self) -> Optional[DomainAdapter]:
+        """The fitted domain adapter, or ``None`` when transfer was skipped."""
+        return self._adapter
+
+    # ------------------------------------------------------------------
+    def _fit(self, task: TransferTask) -> None:
+        adjacency = task.training_graph.adjacency
+        gradient = self._intimacy_gradient(task)
+        if gradient is not None:
+            gradient = self.intimacy_scale * gradient
+        loss = SquaredFrobeniusLoss(adjacency)
+        prox_terms = [
+            TraceNormProx(self.tau, max_rank=self.svd_rank),
+            L1Prox(self.gamma),
+            BoxProjection(0.0, None),
+        ]
+        inner = ForwardBackwardSolver(
+            step_size=self.step_size,
+            criterion=ConvergenceCriterion(
+                tolerance=self.tolerance, max_iterations=self.inner_iterations
+            ),
+        )
+        solver = CCCPSolver(
+            loss=loss,
+            prox_terms=prox_terms,
+            intimacy_gradient=gradient,
+            inner_solver=inner,
+            outer_criterion=ConvergenceCriterion(
+                tolerance=self.tolerance, max_iterations=self.outer_iterations
+            ),
+        )
+        self._result = solver.solve(adjacency)
+        scores = zero_diagonal(self._result.solution)
+        peak = scores.max()
+        if peak > 0:
+            scores = scores / peak
+        self._score_matrix = scores
+
+    def _intimacy_gradient(self, task: TransferTask) -> Optional[np.ndarray]:
+        if not self.use_attributes:
+            return None
+        target_tensor = self.extractor.extract(task.target, task.training_graph)
+        target_intimacy = self._weighted_intimacy(
+            target_tensor, task.training_graph, task.random_state
+        )
+        transfer_active = (
+            self.use_sources
+            and task.n_sources > 0
+            and any(len(anchor) > 0 for anchor in task.anchors)
+        )
+        if not transfer_active:
+            # Unaligned (anchor ratio 0) or target-only variant: weighted
+            # target features, no projection — SLAMPRED degenerates to
+            # SLAMPRED-T exactly as in Table II.
+            return self.alpha_target * target_intimacy
+        source_tensors = [
+            self.extractor.extract(source) for source in task.sources
+        ]
+        graphs = [task.training_graph] + [
+            _full_graph(source) for source in task.sources
+        ]
+        self._adapter = DomainAdapter(
+            latent_dimension=self.latent_dimension,
+            mu=self.mu,
+            instances_per_network=self.instances_per_network,
+            random_state=task.random_state,
+        )
+        self._adapter.fit([target_tensor] + source_tensors, graphs, task.anchors)
+        n_target = target_tensor.n_users
+        alphas = self._source_alphas(task.n_sources)
+        # Per-pair blocks: the target's raw intimacy features and latent
+        # vectors, plus each source's latent vectors re-indexed through the
+        # anchors (zeros where a pair is unanchored) and per-source
+        # coverage indicators.  The raw block keeps the full target signal;
+        # the latent blocks carry the cross-network information in the
+        # shared space.
+        latent_blocks = [
+            target_tensor.values,
+            self._adapter.transform(target_tensor, 0).values,
+        ]
+        block_alphas = [self.alpha_target, self.alpha_target]
+        coverage_blocks = []
+        for k, (alpha, tensor, anchors) in enumerate(
+            zip(alphas, source_tensors, task.anchors), start=1
+        ):
+            latent_source = self._adapter.transform(tensor, k)
+            n_source = tensor.n_users
+            coverage = np.ones((1, n_source, n_source))
+            transferred = align_source_to_target(
+                FeatureTensor(
+                    np.concatenate([latent_source.values, coverage])
+                ),
+                anchors,
+                n_target,
+            ).values
+            latent_blocks.append(transferred[:-1])
+            block_alphas.append(alpha)
+            # Coverage carries the source's α too: a zero-weighted source
+            # should inform the readout through neither its features nor
+            # its coverage pattern.
+            coverage_blocks.append(alpha * transferred[-1:])
+        if not self.learn_alphas:
+            # Fixed-α combination: the target intimacy plus each source's
+            # centered affinity, exactly the paper's weighted-sum form.
+            gradient = self.alpha_target * target_intimacy
+            for k, (alpha, tensor, anchors) in enumerate(
+                zip(alphas, source_tensors, task.anchors), start=1
+            ):
+                affinity = self._adapter.affinity_matrix(tensor, k)
+                n_source = tensor.n_users
+                coverage = np.ones((n_source, n_source))
+                np.fill_diagonal(coverage, 0.0)
+                transferred = align_source_to_target(
+                    FeatureTensor(np.stack([affinity, coverage])),
+                    anchors,
+                    n_target,
+                ).values
+                gradient += alpha * (transferred[0] - 0.5 * transferred[1])
+            return gradient
+        return self._joint_latent_intimacy(
+            latent_blocks,
+            block_alphas,
+            coverage_blocks,
+            task.training_graph,
+            task.random_state,
+        )
+
+    def _joint_latent_intimacy(
+        self, latent_blocks, block_alphas, coverage_blocks, graph, random_state
+    ) -> np.ndarray:
+        """Calibrated intimacy over the joint adapted feature space.
+
+        Each pair is described by the concatenation of every network's
+        latent vector (source blocks anchor-mapped, zero when unanchored)
+        plus per-source coverage flags.  Latent dimensions are scaled to
+        unit variance and then multiplied by their network's α — with the
+        non-standardized logistic readout and its L2 penalty, α acts as a
+        prior importance, so α = 0 removes a network exactly while the
+        Figure 4/5 sweeps remain meaningful.  Readout logits are
+        quantile-transformed into [0, 1].
+        """
+        from scipy.stats import rankdata
+
+        from repro.evaluation.splits import sample_negative_pairs
+        from repro.models.classifiers import LogisticRegression
+
+        n = latent_blocks[0].shape[1]
+        links = sorted(graph.links())
+        if not links:
+            return np.zeros((n, n))
+        scaled = []
+        for alpha, block in zip(block_alphas, latent_blocks):
+            flat = block.reshape(block.shape[0], -1)
+            std = flat.std(axis=1)
+            std = np.where(std > 0, std, 1.0)
+            scaled.append(alpha * block / std[:, None, None])
+        features = np.concatenate(scaled + list(coverage_blocks))  # (D, n, n)
+        rng = _ensure_rng(random_state)
+        negatives = sample_negative_pairs(
+            graph, min(len(links), len(graph.non_links())), rng
+        )
+        pairs = links + negatives
+        labels = np.concatenate([np.ones(len(links)), np.zeros(len(negatives))])
+        rows = np.array([p[0] for p in pairs])
+        cols = np.array([p[1] for p in pairs])
+        train_features = features[:, rows, cols].T
+        model = LogisticRegression(l2=1.0, standardize=False)
+        model.fit(train_features, labels)
+        flat = features.reshape(features.shape[0], -1).T
+        logits = model.decision_function(flat).reshape(n, n)
+        logits = (logits + logits.T) / 2.0
+        gradient = rankdata(logits.ravel()).reshape(n, n)
+        gradient = (gradient - 1.0) / max(1, gradient.size - 1)
+        np.fill_diagonal(gradient, 0.0)
+        return gradient
+
+    def _source_alphas(self, n_sources: int) -> List[float]:
+        if self._broadcast_alpha:
+            return [self.alpha_sources[0]] * n_sources
+        if len(self.alpha_sources) != n_sources:
+            raise ConfigurationError(
+                f"{len(self.alpha_sources)} source alphas for "
+                f"{n_sources} sources"
+            )
+        return list(self.alpha_sources)
+
+    def _weighted_intimacy(
+        self, tensor: FeatureTensor, graph, random_state
+    ) -> np.ndarray:
+        """Calibrated per-pair intimacy matrix in [0, 1].
+
+        The paper's intimacy term consumes a *curated* feature set from
+        [28], summed uniformly.  This reproduction extracts a broad feature
+        bank instead, so the slices are combined with weights learned from
+        the training structure: a logistic model fitted on training links
+        vs an equal sample of non-links, evaluated on every pair.  The
+        uniform sum is the special case of equal weights; the learned
+        combination plays the role of the original curated scores.
+        """
+        from repro.evaluation.splits import sample_negative_pairs
+        from repro.models.classifiers import LogisticRegression
+
+        links = sorted(graph.links())
+        n = tensor.n_users
+        if not links:
+            return np.abs(tensor.normalized().values).mean(axis=0)
+        rng = _ensure_rng(random_state)
+        negatives = sample_negative_pairs(
+            graph, min(len(links), len(graph.non_links())), rng
+        )
+        pairs = links + negatives
+        labels = np.concatenate([np.ones(len(links)), np.zeros(len(negatives))])
+        model = LogisticRegression(l2=1.0)
+        model.fit(tensor.pair_vectors(pairs), labels)
+        flat = tensor.values.reshape(tensor.n_features, -1).T  # (n², d)
+        # Quantile-transformed logits: monotone in the propensity, uniformly
+        # spread over [0, 1].  Min-max or sigmoid scaling would let outliers
+        # (or saturation plateaus) compress the bulk of the pairs into a
+        # sliver, and the trace-norm coupling would then drown the ranking.
+        from scipy.stats import rankdata
+
+        logits = model.decision_function(flat).reshape(n, n)
+        logits = (logits + logits.T) / 2.0
+        intimacy = rankdata(logits.ravel()).reshape(n, n)
+        intimacy = (intimacy - 1.0) / max(1, intimacy.size - 1)
+        np.fill_diagonal(intimacy, 0.0)
+        return intimacy
+
+
+class SlamPredT(SlamPred):
+    """SLAMPRED-T: target network only (structure + attribute intimacy)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("display_name", "SLAMPRED-T")
+        super().__init__(use_attributes=True, use_sources=False, **kwargs)
+
+
+class SlamPredH(SlamPred):
+    """SLAMPRED-H: homogeneous — target social structure only."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("display_name", "SLAMPRED-H")
+        super().__init__(use_attributes=False, use_sources=False, **kwargs)
+
+
+def _full_graph(network) -> "SocialGraph":
+    from repro.networks.social import SocialGraph
+
+    return SocialGraph.from_network(network)
+
+
+def _ensure_rng(random_state):
+    from repro.utils.rng import ensure_rng
+
+    return ensure_rng(random_state)

@@ -1,0 +1,105 @@
+"""Unsupervised link predictors (PA, CN, JC and extensions).
+
+Each predictor computes its closeness-score matrix from the target's
+*training* structure and reads scores off the matrix.  PA, CN and JC are the
+paper's baselines; Adamic-Adar, resource allocation and Katz are standard
+extensions exposed for completeness and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.features.structural import (
+    adamic_adar_matrix,
+    common_neighbors_matrix,
+    jaccard_matrix,
+    katz_matrix,
+    preferential_attachment_matrix,
+    resource_allocation_matrix,
+)
+from repro.models.base import MatrixPredictor, TransferTask
+
+
+class UnsupervisedPredictor(MatrixPredictor):
+    """Generic score-matrix predictor built from a matrix function.
+
+    Parameters
+    ----------
+    score_function:
+        Maps a binary adjacency matrix to an ``n×n`` score matrix.
+    display_name:
+        Name used in result tables.
+    """
+
+    def __init__(
+        self,
+        score_function: Callable[[np.ndarray], np.ndarray],
+        display_name: str = None,
+    ):
+        super().__init__()
+        self._score_function = score_function
+        self._display_name = display_name or type(self).__name__
+
+    @property
+    def name(self) -> str:
+        return self._display_name
+
+    def _fit(self, task: TransferTask) -> None:
+        self._score_matrix = self._score_function(task.training_graph.adjacency)
+
+
+class CommonNeighbors(UnsupervisedPredictor):
+    """CN: ``|Γ(u) ∩ Γ(v)|``."""
+
+    def __init__(self) -> None:
+        super().__init__(common_neighbors_matrix, "CN")
+
+
+class JaccardCoefficient(UnsupervisedPredictor):
+    """JC: ``|Γ(u) ∩ Γ(v)| / |Γ(u) ∪ Γ(v)|``."""
+
+    def __init__(self) -> None:
+        super().__init__(jaccard_matrix, "JC")
+
+
+class PreferentialAttachment(UnsupervisedPredictor):
+    """PA: ``|Γ(u)| · |Γ(v)|``."""
+
+    def __init__(self) -> None:
+        super().__init__(preferential_attachment_matrix, "PA")
+
+
+class AdamicAdar(UnsupervisedPredictor):
+    """AA: ``Σ_{z∈Γ(u)∩Γ(v)} 1/log|Γ(z)|`` (extension baseline)."""
+
+    def __init__(self) -> None:
+        super().__init__(adamic_adar_matrix, "AA")
+
+
+class ResourceAllocation(UnsupervisedPredictor):
+    """RA: ``Σ_{z∈Γ(u)∩Γ(v)} 1/|Γ(z)|`` (extension baseline)."""
+
+    def __init__(self) -> None:
+        super().__init__(resource_allocation_matrix, "RA")
+
+
+class KatzIndex(UnsupervisedPredictor):
+    """Truncated Katz index (extension baseline).
+
+    Parameters
+    ----------
+    beta:
+        Path damping factor.
+    max_length:
+        Longest counted path length.
+    """
+
+    def __init__(self, beta: float = 0.05, max_length: int = 4):
+        super().__init__(
+            lambda adjacency: katz_matrix(adjacency, beta, max_length), "Katz"
+        )
+        self.beta = beta
+        self.max_length = max_length

@@ -1,0 +1,56 @@
+"""Heterogeneous information network substrate.
+
+The paper models each online social network as a *heterogeneous information
+network* (HIN) whose node set is ``users ∪ posts ∪ words ∪ timestamps ∪
+locations`` and whose edges connect users to users (social links), users to
+posts (authorship), and posts to words / timestamps / locations.  Networks
+that share users are grouped into an :class:`AlignedNetworks` container via
+*anchor links*.
+"""
+
+from repro.networks.entities import (
+    NodeType,
+    User,
+    Post,
+    Word,
+    Timestamp,
+    Location,
+)
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.social import SocialGraph
+from repro.networks.aligned import AnchorLinks, AlignedNetworks
+from repro.networks.io import (
+    network_to_dict,
+    network_from_dict,
+    save_network_json,
+    load_network_json,
+    save_aligned_npz,
+    load_aligned_npz,
+)
+from repro.networks.nx_bridge import (
+    social_graph_to_networkx,
+    network_to_networkx,
+    network_from_networkx,
+)
+
+__all__ = [
+    "NodeType",
+    "User",
+    "Post",
+    "Word",
+    "Timestamp",
+    "Location",
+    "HeterogeneousNetwork",
+    "SocialGraph",
+    "AnchorLinks",
+    "AlignedNetworks",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network_json",
+    "load_network_json",
+    "save_aligned_npz",
+    "load_aligned_npz",
+    "social_graph_to_networkx",
+    "network_to_networkx",
+    "network_from_networkx",
+]

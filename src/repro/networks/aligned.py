@@ -1,0 +1,183 @@
+"""Aligned-network container and anchor links.
+
+Implements Definition 2 of the paper: a target network plus ``K`` source
+networks aligned by sets of undirected *anchor links* connecting the accounts
+of the same user in two networks.  Anchor links here follow the one-to-one
+constraint of the cited prior work: a user of one network is anchored to at
+most one user of another.
+
+The container also implements the *anchor link sampling* used in Table II:
+``sample(ratio)`` keeps a random fraction of the anchors, which is how the
+paper sweeps the amount of cross-network supervision from unaligned (0.0) to
+fully aligned (1.0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import AlignmentError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_probability
+
+
+class AnchorLinks:
+    """One-to-one anchor links between a pair of networks.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of ``(user_in_first, user_in_second)`` id pairs.
+
+    Raises
+    ------
+    AlignmentError
+        If any user appears in more than one anchor pair (violating the
+        one-to-one constraint).
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[int, int]] = ()):
+        seen_first: Dict[int, int] = {}
+        seen_second: Dict[int, int] = {}
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if a in seen_first:
+                raise AlignmentError(
+                    f"user {a} of the first network is anchored twice"
+                )
+            if b in seen_second:
+                raise AlignmentError(
+                    f"user {b} of the second network is anchored twice"
+                )
+            seen_first[a] = b
+            seen_second[b] = a
+        self._forward = seen_first
+        self._backward = seen_second
+
+    @property
+    def pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """All anchor pairs as (first-network id, second-network id)."""
+        return frozenset(self._forward.items())
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        a, b = pair
+        return self._forward.get(int(a)) == int(b)
+
+    def map_forward(self, user_id: int) -> Optional[int]:
+        """Counterpart in the second network, or ``None`` if unanchored."""
+        return self._forward.get(int(user_id))
+
+    def map_backward(self, user_id: int) -> Optional[int]:
+        """Counterpart in the first network, or ``None`` if unanchored."""
+        return self._backward.get(int(user_id))
+
+    def reversed(self) -> "AnchorLinks":
+        """The same anchors with the network roles swapped."""
+        return AnchorLinks((b, a) for a, b in self._forward.items())
+
+    def sample(self, ratio: float, random_state: RandomState = None) -> "AnchorLinks":
+        """Keep a random ``ratio`` fraction of the anchor links.
+
+        This is the Table II anchor-link sampling: ratio 0.0 yields unaligned
+        networks, 1.0 keeps every anchor.
+        """
+        ratio = check_probability(ratio, "ratio")
+        rng = ensure_rng(random_state)
+        pairs = sorted(self._forward.items())
+        keep = round(len(pairs) * ratio)
+        if keep == 0:
+            return AnchorLinks()
+        chosen = rng.choice(len(pairs), size=keep, replace=False)
+        return AnchorLinks(pairs[i] for i in sorted(chosen.tolist()))
+
+    def __repr__(self) -> str:
+        return f"AnchorLinks(n={len(self)})"
+
+
+class AlignedNetworks:
+    """A target network plus aligned source networks (Definition 2).
+
+    Parameters
+    ----------
+    target:
+        The target network ``G^t`` whose links are to be predicted.
+    sources:
+        The aligned source networks ``G^1 … G^K``.
+    anchors:
+        One :class:`AnchorLinks` per source, mapping target user ids to that
+        source's user ids.  Anchors between pairs of sources are optional and
+        unused by the paper's experiments (the ICDE'17 evaluation aligns one
+        source with the target).
+
+    Raises
+    ------
+    AlignmentError
+        If counts mismatch or an anchor references a user that does not exist
+        in the corresponding network.
+    """
+
+    def __init__(
+        self,
+        target: HeterogeneousNetwork,
+        sources: List[HeterogeneousNetwork],
+        anchors: List[AnchorLinks],
+    ):
+        if len(sources) != len(anchors):
+            raise AlignmentError(
+                f"{len(sources)} source networks but {len(anchors)} anchor sets"
+            )
+        target_users = set(target.user_ids)
+        for source, anchor in zip(sources, anchors):
+            source_users = set(source.user_ids)
+            for t_user, s_user in anchor.pairs:
+                if t_user not in target_users:
+                    raise AlignmentError(
+                        f"anchor references unknown target user {t_user}"
+                    )
+                if s_user not in source_users:
+                    raise AlignmentError(
+                        f"anchor references unknown user {s_user} "
+                        f"of source {source.name!r}"
+                    )
+        self.target = target
+        self.sources = list(sources)
+        self.anchors = list(anchors)
+
+    @property
+    def n_sources(self) -> int:
+        """Number of aligned source networks (the paper's K)."""
+        return len(self.sources)
+
+    @property
+    def networks(self) -> List[HeterogeneousNetwork]:
+        """Target followed by sources — the paper's {G^t, G^1, …, G^K}."""
+        return [self.target] + self.sources
+
+    def anchor_ratio(self, source_index: int = 0) -> float:
+        """Fraction of target users anchored into source ``source_index``."""
+        if self.target.n_users == 0:
+            return 0.0
+        return len(self.anchors[source_index]) / self.target.n_users
+
+    def sample_anchors(
+        self, ratio: float, random_state: RandomState = None
+    ) -> "AlignedNetworks":
+        """Return a copy whose anchor sets are down-sampled to ``ratio``.
+
+        Each source's anchors are sampled with an independent stream derived
+        from ``random_state`` so the sweep is reproducible.
+        """
+        rng = ensure_rng(random_state)
+        sampled = [anchor.sample(ratio, rng) for anchor in self.anchors]
+        return AlignedNetworks(self.target, self.sources, sampled)
+
+    def __repr__(self) -> str:
+        return (
+            f"AlignedNetworks(target={self.target.name!r}, "
+            f"n_sources={self.n_sources}, "
+            f"anchors={[len(a) for a in self.anchors]})"
+        )

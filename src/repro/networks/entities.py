@@ -1,0 +1,111 @@
+"""Typed node entities of a heterogeneous information network.
+
+Definition 1 of the paper describes the node set as
+``V = U ∪ P ∪ W ∪ T ∪ L`` — users, posts, words, timestamps and location
+check-ins.  Each entity here is a small frozen dataclass carrying exactly the
+attributes the feature extractors need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class NodeType(enum.Enum):
+    """The five node categories of the paper's heterogeneous network."""
+
+    USER = "user"
+    POST = "post"
+    WORD = "word"
+    TIMESTAMP = "timestamp"
+    LOCATION = "location"
+
+
+@dataclass(frozen=True)
+class User:
+    """A user account in one network.
+
+    ``user_id`` is unique within its network; cross-network identity is
+    expressed via anchor links, never by sharing ids.
+    """
+
+    user_id: int
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.USER
+
+
+@dataclass(frozen=True)
+class Post:
+    """A post (tweet / tip) written by a user.
+
+    Attributes
+    ----------
+    post_id:
+        Unique id within the network.
+    author_id:
+        ``user_id`` of the author.
+    word_ids:
+        Vocabulary indices of the words the post uses.
+    hour:
+        Hour-of-day bucket of the post's timestamp (0-23).
+    location_id:
+        Check-in location id, or ``None`` when the post carries no check-in.
+    """
+
+    post_id: int
+    author_id: int
+    word_ids: Tuple[int, ...] = field(default_factory=tuple)
+    hour: int = 0
+    location_id: int = None
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.POST
+
+    @property
+    def has_checkin(self) -> bool:
+        """Whether the post carries a geo-spatial check-in."""
+        return self.location_id is not None
+
+
+@dataclass(frozen=True)
+class Word:
+    """A vocabulary entry referenced by posts."""
+
+    word_id: int
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.WORD
+
+
+@dataclass(frozen=True)
+class Timestamp:
+    """An hour-of-day bucket node (the paper's temporal pattern nodes)."""
+
+    hour: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hour < 24:
+            raise ValueError(f"hour must be in [0, 24), got {self.hour}")
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.TIMESTAMP
+
+
+@dataclass(frozen=True)
+class Location:
+    """A check-in venue with planar coordinates."""
+
+    location_id: int
+    latitude: float = 0.0
+    longitude: float = 0.0
+
+    @property
+    def node_type(self) -> NodeType:
+        return NodeType.LOCATION

@@ -1,0 +1,288 @@
+"""The heterogeneous information network container.
+
+Implements Definition 1 of the paper: a graph ``G = (V, E)`` whose nodes are
+users, posts, words, timestamps and locations, and whose edge set contains
+social links among users plus the write / use-word / post-at-time / locate
+links between posts and the attribute nodes.
+
+The container is deliberately index-oriented: users are dense integers
+``0..n_users-1`` so adjacency matrices and feature tensors line up without a
+relabeling step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import DuplicateNodeError, NetworkError, UnknownNodeError
+from repro.networks.entities import Location, Post, User
+
+
+class HeterogeneousNetwork:
+    """A single heterogeneous online social network.
+
+    Parameters
+    ----------
+    name:
+        Human-readable network name (e.g. ``"target"`` or ``"source-1"``).
+
+    Notes
+    -----
+    Social links are undirected and stored canonically as ``(min, max)``
+    user-id pairs.  Posts reference their author, word usage, hour bucket and
+    (optionally) a check-in location, which together define the ``write``,
+    ``word``, ``time`` and ``locate`` edge families of the paper.
+    """
+
+    def __init__(self, name: str = "network"):
+        self.name = str(name)
+        self._users: Dict[int, User] = {}
+        self._posts: Dict[int, Post] = {}
+        self._locations: Dict[int, Location] = {}
+        self._social_links: Set[Tuple[int, int]] = set()
+        self._posts_by_author: Dict[int, List[int]] = {}
+        self._vocabulary: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def add_user(self, user_id: int) -> User:
+        """Register a user; ids must be unique within the network."""
+        user_id = int(user_id)
+        if user_id in self._users:
+            raise DuplicateNodeError(
+                f"user {user_id} already exists in network {self.name!r}"
+            )
+        user = User(user_id)
+        self._users[user_id] = user
+        self._posts_by_author[user_id] = []
+        return user
+
+    def add_users(self, count: int) -> List[User]:
+        """Register ``count`` users with consecutive ids starting after the max."""
+        start = max(self._users) + 1 if self._users else 0
+        return [self.add_user(start + offset) for offset in range(count)]
+
+    def add_location(
+        self, location_id: int, latitude: float = 0.0, longitude: float = 0.0
+    ) -> Location:
+        """Register a check-in venue."""
+        location_id = int(location_id)
+        if location_id in self._locations:
+            raise DuplicateNodeError(
+                f"location {location_id} already exists in network {self.name!r}"
+            )
+        location = Location(location_id, float(latitude), float(longitude))
+        self._locations[location_id] = location
+        return location
+
+    def add_post(
+        self,
+        post_id: int,
+        author_id: int,
+        word_ids: Iterable[int] = (),
+        hour: int = 0,
+        location_id: Optional[int] = None,
+    ) -> Post:
+        """Register a post written by ``author_id``.
+
+        Adds the implicit ``write``, ``word``, ``time`` and ``locate`` edges of
+        the paper's HIN in one call.
+        """
+        post_id = int(post_id)
+        if post_id in self._posts:
+            raise DuplicateNodeError(
+                f"post {post_id} already exists in network {self.name!r}"
+            )
+        if author_id not in self._users:
+            raise UnknownNodeError(
+                f"author {author_id} does not exist in network {self.name!r}"
+            )
+        if location_id is not None and location_id not in self._locations:
+            raise UnknownNodeError(
+                f"location {location_id} does not exist in network {self.name!r}"
+            )
+        if not 0 <= int(hour) < 24:
+            raise NetworkError(f"post hour must be in [0, 24), got {hour}")
+        words = tuple(int(w) for w in word_ids)
+        post = Post(post_id, int(author_id), words, int(hour), location_id)
+        self._posts[post_id] = post
+        self._posts_by_author[int(author_id)].append(post_id)
+        self._vocabulary.update(words)
+        return post
+
+    # ------------------------------------------------------------------
+    # social links
+    # ------------------------------------------------------------------
+    def add_social_link(self, user_a: int, user_b: int) -> None:
+        """Add an undirected social link between two existing users."""
+        if user_a == user_b:
+            raise NetworkError(f"self-links are not allowed (user {user_a})")
+        for user_id in (user_a, user_b):
+            if user_id not in self._users:
+                raise UnknownNodeError(
+                    f"user {user_id} does not exist in network {self.name!r}"
+                )
+        self._social_links.add(self._canonical(user_a, user_b))
+
+    def remove_social_link(self, user_a: int, user_b: int) -> None:
+        """Remove a social link; raises if it does not exist."""
+        key = self._canonical(user_a, user_b)
+        if key not in self._social_links:
+            raise NetworkError(
+                f"no social link between {user_a} and {user_b} "
+                f"in network {self.name!r}"
+            )
+        self._social_links.remove(key)
+
+    def has_social_link(self, user_a: int, user_b: int) -> bool:
+        """Whether an undirected social link exists between the two users."""
+        return self._canonical(user_a, user_b) in self._social_links
+
+    @staticmethod
+    def _canonical(user_a: int, user_b: int) -> Tuple[int, int]:
+        a, b = int(user_a), int(user_b)
+        return (a, b) if a < b else (b, a)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of user nodes."""
+        return len(self._users)
+
+    @property
+    def n_posts(self) -> int:
+        """Number of post nodes."""
+        return len(self._posts)
+
+    @property
+    def n_locations(self) -> int:
+        """Number of location nodes."""
+        return len(self._locations)
+
+    @property
+    def n_words(self) -> int:
+        """Number of distinct vocabulary words used by posts."""
+        return len(self._vocabulary)
+
+    @property
+    def n_social_links(self) -> int:
+        """Number of undirected social links."""
+        return len(self._social_links)
+
+    @property
+    def n_checkins(self) -> int:
+        """Number of posts carrying a location check-in (the 'locate' links)."""
+        return sum(1 for post in self._posts.values() if post.has_checkin)
+
+    @property
+    def user_ids(self) -> List[int]:
+        """Sorted user ids."""
+        return sorted(self._users)
+
+    @property
+    def social_links(self) -> FrozenSet[Tuple[int, int]]:
+        """The canonical (min, max) social link pairs."""
+        return frozenset(self._social_links)
+
+    def user(self, user_id: int) -> User:
+        """Fetch a user node by id."""
+        try:
+            return self._users[int(user_id)]
+        except KeyError:
+            raise UnknownNodeError(
+                f"user {user_id} does not exist in network {self.name!r}"
+            ) from None
+
+    def post(self, post_id: int) -> Post:
+        """Fetch a post node by id."""
+        try:
+            return self._posts[int(post_id)]
+        except KeyError:
+            raise UnknownNodeError(
+                f"post {post_id} does not exist in network {self.name!r}"
+            ) from None
+
+    def location(self, location_id: int) -> Location:
+        """Fetch a location node by id."""
+        try:
+            return self._locations[int(location_id)]
+        except KeyError:
+            raise UnknownNodeError(
+                f"location {location_id} does not exist in network {self.name!r}"
+            ) from None
+
+    def posts(self) -> List[Post]:
+        """All posts, ordered by post id."""
+        return [self._posts[pid] for pid in sorted(self._posts)]
+
+    def locations(self) -> List[Location]:
+        """All locations, ordered by location id."""
+        return [self._locations[lid] for lid in sorted(self._locations)]
+
+    def posts_of(self, user_id: int) -> List[Post]:
+        """All posts written by ``user_id``."""
+        if user_id not in self._users:
+            raise UnknownNodeError(
+                f"user {user_id} does not exist in network {self.name!r}"
+            )
+        return [self._posts[pid] for pid in self._posts_by_author[int(user_id)]]
+
+    def neighbors(self, user_id: int) -> Set[int]:
+        """Social neighbors of ``user_id``."""
+        if user_id not in self._users:
+            raise UnknownNodeError(
+                f"user {user_id} does not exist in network {self.name!r}"
+            )
+        user_id = int(user_id)
+        out = set()
+        for a, b in self._social_links:
+            if a == user_id:
+                out.add(b)
+            elif b == user_id:
+                out.add(a)
+        return out
+
+    # ------------------------------------------------------------------
+    # matrix views
+    # ------------------------------------------------------------------
+    def user_index(self) -> Dict[int, int]:
+        """Map user ids to dense row indices (sorted-id order)."""
+        return {user_id: idx for idx, user_id in enumerate(self.user_ids)}
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Binary symmetric social adjacency matrix ``A`` (paper's A^t)."""
+        index = self.user_index()
+        n = self.n_users
+        matrix = np.zeros((n, n))
+        for a, b in self._social_links:
+            i, j = index[a], index[b]
+            matrix[i, j] = 1.0
+            matrix[j, i] = 1.0
+        return matrix
+
+    def degree_vector(self) -> np.ndarray:
+        """Per-user social degree, in dense-index order."""
+        return self.adjacency_matrix().sum(axis=1)
+
+    def stats(self) -> Dict[str, int]:
+        """Counts matching the rows of the paper's Table I."""
+        return {
+            "users": self.n_users,
+            "posts": self.n_posts,
+            "locations": self.n_locations,
+            "words": self.n_words,
+            "social_links": self.n_social_links,
+            "write_links": self.n_posts,
+            "locate_links": self.n_checkins,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneousNetwork(name={self.name!r}, users={self.n_users}, "
+            f"posts={self.n_posts}, links={self.n_social_links})"
+        )

@@ -1,0 +1,135 @@
+"""Serialization of networks and aligned-network bundles.
+
+Two formats are supported:
+
+* JSON — human-readable round-trip of a single
+  :class:`~repro.networks.heterogeneous.HeterogeneousNetwork`.
+* NPZ — compact round-trip of a whole
+  :class:`~repro.networks.aligned.AlignedNetworks` bundle (adjacency matrices
+  and anchor pairs plus a JSON side-car for attribute nodes), convenient for
+  caching generated datasets between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.networks.aligned import AlignedNetworks, AnchorLinks
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: HeterogeneousNetwork) -> Dict[str, Any]:
+    """Convert a network to a JSON-serializable dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": network.name,
+        "users": network.user_ids,
+        "locations": [
+            [loc.location_id, loc.latitude, loc.longitude]
+            for loc in network.locations()
+        ],
+        "posts": [
+            [
+                post.post_id,
+                post.author_id,
+                list(post.word_ids),
+                post.hour,
+                post.location_id,
+            ]
+            for post in network.posts()
+        ],
+        "social_links": sorted(list(pair) for pair in network.social_links),
+    }
+
+
+def network_from_dict(payload: Dict[str, Any]) -> HeterogeneousNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    try:
+        version = payload["version"]
+        if version != _FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported network format version {version}"
+            )
+        network = HeterogeneousNetwork(payload["name"])
+        for user_id in payload["users"]:
+            network.add_user(user_id)
+        for location_id, lat, lon in payload["locations"]:
+            network.add_location(location_id, lat, lon)
+        for post_id, author_id, word_ids, hour, location_id in payload["posts"]:
+            network.add_post(post_id, author_id, word_ids, hour, location_id)
+        for a, b in payload["social_links"]:
+            network.add_social_link(a, b)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed network payload: {exc}") from exc
+    return network
+
+
+def save_network_json(network: HeterogeneousNetwork, path: str) -> None:
+    """Write a network to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(network_to_dict(network), handle)
+
+
+def load_network_json(path: str) -> HeterogeneousNetwork:
+    """Read a network previously written by :func:`save_network_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON in {path!r}: {exc}") from exc
+    return network_from_dict(payload)
+
+
+def save_aligned_npz(aligned: AlignedNetworks, path: str) -> None:
+    """Write an aligned bundle to ``path`` (.npz plus a .json side-car).
+
+    The ``.npz`` stores anchor pair arrays; the side-car stores the full
+    heterogeneous payloads so attribute nodes survive the round trip.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        "n_sources": np.array([aligned.n_sources], dtype=np.int64)
+    }
+    for idx, anchor in enumerate(aligned.anchors):
+        pairs = sorted(anchor.pairs)
+        arrays[f"anchors_{idx}"] = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    np.savez_compressed(path, **arrays)
+    sidecar = {
+        "target": network_to_dict(aligned.target),
+        "sources": [network_to_dict(source) for source in aligned.sources],
+    }
+    with open(_sidecar_path(path), "w", encoding="utf-8") as handle:
+        json.dump(sidecar, handle)
+
+
+def load_aligned_npz(path: str) -> AlignedNetworks:
+    """Read an aligned bundle previously written by :func:`save_aligned_npz`."""
+    sidecar_path = _sidecar_path(path)
+    if not os.path.exists(sidecar_path):
+        raise SerializationError(f"missing side-car file {sidecar_path!r}")
+    with open(sidecar_path, "r", encoding="utf-8") as handle:
+        sidecar = json.load(handle)
+    target = network_from_dict(sidecar["target"])
+    sources = [network_from_dict(payload) for payload in sidecar["sources"]]
+    with np.load(path) as data:
+        n_sources = int(data["n_sources"][0])
+        if n_sources != len(sources):
+            raise SerializationError(
+                f"npz declares {n_sources} sources but side-car has {len(sources)}"
+            )
+        anchors = [
+            AnchorLinks(map(tuple, data[f"anchors_{idx}"].tolist()))
+            for idx in range(n_sources)
+        ]
+    return AlignedNetworks(target, sources, anchors)
+
+
+def _sidecar_path(path: str) -> str:
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".networks.json"

@@ -1,0 +1,143 @@
+"""Read-only social-structure view over a heterogeneous network.
+
+Feature extractors and unsupervised predictors only need the user-user
+structure.  :class:`SocialGraph` snapshots that structure into dense numpy
+form once, so repeated neighborhood queries do not re-walk the link set, and
+supports *masking* (hiding held-out test links) which the evaluation harness
+uses to build training views.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError, UnknownNodeError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+class SocialGraph:
+    """An immutable snapshot of user-user structure.
+
+    Parameters
+    ----------
+    adjacency:
+        Binary symmetric adjacency matrix with zero diagonal.
+    user_ids:
+        Original user ids in dense-index order; defaults to ``0..n-1``.
+    """
+
+    def __init__(self, adjacency: np.ndarray, user_ids: List[int] = None):
+        adjacency = np.asarray(adjacency, dtype=float)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise NetworkError(
+                f"adjacency must be square, got shape {adjacency.shape}"
+            )
+        if not np.allclose(adjacency, adjacency.T):
+            raise NetworkError("adjacency must be symmetric")
+        if np.any(np.diag(adjacency) != 0):
+            raise NetworkError("adjacency must have a zero diagonal")
+        if not np.all(np.isin(adjacency, (0.0, 1.0))):
+            raise NetworkError("adjacency must be binary")
+        self._adjacency = adjacency.copy()
+        self._adjacency.setflags(write=False)
+        n = adjacency.shape[0]
+        if user_ids is None:
+            user_ids = list(range(n))
+        if len(user_ids) != n:
+            raise NetworkError(
+                f"user_ids has length {len(user_ids)} but adjacency is {n}x{n}"
+            )
+        self._user_ids = [int(u) for u in user_ids]
+        self._index = {u: i for i, u in enumerate(self._user_ids)}
+        if len(self._index) != n:
+            raise NetworkError("user_ids contains duplicates")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, network: HeterogeneousNetwork) -> "SocialGraph":
+        """Snapshot the social structure of a heterogeneous network."""
+        return cls(network.adjacency_matrix(), network.user_ids)
+
+    def mask_links(self, links: Iterable[Tuple[int, int]]) -> "SocialGraph":
+        """Return a copy with the given links (dense-index pairs) removed.
+
+        Used to hide the test fold: the training view must not see held-out
+        links.  Raises if a requested link is absent.
+        """
+        adjacency = np.array(self._adjacency)
+        for i, j in links:
+            if adjacency[i, j] == 0:
+                raise NetworkError(f"link ({i}, {j}) is not present; cannot mask")
+            adjacency[i, j] = 0.0
+            adjacency[j, i] = 0.0
+        return SocialGraph(adjacency, self._user_ids)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of users."""
+        return self._adjacency.shape[0]
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """The (read-only) adjacency matrix."""
+        return self._adjacency
+
+    @property
+    def user_ids(self) -> List[int]:
+        """Original user ids in dense order."""
+        return list(self._user_ids)
+
+    @property
+    def n_links(self) -> int:
+        """Number of undirected links."""
+        return int(self._adjacency.sum() // 2)
+
+    def index_of(self, user_id: int) -> int:
+        """Dense index of an original user id."""
+        try:
+            return self._index[int(user_id)]
+        except KeyError:
+            raise UnknownNodeError(f"user {user_id} not in this graph") from None
+
+    def degree(self, i: int) -> int:
+        """Social degree of dense index ``i``."""
+        return int(self._adjacency[i].sum())
+
+    def degrees(self) -> np.ndarray:
+        """All degrees as a vector."""
+        return self._adjacency.sum(axis=1)
+
+    def neighbors(self, i: int) -> Set[int]:
+        """Dense indices of the neighbors of ``i``."""
+        return set(np.flatnonzero(self._adjacency[i]).tolist())
+
+    def links(self) -> FrozenSet[Tuple[int, int]]:
+        """All links as canonical dense-index pairs (i < j)."""
+        rows, cols = np.nonzero(np.triu(self._adjacency, k=1))
+        return frozenset(zip(rows.tolist(), cols.tolist()))
+
+    def non_links(self) -> List[Tuple[int, int]]:
+        """All absent pairs (i < j) — the candidate set for prediction."""
+        rows, cols = np.nonzero(np.triu(1.0 - self._adjacency, k=1))
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def common_neighbors(self, i: int, j: int) -> Set[int]:
+        """Shared neighbors of ``i`` and ``j``."""
+        return self.neighbors(i) & self.neighbors(j)
+
+    def density(self) -> float:
+        """Fraction of possible links that exist."""
+        n = self.n_users
+        if n < 2:
+            return 0.0
+        return self.n_links / (n * (n - 1) / 2)
+
+    def __repr__(self) -> str:
+        return f"SocialGraph(n_users={self.n_users}, n_links={self.n_links})"

@@ -1,0 +1,137 @@
+"""The proximal-operator-based CCCP solver (paper's Algorithm 1).
+
+The objective decomposes as ``u(S) − v(S)`` with::
+
+    u(S) = l(S, A) + γ‖S‖₁ + τ‖S‖*          (convex)
+    v(S) = Σ_k α_k · int(S, X̂^k)             (convex, so −v is concave)
+
+Each CCCP round replaces ``v`` by its linearization at the current iterate
+and solves ``min_S u(S) − ⟨S, ∇v⟩`` with a forward-backward splitting solver.
+Because the adapted feature slices are non-negative and ``S`` is confined to
+the unit box, ``∇v = Σ_k α_k Σ_c X̂^k(c, :, :)`` is the constant matrix the
+paper derives, so the linearization is exact; the outer loop still iterates
+(with a bounded inner budget per round) exactly as Algorithm 1 prescribes,
+and the per-round history reproduces the Figure 3 convergence curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.optim.convergence import ConvergenceCriterion, IterationHistory
+from repro.optim.forward_backward import ForwardBackwardSolver
+from repro.optim.losses import LinearizedIntimacyTerm
+from repro.utils.matrices import is_square
+
+
+@dataclass
+class CCCPResult:
+    """Outcome of a CCCP run.
+
+    Attributes
+    ----------
+    solution:
+        The final predictor matrix ``S``.
+    history:
+        Flat per-inner-iteration diagnostics across all rounds (this is what
+        Figure 3 plots).
+    round_norms:
+        ``‖S‖₁`` at the end of each CCCP round.
+    n_rounds:
+        Number of outer rounds executed.
+    converged:
+        Whether the outer loop hit its tolerance before ``max_iterations``.
+    """
+
+    solution: np.ndarray
+    history: IterationHistory
+    round_norms: Sequence[float]
+    n_rounds: int
+    converged: bool
+
+
+class CCCPSolver:
+    """Iterative CCCP with a proximal inner solver.
+
+    Parameters
+    ----------
+    loss:
+        Smooth convex loss (``value``/``gradient``), e.g.
+        :class:`~repro.optim.losses.SquaredFrobeniusLoss`.
+    prox_terms:
+        Non-smooth convex terms handled by proximal maps (ℓ1, trace norm,
+        box projection).
+    intimacy_gradient:
+        The constant matrix ``∇v`` (``None`` or zeros disables transfer, as
+        in SLAMPRED-H).
+    inner_solver:
+        Forward-backward solver used each round; its criterion bounds the
+        per-round inner budget.
+    outer_criterion:
+        Stopping rule on the outer sequence ``S_cccp``.
+    """
+
+    def __init__(
+        self,
+        loss,
+        prox_terms: Sequence,
+        intimacy_gradient: Optional[np.ndarray] = None,
+        inner_solver: Optional[ForwardBackwardSolver] = None,
+        outer_criterion: Optional[ConvergenceCriterion] = None,
+    ):
+        self.loss = loss
+        self.prox_terms = list(prox_terms)
+        self.intimacy_gradient = (
+            None
+            if intimacy_gradient is None
+            else np.asarray(intimacy_gradient, dtype=float)
+        )
+        self.inner_solver = inner_solver or ForwardBackwardSolver(
+            step_size=1e-3,
+            criterion=ConvergenceCriterion(tolerance=1e-5, max_iterations=30),
+        )
+        self.outer_criterion = outer_criterion or ConvergenceCriterion(
+            tolerance=1e-4, max_iterations=50
+        )
+
+    def solve(self, initial: np.ndarray) -> CCCPResult:
+        """Run Algorithm 1 from ``initial`` (the paper initializes at ``A``)."""
+        current = np.asarray(initial, dtype=float)
+        if not is_square(current):
+            raise OptimizationError(
+                f"initial matrix must be square, got shape {current.shape}"
+            )
+        current = current.copy()
+        smooth_terms = [self.loss]
+        if self.intimacy_gradient is not None:
+            if self.intimacy_gradient.shape != current.shape:
+                raise OptimizationError(
+                    f"intimacy gradient shape {self.intimacy_gradient.shape} "
+                    f"does not match variable shape {current.shape}"
+                )
+            smooth_terms.append(LinearizedIntimacyTerm(self.intimacy_gradient))
+        history = IterationHistory()
+        round_norms = []
+        converged = False
+        n_rounds = 0
+        for _ in range(self.outer_criterion.max_iterations):
+            n_rounds += 1
+            previous = current
+            current = self.inner_solver.solve(
+                previous, smooth_terms, self.prox_terms, history=history
+            )
+            round_norms.append(float(np.abs(current).sum()))
+            if self.outer_criterion.satisfied(current, previous):
+                converged = True
+                break
+        return CCCPResult(
+            solution=current,
+            history=history,
+            round_norms=round_norms,
+            n_rounds=n_rounds,
+            converged=converged,
+        )

@@ -1,0 +1,74 @@
+"""Convergence criteria and iteration history records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.utils.matrices import l1_norm
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """When to declare an iterative matrix sequence converged.
+
+    Convergence is declared when the entry-wise ℓ1 norm of the update
+    ``‖S^{h} − S^{h−1}‖₁`` (the quantity Figure 3 of the paper plots) falls
+    below ``tolerance``, or after ``max_iterations`` rounds.
+    """
+
+    tolerance: float = 1e-4
+    max_iterations: int = 300
+
+    def __post_init__(self) -> None:
+        check_positive(self.tolerance, "tolerance")
+        check_integer(self.max_iterations, "max_iterations", minimum=1)
+
+    def satisfied(self, current: np.ndarray, previous: np.ndarray) -> bool:
+        """Whether the update from ``previous`` to ``current`` is below tolerance."""
+        return l1_norm(current - previous) < self.tolerance
+
+
+@dataclass
+class IterationHistory:
+    """Per-iteration diagnostics of a solver run.
+
+    Attributes
+    ----------
+    variable_norms:
+        ``‖S^h‖₁`` per iteration (Figure 3, left panel).
+    update_norms:
+        ``‖S^h − S^{h−1}‖₁`` per iteration (Figure 3, right panel).
+    objective_values:
+        Objective value per iteration when the solver computes it.
+    """
+
+    variable_norms: List[float] = field(default_factory=list)
+    update_norms: List[float] = field(default_factory=list)
+    objective_values: List[float] = field(default_factory=list)
+
+    def record(
+        self,
+        current: np.ndarray,
+        previous: np.ndarray,
+        objective: float = None,
+    ) -> None:
+        """Append one iteration's diagnostics."""
+        self.variable_norms.append(l1_norm(current))
+        self.update_norms.append(l1_norm(current - previous))
+        if objective is not None:
+            self.objective_values.append(float(objective))
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self.variable_norms)
+
+    def extend(self, other: "IterationHistory") -> None:
+        """Concatenate another history (used to chain CCCP rounds)."""
+        self.variable_norms.extend(other.variable_norms)
+        self.update_norms.extend(other.update_norms)
+        self.objective_values.extend(other.objective_values)

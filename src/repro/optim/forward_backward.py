@@ -1,0 +1,173 @@
+"""Forward-backward splitting solvers.
+
+Two solvers for ``min_S f(S) + Σ_i g_i(S)`` with smooth ``f`` and prox-able
+``g_i``:
+
+* :class:`ForwardBackwardSolver` — the scheme of the paper's Algorithm 1:
+  one gradient step on ``f`` followed by sequentially applying each ``g_i``'s
+  prox.  Exact when the proxes commute; with a small step (the paper uses
+  θ = 0.001) the composition error is negligible, and this is what the paper
+  runs.
+* :class:`GeneralizedForwardBackward` — the method of Raguet, Fadili & Peyré
+  (2013) that handles q ≥ 2 non-smooth terms *exactly* by maintaining one
+  auxiliary variable per term.  Used by the ablation benchmark to check the
+  paper's sequential approximation costs nothing on this problem.
+
+Both accept a list of smooth terms (objects with ``value``/``gradient``) and
+a list of prox terms (objects with ``value``/``apply``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.optim.convergence import ConvergenceCriterion, IterationHistory
+from repro.utils.validation import check_positive
+
+
+_DIVERGENCE_LIMIT = 1e12
+
+
+def _check_finite(matrix: np.ndarray, step_size: float) -> None:
+    """Fail fast when the iteration diverges (step size too large)."""
+    if not np.all(np.isfinite(matrix)) or np.abs(matrix).max() > _DIVERGENCE_LIMIT:
+        raise OptimizationError(
+            f"iteration diverged (entries exceed {_DIVERGENCE_LIMIT:.0e}); "
+            f"reduce step_size (currently {step_size}) below 2/L of the "
+            "smooth term"
+        )
+
+
+def _total_objective(matrix, smooth_terms, prox_terms) -> float:
+    value = sum(term.value(matrix) for term in smooth_terms)
+    value += sum(term.value(matrix) for term in prox_terms)
+    return float(value)
+
+
+def _total_gradient(matrix, smooth_terms) -> np.ndarray:
+    gradient = np.zeros_like(matrix)
+    for term in smooth_terms:
+        gradient += term.gradient(matrix)
+    return gradient
+
+
+class ForwardBackwardSolver:
+    """Gradient step + sequential proximal steps (paper's Algorithm 1 inner loop).
+
+    Parameters
+    ----------
+    step_size:
+        Learning rate θ; the paper uses 0.001.
+    criterion:
+        Stopping rule for the proximal iteration.
+    record_objective:
+        Whether to evaluate the full objective each iteration (costs an SVD
+        per trace-norm term; disable inside tight loops).
+    """
+
+    def __init__(
+        self,
+        step_size: float = 1e-3,
+        criterion: ConvergenceCriterion = None,
+        record_objective: bool = False,
+    ):
+        self.step_size = check_positive(step_size, "step_size")
+        self.criterion = criterion or ConvergenceCriterion()
+        self.record_objective = record_objective
+
+    def solve(
+        self,
+        initial: np.ndarray,
+        smooth_terms: Sequence,
+        prox_terms: Sequence,
+        history: Optional[IterationHistory] = None,
+    ) -> np.ndarray:
+        """Run the iteration from ``initial`` until convergence.
+
+        Returns the final iterate; per-iteration diagnostics are appended to
+        ``history`` when given.
+        """
+        if not smooth_terms and not prox_terms:
+            raise OptimizationError("nothing to optimize: no terms given")
+        current = np.asarray(initial, dtype=float).copy()
+        for _ in range(self.criterion.max_iterations):
+            previous = current
+            current = previous - self.step_size * _total_gradient(
+                previous, smooth_terms
+            )
+            for prox in prox_terms:
+                current = prox.apply(current, self.step_size)
+            _check_finite(current, self.step_size)
+            if history is not None:
+                objective = (
+                    _total_objective(current, smooth_terms, prox_terms)
+                    if self.record_objective
+                    else None
+                )
+                history.record(current, previous, objective)
+            if self.criterion.satisfied(current, previous):
+                break
+        return current
+
+
+class GeneralizedForwardBackward:
+    """Raguet et al. (2013) generalized forward-backward splitting.
+
+    Maintains auxiliaries ``z_i`` (one per non-smooth term) and iterates::
+
+        z_i ← z_i + prox_{(θ/ω_i) g_i}(2x − z_i − θ∇f(x)) − x
+        x   ← Σ_i ω_i z_i
+
+    with uniform weights ``ω_i = 1/q``.  Converges for ``θ < 2/L`` where L is
+    the Lipschitz constant of ``∇f``.
+    """
+
+    def __init__(
+        self,
+        step_size: float = 1e-3,
+        criterion: ConvergenceCriterion = None,
+        record_objective: bool = False,
+    ):
+        self.step_size = check_positive(step_size, "step_size")
+        self.criterion = criterion or ConvergenceCriterion()
+        self.record_objective = record_objective
+
+    def solve(
+        self,
+        initial: np.ndarray,
+        smooth_terms: Sequence,
+        prox_terms: Sequence,
+        history: Optional[IterationHistory] = None,
+    ) -> np.ndarray:
+        """Run the iteration from ``initial`` until convergence."""
+        if not prox_terms:
+            raise OptimizationError(
+                "GeneralizedForwardBackward needs at least one prox term"
+            )
+        q = len(prox_terms)
+        weight = 1.0 / q
+        current = np.asarray(initial, dtype=float).copy()
+        auxiliaries: List[np.ndarray] = [current.copy() for _ in range(q)]
+        for _ in range(self.criterion.max_iterations):
+            previous = current
+            gradient = _total_gradient(previous, smooth_terms)
+            for i, prox in enumerate(prox_terms):
+                argument = 2.0 * previous - auxiliaries[i] - self.step_size * gradient
+                auxiliaries[i] = auxiliaries[i] + prox.apply(
+                    argument, self.step_size / weight
+                ) - previous
+            current = weight * np.sum(auxiliaries, axis=0)
+            _check_finite(current, self.step_size)
+            if history is not None:
+                objective = (
+                    _total_objective(current, smooth_terms, prox_terms)
+                    if self.record_objective
+                    else None
+                )
+                history.record(current, previous, objective)
+            if self.criterion.satisfied(current, previous):
+                break
+        return current

@@ -1,0 +1,157 @@
+"""Loss terms of the SLAMPRED objective.
+
+The paper's empirical loss is the 0/1 link-disagreement count, which is
+non-convex; Section III-D replaces it with the squared Frobenius surrogate
+``l(S, A) = ‖S − A‖_F²`` used during optimization.  Both are implemented
+here, plus the linearized intimacy term each CCCP round subtracts and a
+masked-loss variant used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.utils.matrices import is_square
+
+
+class SquaredFrobeniusLoss:
+    """The convex surrogate ``‖S − A‖_F²`` (the paper's choice).
+
+    Parameters
+    ----------
+    target:
+        The observed adjacency matrix ``A``.
+    """
+
+    def __init__(self, target: np.ndarray):
+        target = np.asarray(target, dtype=float)
+        if not is_square(target):
+            raise OptimizationError(
+                f"target must be square, got shape {target.shape}"
+            )
+        self.target = target
+
+    def value(self, matrix: np.ndarray) -> float:
+        """Loss value at ``S``."""
+        return float(np.sum((matrix - self.target) ** 2))
+
+    def gradient(self, matrix: np.ndarray) -> np.ndarray:
+        """Gradient ``2(S − A)``."""
+        return 2.0 * (matrix - self.target)
+
+    @property
+    def lipschitz(self) -> float:
+        """Lipschitz constant of the gradient (2 for this loss)."""
+        return 2.0
+
+    def __repr__(self) -> str:
+        return f"SquaredFrobeniusLoss(n={self.target.shape[0]})"
+
+
+class MaskedSquaredLoss:
+    """Squared loss evaluated only on observed entries.
+
+    Ablation variant: ``‖M ∘ (S − A)‖_F²`` where ``M`` marks entries whose
+    status is known during training (existing links plus sampled confident
+    non-links).  Unobserved entries are free, which is the classical matrix
+    completion formulation.
+    """
+
+    def __init__(self, target: np.ndarray, mask: np.ndarray):
+        target = np.asarray(target, dtype=float)
+        mask = np.asarray(mask, dtype=float)
+        if target.shape != mask.shape or not is_square(target):
+            raise OptimizationError(
+                f"target {target.shape} and mask {mask.shape} must be "
+                "square matrices of the same shape"
+            )
+        if not np.all(np.isin(mask, (0.0, 1.0))):
+            raise OptimizationError("mask must be binary")
+        self.target = target
+        self.mask = mask
+
+    def value(self, matrix: np.ndarray) -> float:
+        """Loss value at ``S`` over the observed entries."""
+        return float(np.sum((self.mask * (matrix - self.target)) ** 2))
+
+    def gradient(self, matrix: np.ndarray) -> np.ndarray:
+        """Gradient ``2 M ∘ (S − A)``."""
+        return 2.0 * self.mask * (matrix - self.target)
+
+    @property
+    def lipschitz(self) -> float:
+        """Lipschitz constant of the gradient."""
+        return 2.0
+
+    def __repr__(self) -> str:
+        observed = int(self.mask.sum())
+        return f"MaskedSquaredLoss(n={self.target.shape[0]}, observed={observed})"
+
+
+class LinearizedIntimacyTerm:
+    """The linear term ``−⟨S, G⟩`` a CCCP round subtracts.
+
+    ``G = ∇v(S) = Σ_k α_k Σ_c X̂^k(c, :, :)`` is constant (the paper notes the
+    intimacy term's derivative does not depend on ``S`` because the adapted
+    features are non-negative and ``S`` lives in the unit box), so the smooth
+    part of the inner problem is ``l(S, A) − ⟨S, G⟩``.
+    """
+
+    def __init__(self, gradient_matrix: np.ndarray):
+        gradient_matrix = np.asarray(gradient_matrix, dtype=float)
+        if not is_square(gradient_matrix):
+            raise OptimizationError(
+                f"gradient matrix must be square, got {gradient_matrix.shape}"
+            )
+        self.gradient_matrix = gradient_matrix
+
+    def value(self, matrix: np.ndarray) -> float:
+        """``−⟨S, G⟩``."""
+        return -float(np.sum(matrix * self.gradient_matrix))
+
+    def gradient(self, matrix: np.ndarray) -> np.ndarray:
+        """Constant gradient ``−G``."""
+        return -self.gradient_matrix
+
+    def __repr__(self) -> str:
+        return f"LinearizedIntimacyTerm(n={self.gradient_matrix.shape[0]})"
+
+
+def empirical_link_loss(
+    predictor: np.ndarray,
+    adjacency: np.ndarray,
+    links: Iterable[Tuple[int, int]],
+) -> float:
+    """The paper's original 0/1 loss over the existing links.
+
+    ``l(S, A) = (1/|E|) Σ_{(i,j)∈E} 1[(A_ij − 1/2) · S_ij ≤ 0]`` — the
+    fraction of existing links the predictor fails to score positively.
+    Reported for diagnostics; optimization uses the Frobenius surrogate.
+    """
+    links = list(links)
+    if not links:
+        return 0.0
+    predictor = np.asarray(predictor, dtype=float)
+    adjacency = np.asarray(adjacency, dtype=float)
+    misses = 0
+    for i, j in links:
+        if (adjacency[i, j] - 0.5) * predictor[i, j] <= 0:
+            misses += 1
+    return misses / len(links)
+
+
+def intimacy_score(predictor: np.ndarray, feature_values: np.ndarray) -> float:
+    """The paper's intimacy term ``int(S, X) = Σ_k ‖S ∘ X(k,:,:)‖₁``.
+
+    ``feature_values`` is the raw ``(d, n, n)`` array of a feature tensor.
+    """
+    predictor = np.asarray(predictor, dtype=float)
+    feature_values = np.asarray(feature_values, dtype=float)
+    if feature_values.ndim != 3:
+        raise OptimizationError(
+            f"feature values must be (d, n, n), got {feature_values.shape}"
+        )
+    return float(np.abs(predictor[None, :, :] * feature_values).sum())

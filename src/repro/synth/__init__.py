@@ -1,0 +1,35 @@
+"""Synthetic aligned heterogeneous network generator.
+
+The paper evaluates on a crawled Foursquare + Twitter pair, which is not
+redistributable.  This package generates an equivalent *aligned* pair (or a
+target plus K sources): a shared population of "persons" with planted
+community structure, each network observing a subset of the population with
+its own link density and its own attribute intensities (posts, check-ins,
+hours, word usage).  Anchor links connect the accounts of the same person.
+
+Because communities are shared across networks through the anchored persons,
+links in a source network genuinely carry information about links in the
+target — the property the Social Link Transfer problem relies on.
+"""
+
+from repro.synth.config import AttributeConfig, NetworkConfig, WorldConfig
+from repro.synth.communities import (
+    assign_communities,
+    planted_partition_links,
+    community_overlap_matrix,
+)
+from repro.synth.attributes import AttributeGenerator, CommunityProfile, PersonalProfile, build_personal_profiles
+from repro.synth.generator import AlignedNetworkGenerator, generate_aligned_pair
+
+__all__ = [
+    "AttributeConfig",
+    "NetworkConfig",
+    "WorldConfig",
+    "assign_communities",
+    "planted_partition_links",
+    "community_overlap_matrix",
+    "AttributeGenerator",
+    "CommunityProfile",
+    "AlignedNetworkGenerator",
+    "generate_aligned_pair",
+]

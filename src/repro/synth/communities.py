@@ -1,0 +1,161 @@
+"""Planted community structure.
+
+The paper motivates the low-rank regularizer by the observation that "users
+tend to form densely connected local communities".  The generator plants that
+structure explicitly: persons are partitioned into communities, and links
+appear with probability ``p_in`` inside a community and ``p_out`` across
+communities (a planted-partition / stochastic block model).  The resulting
+adjacency matrices are both sparse and approximately low-rank, which is the
+regime SLAMPRED's regularizers target.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_integer, check_probability
+
+
+def assign_communities(
+    n_persons: int, n_communities: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Assign each person a community label in ``0..n_communities-1``.
+
+    Labels are balanced (round-robin sizes) and then shuffled, so no
+    community is empty when ``n_persons >= n_communities``.
+    """
+    n_persons = check_integer(n_persons, "n_persons", minimum=0)
+    n_communities = check_integer(n_communities, "n_communities", minimum=1)
+    rng = ensure_rng(random_state)
+    labels = np.arange(n_persons) % n_communities
+    rng.shuffle(labels)
+    return labels
+
+
+def planted_partition_links(
+    labels: Sequence[int],
+    p_in: float,
+    p_out: float,
+    random_state: RandomState = None,
+) -> List[Tuple[int, int]]:
+    """Sample undirected links under the planted-partition model.
+
+    Parameters
+    ----------
+    labels:
+        Community label per node (dense indices).
+    p_in:
+        Link probability for same-community pairs.
+    p_out:
+        Link probability for cross-community pairs.
+
+    Returns
+    -------
+    list of (i, j) with i < j.
+    """
+    p_in = check_probability(p_in, "p_in")
+    p_out = check_probability(p_out, "p_out")
+    labels = np.asarray(labels)
+    rng = ensure_rng(random_state)
+    n = labels.shape[0]
+    rows, cols = np.triu_indices(n, k=1)
+    same = labels[rows] == labels[cols]
+    probs = np.where(same, p_in, p_out)
+    draws = rng.random(rows.shape[0])
+    mask = draws < probs
+    return list(zip(rows[mask].tolist(), cols[mask].tolist()))
+
+
+def shared_link_matrix(
+    labels: Sequence[int],
+    p_in_shared: float,
+    p_out_shared: float,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """World-level shared link events as a boolean symmetric matrix.
+
+    Entry ``(i, j)`` is ``True`` when the person pair carries a *shared*
+    friendship event realized in every network both persons participate in —
+    the mechanism behind the generator's cross-network link correlation.
+    """
+    p_in_shared = check_probability(p_in_shared, "p_in_shared")
+    p_out_shared = check_probability(p_out_shared, "p_out_shared")
+    labels = np.asarray(labels)
+    rng = ensure_rng(random_state)
+    n = labels.shape[0]
+    shared = np.zeros((n, n), dtype=bool)
+    rows, cols = np.triu_indices(n, k=1)
+    same = labels[rows] == labels[cols]
+    probs = np.where(same, p_in_shared, p_out_shared)
+    mask = rng.random(rows.shape[0]) < probs
+    shared[rows[mask], cols[mask]] = True
+    shared[cols[mask], rows[mask]] = True
+    return shared
+
+
+def correlated_partition_links(
+    labels: Sequence[int],
+    p_in: float,
+    p_out: float,
+    shared: np.ndarray,
+    p_in_shared: float,
+    p_out_shared: float,
+    random_state: RandomState = None,
+) -> List[Tuple[int, int]]:
+    """Planted-partition links mixed with shared world-level events.
+
+    A pair links when its shared event fired *or* an independent
+    network-local draw succeeds with the residual probability
+    ``(p − p_shared) / (1 − p_shared)``, which keeps the marginal link
+    probability at exactly ``p`` while correlating networks that consume
+    the same ``shared`` matrix.
+
+    Parameters
+    ----------
+    labels:
+        Community label per node (dense network indices).
+    p_in, p_out:
+        This network's marginal link probabilities.
+    shared:
+        Boolean matrix of shared events, indexed by *network* node order
+        (callers re-index the world matrix through their participant list).
+    p_in_shared, p_out_shared:
+        Probabilities the shared events were drawn with; must not exceed
+        the corresponding marginals.
+    """
+    p_in = check_probability(p_in, "p_in")
+    p_out = check_probability(p_out, "p_out")
+    p_in_shared = check_probability(p_in_shared, "p_in_shared")
+    p_out_shared = check_probability(p_out_shared, "p_out_shared")
+    if p_in_shared > p_in or p_out_shared > p_out:
+        raise ValueError(
+            "shared probabilities must not exceed the marginal link "
+            f"probabilities: got shared ({p_in_shared}, {p_out_shared}) vs "
+            f"marginal ({p_in}, {p_out})"
+        )
+    labels = np.asarray(labels)
+    rng = ensure_rng(random_state)
+    n = labels.shape[0]
+    rows, cols = np.triu_indices(n, k=1)
+    same = labels[rows] == labels[cols]
+    p_net = np.where(same, p_in, p_out)
+    p_sh = np.where(same, p_in_shared, p_out_shared)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_own = np.where(p_sh < 1.0, (p_net - p_sh) / (1.0 - p_sh), 0.0)
+    fired = shared[rows, cols] | (rng.random(rows.shape[0]) < p_own)
+    return list(zip(rows[fired].tolist(), cols[fired].tolist()))
+
+
+def community_overlap_matrix(labels: Sequence[int]) -> np.ndarray:
+    """Binary matrix with 1 where two nodes share a community (zero diagonal).
+
+    Used by tests to verify that generated adjacency correlates with the
+    planted structure.
+    """
+    labels = np.asarray(labels)
+    overlap = (labels[:, None] == labels[None, :]).astype(float)
+    np.fill_diagonal(overlap, 0.0)
+    return overlap

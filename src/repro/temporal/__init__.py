@@ -1,0 +1,22 @@
+"""Link prediction in time-evolving graphs (extension).
+
+Richard, Gaïffas & Vayatis (JMLR 2014) — cited by the paper as [14] —
+formulate link prediction in *time-evolving* graphs as sparse and low-rank
+matrix estimation over autoregressive features.  This package implements
+that setting on the same proximal stack:
+
+* :mod:`repro.temporal.snapshots` — generate an evolving sequence of graph
+  snapshots (links persist, churn and grow over planted communities);
+* :mod:`repro.temporal.autoregressive` — predict the next snapshot from an
+  exponentially-decayed history via the
+  ``min ‖S − Φ(history)‖² + γ‖S‖₁ + τ‖S‖*`` estimator.
+"""
+
+from repro.temporal.snapshots import evolve_snapshots, SnapshotSequence
+from repro.temporal.autoregressive import AutoregressiveLinkPredictor
+
+__all__ = [
+    "evolve_snapshots",
+    "SnapshotSequence",
+    "AutoregressiveLinkPredictor",
+]

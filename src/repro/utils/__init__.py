@@ -1,0 +1,53 @@
+"""Shared utilities: seeded randomness, matrix helpers, validation."""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.matrices import (
+    is_square,
+    is_symmetric,
+    symmetrize,
+    zero_diagonal,
+    clip_unit_interval,
+    frobenius_distance,
+    l1_norm,
+    trace_norm,
+    rank_tolerance,
+    effective_rank,
+    density,
+    upper_triangle_pairs,
+    pairs_to_matrix,
+    matrix_to_pairs,
+)
+from repro.utils.validation import (
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_integer,
+    check_matrix_shape,
+)
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "is_square",
+    "is_symmetric",
+    "symmetrize",
+    "zero_diagonal",
+    "clip_unit_interval",
+    "frobenius_distance",
+    "l1_norm",
+    "trace_norm",
+    "rank_tolerance",
+    "effective_rank",
+    "density",
+    "upper_triangle_pairs",
+    "pairs_to_matrix",
+    "matrix_to_pairs",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_integer",
+    "check_matrix_shape",
+]

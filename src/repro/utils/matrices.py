@@ -1,0 +1,146 @@
+"""Dense-matrix helpers shared across the library.
+
+The paper's algorithms operate on square user-by-user matrices: adjacency
+matrices ``A``, predictor matrices ``S`` and per-feature intimacy slices.
+These helpers centralize the small amount of linear-algebra plumbing
+(symmetrization, norms, pair indexing) so model code stays close to the
+paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def is_square(matrix: np.ndarray) -> bool:
+    """Return ``True`` when ``matrix`` is 2-D with equal dimensions."""
+    return matrix.ndim == 2 and matrix.shape[0] == matrix.shape[1]
+
+
+def is_symmetric(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` when ``matrix`` equals its transpose within ``atol``."""
+    if not is_square(matrix):
+        return False
+    return bool(np.allclose(matrix, matrix.T, atol=atol))
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + Mᵀ) / 2`` of a square matrix."""
+    if not is_square(matrix):
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return (matrix + matrix.T) / 2.0
+
+
+def zero_diagonal(matrix: np.ndarray) -> np.ndarray:
+    """Return a copy of ``matrix`` with its diagonal set to zero.
+
+    Social adjacency matrices have no self-links, so predictors zero the
+    diagonal before scoring.
+    """
+    if not is_square(matrix):
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    out = matrix.copy()
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def clip_unit_interval(matrix: np.ndarray) -> np.ndarray:
+    """Project entries onto ``[0, 1]``.
+
+    This is the projection onto the admissible set ``S`` used by the paper:
+    confidence scores for social links live in the unit interval.
+    """
+    return np.clip(matrix, 0.0, 1.0)
+
+
+def frobenius_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Frobenius norm of ``a − b``."""
+    return float(np.linalg.norm(a - b, ord="fro"))
+
+
+def l1_norm(matrix: np.ndarray) -> float:
+    """Entry-wise ℓ1 norm ``Σ |M_ij|`` (the paper's ‖·‖₁)."""
+    return float(np.abs(matrix).sum())
+
+
+def trace_norm(matrix: np.ndarray) -> float:
+    """Trace (nuclear) norm: sum of singular values (the paper's ‖·‖*)."""
+    return float(np.linalg.svd(matrix, compute_uv=False).sum())
+
+
+def rank_tolerance(matrix: np.ndarray) -> float:
+    """Default numerical tolerance used when counting non-zero singular values."""
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    if singular.size == 0:
+        return 0.0
+    return float(singular.max() * max(matrix.shape) * np.finfo(float).eps)
+
+
+def effective_rank(matrix: np.ndarray, tol: float = None) -> int:
+    """Number of singular values above ``tol`` (numerical rank)."""
+    singular = np.linalg.svd(matrix, compute_uv=False)
+    if tol is None:
+        tol = rank_tolerance(matrix)
+    return int((singular > tol).sum())
+
+
+def density(matrix: np.ndarray, atol: float = 0.0) -> float:
+    """Fraction of entries with magnitude strictly greater than ``atol``."""
+    if matrix.size == 0:
+        return 0.0
+    return float((np.abs(matrix) > atol).sum() / matrix.size)
+
+
+def upper_triangle_pairs(n: int) -> List[Tuple[int, int]]:
+    """All unordered index pairs ``(i, j)`` with ``i < j`` for an n-node graph."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rows, cols = np.triu_indices(n, k=1)
+    return list(zip(rows.tolist(), cols.tolist()))
+
+
+def pairs_to_matrix(
+    pairs: Iterable[Tuple[int, int]], n: int, values: Sequence[float] = None
+) -> np.ndarray:
+    """Build a symmetric n×n matrix from unordered pairs.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of ``(i, j)`` index pairs.
+    n:
+        Matrix dimension.
+    values:
+        Optional per-pair values; defaults to 1.0 for every pair.
+    """
+    matrix = np.zeros((n, n))
+    pair_list = list(pairs)
+    if values is None:
+        values = [1.0] * len(pair_list)
+    if len(values) != len(pair_list):
+        raise ValueError(
+            f"values has length {len(values)} but there are {len(pair_list)} pairs"
+        )
+    for (i, j), value in zip(pair_list, values):
+        if not (0 <= i < n and 0 <= j < n):
+            raise IndexError(f"pair ({i}, {j}) out of range for n={n}")
+        matrix[i, j] = value
+        matrix[j, i] = value
+    return matrix
+
+
+def matrix_to_pairs(
+    matrix: np.ndarray, atol: float = 0.0
+) -> List[Tuple[int, int, float]]:
+    """Extract upper-triangle entries with magnitude > ``atol`` as (i, j, value)."""
+    if not is_square(matrix):
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    rows, cols = np.triu_indices(n, k=1)
+    mask = np.abs(matrix[rows, cols]) > atol
+    return [
+        (int(i), int(j), float(matrix[i, j]))
+        for i, j in zip(rows[mask], cols[mask])
+    ]

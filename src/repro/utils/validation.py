@@ -1,0 +1,85 @@
+"""Lightweight argument validation helpers.
+
+These raise :class:`repro.exceptions.ConfigurationError` with a message that
+names the offending parameter, so configuration mistakes surface at
+construction time rather than as shape errors deep inside the solvers.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` and return it as a float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it as a float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if value <= 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it as a float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if value < 0.0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or the open interval)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_integer(value: int, name: str, minimum: int = None) -> int:
+    """Validate that ``value`` is an integer (optionally >= ``minimum``)."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_matrix_shape(
+    matrix: np.ndarray, shape: Tuple[int, int], name: str
+) -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D array of exactly ``shape``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape != tuple(shape):
+        raise ConfigurationError(
+            f"{name} must have shape {tuple(shape)}, got {matrix.shape}"
+        )
+    return matrix

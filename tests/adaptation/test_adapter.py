@@ -1,0 +1,133 @@
+"""Tests for repro.adaptation.adapter."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.adapter import DomainAdapter, align_source_to_target
+from repro.exceptions import AlignmentError, NotFittedError
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.features.tensor import FeatureTensor
+from repro.networks.aligned import AnchorLinks
+from repro.networks.social import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def fit_inputs(aligned):
+    extractor = IntimacyFeatureExtractor()
+    tensors = [extractor.extract(n) for n in aligned.networks]
+    graphs = [SocialGraph.from_network(n) for n in aligned.networks]
+    return tensors, graphs, list(aligned.anchors)
+
+
+@pytest.fixture(scope="module")
+def fitted(fit_inputs):
+    tensors, graphs, anchors = fit_inputs
+    adapter = DomainAdapter(
+        latent_dimension=4, instances_per_network=80, random_state=7
+    )
+    adapter.fit(tensors, graphs, anchors)
+    return adapter
+
+
+class TestAlignSourceToTarget:
+    def test_anchored_pairs_transferred(self):
+        source = FeatureTensor(np.arange(9, dtype=float).reshape(1, 3, 3))
+        anchors = AnchorLinks([(0, 1), (1, 2)])
+        out = align_source_to_target(source, anchors, 4)
+        assert out.values[0, 0, 1] == source.values[0, 1, 2]
+        assert out.values[0, 1, 0] == source.values[0, 2, 1]
+
+    def test_unanchored_pairs_zero(self):
+        source = FeatureTensor(np.ones((2, 3, 3)))
+        anchors = AnchorLinks([(0, 0)])
+        out = align_source_to_target(source, anchors, 3)
+        assert not out.values[:, 1:, :].any()
+
+    def test_diagonal_zero(self):
+        source = FeatureTensor(np.ones((1, 2, 2)))
+        anchors = AnchorLinks([(0, 0), (1, 1)])
+        out = align_source_to_target(source, anchors, 2)
+        assert not np.diagonal(out.values, axis1=1, axis2=2).any()
+
+
+class TestFit:
+    def test_unfitted_raises(self):
+        adapter = DomainAdapter()
+        with pytest.raises(NotFittedError):
+            adapter.result
+        with pytest.raises(NotFittedError):
+            adapter.pooled_centroids()
+
+    def test_fit_returns_self(self, fit_inputs):
+        tensors, graphs, anchors = fit_inputs
+        adapter = DomainAdapter(
+            latent_dimension=3, instances_per_network=60, random_state=0
+        )
+        assert adapter.fit(tensors, graphs, anchors) is adapter
+
+    def test_projection_dimensions(self, fitted, fit_inputs):
+        tensors, _, _ = fit_inputs
+        for tensor, projection in zip(tensors, fitted.result.projections):
+            assert projection.shape == (tensor.n_features, 4)
+
+    def test_mismatched_inputs(self, fit_inputs):
+        tensors, graphs, anchors = fit_inputs
+        adapter = DomainAdapter()
+        with pytest.raises(AlignmentError):
+            adapter.fit(tensors, graphs[:1], anchors)
+        with pytest.raises(AlignmentError):
+            adapter.fit(tensors, graphs, [])
+
+
+class TestTransformAndAffinity:
+    def test_transform_shape(self, fitted, fit_inputs):
+        tensors, _, _ = fit_inputs
+        latent = fitted.transform(tensors[0], 0)
+        assert latent.n_features == 4
+        assert latent.n_users == tensors[0].n_users
+
+    def test_transform_bad_index(self, fitted, fit_inputs):
+        tensors, _, _ = fit_inputs
+        with pytest.raises(AlignmentError, match="network_index"):
+            fitted.transform(tensors[0], 5)
+
+    def test_centroids_differ(self, fitted):
+        link_centroid, non_link_centroid = fitted.pooled_centroids()
+        assert link_centroid.shape == (4,)
+        assert not np.allclose(link_centroid, non_link_centroid)
+
+    def test_affinity_range(self, fitted, fit_inputs):
+        tensors, _, _ = fit_inputs
+        affinity = fitted.affinity_matrix(tensors[0], 0)
+        assert affinity.min() >= 0.0 and affinity.max() <= 1.0
+        assert not affinity.diagonal().any()
+
+    def test_affinity_symmetric(self, fitted, fit_inputs):
+        tensors, _, _ = fit_inputs
+        affinity = fitted.affinity_matrix(tensors[1], 1)
+        assert np.allclose(affinity, affinity.T)
+
+    def test_affinity_predicts_links(self, fitted, fit_inputs, target_graph):
+        """Affinity of existing links should exceed that of non-links."""
+        tensors, _, _ = fit_inputs
+        affinity = fitted.affinity_matrix(tensors[0], 0)
+        adjacency = target_graph.adjacency
+        off = ~np.eye(adjacency.shape[0], dtype=bool)
+        assert (
+            affinity[(adjacency == 1) & off].mean()
+            > affinity[(adjacency == 0) & off].mean()
+        )
+
+
+class TestFitTransform:
+    def test_all_tensors_in_target_space(self, fit_inputs):
+        tensors, graphs, anchors = fit_inputs
+        adapter = DomainAdapter(
+            latent_dimension=3, instances_per_network=60, random_state=1
+        )
+        adapted = adapter.fit_transform(tensors, graphs, anchors)
+        n_target = tensors[0].n_users
+        assert len(adapted) == 2
+        for tensor in adapted:
+            assert tensor.n_users == n_target
+            assert tensor.n_features == 3

@@ -1,0 +1,145 @@
+"""Tests for repro.adaptation.indicators."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.indicators import (
+    aligned_indicator,
+    build_joint_indicators,
+    dissimilar_indicator,
+    sample_link_instances,
+    similar_indicator,
+)
+from repro.exceptions import AlignmentError
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.networks.aligned import AnchorLinks
+from repro.networks.social import SocialGraph
+from repro.utils.matrices import pairs_to_matrix
+
+
+@pytest.fixture(scope="module")
+def small_sample():
+    graph = SocialGraph(pairs_to_matrix([(0, 1), (1, 2), (2, 3)], 5))
+    from repro.features.tensor import FeatureTensor
+
+    values = np.random.default_rng(0).random((3, 5, 5))
+    values = (values + values.transpose(0, 2, 1)) / 2
+    for k in range(3):
+        np.fill_diagonal(values[k], 0.0)
+    tensor = FeatureTensor(values)
+    return graph, tensor
+
+
+class TestSampling:
+    def test_balanced(self, small_sample):
+        graph, tensor = small_sample
+        sample = sample_link_instances(graph, tensor, 6, random_state=0)
+        assert sample.n_instances == 6
+        assert 0 < sample.labels.sum() < 6
+
+    def test_features_shape(self, small_sample):
+        graph, tensor = small_sample
+        sample = sample_link_instances(graph, tensor, 4, random_state=0)
+        assert sample.features.shape == (3, 4)
+
+    def test_labels_match_graph(self, small_sample):
+        graph, tensor = small_sample
+        sample = sample_link_instances(graph, tensor, 8, random_state=0)
+        for pair, label in zip(sample.pairs, sample.labels):
+            assert graph.adjacency[pair] == label
+
+    def test_forced_pairs_included(self, small_sample):
+        graph, tensor = small_sample
+        sample = sample_link_instances(
+            graph, tensor, 5, random_state=0, forced_pairs=[(0, 4)]
+        )
+        assert (0, 4) in sample.pairs
+
+    def test_forced_pairs_deduplicated(self, small_sample):
+        graph, tensor = small_sample
+        sample = sample_link_instances(
+            graph, tensor, 5, random_state=0, forced_pairs=[(0, 4), (4, 0)]
+        )
+        assert sample.pairs.count((0, 4)) == 1
+
+    def test_size_mismatch_raises(self, small_sample):
+        graph, _ = small_sample
+        from repro.features.tensor import FeatureTensor
+
+        wrong = FeatureTensor(np.zeros((2, 3, 3)))
+        with pytest.raises(AlignmentError):
+            sample_link_instances(graph, wrong, 4)
+
+    def test_deterministic(self, small_sample):
+        graph, tensor = small_sample
+        a = sample_link_instances(graph, tensor, 6, random_state=4)
+        b = sample_link_instances(graph, tensor, 6, random_state=4)
+        assert a.pairs == b.pairs
+
+
+class TestIndicators:
+    def _samples(self, small_sample):
+        graph, tensor = small_sample
+        a = sample_link_instances(graph, tensor, 6, random_state=0)
+        b = sample_link_instances(graph, tensor, 6, random_state=1)
+        return a, b
+
+    def test_similar_plus_dissimilar_is_ones(self, small_sample):
+        a, b = self._samples(small_sample)
+        total = similar_indicator(a, b) + dissimilar_indicator(a, b)
+        assert np.array_equal(total, np.ones_like(total))
+
+    def test_similar_matches_labels(self, small_sample):
+        a, b = self._samples(small_sample)
+        w_s = similar_indicator(a, b)
+        assert w_s[0, 0] == float(a.labels[0] == b.labels[0])
+
+    def test_aligned_identity_anchor(self, small_sample):
+        a, _ = self._samples(small_sample)
+        anchors = AnchorLinks([(i, i) for i in range(5)])
+        w_a = aligned_indicator(a, a, anchors)
+        # Every pair maps to itself under the identity anchor.
+        assert np.array_equal(w_a, np.eye(a.n_instances))
+
+    def test_aligned_no_anchor(self, small_sample):
+        a, b = self._samples(small_sample)
+        w_a = aligned_indicator(a, b, AnchorLinks())
+        assert not w_a.any()
+
+
+class TestJointIndicators:
+    def test_shapes_and_symmetry(self, small_sample):
+        graph, tensor = small_sample
+        a = sample_link_instances(graph, tensor, 6, random_state=0)
+        b = sample_link_instances(graph, tensor, 4, random_state=1)
+        anchors = [AnchorLinks([(i, i) for i in range(5)])]
+        w_a, w_s, w_d = build_joint_indicators([a, b], anchors)
+        assert w_a.shape == w_s.shape == w_d.shape == (10, 10)
+        for w in (w_a, w_s, w_d):
+            assert np.array_equal(w, w.T)
+
+    def test_w_s_zero_diagonal(self, small_sample):
+        graph, tensor = small_sample
+        a = sample_link_instances(graph, tensor, 6, random_state=0)
+        w_a, w_s, w_d = build_joint_indicators([a], [])
+        assert not w_s.diagonal().any()
+
+    def test_count_mismatch(self, small_sample):
+        graph, tensor = small_sample
+        a = sample_link_instances(graph, tensor, 4, random_state=0)
+        with pytest.raises(AlignmentError, match="anchor sets"):
+            build_joint_indicators([a, a], [])
+
+    def test_cross_source_alignment_composes(self, small_sample):
+        graph, tensor = small_sample
+        target = sample_link_instances(graph, tensor, 6, random_state=0)
+        s1 = sample_link_instances(graph, tensor, 6, random_state=0)
+        s2 = sample_link_instances(graph, tensor, 6, random_state=0)
+        identity = AnchorLinks([(i, i) for i in range(5)])
+        w_a, _, _ = build_joint_indicators(
+            [target, s1, s2], [identity, identity]
+        )
+        # Identical samples + identity anchors → every off-network block of
+        # W_A is the identity.
+        block = w_a[6:12, 12:18]
+        assert np.array_equal(block, np.eye(6))

@@ -1,0 +1,48 @@
+"""Tests for repro.adaptation.laplacian."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.laplacian import laplacian_matrix
+from repro.exceptions import AlignmentError
+
+
+class TestLaplacian:
+    def test_simple(self):
+        w = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lap = laplacian_matrix(w)
+        assert np.array_equal(lap, [[1.0, -1.0], [-1.0, 1.0]])
+
+    def test_rows_sum_to_zero(self, rng):
+        w = rng.random((6, 6))
+        w = (w + w.T) / 2
+        lap = laplacian_matrix(w)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self, rng):
+        w = rng.random((8, 8))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0.0)
+        eigenvalues = np.linalg.eigvalsh(laplacian_matrix(w))
+        assert eigenvalues.min() > -1e-10
+
+    def test_quadratic_form_identity(self, rng):
+        """xᵀLx = ½ Σ_ij W_ij (x_i − x_j)² — the cost the paper minimizes."""
+        w = rng.random((5, 5))
+        w = (w + w.T) / 2
+        np.fill_diagonal(w, 0.0)
+        x = rng.normal(size=5)
+        lhs = x @ laplacian_matrix(w) @ x
+        rhs = 0.5 * sum(
+            w[i, j] * (x[i] - x[j]) ** 2 for i in range(5) for j in range(5)
+        )
+        assert lhs == pytest.approx(rhs)
+
+    def test_rejects_asymmetric(self):
+        w = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(AlignmentError, match="symmetric"):
+            laplacian_matrix(w)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(AlignmentError, match="square"):
+            laplacian_matrix(np.zeros((2, 3)))

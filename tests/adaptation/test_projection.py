@@ -1,0 +1,75 @@
+"""Tests for repro.adaptation.projection."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.indicators import sample_link_instances
+from repro.adaptation.projection import solve_projections
+from repro.exceptions import AlignmentError
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.networks.social import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def fitted_inputs(aligned):
+    extractor = IntimacyFeatureExtractor()
+    tensors = [extractor.extract(n) for n in aligned.networks]
+    graphs = [SocialGraph.from_network(n) for n in aligned.networks]
+    samples = [
+        sample_link_instances(g, t, 60, random_state=i)
+        for i, (g, t) in enumerate(zip(graphs, tensors))
+    ]
+    return samples, list(aligned.anchors)
+
+
+class TestSolveProjections:
+    def test_shapes(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        result = solve_projections(samples, anchors, latent_dimension=4)
+        assert len(result.projections) == 2
+        for sample, projection in zip(samples, result.projections):
+            assert projection.shape == (sample.n_features, 4)
+        assert result.latent_dimension == 4
+
+    def test_eigenvalues_sorted_nonnegative(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        result = solve_projections(samples, anchors, latent_dimension=4)
+        eigs = result.eigenvalues
+        assert np.all(np.diff(eigs) >= -1e-12)
+        assert eigs.min() > -1e-8
+
+    def test_latent_dimension_too_large(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        total = sum(s.n_features for s in samples)
+        with pytest.raises(AlignmentError, match="latent_dimension"):
+            solve_projections(samples, anchors, latent_dimension=total + 1)
+
+    def test_mu_zero_allowed(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        result = solve_projections(samples, anchors, latent_dimension=3, mu=0.0)
+        assert result.latent_dimension == 3
+
+    def test_projection_nontrivial(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        result = solve_projections(samples, anchors, latent_dimension=4)
+        for projection in result.projections:
+            assert np.abs(projection).max() > 0
+
+    def test_deterministic(self, fitted_inputs):
+        samples, anchors = fitted_inputs
+        a = solve_projections(samples, anchors, latent_dimension=3)
+        b = solve_projections(samples, anchors, latent_dimension=3)
+        assert np.allclose(a.eigenvalues, b.eigenvalues)
+
+    def test_embedding_separates_labels(self, fitted_inputs):
+        """Same-label instances should be closer in latent space on average."""
+        samples, anchors = fitted_inputs
+        result = solve_projections(samples, anchors, latent_dimension=4)
+        latent = result.projections[0].T @ samples[0].features  # (c, m)
+        labels = samples[0].labels
+        points = latent.T
+        dists = np.linalg.norm(points[:, None] - points[None, :], axis=-1)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        off = ~np.eye(len(labels), dtype=bool)
+        assert dists[same & off].mean() < dists[~same & off].mean()

@@ -1,0 +1,137 @@
+"""Verification of Theorem 1: the eigenvectors minimize the cost ratio.
+
+The paper claims the projection matrices minimizing
+``(Cost_A + Cost_S) / Cost_D`` are the generalized eigenvectors of
+``Z(μL_A + L_S)Zᵀ x = λ Z L_D Zᵀ x`` with the smallest non-zero
+eigenvalues.  These tests evaluate the actual cost terms at the solver's
+output and check no random projection beats it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.indicators import (
+    build_joint_indicators,
+    sample_link_instances,
+)
+from repro.adaptation.laplacian import laplacian_matrix
+from repro.adaptation.projection import (
+    _block_diagonal_features,
+    solve_projections,
+)
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.networks.social import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def problem(aligned):
+    extractor = IntimacyFeatureExtractor()
+    tensors = [extractor.extract(n) for n in aligned.networks]
+    graphs = [SocialGraph.from_network(n) for n in aligned.networks]
+    anchors = list(aligned.anchors)
+    target_sample = sample_link_instances(
+        graphs[0], tensors[0], 50, random_state=0
+    )
+    forced = []
+    for i, j in target_sample.pairs:
+        a, b = anchors[0].map_forward(i), anchors[0].map_forward(j)
+        if a is not None and b is not None and a != b:
+            forced.append((min(a, b), max(a, b)))
+    source_sample = sample_link_instances(
+        graphs[1], tensors[1], 50, random_state=1, forced_pairs=forced
+    )
+    samples = [target_sample, source_sample]
+    w_a, w_s, w_d = build_joint_indicators(samples, anchors)
+    z = _block_diagonal_features(samples)
+    mu = 1.0
+    left = z @ (mu * laplacian_matrix(w_a) + laplacian_matrix(w_s)) @ z.T
+    right = z @ laplacian_matrix(w_d) @ z.T
+    return samples, anchors, left, right
+
+
+def _cost_ratio(left, right, projection_stacked, ridge=1e-8):
+    numerator = np.trace(projection_stacked.T @ left @ projection_stacked)
+    denominator = np.trace(
+        projection_stacked.T
+        @ (right + ridge * np.eye(right.shape[0]))
+        @ projection_stacked
+    )
+    return numerator / denominator
+
+
+class TestTheorem1:
+    def test_selected_eigenvalues_are_smallest_nonzero(self, problem):
+        """Theorem 1 selects the c smallest non-zero pencil eigenvalues."""
+        import scipy.linalg
+
+        samples, anchors, left, right = problem
+        result = solve_projections(samples, anchors, latent_dimension=3)
+        ridge_right = right + 1e-8 * np.eye(right.shape[0])
+        all_eigenvalues = np.sort(
+            scipy.linalg.eigh(
+                (left + left.T) / 2, (ridge_right + ridge_right.T) / 2,
+                eigvals_only=True,
+            )
+        )
+        nonzero = all_eigenvalues[all_eigenvalues > 1e-10]
+        assert np.allclose(np.sort(result.eigenvalues), nonzero[:3], rtol=1e-6)
+
+    def test_columns_achieve_their_rayleigh_quotients(self, problem):
+        """Each projection column's Rayleigh quotient equals its eigenvalue."""
+        samples, anchors, left, right = problem
+        result = solve_projections(samples, anchors, latent_dimension=3)
+        stacked = np.vstack(result.projections)
+        ridge_right = right + 1e-8 * np.eye(right.shape[0])
+        for k, eigenvalue in enumerate(result.eigenvalues):
+            vector = stacked[:, k]
+            quotient = (vector @ left @ vector) / (
+                vector @ ridge_right @ vector
+            )
+            assert quotient == pytest.approx(eigenvalue, rel=1e-6)
+
+    def test_eigen_equation_satisfied(self, problem):
+        """Each selected eigenvector satisfies the generalized equation."""
+        samples, anchors, left, right = problem
+        result = solve_projections(samples, anchors, latent_dimension=3)
+        stacked = np.vstack(result.projections)
+        ridge_right = right + 1e-8 * np.eye(right.shape[0])
+        for k, eigenvalue in enumerate(result.eigenvalues):
+            vector = stacked[:, k]
+            lhs = left @ vector
+            rhs = eigenvalue * (ridge_right @ vector)
+            assert np.allclose(lhs, rhs, atol=1e-6 * max(1.0, np.abs(lhs).max()))
+
+    def test_costs_are_nonnegative(self, problem):
+        """The trace costs the theorem manipulates are ≥ 0 (Laplacians are PSD)."""
+        samples, anchors, left, right = problem
+        result = solve_projections(samples, anchors, latent_dimension=3)
+        stacked = np.vstack(result.projections)
+        assert np.trace(stacked.T @ left @ stacked) >= -1e-8
+        assert np.trace(stacked.T @ right @ stacked) >= -1e-8
+
+    def test_aligned_links_projected_close(self, problem):
+        """Minimizing Cost_A puts anchor-aligned instances close in latent space."""
+        samples, anchors, left, right = problem
+        result = solve_projections(samples, anchors, latent_dimension=3)
+        latents = [
+            projection.T @ sample.features
+            for projection, sample in zip(result.projections, samples)
+        ]
+        w_a, _, _ = build_joint_indicators(samples, anchors)
+        m_t = samples[0].n_instances
+        aligned_pairs = np.argwhere(w_a[:m_t, m_t:] > 0)
+        if len(aligned_pairs) == 0:
+            pytest.skip("no aligned instances sampled at this seed")
+        aligned_dist = np.mean([
+            np.linalg.norm(latents[0][:, i] - latents[1][:, j])
+            for i, j in aligned_pairs
+        ])
+        rng = np.random.default_rng(0)
+        random_dist = np.mean([
+            np.linalg.norm(
+                latents[0][:, rng.integers(0, m_t)]
+                - latents[1][:, rng.integers(0, samples[1].n_instances)]
+            )
+            for _ in range(200)
+        ])
+        assert aligned_dist < random_dist

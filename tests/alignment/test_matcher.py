@@ -1,0 +1,93 @@
+"""Tests for repro.alignment.matcher."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.matcher import AnchorPredictor, match_users
+from repro.exceptions import AlignmentError
+
+
+class TestMatchUsers:
+    def test_identity_matrix(self):
+        matches = match_users(np.eye(3))
+        assert {(r, c) for r, c, _ in matches} == {(0, 0), (1, 1), (2, 2)}
+
+    def test_permutation(self):
+        similarity = np.array(
+            [[0.1, 0.9, 0.0], [0.8, 0.1, 0.1], [0.0, 0.2, 0.7]]
+        )
+        matches = match_users(similarity)
+        assert {(r, c) for r, c, _ in matches} == {(0, 1), (1, 0), (2, 2)}
+
+    def test_threshold_filters(self):
+        similarity = np.array([[0.9, 0.0], [0.0, 0.05]])
+        matches = match_users(similarity, min_similarity=0.1)
+        assert {(r, c) for r, c, _ in matches} == {(0, 0)}
+
+    def test_rectangular(self):
+        similarity = np.array([[0.9, 0.1, 0.2]])
+        matches = match_users(similarity)
+        assert matches == [(0, 0, 0.9)]
+
+    def test_one_to_one(self):
+        similarity = np.array([[0.9, 0.8], [0.85, 0.1]])
+        matches = match_users(similarity)
+        cols = [c for _, c, _ in matches]
+        assert len(set(cols)) == len(cols)
+
+    def test_empty(self):
+        assert match_users(np.zeros((0, 0))) == []
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(AlignmentError):
+            match_users(np.zeros(3))
+
+
+class TestAnchorPredictor:
+    def test_invalid_sharpness(self):
+        with pytest.raises(AlignmentError):
+            AnchorPredictor(weight_sharpness=0.0)
+
+    def test_predict_one_to_one(self, aligned):
+        predictor = AnchorPredictor(min_similarity=0.05)
+        predicted = predictor.predict(aligned.target, aligned.sources[0])
+        targets = [t for t, _ in predicted.pairs]
+        sources = [s for _, s in predicted.pairs]
+        assert len(set(targets)) == len(targets)
+        assert len(set(sources)) == len(sources)
+
+    def test_predicts_well_above_chance(self, aligned):
+        """Random one-to-one matching would score ~1/n ≈ 1.5% F1."""
+        predictor = AnchorPredictor(min_similarity=0.05)
+        predicted = predictor.predict(aligned.target, aligned.sources[0])
+        metrics = predictor.evaluate(predicted, aligned.anchors[0])
+        assert metrics["f1"] > 0.10
+
+    def test_similarity_matrix_shape(self, aligned):
+        predictor = AnchorPredictor()
+        sim = predictor.similarity_matrix(aligned.target, aligned.sources[0])
+        assert sim.shape == (
+            aligned.target.n_users,
+            aligned.sources[0].n_users,
+        )
+
+    def test_reciprocal_match_rate(self):
+        assert AnchorPredictor._reciprocal_match_rate(np.eye(3)) == 1.0
+        uninformative = np.ones((4, 4))
+        assert AnchorPredictor._reciprocal_match_rate(uninformative) <= 0.5
+        assert AnchorPredictor._reciprocal_match_rate(np.zeros((2, 2))) == 0.0
+
+    def test_evaluate_perfect(self, aligned):
+        predictor = AnchorPredictor()
+        truth = aligned.anchors[0]
+        metrics = predictor.evaluate(truth, truth)
+        assert metrics == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_evaluate_empty_prediction(self, aligned):
+        from repro.networks.aligned import AnchorLinks
+
+        predictor = AnchorPredictor()
+        metrics = predictor.evaluate(AnchorLinks(), aligned.anchors[0])
+        assert metrics["precision"] == 0.0
+        assert metrics["recall"] == 0.0
+        assert metrics["f1"] == 0.0

@@ -1,0 +1,113 @@
+"""Tests for repro.alignment.profiles."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.profiles import (
+    PROFILE_PARTS,
+    UserProfileBuilder,
+    profile_similarity,
+)
+from repro.exceptions import AlignmentError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+def _network(name, posts):
+    """posts: list of (author, words, hour, location)."""
+    net = HeterogeneousNetwork(name)
+    net.add_users(3)
+    for lid in range(4):
+        net.add_location(lid)
+    for pid, (author, words, hour, location) in enumerate(posts):
+        net.add_post(pid, author, words, hour, location)
+    return net
+
+
+@pytest.fixture()
+def pair():
+    net_a = _network(
+        "a",
+        [
+            (0, [1, 2], 9, 0),
+            (1, [5], 20, 2),
+            (2, [8, 9], 15, 3),
+        ],
+    )
+    net_b = _network(
+        "b",
+        [
+            (0, [1, 2], 9, 0),   # mirrors a's user 0
+            (1, [8, 9], 15, 3),  # mirrors a's user 2
+            (2, [5], 20, 2),     # mirrors a's user 1
+        ],
+    )
+    return net_a, net_b
+
+
+class TestBuilder:
+    def test_unknown_part(self):
+        with pytest.raises(AlignmentError, match="unknown profile parts"):
+            UserProfileBuilder(parts=("astro",))
+
+    def test_empty_parts(self):
+        with pytest.raises(AlignmentError):
+            UserProfileBuilder(parts=())
+
+    def test_shared_column_space(self, pair):
+        profiles_a, profiles_b = UserProfileBuilder().build_pair(*pair)
+        assert profiles_a.shape[1] == profiles_b.shape[1]
+        assert profiles_a.shape[0] == 3 and profiles_b.shape[0] == 3
+
+    def test_blocks_cover_parts(self, pair):
+        blocks = UserProfileBuilder().build_blocks(*pair)
+        assert set(blocks) == set(PROFILE_PARTS)
+
+    def test_word_only(self, pair):
+        blocks = UserProfileBuilder(parts=("word",)).build_blocks(*pair)
+        assert set(blocks) == {"word"}
+
+    def test_rows_normalized(self, pair):
+        for block_a, block_b in UserProfileBuilder().build_blocks(*pair).values():
+            for row in list(block_a) + list(block_b):
+                norm = np.linalg.norm(row)
+                assert norm == pytest.approx(1.0) or norm == 0.0
+
+    def test_idf_downweights_shared_items(self):
+        # word 1 used by everyone; word 7 by a single user on each side.
+        net_a = _network("a", [(0, [1, 7], 0, None), (1, [1], 0, None),
+                               (2, [1], 0, None)])
+        net_b = _network("b", [(0, [1, 7], 0, None), (1, [1], 0, None),
+                               (2, [1], 0, None)])
+        with_idf = UserProfileBuilder(parts=("word",), use_idf=True)
+        without = UserProfileBuilder(parts=("word",), use_idf=False)
+        sim_idf = profile_similarity(*with_idf.build_pair(net_a, net_b))
+        sim_raw = profile_similarity(*without.build_pair(net_a, net_b))
+        # the matched pair (0, 0) stands out more under IDF
+        margin_idf = sim_idf[0, 0] - sim_idf[0, 1]
+        margin_raw = sim_raw[0, 0] - sim_raw[0, 1]
+        assert margin_idf > margin_raw
+
+
+class TestSimilarity:
+    def test_identical_profiles(self):
+        profiles = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sim = profile_similarity(profiles, profiles)
+        assert sim[0, 0] == pytest.approx(1.0)
+        assert sim[0, 1] == 0.0
+
+    def test_zero_rows(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        assert profile_similarity(a, b)[0, 0] == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(AlignmentError, match="dimensionalities"):
+            profile_similarity(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_mirrored_users_most_similar(self, pair):
+        profiles_a, profiles_b = UserProfileBuilder().build_pair(*pair)
+        sim = profile_similarity(profiles_a, profiles_b)
+        # mirror mapping: 0→0, 1→2, 2→1
+        assert sim[0].argmax() == 0
+        assert sim[1].argmax() == 2
+        assert sim[2].argmax() == 1

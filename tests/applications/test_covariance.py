@@ -1,0 +1,95 @@
+"""Tests for repro.applications.covariance."""
+
+import numpy as np
+import pytest
+
+from repro.applications.covariance import SparseLowRankCovariance
+from repro.exceptions import NotFittedError, OptimizationError
+
+
+@pytest.fixture()
+def factor_data(rng):
+    """Samples from a 2-factor model plus sparse idiosyncratic noise."""
+    n_samples, n_features = 400, 10
+    loadings = rng.normal(size=(n_features, 2))
+    factors = rng.normal(size=(n_samples, 2))
+    noise = rng.normal(scale=0.3, size=(n_samples, n_features))
+    return factors @ loadings.T + noise
+
+
+class TestSparseLowRankCovariance:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SparseLowRankCovariance().covariance
+
+    def test_rejects_1d(self):
+        with pytest.raises(OptimizationError):
+            SparseLowRankCovariance().fit(np.zeros(5))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(OptimizationError, match="two samples"):
+            SparseLowRankCovariance().fit(np.zeros((1, 3)))
+
+    def test_rejects_asymmetric_empirical(self):
+        bad = np.arange(9, dtype=float).reshape(3, 3)
+        with pytest.raises(OptimizationError, match="symmetric"):
+            SparseLowRankCovariance().fit_from_empirical(bad)
+
+    def test_output_psd_symmetric(self, factor_data):
+        estimator = SparseLowRankCovariance().fit(factor_data)
+        covariance = estimator.covariance
+        assert np.allclose(covariance, covariance.T)
+        assert np.linalg.eigvalsh(covariance).min() >= -1e-10
+
+    def test_shrinks_toward_low_rank(self, factor_data):
+        """Spectral mass concentrates versus the raw sample covariance."""
+        centered = factor_data - factor_data.mean(axis=0)
+        empirical = centered.T @ centered / (len(factor_data) - 1)
+        estimator = SparseLowRankCovariance(tau=2.0).fit(factor_data)
+
+        def top2_mass(matrix):
+            eigenvalues = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+            return eigenvalues[:2].sum() / eigenvalues.sum()
+
+        assert top2_mass(estimator.covariance) > top2_mass(empirical)
+
+    def test_diagonal_not_sparsified(self, factor_data):
+        estimator = SparseLowRankCovariance(gamma=2.0, tau=0.0).fit(factor_data)
+        assert np.all(np.diag(estimator.covariance) > 0)
+
+    def test_gamma_sparsifies_off_diagonal(self, factor_data):
+        light = SparseLowRankCovariance(gamma=0.0, tau=0.0).fit(factor_data)
+        heavy = SparseLowRankCovariance(gamma=1.0, tau=0.0).fit(factor_data)
+
+        def off_diag_l1(matrix):
+            off = matrix - np.diag(np.diag(matrix))
+            return np.abs(off).sum()
+
+        assert off_diag_l1(heavy.covariance) < off_diag_l1(light.covariance)
+
+    def test_zero_regularization_recovers_empirical(self, factor_data):
+        centered = factor_data - factor_data.mean(axis=0)
+        empirical = centered.T @ centered / (len(factor_data) - 1)
+        estimator = SparseLowRankCovariance(gamma=0.0, tau=0.0).fit(factor_data)
+        assert np.allclose(estimator.covariance, empirical, atol=1e-4)
+
+    def test_precision_is_inverse(self, factor_data):
+        estimator = SparseLowRankCovariance(tau=0.5).fit(factor_data)
+        product = estimator.covariance @ estimator.precision()
+        assert np.allclose(product, np.eye(product.shape[0]), atol=1e-3)
+
+    def test_estimation_error_improves_with_shrinkage(self, rng):
+        """With few samples, shrinkage beats the raw sample covariance."""
+        n_features = 12
+        loadings = rng.normal(size=(n_features, 2))
+        truth = loadings @ loadings.T + 0.2 * np.eye(n_features)
+        samples = rng.multivariate_normal(
+            np.zeros(n_features), truth, size=30
+        )
+        centered = samples - samples.mean(axis=0)
+        empirical = centered.T @ centered / (len(samples) - 1)
+        estimator = SparseLowRankCovariance(gamma=0.02, tau=1.0)
+        estimator.fit(samples)
+        error_shrunk = np.linalg.norm(estimator.covariance - truth)
+        error_raw = np.linalg.norm(empirical - truth)
+        assert error_shrunk < error_raw * 1.05

@@ -1,0 +1,96 @@
+"""Tests for repro.applications.denoise."""
+
+import numpy as np
+import pytest
+
+from repro.applications.denoise import GraphDenoiser
+from repro.exceptions import NotFittedError, OptimizationError
+from repro.utils.matrices import pairs_to_matrix
+
+
+@pytest.fixture()
+def noisy_blocks(rng):
+    """Two 6-node cliques with 10% flips (spurious + missing links)."""
+    n = 12
+    clean = np.zeros((n, n))
+    clean[:6, :6] = 1.0
+    clean[6:, 6:] = 1.0
+    np.fill_diagonal(clean, 0.0)
+    noisy = clean.copy()
+    flips = [(0, 7), (1, 9), (2, 3), (8, 11)]
+    for i, j in flips:
+        noisy[i, j] = noisy[j, i] = 1.0 - noisy[i, j]
+    return clean, noisy
+
+
+class TestGraphDenoiser:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GraphDenoiser().scores
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(OptimizationError):
+            GraphDenoiser().fit(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        bad = np.zeros((3, 3))
+        bad[0, 1] = 1.0
+        with pytest.raises(OptimizationError, match="symmetric"):
+            GraphDenoiser().fit(bad)
+
+    def test_scores_properties(self, noisy_blocks):
+        _, noisy = noisy_blocks
+        denoiser = GraphDenoiser().fit(noisy)
+        scores = denoiser.scores
+        assert scores.min() >= 0.0
+        assert not scores.diagonal().any()
+        assert np.allclose(scores, scores.T, atol=1e-8)
+
+    def test_recovers_missing_link(self, noisy_blocks):
+        """The hidden within-clique link should outscore cross-clique noise."""
+        clean, noisy = noisy_blocks
+        denoiser = GraphDenoiser(tau=5.0).fit(noisy)
+        scores = denoiser.scores
+        # (2, 3) was removed from its clique; (0, 7) was added across.
+        assert scores[2, 3] > scores[0, 7]
+
+    def test_spurious_links_downweighted(self, noisy_blocks):
+        clean, noisy = noisy_blocks
+        denoiser = GraphDenoiser(tau=5.0).fit(noisy)
+        scores = denoiser.scores
+        true_links = (clean > 0) & (noisy > 0)
+        spurious = (clean == 0) & (noisy > 0)
+        np.fill_diagonal(true_links, False)
+        assert scores[true_links].mean() > scores[spurious].mean()
+
+    def test_consistent_links_extraction(self, noisy_blocks):
+        _, noisy = noisy_blocks
+        denoiser = GraphDenoiser(tau=5.0).fit(noisy)
+        links = denoiser.consistent_links(threshold=0.3)
+        assert all(i < j for i, j in links)
+        assert len(links) > 0
+
+    def test_flagged_links(self, noisy_blocks):
+        clean, noisy = noisy_blocks
+        denoiser = GraphDenoiser(tau=5.0).fit(noisy)
+        flagged = set(denoiser.flagged_links(noisy, threshold=0.4))
+        # flagged links must all be observed links
+        for i, j in flagged:
+            assert noisy[i, j] == 1.0
+
+    def test_flagged_shape_mismatch(self, noisy_blocks):
+        _, noisy = noisy_blocks
+        denoiser = GraphDenoiser().fit(noisy)
+        with pytest.raises(OptimizationError):
+            denoiser.flagged_links(np.zeros((3, 3)))
+
+    def test_zero_regularization_reproduces_input(self, noisy_blocks):
+        _, noisy = noisy_blocks
+        denoiser = GraphDenoiser(gamma=0.0, tau=0.0).fit(noisy)
+        assert np.allclose(denoiser.scores, noisy, atol=1e-3)
+
+    def test_svd_rank_path(self, noisy_blocks):
+        _, noisy = noisy_blocks
+        exact = GraphDenoiser(tau=5.0).fit(noisy).scores
+        truncated = GraphDenoiser(tau=5.0, svd_rank=5).fit(noisy).scores
+        assert np.allclose(exact, truncated, atol=1e-2)

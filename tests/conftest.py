@@ -1,0 +1,75 @@
+"""Shared fixtures: a small deterministic aligned world and derived views.
+
+Session-scoped so the synthetic generation cost is paid once; tests must not
+mutate the shared objects (HeterogeneousNetwork is mutable — tests that need
+to mutate build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.splits import k_fold_link_splits
+from repro.models.base import TransferTask
+from repro.networks.social import SocialGraph
+from repro.synth.config import WorldConfig
+from repro.synth.generator import AlignedNetworkGenerator
+
+
+SCALE = 70
+SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def world_config():
+    """The Foursquare/Twitter-like config at test scale."""
+    return WorldConfig.foursquare_twitter_like(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def aligned(world_config):
+    """A small deterministic aligned pair."""
+    return AlignedNetworkGenerator(world_config).generate(random_state=SEED)
+
+
+@pytest.fixture(scope="session")
+def target_graph(aligned):
+    """Full social structure of the target."""
+    return SocialGraph.from_network(aligned.target)
+
+
+@pytest.fixture(scope="session")
+def source_graph(aligned):
+    """Full social structure of the single source."""
+    return SocialGraph.from_network(aligned.sources[0])
+
+
+@pytest.fixture(scope="session")
+def splits(target_graph):
+    """Three folds over the target's links."""
+    return k_fold_link_splits(target_graph, n_folds=3, random_state=SEED)
+
+
+@pytest.fixture(scope="session")
+def split(splits):
+    """The first fold."""
+    return splits[0]
+
+
+@pytest.fixture()
+def task(aligned, split):
+    """A TransferTask over the first fold (function-scoped: fresh rng)."""
+    return TransferTask(
+        target=aligned.target,
+        training_graph=split.training_graph,
+        sources=list(aligned.sources),
+        anchors=list(aligned.anchors),
+        random_state=np.random.default_rng(SEED),
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(SEED)

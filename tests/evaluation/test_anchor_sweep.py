@@ -1,0 +1,84 @@
+"""Tests for repro.evaluation.anchor_sweep."""
+
+import pytest
+
+from repro.evaluation.anchor_sweep import (
+    MethodSpec,
+    default_method_specs,
+    run_anchor_sweep,
+)
+from repro.exceptions import EvaluationError
+from repro.models.unsupervised import CommonNeighbors
+from repro.models.slampred import SlamPred
+
+
+@pytest.fixture(scope="module")
+def small_sweep(aligned, splits):
+    methods = [
+        MethodSpec("SLAMPRED", SlamPred, True),
+        MethodSpec("CN", CommonNeighbors, False),
+    ]
+    return run_anchor_sweep(
+        aligned,
+        methods=methods,
+        ratios=(0.0, 1.0),
+        precision_k=20,
+        random_state=3,
+        splits=splits[:2],
+    )
+
+
+class TestDefaultSpecs:
+    def test_twelve_methods(self):
+        specs = default_method_specs()
+        assert len(specs) == 12
+        assert [s.name for s in specs[:3]] == [
+            "SLAMPRED",
+            "SLAMPRED-T",
+            "SLAMPRED-H",
+        ]
+
+    def test_source_usage_flags(self):
+        flags = {s.name: s.uses_sources for s in default_method_specs()}
+        assert flags["SLAMPRED"] and flags["PL-S"] and flags["SCAN"]
+        assert not flags["SLAMPRED-T"] and not flags["JC"]
+
+    def test_kwargs_forwarded(self):
+        specs = default_method_specs(gamma=0.42)
+        model = specs[0].factory()
+        assert model.gamma == 0.42
+
+
+class TestRunSweep:
+    def test_table_shape(self, small_sweep):
+        assert small_sweep.methods == ["SLAMPRED", "CN"]
+        assert small_sweep.ratios == [0.0, 1.0]
+
+    def test_cells_have_metrics(self, small_sweep):
+        cell = small_sweep.cell("SLAMPRED", 1.0)
+        assert 0.0 <= cell.mean("auc") <= 1.0
+        assert cell.mean("precision@20") >= 0.0
+
+    def test_constant_methods_share_results(self, small_sweep):
+        a = small_sweep.cell("CN", 0.0)
+        b = small_sweep.cell("CN", 1.0)
+        assert a is b
+
+    def test_series(self, small_sweep):
+        series = small_sweep.series("SLAMPRED", "auc")
+        assert len(series) == 2
+
+    def test_missing_cell(self, small_sweep):
+        with pytest.raises(EvaluationError):
+            small_sweep.cell("SLAMPRED", 0.5)
+        with pytest.raises(EvaluationError):
+            small_sweep.cell("nope", 0.0)
+
+    def test_empty_ratios_rejected(self, aligned):
+        with pytest.raises(EvaluationError, match="ratio"):
+            run_anchor_sweep(aligned, methods=[], ratios=())
+
+    def test_transfer_improves_with_anchors(self, small_sweep):
+        low = small_sweep.cell("SLAMPRED", 0.0).mean("auc")
+        high = small_sweep.cell("SLAMPRED", 1.0).mean("auc")
+        assert high > low - 0.02

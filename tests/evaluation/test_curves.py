@@ -1,0 +1,88 @@
+"""Tests for repro.evaluation.curves."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.curves import (
+    auc_from_roc,
+    precision_recall_curve,
+    roc_curve,
+)
+from repro.evaluation.metrics import auc_score
+from repro.exceptions import EvaluationError
+
+
+class TestRocCurve:
+    def test_endpoints(self):
+        fpr, tpr, thresholds = roc_curve([0.9, 0.8, 0.3, 0.1], [1, 1, 0, 0])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_perfect_classifier(self):
+        fpr, tpr, _ = roc_curve([0.9, 0.8, 0.3, 0.1], [1, 1, 0, 0])
+        assert auc_from_roc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(50)
+        labels = (rng.random(50) < 0.4).astype(float)
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_area_matches_rank_auc(self):
+        """Trapezoidal ROC area must equal the Mann-Whitney AUC (with ties)."""
+        rng = np.random.default_rng(1)
+        scores = np.round(rng.random(80), 1)  # heavy ties
+        labels = (rng.random(80) < 0.5).astype(float)
+        fpr, tpr, _ = roc_curve(scores, labels)
+        assert auc_from_roc(fpr, tpr) == pytest.approx(
+            auc_score(scores, labels)
+        )
+
+    def test_single_class_raises(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([0.5, 0.6], [1, 1])
+
+    def test_tied_scores_collapse(self):
+        fpr, tpr, thresholds = roc_curve([0.5, 0.5, 0.5], [1, 0, 1])
+        # one distinct threshold plus the (0, 0) anchor
+        assert len(thresholds) == 2
+
+
+class TestPrCurve:
+    def test_perfect(self):
+        precision, recall, _ = precision_recall_curve(
+            [0.9, 0.8, 0.1], [1, 1, 0]
+        )
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+
+    def test_recall_monotone(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(60)
+        labels = (rng.random(60) < 0.3).astype(float)
+        if labels.sum() == 0:
+            labels[0] = 1.0
+        _, recall, _ = precision_recall_curve(scores, labels)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_final_precision_is_base_rate(self):
+        scores = [0.9, 0.5, 0.4, 0.2]
+        labels = [1, 0, 1, 0]
+        precision, recall, _ = precision_recall_curve(scores, labels)
+        assert precision[-1] == pytest.approx(0.5)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([0.5], [0])
+
+
+class TestAucFromRoc:
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            auc_from_roc([0.0, 1.0], [0.0])
+
+    def test_diagonal_is_half(self):
+        assert auc_from_roc([0.0, 1.0], [0.0, 1.0]) == pytest.approx(0.5)

@@ -1,0 +1,65 @@
+"""Tests for repro.evaluation.harness."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.harness import (
+    EvaluationResult,
+    cross_validate,
+    evaluate_model,
+)
+from repro.exceptions import EvaluationError
+from repro.models.unsupervised import CommonNeighbors, PreferentialAttachment
+
+
+class TestEvaluateModel:
+    def test_metrics_present(self, task, split):
+        outcome = evaluate_model(CommonNeighbors(), task, split, precision_k=20)
+        assert set(outcome.metrics) == {"auc", "precision@20"}
+        assert 0.0 <= outcome.metrics["auc"] <= 1.0
+
+    def test_model_name(self, task, split):
+        outcome = evaluate_model(CommonNeighbors(), task, split)
+        assert outcome.model_name == "CN"
+
+
+class TestEvaluationResult:
+    def test_mean_std(self):
+        result = EvaluationResult("x", {"auc": [0.5, 0.7]})
+        assert result.mean("auc") == pytest.approx(0.6)
+        assert result.std("auc") == pytest.approx(0.1)
+
+    def test_missing_metric(self):
+        result = EvaluationResult("x", {"auc": [0.5]})
+        with pytest.raises(EvaluationError, match="metric"):
+            result.mean("nope")
+
+
+class TestCrossValidate:
+    def test_per_fold_values(self, aligned, splits):
+        result = cross_validate(
+            CommonNeighbors, aligned, splits, random_state=0, precision_k=20
+        )
+        assert len(result.metrics["auc"]) == len(splits)
+        assert result.model_name == "CN"
+
+    def test_empty_splits_rejected(self, aligned):
+        with pytest.raises(EvaluationError):
+            cross_validate(CommonNeighbors, aligned, [], random_state=0)
+
+    def test_deterministic(self, aligned, splits):
+        a = cross_validate(PreferentialAttachment, aligned, splits, random_state=4)
+        b = cross_validate(PreferentialAttachment, aligned, splits, random_state=4)
+        assert a.metrics == b.metrics
+
+    def test_fresh_model_per_fold(self, aligned, splits):
+        created = []
+
+        def factory():
+            model = CommonNeighbors()
+            created.append(model)
+            return model
+
+        cross_validate(factory, aligned, splits, random_state=0)
+        assert len(created) == len(splits)
+        assert len(set(map(id, created))) == len(splits)

@@ -1,0 +1,132 @@
+"""Tests for repro.evaluation.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    auc_score,
+    average_precision,
+    f1_at_threshold,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestAuc:
+    def test_perfect(self):
+        assert auc_score([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0]) == 1.0
+
+    def test_inverted(self):
+        assert auc_score([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0]) == 0.0
+
+    def test_random_ties(self):
+        assert auc_score([0.5, 0.5, 0.5, 0.5], [1, 1, 0, 0]) == 0.5
+
+    def test_partial(self):
+        # pairs: (0.9, 0.6)✓ (0.9, 0.1)✓ (0.5, 0.6)✗ (0.5, 0.1)✓ → 3/4
+        assert auc_score([0.9, 0.6, 0.5, 0.1], [1, 0, 1, 0]) == pytest.approx(
+            0.75
+        )
+
+    def test_tie_half_credit(self):
+        # one positive tied with one negative, one negative below
+        assert auc_score([0.5, 0.5, 0.1], [1, 0, 0]) == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(EvaluationError, match="both classes"):
+            auc_score([0.5, 0.6], [1, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            auc_score([0.5], [1, 0])
+
+    def test_non_binary_labels(self):
+        with pytest.raises(EvaluationError, match="binary"):
+            auc_score([0.5, 0.5], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(EvaluationError, match="zero"):
+            auc_score([], [])
+
+    def test_invariant_to_monotone_transform(self, rng):
+        scores = rng.random(50)
+        labels = (rng.random(50) < 0.4).astype(float)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        assert auc_score(scores, labels) == pytest.approx(
+            auc_score(np.exp(3 * scores), labels)
+        )
+
+
+class TestPrecisionAtK:
+    def test_all_hits(self):
+        assert precision_at_k([0.9, 0.8, 0.1], [1, 1, 0], k=2) == 1.0
+
+    def test_half_hits(self):
+        assert precision_at_k([0.9, 0.8, 0.7, 0.1], [1, 0, 1, 0], k=2) == 0.5
+
+    def test_k_larger_than_n(self):
+        assert precision_at_k([0.9, 0.1], [1, 0], k=100) == 0.5
+
+    def test_tie_expected_value(self):
+        # top-1 of three tied instances, one positive → 1/3 expected
+        assert precision_at_k([0.5, 0.5, 0.5], [1, 0, 0], k=1) == pytest.approx(
+            1.0 / 3.0
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([0.5], [1], k=0)
+
+    def test_deterministic_under_permutation(self, rng):
+        scores = rng.random(30)
+        labels = (rng.random(30) < 0.5).astype(float)
+        perm = rng.permutation(30)
+        assert precision_at_k(scores, labels, k=10) == pytest.approx(
+            precision_at_k(scores[perm], labels[perm], k=10)
+        )
+
+
+class TestRecallAtK:
+    def test_full_recall(self):
+        assert recall_at_k([0.9, 0.8, 0.1], [1, 1, 0], k=2) == 1.0
+
+    def test_half_recall(self):
+        assert recall_at_k([0.9, 0.1, 0.2, 0.05], [1, 1, 0, 0], k=1) == 0.5
+
+    def test_no_positives(self):
+        with pytest.raises(EvaluationError):
+            recall_at_k([0.5, 0.5], [0, 0], k=1)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([0.9, 0.8, 0.1], [1, 1, 0]) == 1.0
+
+    def test_worst(self):
+        ap = average_precision([0.9, 0.1, 0.2], [0, 1, 1])
+        assert ap < 0.7
+
+    def test_single_positive_at_rank_two(self):
+        assert average_precision([0.9, 0.8, 0.1], [0, 1, 0]) == pytest.approx(
+            0.5
+        )
+
+    def test_no_positives(self):
+        with pytest.raises(EvaluationError):
+            average_precision([0.5], [0])
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_at_threshold([0.9, 0.1], [1, 0]) == 1.0
+
+    def test_zero_when_no_true_positives(self):
+        assert f1_at_threshold([0.1, 0.1], [1, 1]) == 0.0
+
+    def test_threshold_matters(self):
+        scores, labels = [0.6, 0.4], [1, 1]
+        assert f1_at_threshold(scores, labels, 0.5) < f1_at_threshold(
+            scores, labels, 0.3
+        )

@@ -1,0 +1,71 @@
+"""Tests for repro.evaluation.reporting."""
+
+import pytest
+
+from repro.evaluation.anchor_sweep import AnchorSweepResult
+from repro.evaluation.harness import EvaluationResult
+from repro.evaluation.reporting import (
+    format_cell,
+    format_stats_table,
+    format_sweep_table,
+)
+
+
+@pytest.fixture()
+def sweep():
+    result = AnchorSweepResult(ratios=[0.0, 1.0])
+    result.table["M1"] = {
+        0.0: EvaluationResult("M1", {"auc": [0.5, 0.6]}),
+        1.0: EvaluationResult("M1", {"auc": [0.8, 0.9]}),
+    }
+    result.table["M2"] = {
+        0.0: EvaluationResult("M2", {"auc": [0.4]}),
+        1.0: EvaluationResult("M2", {"auc": [0.4]}),
+    }
+    return result
+
+
+class TestFormatCell:
+    def test_default_digits(self):
+        assert format_cell(0.9412, 0.0191) == "0.941±0.019"
+
+    def test_custom_digits(self):
+        assert format_cell(0.5, 0.25, digits=2) == "0.50±0.25"
+
+
+class TestSweepTable:
+    def test_contains_methods_and_ratios(self, sweep):
+        text = format_sweep_table(sweep, "auc")
+        assert "M1" in text and "M2" in text
+        assert "0.0" in text and "1.0" in text
+
+    def test_contains_cells(self, sweep):
+        text = format_sweep_table(sweep, "auc")
+        assert "0.550±0.050" in text
+        assert "0.850±0.050" in text
+
+    def test_title(self, sweep):
+        text = format_sweep_table(sweep, "auc", title="My Table")
+        assert text.startswith("My Table")
+
+    def test_row_count(self, sweep):
+        lines = format_sweep_table(sweep, "auc").splitlines()
+        # header + separator + two method rows
+        assert len(lines) == 4
+
+
+class TestStatsTable:
+    def test_layout(self):
+        stats = {
+            "twitter": {"users": 5223, "posts": 9490707},
+            "foursquare": {"users": 5392, "posts": 48756},
+        }
+        text = format_stats_table(stats, title="Table I")
+        assert "Table I" in text
+        assert "5,223" in text and "48,756" in text
+        assert "users" in text and "posts" in text
+
+    def test_missing_property_renders_zero(self):
+        stats = {"a": {"x": 1}, "b": {}}
+        text = format_stats_table(stats)
+        assert "0" in text

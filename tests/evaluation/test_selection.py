@@ -1,0 +1,92 @@
+"""Tests for repro.evaluation.selection."""
+
+import pytest
+
+from repro.evaluation.selection import GridSearchResult, grid_search
+from repro.exceptions import EvaluationError
+from repro.models.slampred import SlamPredT
+from repro.models.unsupervised import KatzIndex
+
+
+class TestGridSearch:
+    def test_full_product_evaluated(self, aligned, splits):
+        search = grid_search(
+            KatzIndex,
+            {"beta": [0.05, 0.2], "max_length": [2, 3]},
+            aligned,
+            splits[:2],
+            precision_k=10,
+            random_state=0,
+        )
+        assert len(search.entries) == 4
+        params_seen = {tuple(sorted(p.items())) for p, _ in search.entries}
+        assert len(params_seen) == 4
+
+    def test_best_params_maximize_metric(self, aligned, splits):
+        search = grid_search(
+            KatzIndex,
+            {"beta": [0.05, 0.2]},
+            aligned,
+            splits[:2],
+            precision_k=10,
+            random_state=0,
+        )
+        best_mean = search.best_result.mean("auc")
+        for _, result in search.entries:
+            assert best_mean >= result.mean("auc")
+        assert search.best_params in [p for p, _ in search.entries]
+
+    def test_ranking_sorted(self, aligned, splits):
+        search = grid_search(
+            KatzIndex,
+            {"beta": [0.05, 0.1, 0.3]},
+            aligned,
+            splits[:2],
+            precision_k=10,
+            random_state=0,
+        )
+        means = [r.mean("auc") for _, r in search.ranking()]
+        assert means == sorted(means, reverse=True)
+
+    def test_as_table(self, aligned, splits):
+        search = grid_search(
+            KatzIndex, {"beta": [0.1]}, aligned, splits[:2],
+            precision_k=10, random_state=0,
+        )
+        table = search.as_table()
+        assert "beta=0.1" in table
+
+    def test_empty_grid_rejected(self, aligned, splits):
+        with pytest.raises(EvaluationError):
+            grid_search(KatzIndex, {}, aligned, splits[:1])
+
+    def test_empty_values_rejected(self, aligned, splits):
+        with pytest.raises(EvaluationError, match="no values"):
+            grid_search(KatzIndex, {"beta": []}, aligned, splits[:1])
+
+    def test_unknown_metric_surfaces_early(self, aligned, splits):
+        with pytest.raises(EvaluationError, match="metric"):
+            grid_search(
+                KatzIndex, {"beta": [0.1]}, aligned, splits[:1],
+                metric="nope", random_state=0,
+            )
+
+    def test_works_with_slampred(self, aligned, splits):
+        search = grid_search(
+            SlamPredT,
+            {"gamma": [0.01, 0.2]},
+            aligned,
+            splits[:1],
+            precision_k=10,
+            random_state=0,
+        )
+        assert "gamma" in search.best_params
+
+
+class TestGridSearchResult:
+    def test_empty_result_raises(self):
+        result = GridSearchResult()
+        with pytest.raises(EvaluationError):
+            result.best_params
+        with pytest.raises(EvaluationError):
+            result.best_result

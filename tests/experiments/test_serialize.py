@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.serialize and the --json CLI flag."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.evaluation.anchor_sweep import AnchorSweepResult
+from repro.evaluation.harness import EvaluationResult
+from repro.experiments.serialize import (
+    dump_result,
+    evaluation_to_dict,
+    sweep_to_dict,
+    to_jsonable,
+)
+
+
+@pytest.fixture()
+def sweep():
+    result = AnchorSweepResult(ratios=[0.0, 1.0])
+    cell = EvaluationResult("M", {"auc": [0.5, 0.7]})
+    result.table["M"] = {0.0: cell, 1.0: cell}
+    return result
+
+
+class TestConverters:
+    def test_evaluation_to_dict(self):
+        result = EvaluationResult("X", {"auc": [0.4, 0.6]})
+        payload = evaluation_to_dict(result)
+        assert payload["model"] == "X"
+        assert payload["metrics"]["auc"]["mean"] == pytest.approx(0.5)
+        assert payload["metrics"]["auc"]["values"] == [0.4, 0.6]
+
+    def test_sweep_to_dict(self, sweep):
+        payload = sweep_to_dict(sweep)
+        assert payload["ratios"] == [0.0, 1.0]
+        assert "0.0" in payload["methods"]["M"]
+
+    def test_numpy_conversion(self):
+        payload = to_jsonable(
+            {"array": np.arange(3), "scalar": np.float64(1.5), "i": np.int32(2)}
+        )
+        assert payload == {"array": [0, 1, 2], "scalar": 1.5, "i": 2}
+
+    def test_tuple_keys_flattened(self):
+        payload = to_jsonable({(1.0, "auc"): [0.5]})
+        assert payload == {"1.0/auc": [0.5]}
+
+    def test_unknown_objects_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert to_jsonable({"x": Odd()}) == {"x": "<odd>"}
+
+    def test_everything_json_dumps(self, sweep):
+        json.dumps(to_jsonable({"sweep": sweep, "nested": [(1, 2), None]}))
+
+
+class TestDumpResult:
+    def test_roundtrip(self, sweep, tmp_path):
+        path = str(tmp_path / "out.json")
+        dump_result({"sweep": sweep, "note": "hello"}, path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["note"] == "hello"
+        assert loaded["sweep"]["ratios"] == [0.0, 1.0]
+
+
+class TestCliJson:
+    def test_single_experiment_json(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path = str(tmp_path / "t1.json")
+        assert main(
+            ["table1", "--scale", "40", "--seed", "1", "--json", path]
+        ) == 0
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["anchors"] > 0
+        assert "written" in capsys.readouterr().out
+
+    def test_all_writes_per_experiment(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        base = str(tmp_path / "run")
+        assert main(
+            [
+                "all", "--scale", "40", "--folds", "2", "--seed", "1",
+                "--json", base,
+            ]
+        ) == 0
+        for name in ("table1", "table2", "figure3", "figure4", "figure5"):
+            with open(f"{base}.{name}.json") as handle:
+                json.load(handle)

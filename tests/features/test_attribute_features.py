@@ -1,0 +1,123 @@
+"""Tests for the spatial / temporal / textual feature modules."""
+
+import numpy as np
+import pytest
+
+from repro.features.spatial import (
+    checkin_similarity,
+    cosine_similarity_matrix,
+    user_location_counts,
+)
+from repro.features.temporal import temporal_similarity, user_hour_histograms
+from repro.features.textual import (
+    idf_weights,
+    user_word_counts,
+    word_usage_similarity,
+)
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+@pytest.fixture()
+def network():
+    net = HeterogeneousNetwork("attrs")
+    net.add_users(3)
+    net.add_location(0)
+    net.add_location(1)
+    # User 0: two check-ins at venue 0, words {1, 2}, hours 9/10.
+    net.add_post(0, 0, word_ids=[1, 2], hour=9, location_id=0)
+    net.add_post(1, 0, word_ids=[1], hour=10, location_id=0)
+    # User 1: one check-in at venue 0, word {1}, hour 9.
+    net.add_post(2, 1, word_ids=[1], hour=9, location_id=0)
+    # User 2: venue 1, word {9}, hour 22.
+    net.add_post(3, 2, word_ids=[9], hour=22, location_id=1)
+    return net
+
+
+class TestCosine:
+    def test_identical_rows(self):
+        profiles = np.array([[1.0, 0.0], [2.0, 0.0]])
+        sim = cosine_similarity_matrix(profiles)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_orthogonal_rows(self):
+        profiles = np.array([[1.0, 0.0], [0.0, 5.0]])
+        assert cosine_similarity_matrix(profiles)[0, 1] == 0.0
+
+    def test_zero_rows_give_zero(self):
+        profiles = np.array([[0.0, 0.0], [1.0, 1.0]])
+        sim = cosine_similarity_matrix(profiles)
+        assert sim[0, 1] == 0.0
+
+    def test_zero_diagonal(self):
+        sim = cosine_similarity_matrix(np.ones((3, 2)))
+        assert not sim.diagonal().any()
+
+
+class TestSpatial:
+    def test_counts(self, network):
+        counts = user_location_counts(network)
+        assert counts.shape == (3, 2)
+        assert counts[0, 0] == 2.0
+        assert counts[1, 0] == 1.0
+        assert counts[2, 1] == 1.0
+
+    def test_similarity(self, network):
+        sim = checkin_similarity(network)
+        assert sim[0, 1] == pytest.approx(1.0)  # same single venue
+        assert sim[0, 2] == 0.0  # disjoint venues
+
+    def test_no_checkins(self):
+        net = HeterogeneousNetwork()
+        net.add_users(2)
+        net.add_location(0)
+        net.add_post(0, 0, hour=3)
+        assert not checkin_similarity(net).any()
+
+
+class TestTemporal:
+    def test_histograms(self, network):
+        hist = user_hour_histograms(network)
+        assert hist.shape == (3, 24)
+        assert hist[0, 9] == 1.0 and hist[0, 10] == 1.0
+        assert hist[2, 22] == 1.0
+
+    def test_similarity_overlapping_hours(self, network):
+        sim = temporal_similarity(network)
+        assert sim[0, 1] > 0.5  # both active at hour 9
+        assert sim[0, 2] == 0.0  # disjoint hours
+
+    def test_silent_user(self):
+        net = HeterogeneousNetwork()
+        net.add_users(2)
+        net.add_post(0, 0, hour=5)
+        sim = temporal_similarity(net)
+        assert sim[0, 1] == 0.0
+
+
+class TestTextual:
+    def test_counts(self, network):
+        counts = user_word_counts(network)
+        # vocabulary used: {1, 2, 9} → 3 columns
+        assert counts.shape == (3, 3)
+        assert counts[0, 0] == 2.0  # word 1 twice for user 0
+
+    def test_idf_downweights_common(self, network):
+        counts = user_word_counts(network)
+        weights = idf_weights(counts)
+        # word 1 used by two users, word 9 by one → word 9 weight higher
+        assert weights[2] > weights[0]
+
+    def test_similarity(self, network):
+        sim = word_usage_similarity(network)
+        assert sim[0, 1] > 0.0
+        assert sim[0, 2] == 0.0
+
+    def test_without_idf(self, network):
+        sim = word_usage_similarity(network, use_idf=False)
+        assert sim[0, 1] > 0.0
+
+    def test_no_words(self):
+        net = HeterogeneousNetwork()
+        net.add_users(2)
+        net.add_post(0, 0, hour=1)
+        assert not word_usage_similarity(net).any()

@@ -1,0 +1,96 @@
+"""Tests for repro.features.intimacy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.intimacy import (
+    ATTRIBUTE_FEATURES,
+    DEFAULT_FEATURES,
+    METAPATH_FEATURES,
+    STRUCTURAL_FEATURES,
+    IntimacyFeatureExtractor,
+)
+from repro.networks.social import SocialGraph
+
+
+class TestConfiguration:
+    def test_default_features(self):
+        extractor = IntimacyFeatureExtractor()
+        assert extractor.features == DEFAULT_FEATURES
+        assert extractor.n_features == len(DEFAULT_FEATURES)
+
+    def test_feature_families_disjoint(self):
+        families = (
+            set(STRUCTURAL_FEATURES)
+            | set(ATTRIBUTE_FEATURES)
+            | set(METAPATH_FEATURES)
+        )
+        assert len(families) == len(DEFAULT_FEATURES)
+
+    def test_subset_selection(self):
+        extractor = IntimacyFeatureExtractor(features=["jaccard", "katz"])
+        assert extractor.n_features == 2
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(FeatureError, match="unknown features"):
+            IntimacyFeatureExtractor(features=["nope"])
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(FeatureError, match="at least one"):
+            IntimacyFeatureExtractor(features=[])
+
+
+class TestExtraction:
+    def test_full_extraction(self, aligned):
+        tensor = IntimacyFeatureExtractor().extract(aligned.target)
+        assert tensor.n_users == aligned.target.n_users
+        assert tensor.feature_names == list(DEFAULT_FEATURES)
+
+    def test_normalized_range(self, aligned):
+        tensor = IntimacyFeatureExtractor().extract(aligned.target)
+        assert np.abs(tensor.values).max() <= 1.0 + 1e-12
+
+    def test_unnormalized(self, aligned):
+        tensor = IntimacyFeatureExtractor(
+            features=["common_neighbors"], normalize=False
+        ).extract(aligned.target)
+        assert tensor.values.max() > 1.0
+
+    def test_training_graph_controls_structural(self, aligned, split):
+        extractor = IntimacyFeatureExtractor(features=["common_neighbors"])
+        full = extractor.extract(aligned.target)
+        masked = extractor.extract(aligned.target, split.training_graph)
+        assert not np.array_equal(full.values, masked.values)
+
+    def test_attribute_features_ignore_masking(self, aligned, split):
+        extractor = IntimacyFeatureExtractor(
+            features=["checkin_similarity"], normalize=False
+        )
+        full = extractor.extract(aligned.target)
+        masked = extractor.extract(aligned.target, split.training_graph)
+        assert np.array_equal(full.values, masked.values)
+
+    def test_graph_size_mismatch(self, aligned):
+        wrong = SocialGraph(np.zeros((3, 3)))
+        with pytest.raises(FeatureError, match="users"):
+            IntimacyFeatureExtractor().extract(aligned.target, wrong)
+
+    def test_slices_symmetric(self, aligned):
+        tensor = IntimacyFeatureExtractor().extract(aligned.target)
+        for k in range(tensor.n_features):
+            matrix = tensor.slice(k)
+            assert np.allclose(matrix, matrix.T)
+            assert not matrix.diagonal().any()
+
+    def test_features_informative(self, aligned, target_graph):
+        """Link pairs should score above non-link pairs on average."""
+        tensor = IntimacyFeatureExtractor(
+            features=["checkin_similarity", "word_similarity"]
+        ).extract(aligned.target)
+        adjacency = target_graph.adjacency
+        combined = tensor.values.sum(axis=0)
+        off_diag = ~np.eye(adjacency.shape[0], dtype=bool)
+        link_mean = combined[(adjacency == 1.0) & off_diag].mean()
+        non_link_mean = combined[(adjacency == 0.0) & off_diag].mean()
+        assert link_mean > non_link_mean

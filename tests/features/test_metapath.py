@@ -1,0 +1,57 @@
+"""Tests for repro.features.metapath."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.metapath import METAPATHS, metapath_count_matrix
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+@pytest.fixture()
+def network():
+    net = HeterogeneousNetwork("mp")
+    net.add_users(3)
+    net.add_location(0)
+    net.add_post(0, 0, word_ids=[7], hour=8, location_id=0)
+    net.add_post(1, 1, word_ids=[7, 7], hour=8, location_id=0)
+    net.add_post(2, 2, word_ids=[3], hour=20)
+    return net
+
+
+class TestMetapathCounts:
+    def test_supported_names(self):
+        assert set(METAPATHS) == {"UPWPU", "UPTPU", "UPLPU"}
+
+    def test_word_path(self, network):
+        counts = metapath_count_matrix(network, "UPWPU")
+        # user0 uses word 7 once, user1 twice → 1·2 = 2 path instances
+        assert counts[0, 1] == 2.0
+        assert counts[0, 2] == 0.0
+
+    def test_time_path(self, network):
+        counts = metapath_count_matrix(network, "UPTPU")
+        assert counts[0, 1] == 1.0  # both posted once at hour 8
+        assert counts[1, 2] == 0.0
+
+    def test_location_path(self, network):
+        counts = metapath_count_matrix(network, "UPLPU")
+        assert counts[0, 1] == 1.0
+        assert counts[0, 2] == 0.0
+
+    def test_symmetric_zero_diag(self, network):
+        for name in METAPATHS:
+            counts = metapath_count_matrix(network, name)
+            assert np.array_equal(counts, counts.T)
+            assert not counts.diagonal().any()
+
+    def test_unknown_path(self, network):
+        with pytest.raises(FeatureError, match="unknown metapath"):
+            metapath_count_matrix(network, "UPXPU")
+
+    def test_empty_network(self):
+        net = HeterogeneousNetwork()
+        net.add_users(2)
+        counts = metapath_count_matrix(net, "UPWPU")
+        assert counts.shape == (2, 2)
+        assert not counts.any()

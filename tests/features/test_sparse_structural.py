@@ -1,0 +1,116 @@
+"""Equivalence tests: sparse structural features match the dense ones."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+
+from repro.exceptions import FeatureError
+from repro.features.sparse_structural import (
+    adamic_adar_sparse,
+    common_neighbors_sparse,
+    jaccard_sparse,
+    katz_sparse,
+    preferential_attachment_sparse,
+    resource_allocation_sparse,
+    top_k_candidates,
+)
+from repro.features.structural import (
+    adamic_adar_matrix,
+    common_neighbors_matrix,
+    jaccard_matrix,
+    katz_matrix,
+    preferential_attachment_matrix,
+    resource_allocation_matrix,
+)
+
+PAIRS = [
+    (common_neighbors_sparse, common_neighbors_matrix),
+    (jaccard_sparse, jaccard_matrix),
+    (adamic_adar_sparse, adamic_adar_matrix),
+    (resource_allocation_sparse, resource_allocation_matrix),
+    (preferential_attachment_sparse, preferential_attachment_matrix),
+]
+
+
+@pytest.fixture(params=[0, 1, 2])
+def adjacency(request, rng):
+    local = np.random.default_rng(request.param)
+    n = int(local.integers(5, 40))
+    bits = local.random((n, n)) < 0.15
+    a = np.triu(bits, 1).astype(float)
+    return a + a.T
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("sparse_fn,dense_fn", PAIRS)
+    def test_dense_input(self, sparse_fn, dense_fn, adjacency):
+        assert np.allclose(sparse_fn(adjacency), dense_fn(adjacency))
+
+    @pytest.mark.parametrize("sparse_fn,dense_fn", PAIRS)
+    def test_csr_input(self, sparse_fn, dense_fn, adjacency):
+        csr = scipy.sparse.csr_matrix(adjacency)
+        assert np.allclose(sparse_fn(csr), dense_fn(adjacency))
+
+    def test_katz_equivalence(self, adjacency):
+        assert np.allclose(
+            katz_sparse(adjacency, beta=0.1, max_length=3),
+            katz_matrix(adjacency, beta=0.1, max_length=3),
+        )
+
+    def test_coo_input_accepted(self, adjacency):
+        coo = scipy.sparse.coo_matrix(adjacency)
+        assert np.allclose(
+            common_neighbors_sparse(coo), common_neighbors_matrix(adjacency)
+        )
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(FeatureError):
+            common_neighbors_sparse(np.zeros((2, 3)))
+
+    def test_katz_invalid_params(self, adjacency):
+        with pytest.raises(FeatureError):
+            katz_sparse(adjacency, beta=1.5)
+        with pytest.raises(FeatureError):
+            katz_sparse(adjacency, max_length=0)
+
+
+class TestTopKCandidates:
+    def test_excludes_existing_links(self, adjacency):
+        scores = common_neighbors_sparse(adjacency)
+        top = top_k_candidates(adjacency, scores, k=10)
+        for i, j, _ in top:
+            assert adjacency[i, j] == 0.0
+            assert i < j
+
+    def test_ordering(self, adjacency):
+        scores = common_neighbors_sparse(adjacency)
+        top = top_k_candidates(adjacency, scores, k=10)
+        values = [v for _, _, v in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_full_sort(self, adjacency):
+        scores = jaccard_sparse(adjacency)
+        top = top_k_candidates(adjacency, scores, k=5)
+        n = adjacency.shape[0]
+        all_pairs = [
+            (i, j, scores[i, j])
+            for i in range(n)
+            for j in range(i + 1, n)
+            if adjacency[i, j] == 0.0
+        ]
+        expected = sorted(all_pairs, key=lambda t: -t[2])[:5]
+        assert [v for _, _, v in top] == pytest.approx(
+            [v for _, _, v in expected]
+        )
+
+    def test_k_larger_than_candidates(self):
+        adjacency = np.zeros((3, 3))
+        scores = np.ones((3, 3))
+        top = top_k_candidates(adjacency, scores, k=100)
+        assert len(top) == 3  # only 3 candidate pairs exist
+
+    def test_invalid_inputs(self, adjacency):
+        with pytest.raises(FeatureError):
+            top_k_candidates(adjacency, np.zeros((2, 2)), k=3)
+        with pytest.raises(FeatureError):
+            top_k_candidates(adjacency, adjacency, k=0)

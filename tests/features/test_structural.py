@@ -1,0 +1,122 @@
+"""Tests for repro.features.structural."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.structural import (
+    adamic_adar_matrix,
+    common_neighbors_matrix,
+    jaccard_matrix,
+    katz_matrix,
+    preferential_attachment_matrix,
+    resource_allocation_matrix,
+)
+from repro.utils.matrices import pairs_to_matrix
+
+
+@pytest.fixture()
+def triangle_plus():
+    """Triangle 0-1-2 plus pendant 3 attached to 0."""
+    return pairs_to_matrix([(0, 1), (0, 2), (1, 2), (0, 3)], 4)
+
+
+class TestCommonNeighbors:
+    def test_triangle(self, triangle_plus):
+        cn = common_neighbors_matrix(triangle_plus)
+        assert cn[1, 2] == 1.0  # share node 0
+        assert cn[1, 3] == 1.0  # share node 0
+        assert cn[2, 3] == 1.0
+
+    def test_zero_diagonal(self, triangle_plus):
+        assert not common_neighbors_matrix(triangle_plus).diagonal().any()
+
+    def test_symmetric(self, triangle_plus):
+        cn = common_neighbors_matrix(triangle_plus)
+        assert np.array_equal(cn, cn.T)
+
+    def test_rejects_rect(self):
+        with pytest.raises(FeatureError):
+            common_neighbors_matrix(np.zeros((2, 3)))
+
+    def test_empty_graph(self):
+        assert not common_neighbors_matrix(np.zeros((4, 4))).any()
+
+
+class TestJaccard:
+    def test_range(self, triangle_plus):
+        jc = jaccard_matrix(triangle_plus)
+        assert jc.min() >= 0.0 and jc.max() <= 1.0
+
+    def test_value(self, triangle_plus):
+        jc = jaccard_matrix(triangle_plus)
+        # Γ(1)={0,2}, Γ(3)={0}: intersection 1, union 2 → wait: union is
+        # |Γ(1)| + |Γ(3)| − 1 = 2 + 1 − 1 = 2 → 0.5.
+        assert jc[1, 3] == pytest.approx(0.5)
+
+    def test_isolated_pair_zero(self):
+        jc = jaccard_matrix(np.zeros((3, 3)))
+        assert not jc.any()
+
+
+class TestAdamicAdar:
+    def test_low_degree_neighbors_ignored(self):
+        # Path 0-1-2: node 1 has degree 2, contributes 1/log(2).
+        adjacency = pairs_to_matrix([(0, 1), (1, 2)], 3)
+        aa = adamic_adar_matrix(adjacency)
+        assert aa[0, 2] == pytest.approx(1.0 / np.log(2.0))
+
+    def test_degree_one_contributes_nothing(self):
+        # Star: hub 0 with leaves; leaf pairs share hub of degree 3.
+        adjacency = pairs_to_matrix([(0, 1), (0, 2), (0, 3)], 4)
+        aa = adamic_adar_matrix(adjacency)
+        assert aa[1, 2] == pytest.approx(1.0 / np.log(3.0))
+
+
+class TestResourceAllocation:
+    def test_value(self):
+        adjacency = pairs_to_matrix([(0, 1), (1, 2)], 3)
+        ra = resource_allocation_matrix(adjacency)
+        assert ra[0, 2] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert not resource_allocation_matrix(np.zeros((3, 3))).any()
+
+
+class TestPreferentialAttachment:
+    def test_degree_product(self, triangle_plus):
+        pa = preferential_attachment_matrix(triangle_plus)
+        # deg(0)=3, deg(1)=2
+        assert pa[0, 1] == 6.0
+        assert pa[1, 3] == 2.0
+
+    def test_zero_diagonal(self, triangle_plus):
+        assert not preferential_attachment_matrix(triangle_plus).diagonal().any()
+
+
+class TestKatz:
+    def test_path_counting(self):
+        adjacency = pairs_to_matrix([(0, 1), (1, 2)], 3)
+        katz = katz_matrix(adjacency, beta=0.1, max_length=2)
+        # One length-2 path 0→1→2 weighted β².
+        assert katz[0, 2] == pytest.approx(0.01)
+        # Direct link weighted β (plus no length-2 paths between 0 and 1).
+        assert katz[0, 1] == pytest.approx(0.1)
+
+    def test_longer_paths_add(self):
+        adjacency = pairs_to_matrix([(0, 1), (1, 2), (2, 3)], 4)
+        short = katz_matrix(adjacency, beta=0.2, max_length=2)
+        long = katz_matrix(adjacency, beta=0.2, max_length=3)
+        assert long[0, 3] > short[0, 3]
+
+    def test_invalid_beta(self):
+        with pytest.raises(Exception):
+            katz_matrix(np.zeros((2, 2)), beta=1.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(Exception):
+            katz_matrix(np.zeros((2, 2)), beta=0.1, max_length=0)
+
+    def test_symmetric(self, triangle_plus):
+        katz = katz_matrix(triangle_plus)
+        assert np.allclose(katz, katz.T)

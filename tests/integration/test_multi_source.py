@@ -1,0 +1,115 @@
+"""Integration tests for the K > 1 multiple-aligned-networks setting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import auc_score
+from repro.evaluation.splits import k_fold_link_splits
+from repro.models.base import TransferTask
+from repro.models.scan import ScanPredictor
+from repro.models.slampred import SlamPred
+from repro.networks.social import SocialGraph
+from repro.synth.config import AttributeConfig, NetworkConfig, WorldConfig
+from repro.synth.generator import AlignedNetworkGenerator
+
+
+@pytest.fixture(scope="module")
+def two_source_world():
+    config = WorldConfig(
+        n_persons=60,
+        n_communities=3,
+        n_locations=12,
+        vocabulary_size=60,
+        link_correlation=0.7,
+        target=NetworkConfig(name="t", participation=0.9, p_in=0.3, p_out=0.015),
+        sources=[
+            NetworkConfig(name="s1", participation=0.85, p_in=0.2, p_out=0.01),
+            NetworkConfig(
+                name="s2",
+                participation=0.85,
+                p_in=0.22,
+                p_out=0.012,
+                attributes=AttributeConfig(
+                    posts_per_user=5.0, checkin_probability=0.9
+                ),
+            ),
+        ],
+    )
+    return AlignedNetworkGenerator(config).generate(random_state=55)
+
+
+@pytest.fixture(scope="module")
+def two_source_split(two_source_world):
+    graph = SocialGraph.from_network(two_source_world.target)
+    return k_fold_link_splits(graph, n_folds=3, random_state=55)[0]
+
+
+def _task(aligned, split, sources=None, anchors=None):
+    return TransferTask(
+        target=aligned.target,
+        training_graph=split.training_graph,
+        sources=list(aligned.sources if sources is None else sources),
+        anchors=list(aligned.anchors if anchors is None else anchors),
+        random_state=np.random.default_rng(55),
+    )
+
+
+class TestTwoSources:
+    def test_world_shape(self, two_source_world):
+        assert two_source_world.n_sources == 2
+        assert all(len(a) > 0 for a in two_source_world.anchors)
+
+    def test_slampred_fits_with_two_sources(
+        self, two_source_world, two_source_split
+    ):
+        model = SlamPred().fit(_task(two_source_world, two_source_split))
+        auc = auc_score(
+            model.score_pairs(two_source_split.test_pairs),
+            two_source_split.test_labels,
+        )
+        assert auc > 0.6
+
+    def test_per_source_alphas_accepted(
+        self, two_source_world, two_source_split
+    ):
+        model = SlamPred(alpha_sources=[1.0, 0.3]).fit(
+            _task(two_source_world, two_source_split)
+        )
+        assert model.score_matrix.shape[0] == two_source_world.target.n_users
+
+    def test_zero_alpha_approximates_single_source(
+        self, two_source_world, two_source_split
+    ):
+        """α = 0 on source 2 ≈ dropping source 2 (the readout ignores it).
+
+        Exact equality cannot hold — the shared latent space is still
+        fitted over three networks and the random streams differ — but the
+        zero-weighted source must not change ranking quality materially.
+        """
+        both = SlamPred(alpha_sources=[1.0, 0.0]).fit(
+            _task(two_source_world, two_source_split)
+        )
+        single = SlamPred().fit(
+            _task(
+                two_source_world,
+                two_source_split,
+                sources=two_source_world.sources[:1],
+                anchors=two_source_world.anchors[:1],
+            )
+        )
+        auc_both = auc_score(
+            both.score_pairs(two_source_split.test_pairs),
+            two_source_split.test_labels,
+        )
+        auc_single = auc_score(
+            single.score_pairs(two_source_split.test_pairs),
+            two_source_split.test_labels,
+        )
+        assert abs(auc_both - auc_single) < 0.06
+
+    def test_scan_handles_two_sources(
+        self, two_source_world, two_source_split
+    ):
+        model = ScanPredictor().fit(_task(two_source_world, two_source_split))
+        scores = model.score_pairs(two_source_split.test_pairs)
+        assert np.isfinite(scores).all()

@@ -1,0 +1,83 @@
+"""Tests for repro.models.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlignmentError, NotFittedError
+from repro.models.base import LinkPredictor, MatrixPredictor, TransferTask
+from repro.networks.social import SocialGraph
+
+
+class _Dummy(LinkPredictor):
+    def _fit(self, task):
+        self.seen_task = task
+
+    def _score_pairs(self, pairs):
+        return np.arange(len(pairs), dtype=float)
+
+
+class TestTransferTask:
+    def test_from_aligned(self, aligned):
+        task = TransferTask.from_aligned(aligned)
+        assert task.n_sources == 1
+        assert task.training_graph.n_users == aligned.target.n_users
+
+    def test_explicit_training_graph(self, aligned, split):
+        task = TransferTask.from_aligned(aligned, split.training_graph)
+        assert task.training_graph is split.training_graph
+
+    def test_source_anchor_count_mismatch(self, aligned, target_graph):
+        with pytest.raises(AlignmentError):
+            TransferTask(aligned.target, target_graph, aligned.sources, [])
+
+    def test_graph_size_mismatch(self, aligned):
+        wrong = SocialGraph(np.zeros((2, 2)))
+        with pytest.raises(AlignmentError, match="users"):
+            TransferTask(aligned.target, wrong)
+
+    def test_no_sources_allowed(self, aligned, target_graph):
+        task = TransferTask(aligned.target, target_graph)
+        assert task.n_sources == 0
+
+
+class TestLinkPredictor:
+    def test_unfitted_scoring_raises(self):
+        with pytest.raises(NotFittedError):
+            _Dummy().score_pairs([(0, 1)])
+
+    def test_fit_returns_self(self, aligned, target_graph):
+        task = TransferTask(aligned.target, target_graph)
+        model = _Dummy()
+        assert model.fit(task) is model
+        assert model.is_fitted
+
+    def test_score_empty(self, aligned, target_graph):
+        task = TransferTask(aligned.target, target_graph)
+        model = _Dummy().fit(task)
+        assert model.score_pairs([]).shape == (0,)
+
+    def test_name_defaults_to_class(self):
+        assert _Dummy().name == "_Dummy"
+
+
+class TestMatrixPredictor:
+    def test_unfitted_matrix_raises(self):
+        class _M(MatrixPredictor):
+            def _fit(self, task):
+                pass
+
+        with pytest.raises(NotFittedError):
+            _M().score_matrix
+
+    def test_score_pairs_reads_matrix(self, aligned, target_graph):
+        class _M(MatrixPredictor):
+            def _fit(self, task):
+                n = task.training_graph.n_users
+                self._score_matrix = np.arange(n * n, dtype=float).reshape(n, n)
+
+        task = TransferTask(aligned.target, target_graph)
+        model = _M().fit(task)
+        n = target_graph.n_users
+        scores = model.score_pairs([(0, 1), (1, 0)])
+        assert scores[0] == 1.0
+        assert scores[1] == float(n)

@@ -1,0 +1,63 @@
+"""Tests for repro.models.persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, SerializationError
+from repro.models.base import TransferTask
+from repro.models.persistence import (
+    FrozenPredictor,
+    load_predictor,
+    save_predictor,
+)
+from repro.models.slampred import SlamPredT
+from repro.models.unsupervised import CommonNeighbors
+
+
+class TestRoundTrip:
+    def test_scores_preserved(self, task, split, tmp_path):
+        model = CommonNeighbors().fit(task)
+        path = str(tmp_path / "cn.npz")
+        save_predictor(model, path)
+        loaded = load_predictor(path)
+        assert np.array_equal(loaded.score_matrix, model.score_matrix)
+        assert np.array_equal(
+            loaded.score_pairs(split.test_pairs),
+            model.score_pairs(split.test_pairs),
+        )
+
+    def test_metadata_preserved(self, task, tmp_path):
+        model = SlamPredT(gamma=0.07, tau=2.0).fit(task)
+        path = str(tmp_path / "slampred.npz")
+        save_predictor(model, path)
+        loaded = load_predictor(path)
+        assert loaded.name == "SLAMPRED-T"
+        assert loaded.metadata["gamma"] == 0.07
+        assert loaded.metadata["tau"] == 2.0
+        assert loaded.metadata["class"] == "SlamPredT"
+
+    def test_unfitted_save_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_predictor(CommonNeighbors(), str(tmp_path / "x.npz"))
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(SerializationError):
+            load_predictor(str(path))
+
+
+class TestFrozenPredictor:
+    def test_refit_rejected(self, task):
+        frozen = FrozenPredictor(np.zeros((3, 3)))
+        with pytest.raises(SerializationError, match="refitted"):
+            frozen.fit(task)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(SerializationError):
+            FrozenPredictor(np.zeros((2, 3)))
+
+    def test_is_fitted_on_construction(self):
+        frozen = FrozenPredictor(np.eye(3))
+        assert frozen.is_fitted
+        assert frozen.score_pairs([(0, 1)])[0] == 0.0

@@ -1,0 +1,92 @@
+"""Tests for repro.models.pu."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.pu import PLPredictor
+
+
+class TestConfiguration:
+    def test_default_name(self):
+        assert PLPredictor().name == "PL"
+
+    def test_variant_names(self):
+        assert PLPredictor.target_only().name == "PL-T"
+        assert PLPredictor.source_only().name == "PL-S"
+
+    def test_rejects_no_blocks(self):
+        with pytest.raises(ConfigurationError):
+            PLPredictor(use_target=False, use_sources=False)
+
+    def test_rejects_bad_spy_fraction(self):
+        with pytest.raises(Exception):
+            PLPredictor(spy_fraction=0.0)
+        with pytest.raises(Exception):
+            PLPredictor(spy_fraction=1.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(Exception):
+            PLPredictor(spy_percentile=101.0)
+
+    def test_default_extractor_is_metapath_based(self):
+        extractor = PLPredictor().extractor
+        assert set(extractor.features) == {
+            "common_neighbors",
+            "metapath_UPWPU",
+            "metapath_UPTPU",
+            "metapath_UPLPU",
+        }
+
+
+class TestFitting:
+    def test_fit_and_score(self, task, split):
+        model = PLPredictor().fit(task)
+        scores = model.score_pairs(split.test_pairs)
+        assert scores.shape == (len(split.test_pairs),)
+        assert np.isfinite(scores).all()
+
+    def test_beats_random(self, task, split):
+        from repro.evaluation.metrics import auc_score
+
+        model = PLPredictor().fit(task)
+        auc = auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+        assert auc > 0.55
+
+    def test_deterministic_given_rng(self, aligned, split):
+        from repro.models.base import TransferTask
+
+        def run():
+            task = TransferTask(
+                aligned.target,
+                split.training_graph,
+                list(aligned.sources),
+                list(aligned.anchors),
+                np.random.default_rng(11),
+            )
+            return PLPredictor().fit(task).score_pairs(split.test_pairs)
+
+        assert np.allclose(run(), run())
+
+    def test_spy_parameters_affect_model(self, aligned, split):
+        from repro.models.base import TransferTask
+
+        def run(percentile):
+            task = TransferTask(
+                aligned.target,
+                split.training_graph,
+                list(aligned.sources),
+                list(aligned.anchors),
+                np.random.default_rng(11),
+            )
+            model = PLPredictor(spy_percentile=percentile).fit(task)
+            return model.score_pairs(split.test_pairs)
+
+        # Different reliable-negative thresholds give different classifiers.
+        assert not np.allclose(run(1.0), run(99.0))
+
+    def test_target_only_variant_runs(self, task, split):
+        scores = PLPredictor.target_only().fit(task).score_pairs(
+            split.test_pairs
+        )
+        assert scores.shape[0] == len(split.test_pairs)

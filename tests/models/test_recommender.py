@@ -1,0 +1,101 @@
+"""Tests for repro.models.recommender."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError, UnknownNodeError
+from repro.models.base import TransferTask
+from repro.models.recommender import LinkRecommender
+from repro.models.unsupervised import CommonNeighbors
+from repro.networks.social import SocialGraph
+from repro.utils.matrices import pairs_to_matrix
+
+
+@pytest.fixture(scope="module")
+def recommender(aligned, split):
+    task = TransferTask(aligned.target, split.training_graph)
+    model = CommonNeighbors().fit(task)
+    return LinkRecommender(model, split.training_graph)
+
+
+class TestConstruction:
+    def test_size_mismatch_rejected(self, aligned, split):
+        task = TransferTask(aligned.target, split.training_graph)
+        model = CommonNeighbors().fit(task)
+        with pytest.raises(EvaluationError, match="users"):
+            LinkRecommender(model, SocialGraph(np.zeros((3, 3))))
+
+    def test_unfitted_model_rejected(self, split):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            LinkRecommender(CommonNeighbors(), split.training_graph)
+
+
+class TestRecommend:
+    def test_never_recommends_existing_links(self, recommender):
+        graph = recommender.graph
+        for user in range(0, graph.n_users, 7):
+            neighbors = graph.neighbors(user)
+            for candidate, _ in recommender.recommend(user, k=10):
+                assert candidate not in neighbors
+                assert candidate != user
+
+    def test_ordering(self, recommender):
+        out = recommender.recommend(0, k=10)
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_bounds(self, recommender):
+        assert len(recommender.recommend(0, k=3)) <= 3
+
+    def test_unknown_user(self, recommender):
+        with pytest.raises(UnknownNodeError):
+            recommender.recommend(10_000)
+
+    def test_invalid_k(self, recommender):
+        with pytest.raises(Exception):
+            recommender.recommend(0, k=0)
+
+    def test_fully_connected_user_gets_nothing(self):
+        # star center connected to everyone
+        n = 4
+        adjacency = pairs_to_matrix([(0, 1), (0, 2), (0, 3)], n)
+        graph = SocialGraph(adjacency)
+
+        class _Stub:
+            score_matrix = np.ones((n, n))
+
+        recommender = LinkRecommender(_Stub(), graph)
+        assert recommender.recommend(0, k=5) == []
+
+    def test_recommend_all_covers_users(self, recommender):
+        out = recommender.recommend_all(k=2)
+        assert set(out) == set(range(recommender.graph.n_users))
+
+    def test_recommend_above_threshold(self, recommender):
+        out = recommender.recommend_above(0, threshold=0.0)
+        assert all(score > 0.0 for _, score in out)
+
+
+class TestHitRate:
+    def test_hidden_links_recovered(self, recommender, split):
+        rate = recommender.hit_rate(split.test_links, k=20)
+        assert 0.0 <= rate <= 1.0
+        # CN on this substrate recovers a meaningful share of hidden links.
+        assert rate > 0.2
+
+    def test_empty_held_out_rejected(self, recommender):
+        with pytest.raises(EvaluationError):
+            recommender.hit_rate([])
+
+    def test_perfect_when_links_ranked_first(self):
+        n = 4
+        adjacency = np.zeros((n, n))
+        graph = SocialGraph(adjacency)
+
+        class _Stub:
+            score_matrix = pairs_to_matrix([(0, 1)], n, values=[5.0])
+
+        recommender = LinkRecommender(_Stub(), graph)
+        assert recommender.hit_rate([(0, 1)], k=1) == 1.0

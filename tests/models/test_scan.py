@@ -1,0 +1,89 @@
+"""Tests for repro.models.scan."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.features.intimacy import IntimacyFeatureExtractor
+from repro.models.scan import ScanPredictor
+
+
+class TestConfiguration:
+    def test_default_name(self):
+        assert ScanPredictor().name == "SCAN"
+
+    def test_variant_names(self):
+        assert ScanPredictor.target_only().name == "SCAN-T"
+        assert ScanPredictor.source_only().name == "SCAN-S"
+
+    def test_custom_name(self):
+        assert ScanPredictor(display_name="X").name == "X"
+
+    def test_rejects_no_blocks(self):
+        with pytest.raises(ConfigurationError):
+            ScanPredictor(use_target=False, use_sources=False)
+
+    def test_rejects_bad_negative_ratio(self):
+        with pytest.raises(Exception):
+            ScanPredictor(negative_ratio=0.0)
+
+
+class TestFitting:
+    def test_fit_and_score(self, task, split):
+        model = ScanPredictor().fit(task)
+        scores = model.score_pairs(split.test_pairs)
+        assert scores.shape == (len(split.test_pairs),)
+        assert 0.0 <= scores.min() and scores.max() <= 1.0
+
+    def test_unfitted_raises(self, split):
+        with pytest.raises(NotFittedError):
+            ScanPredictor().score_pairs(split.test_pairs)
+
+    def test_beats_random(self, task, split):
+        from repro.evaluation.metrics import auc_score
+
+        model = ScanPredictor().fit(task)
+        auc = auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+        assert auc > 0.6
+
+    def test_target_only_ignores_sources(self, aligned, split):
+        """SCAN-T must give identical scores whatever the anchors are."""
+        from repro.models.base import TransferTask
+
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        full = TransferTask(
+            aligned.target, split.training_graph,
+            list(aligned.sources), list(aligned.anchors), rng_a,
+        )
+        none = TransferTask(
+            aligned.target, split.training_graph,
+            list(aligned.sources),
+            [aligned.anchors[0].sample(0.0)], rng_b,
+        )
+        a = ScanPredictor.target_only().fit(full).score_pairs(split.test_pairs)
+        b = ScanPredictor.target_only().fit(none).score_pairs(split.test_pairs)
+        assert np.allclose(a, b)
+
+    def test_source_only_flat_without_anchors(self, aligned, split):
+        """SCAN-S with zero anchors sees all-zero features → constant scores."""
+        from repro.models.base import TransferTask
+
+        task = TransferTask(
+            aligned.target,
+            split.training_graph,
+            list(aligned.sources),
+            [aligned.anchors[0].sample(0.0)],
+            np.random.default_rng(0),
+        )
+        scores = ScanPredictor.source_only().fit(task).score_pairs(
+            split.test_pairs
+        )
+        assert np.allclose(scores, scores[0])
+
+    def test_custom_extractor(self, task, split):
+        extractor = IntimacyFeatureExtractor(features=["common_neighbors"])
+        model = ScanPredictor(extractor=extractor).fit(task)
+        assert model.score_pairs(split.test_pairs).shape[0] == len(
+            split.test_pairs
+        )

@@ -1,0 +1,156 @@
+"""Tests for repro.models.slampred."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.evaluation.metrics import auc_score
+from repro.models.base import TransferTask
+from repro.models.slampred import SlamPred, SlamPredH, SlamPredT
+
+
+@pytest.fixture(scope="module")
+def fitted_models(aligned, split):
+    """Fit the three variants once (module scope — fitting is the slow part)."""
+    models = {}
+    for cls in (SlamPred, SlamPredT, SlamPredH):
+        task = TransferTask(
+            aligned.target,
+            split.training_graph,
+            list(aligned.sources),
+            list(aligned.anchors),
+            np.random.default_rng(77),
+        )
+        models[cls.__name__] = cls().fit(task)
+    return models
+
+
+class TestConfiguration:
+    def test_names(self):
+        assert SlamPred().name == "SLAMPRED"
+        assert SlamPredT().name == "SLAMPRED-T"
+        assert SlamPredH().name == "SLAMPRED-H"
+
+    def test_variant_flags(self):
+        assert SlamPredT().use_attributes and not SlamPredT().use_sources
+        assert not SlamPredH().use_attributes
+
+    def test_sources_require_attributes(self):
+        with pytest.raises(ConfigurationError):
+            SlamPred(use_attributes=False, use_sources=True)
+
+    def test_per_source_alphas(self):
+        model = SlamPred(alpha_sources=[0.3, 0.7])
+        assert model.alpha_sources == [0.3, 0.7]
+
+    def test_alpha_count_mismatch_surfaces_at_fit(self, task):
+        model = SlamPred(alpha_sources=[0.3, 0.7])
+        with pytest.raises(ConfigurationError, match="alphas"):
+            model.fit(task)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            SlamPred(gamma=-1.0)
+        with pytest.raises(ConfigurationError):
+            SlamPred(alpha_target=-0.5)
+
+    def test_unfitted_result_raises(self):
+        with pytest.raises(NotFittedError):
+            SlamPred().result
+
+
+class TestFitting:
+    def test_score_matrix_properties(self, fitted_models, aligned):
+        n = aligned.target.n_users
+        for model in fitted_models.values():
+            matrix = model.score_matrix
+            assert matrix.shape == (n, n)
+            assert matrix.min() >= 0.0
+            assert matrix.max() <= 1.0
+            assert not matrix.diagonal().any()
+
+    def test_history_available(self, fitted_models):
+        result = fitted_models["SlamPred"].result
+        assert result.history.n_iterations > 0
+        assert len(result.round_norms) == result.n_rounds
+
+    def test_adapter_fitted_only_with_sources(self, fitted_models):
+        assert fitted_models["SlamPred"].adapter is not None
+        assert fitted_models["SlamPredT"].adapter is None
+        assert fitted_models["SlamPredH"].adapter is None
+
+    def test_all_beat_random(self, fitted_models, split):
+        for name, model in fitted_models.items():
+            auc = auc_score(
+                model.score_pairs(split.test_pairs), split.test_labels
+            )
+            assert auc > 0.52, f"{name} scored {auc}"
+
+    def test_paper_ordering(self, fitted_models, split):
+        """Table II: SLAMPRED ≥ SLAMPRED-T > SLAMPRED-H (full anchors)."""
+        aucs = {
+            name: auc_score(
+                model.score_pairs(split.test_pairs), split.test_labels
+            )
+            for name, model in fitted_models.items()
+        }
+        assert aucs["SlamPred"] >= aucs["SlamPredT"] - 0.03
+        assert aucs["SlamPredT"] > aucs["SlamPredH"]
+
+    def test_zero_anchor_ratio_equals_target_only(self, aligned, split):
+        """With no anchors, SLAMPRED degenerates to SLAMPRED-T exactly."""
+
+        def run(cls, anchors):
+            task = TransferTask(
+                aligned.target,
+                split.training_graph,
+                list(aligned.sources),
+                anchors,
+                np.random.default_rng(3),
+            )
+            return cls().fit(task).score_pairs(split.test_pairs)
+
+        empty = [aligned.anchors[0].sample(0.0)]
+        full_model = run(SlamPred, empty)
+        t_model = run(SlamPredT, list(aligned.anchors))
+        assert np.allclose(full_model, t_model)
+
+    def test_anchor_ratio_monotonicity(self, aligned, split):
+        """More anchors should not substantially hurt (Table II trend)."""
+
+        def auc_at(ratio):
+            sampled = aligned.sample_anchors(ratio, random_state=5)
+            task = TransferTask(
+                aligned.target,
+                split.training_graph,
+                list(sampled.sources),
+                list(sampled.anchors),
+                np.random.default_rng(3),
+            )
+            model = SlamPred().fit(task)
+            return auc_score(
+                model.score_pairs(split.test_pairs), split.test_labels
+            )
+
+        low, high = auc_at(0.0), auc_at(1.0)
+        assert high > low - 0.02
+
+    def test_deterministic(self, aligned, split):
+        def run():
+            task = TransferTask(
+                aligned.target,
+                split.training_graph,
+                list(aligned.sources),
+                list(aligned.anchors),
+                np.random.default_rng(13),
+            )
+            return SlamPred().fit(task).score_pairs(split.test_pairs)
+
+        assert np.allclose(run(), run())
+
+    def test_training_links_score_high(self, fitted_models, split):
+        model = fitted_models["SlamPred"]
+        train_links = sorted(split.training_graph.links())[:50]
+        train_scores = model.score_pairs(train_links)
+        non_link_scores = model.score_pairs(split.test_non_links)
+        assert train_scores.mean() > non_link_scores.mean()

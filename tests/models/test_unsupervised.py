@@ -1,0 +1,91 @@
+"""Tests for repro.models.unsupervised."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import TransferTask
+from repro.models.unsupervised import (
+    AdamicAdar,
+    CommonNeighbors,
+    JaccardCoefficient,
+    KatzIndex,
+    PreferentialAttachment,
+    ResourceAllocation,
+)
+
+ALL_PREDICTORS = [
+    CommonNeighbors,
+    JaccardCoefficient,
+    PreferentialAttachment,
+    AdamicAdar,
+    ResourceAllocation,
+    KatzIndex,
+]
+
+
+@pytest.fixture()
+def fitted_task(aligned, split):
+    return TransferTask(aligned.target, split.training_graph)
+
+
+class TestAllPredictors:
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_fit_and_score(self, cls, fitted_task, split):
+        model = cls().fit(fitted_task)
+        scores = model.score_pairs(split.test_pairs)
+        assert scores.shape == (len(split.test_pairs),)
+        assert np.isfinite(scores).all()
+
+    @pytest.mark.parametrize("cls", ALL_PREDICTORS)
+    def test_scores_non_negative(self, cls, fitted_task, split):
+        model = cls().fit(fitted_task)
+        assert model.score_pairs(split.test_pairs).min() >= 0.0
+
+    @pytest.mark.parametrize(
+        "cls,name",
+        [
+            (CommonNeighbors, "CN"),
+            (JaccardCoefficient, "JC"),
+            (PreferentialAttachment, "PA"),
+            (AdamicAdar, "AA"),
+            (ResourceAllocation, "RA"),
+            (KatzIndex, "Katz"),
+        ],
+    )
+    def test_display_names(self, cls, name):
+        assert cls().name == name
+
+
+class TestBehaviour:
+    def test_cn_matches_structure(self, fitted_task):
+        model = CommonNeighbors().fit(fitted_task)
+        adjacency = fitted_task.training_graph.adjacency
+        expected = adjacency @ adjacency
+        np.fill_diagonal(expected, 0.0)
+        assert np.allclose(model.score_matrix, expected)
+
+    def test_neighborhood_predictors_beat_random(
+        self, fitted_task, split
+    ):
+        """CN/JC should rank held-out links above sampled non-links."""
+        from repro.evaluation.metrics import auc_score
+
+        for cls in (CommonNeighbors, JaccardCoefficient, AdamicAdar):
+            model = cls().fit(fitted_task)
+            auc = auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+            assert auc > 0.55, f"{model.name} scored {auc}"
+
+    def test_katz_parameters(self, fitted_task):
+        short = KatzIndex(beta=0.1, max_length=1).fit(fitted_task)
+        long = KatzIndex(beta=0.1, max_length=4).fit(fitted_task)
+        assert long.score_matrix.sum() > short.score_matrix.sum()
+
+    def test_uses_training_view_not_full_graph(self, aligned, split):
+        """Masked links must not contribute to the scores."""
+        task = TransferTask(aligned.target, split.training_graph)
+        model = CommonNeighbors().fit(task)
+        masked_pair = split.test_links[0]
+        adjacency = split.training_graph.adjacency
+        assert adjacency[masked_pair] == 0.0
+        expected = adjacency @ adjacency
+        assert model.score_matrix[masked_pair] == expected[masked_pair]

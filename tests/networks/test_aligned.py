@@ -1,0 +1,132 @@
+"""Tests for repro.networks.aligned."""
+
+import pytest
+
+from repro.exceptions import AlignmentError
+from repro.networks.aligned import AlignedNetworks, AnchorLinks
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+def _network(name, n_users):
+    net = HeterogeneousNetwork(name)
+    net.add_users(n_users)
+    return net
+
+
+class TestAnchorLinks:
+    def test_basic(self):
+        anchors = AnchorLinks([(0, 5), (1, 6)])
+        assert len(anchors) == 2
+        assert (0, 5) in anchors
+        assert (0, 6) not in anchors
+
+    def test_map_forward_backward(self):
+        anchors = AnchorLinks([(0, 5)])
+        assert anchors.map_forward(0) == 5
+        assert anchors.map_backward(5) == 0
+        assert anchors.map_forward(1) is None
+        assert anchors.map_backward(0) is None
+
+    def test_one_to_one_first(self):
+        with pytest.raises(AlignmentError, match="anchored twice"):
+            AnchorLinks([(0, 5), (0, 6)])
+
+    def test_one_to_one_second(self):
+        with pytest.raises(AlignmentError, match="anchored twice"):
+            AnchorLinks([(0, 5), (1, 5)])
+
+    def test_reversed(self):
+        anchors = AnchorLinks([(0, 5), (1, 6)]).reversed()
+        assert anchors.map_forward(5) == 0
+        assert anchors.map_forward(6) == 1
+
+    def test_empty(self):
+        anchors = AnchorLinks()
+        assert len(anchors) == 0
+        assert anchors.pairs == frozenset()
+
+
+class TestAnchorSampling:
+    def test_ratio_zero(self):
+        anchors = AnchorLinks([(i, i) for i in range(10)])
+        assert len(anchors.sample(0.0, random_state=0)) == 0
+
+    def test_ratio_one(self):
+        anchors = AnchorLinks([(i, i) for i in range(10)])
+        sampled = anchors.sample(1.0, random_state=0)
+        assert sampled.pairs == anchors.pairs
+
+    def test_ratio_half(self):
+        anchors = AnchorLinks([(i, i) for i in range(10)])
+        assert len(anchors.sample(0.5, random_state=0)) == 5
+
+    def test_subset(self):
+        anchors = AnchorLinks([(i, i + 100) for i in range(20)])
+        sampled = anchors.sample(0.3, random_state=1)
+        assert sampled.pairs <= anchors.pairs
+
+    def test_deterministic(self):
+        anchors = AnchorLinks([(i, i) for i in range(20)])
+        a = anchors.sample(0.4, random_state=7).pairs
+        b = anchors.sample(0.4, random_state=7).pairs
+        assert a == b
+
+    def test_invalid_ratio(self):
+        with pytest.raises(Exception):
+            AnchorLinks([(0, 0)]).sample(1.5)
+
+
+class TestAlignedNetworks:
+    def test_basic(self):
+        target = _network("t", 3)
+        source = _network("s", 3)
+        aligned = AlignedNetworks(target, [source], [AnchorLinks([(0, 0)])])
+        assert aligned.n_sources == 1
+        assert aligned.networks == [target, source]
+
+    def test_count_mismatch(self):
+        with pytest.raises(AlignmentError, match="anchor sets"):
+            AlignedNetworks(_network("t", 2), [_network("s", 2)], [])
+
+    def test_unknown_target_user(self):
+        with pytest.raises(AlignmentError, match="target user"):
+            AlignedNetworks(
+                _network("t", 2), [_network("s", 2)], [AnchorLinks([(5, 0)])]
+            )
+
+    def test_unknown_source_user(self):
+        with pytest.raises(AlignmentError, match="source"):
+            AlignedNetworks(
+                _network("t", 2), [_network("s", 2)], [AnchorLinks([(0, 5)])]
+            )
+
+    def test_anchor_ratio(self):
+        aligned = AlignedNetworks(
+            _network("t", 4),
+            [_network("s", 4)],
+            [AnchorLinks([(0, 0), (1, 1)])],
+        )
+        assert aligned.anchor_ratio() == pytest.approx(0.5)
+
+    def test_sample_anchors_returns_copy(self):
+        aligned = AlignedNetworks(
+            _network("t", 4),
+            [_network("s", 4)],
+            [AnchorLinks([(i, i) for i in range(4)])],
+        )
+        sampled = aligned.sample_anchors(0.5, random_state=0)
+        assert len(sampled.anchors[0]) == 2
+        assert len(aligned.anchors[0]) == 4
+        assert sampled.target is aligned.target
+
+
+class TestGeneratedAligned:
+    def test_fixture_shape(self, aligned):
+        assert aligned.n_sources == 1
+        assert aligned.target.n_users > 10
+
+    def test_anchor_consistency(self, aligned):
+        target_users = set(aligned.target.user_ids)
+        source_users = set(aligned.sources[0].user_ids)
+        for t, s in aligned.anchors[0].pairs:
+            assert t in target_users and s in source_users

@@ -1,0 +1,66 @@
+"""Tests for repro.networks.entities."""
+
+import pytest
+
+from repro.networks.entities import (
+    Location,
+    NodeType,
+    Post,
+    Timestamp,
+    User,
+    Word,
+)
+
+
+class TestNodeTypes:
+    def test_user(self):
+        assert User(3).node_type is NodeType.USER
+
+    def test_word(self):
+        assert Word(5).node_type is NodeType.WORD
+
+    def test_location(self):
+        assert Location(1, 10.0, 20.0).node_type is NodeType.LOCATION
+
+    def test_timestamp(self):
+        assert Timestamp(12).node_type is NodeType.TIMESTAMP
+
+    def test_post(self):
+        assert Post(0, 1).node_type is NodeType.POST
+
+
+class TestPost:
+    def test_default_has_no_checkin(self):
+        assert not Post(0, 1).has_checkin
+
+    def test_checkin(self):
+        assert Post(0, 1, location_id=5).has_checkin
+
+    def test_word_ids_tuple(self):
+        post = Post(0, 1, word_ids=(3, 4, 3))
+        assert post.word_ids == (3, 4, 3)
+
+    def test_frozen(self):
+        post = Post(0, 1)
+        with pytest.raises(AttributeError):
+            post.hour = 5
+
+
+class TestTimestamp:
+    @pytest.mark.parametrize("hour", [0, 12, 23])
+    def test_valid_hours(self, hour):
+        assert Timestamp(hour).hour == hour
+
+    @pytest.mark.parametrize("hour", [-1, 24, 30])
+    def test_invalid_hours(self, hour):
+        with pytest.raises(ValueError, match="hour"):
+            Timestamp(hour)
+
+
+class TestEquality:
+    def test_users_equal_by_id(self):
+        assert User(1) == User(1)
+        assert User(1) != User(2)
+
+    def test_hashable(self):
+        assert len({User(1), User(1), User(2)}) == 2

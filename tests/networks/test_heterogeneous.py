@@ -1,0 +1,161 @@
+"""Tests for repro.networks.heterogeneous."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DuplicateNodeError,
+    NetworkError,
+    UnknownNodeError,
+)
+from repro.networks.heterogeneous import HeterogeneousNetwork
+
+
+@pytest.fixture()
+def network():
+    net = HeterogeneousNetwork("test")
+    net.add_users(4)
+    net.add_location(0, 1.0, 2.0)
+    net.add_location(1)
+    net.add_post(0, 0, word_ids=[1, 2], hour=9, location_id=0)
+    net.add_post(1, 0, word_ids=[2, 3], hour=10)
+    net.add_post(2, 1, word_ids=[], hour=23, location_id=1)
+    net.add_social_link(0, 1)
+    net.add_social_link(1, 2)
+    return net
+
+
+class TestNodeManagement:
+    def test_add_users_counts(self, network):
+        assert network.n_users == 4
+
+    def test_add_users_consecutive_ids(self):
+        net = HeterogeneousNetwork()
+        net.add_user(10)
+        users = net.add_users(2)
+        assert [u.user_id for u in users] == [11, 12]
+
+    def test_duplicate_user_raises(self, network):
+        with pytest.raises(DuplicateNodeError):
+            network.add_user(0)
+
+    def test_duplicate_location_raises(self, network):
+        with pytest.raises(DuplicateNodeError):
+            network.add_location(0)
+
+    def test_duplicate_post_raises(self, network):
+        with pytest.raises(DuplicateNodeError):
+            network.add_post(0, 1)
+
+    def test_post_unknown_author(self, network):
+        with pytest.raises(UnknownNodeError, match="author"):
+            network.add_post(99, 42)
+
+    def test_post_unknown_location(self, network):
+        with pytest.raises(UnknownNodeError, match="location"):
+            network.add_post(99, 0, location_id=77)
+
+    def test_post_invalid_hour(self, network):
+        with pytest.raises(NetworkError, match="hour"):
+            network.add_post(99, 0, hour=24)
+
+    def test_user_lookup(self, network):
+        assert network.user(2).user_id == 2
+        with pytest.raises(UnknownNodeError):
+            network.user(42)
+
+    def test_post_lookup(self, network):
+        assert network.post(1).author_id == 0
+        with pytest.raises(UnknownNodeError):
+            network.post(42)
+
+    def test_location_lookup(self, network):
+        assert network.location(0).latitude == 1.0
+        with pytest.raises(UnknownNodeError):
+            network.location(9)
+
+
+class TestSocialLinks:
+    def test_undirected(self, network):
+        assert network.has_social_link(1, 0)
+        assert network.has_social_link(0, 1)
+
+    def test_self_link_rejected(self, network):
+        with pytest.raises(NetworkError, match="self-links"):
+            network.add_social_link(2, 2)
+
+    def test_unknown_user_rejected(self, network):
+        with pytest.raises(UnknownNodeError):
+            network.add_social_link(0, 42)
+
+    def test_idempotent_add(self, network):
+        network.add_social_link(0, 1)
+        assert network.n_social_links == 2
+
+    def test_remove(self, network):
+        network.remove_social_link(1, 0)
+        assert not network.has_social_link(0, 1)
+
+    def test_remove_missing_raises(self, network):
+        with pytest.raises(NetworkError, match="no social link"):
+            network.remove_social_link(0, 3)
+
+    def test_neighbors(self, network):
+        assert network.neighbors(1) == {0, 2}
+        assert network.neighbors(3) == set()
+
+    def test_neighbors_unknown_user(self, network):
+        with pytest.raises(UnknownNodeError):
+            network.neighbors(42)
+
+
+class TestCountsAndStats:
+    def test_counts(self, network):
+        assert network.n_posts == 3
+        assert network.n_locations == 2
+        assert network.n_words == 3  # {1, 2, 3}
+        assert network.n_checkins == 2
+        assert network.n_social_links == 2
+
+    def test_stats_keys(self, network):
+        stats = network.stats()
+        assert stats["users"] == 4
+        assert stats["locate_links"] == 2
+        assert stats["write_links"] == stats["posts"]
+
+    def test_posts_of(self, network):
+        assert [p.post_id for p in network.posts_of(0)] == [0, 1]
+        assert network.posts_of(3) == []
+
+    def test_posts_of_unknown(self, network):
+        with pytest.raises(UnknownNodeError):
+            network.posts_of(42)
+
+    def test_posts_ordering(self, network):
+        assert [p.post_id for p in network.posts()] == [0, 1, 2]
+
+
+class TestMatrixViews:
+    def test_adjacency_symmetric_binary(self, network):
+        a = network.adjacency_matrix()
+        assert a.shape == (4, 4)
+        assert np.array_equal(a, a.T)
+        assert set(np.unique(a)) <= {0.0, 1.0}
+        assert np.all(np.diag(a) == 0)
+
+    def test_adjacency_entries(self, network):
+        a = network.adjacency_matrix()
+        assert a[0, 1] == 1.0 and a[1, 2] == 1.0 and a[0, 3] == 0.0
+
+    def test_degree_vector(self, network):
+        degrees = network.degree_vector()
+        assert list(degrees) == [1.0, 2.0, 1.0, 0.0]
+
+    def test_user_index_sorted(self):
+        net = HeterogeneousNetwork()
+        net.add_user(7)
+        net.add_user(3)
+        assert net.user_index() == {3: 0, 7: 1}
+
+    def test_repr(self, network):
+        assert "users=4" in repr(network)

@@ -1,0 +1,94 @@
+"""Tests for repro.networks.io."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.io import (
+    load_aligned_npz,
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_aligned_npz,
+    save_network_json,
+)
+
+
+@pytest.fixture()
+def network():
+    net = HeterogeneousNetwork("roundtrip")
+    net.add_users(3)
+    net.add_location(0, 12.5, -3.25)
+    net.add_post(0, 1, word_ids=[4, 5], hour=13, location_id=0)
+    net.add_post(1, 2, word_ids=[], hour=0)
+    net.add_social_link(0, 2)
+    return net
+
+
+class TestDictRoundTrip:
+    def test_roundtrip(self, network):
+        rebuilt = network_from_dict(network_to_dict(network))
+        assert rebuilt.name == network.name
+        assert rebuilt.stats() == network.stats()
+        assert rebuilt.social_links == network.social_links
+
+    def test_posts_preserved(self, network):
+        rebuilt = network_from_dict(network_to_dict(network))
+        post = rebuilt.post(0)
+        assert post.word_ids == (4, 5)
+        assert post.hour == 13
+        assert post.location_id == 0
+
+    def test_location_coordinates(self, network):
+        rebuilt = network_from_dict(network_to_dict(network))
+        loc = rebuilt.location(0)
+        assert loc.latitude == 12.5 and loc.longitude == -3.25
+
+    def test_bad_version(self, network):
+        payload = network_to_dict(network)
+        payload["version"] = 999
+        with pytest.raises(SerializationError, match="version"):
+            network_from_dict(payload)
+
+    def test_malformed_payload(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"version": 1, "name": "x"})
+
+    def test_dict_is_json_serializable(self, network):
+        json.dumps(network_to_dict(network))
+
+
+class TestJsonFiles:
+    def test_roundtrip(self, network, tmp_path):
+        path = str(tmp_path / "net.json")
+        save_network_json(network, path)
+        rebuilt = load_network_json(path)
+        assert rebuilt.stats() == network.stats()
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            load_network_json(str(path))
+
+
+class TestAlignedNpz:
+    def test_roundtrip(self, aligned, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        save_aligned_npz(aligned, path)
+        rebuilt = load_aligned_npz(path)
+        assert rebuilt.n_sources == aligned.n_sources
+        assert rebuilt.target.stats() == aligned.target.stats()
+        assert rebuilt.anchors[0].pairs == aligned.anchors[0].pairs
+        assert (
+            rebuilt.sources[0].social_links == aligned.sources[0].social_links
+        )
+
+    def test_missing_sidecar(self, aligned, tmp_path):
+        path = str(tmp_path / "bundle.npz")
+        save_aligned_npz(aligned, path)
+        (tmp_path / "bundle.networks.json").unlink()
+        with pytest.raises(SerializationError, match="side-car"):
+            load_aligned_npz(path)

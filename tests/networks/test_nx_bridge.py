@@ -1,0 +1,101 @@
+"""Tests for repro.networks.nx_bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.nx_bridge import (
+    network_from_networkx,
+    network_to_networkx,
+    social_graph_to_networkx,
+)
+from repro.networks.social import SocialGraph
+
+
+@pytest.fixture()
+def network():
+    net = HeterogeneousNetwork("bridge")
+    net.add_users(3)
+    net.add_location(0, 1.0, 2.0)
+    net.add_post(0, 0, word_ids=[5, 6], hour=10, location_id=0)
+    net.add_post(1, 1, word_ids=[5], hour=10)
+    net.add_social_link(0, 1)
+    net.add_social_link(1, 2)
+    return net
+
+
+class TestSocialGraphExport:
+    def test_structure_preserved(self, network):
+        graph = SocialGraph.from_network(network)
+        out = social_graph_to_networkx(graph)
+        assert out.number_of_nodes() == 3
+        assert out.number_of_edges() == 2
+        assert out.has_edge(0, 1) and out.has_edge(1, 2)
+
+    def test_isolated_users_kept(self):
+        net = HeterogeneousNetwork()
+        net.add_users(4)
+        out = social_graph_to_networkx(SocialGraph.from_network(net))
+        assert out.number_of_nodes() == 4
+        assert out.number_of_edges() == 0
+
+
+class TestHeterogeneousExport:
+    def test_typed_nodes(self, network):
+        out = network_to_networkx(network)
+        types = nx.get_node_attributes(out, "node_type")
+        assert types[("user", 0)] == "user"
+        assert types[("post", 0)] == "post"
+        assert types[("location", 0)] == "location"
+        assert types[("word", 5)] == "word"
+        assert types[("timestamp", 10)] == "timestamp"
+
+    def test_edge_families(self, network):
+        out = network_to_networkx(network)
+        assert out.edges[("user", 0), ("user", 1)]["edge_type"] == "social"
+        assert out.edges[("user", 0), ("post", 0)]["edge_type"] == "write"
+        assert out.edges[("post", 0), ("location", 0)]["edge_type"] == "locate"
+        assert out.edges[("post", 0), ("word", 5)]["edge_type"] == "word"
+        assert out.edges[("post", 0), ("timestamp", 10)]["edge_type"] == "time"
+
+    def test_social_only(self, network):
+        out = network_to_networkx(network, include_attributes=False)
+        assert out.number_of_nodes() == 3
+        assert out.number_of_edges() == 2
+
+    def test_shared_word_node(self, network):
+        out = network_to_networkx(network)
+        # word 5 is used by both posts and appears once
+        assert out.degree(("word", 5)) == 2
+
+    def test_location_coordinates(self, network):
+        out = network_to_networkx(network)
+        assert out.nodes[("location", 0)]["latitude"] == 1.0
+
+
+class TestImport:
+    def test_roundtrip_social_structure(self, network):
+        exported = social_graph_to_networkx(SocialGraph.from_network(network))
+        imported = network_from_networkx(exported)
+        assert imported.n_users == network.n_users
+        assert imported.social_links == network.social_links
+
+    def test_karate_club(self):
+        graph = nx.karate_club_graph()
+        network = network_from_networkx(graph, name="karate")
+        assert network.n_users == graph.number_of_nodes()
+        assert network.n_social_links == graph.number_of_edges()
+
+    def test_self_loops_dropped(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        graph.add_edge(0, 1)
+        network = network_from_networkx(graph)
+        assert network.n_social_links == 1
+
+    def test_non_integer_nodes_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(NetworkError, match="integer"):
+            network_from_networkx(graph)

@@ -1,0 +1,124 @@
+"""Tests for repro.networks.social."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError, UnknownNodeError
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.networks.social import SocialGraph
+
+
+@pytest.fixture()
+def adjacency():
+    a = np.zeros((4, 4))
+    for i, j in [(0, 1), (1, 2), (0, 2)]:
+        a[i, j] = a[j, i] = 1.0
+    return a
+
+
+@pytest.fixture()
+def graph(adjacency):
+    return SocialGraph(adjacency)
+
+
+class TestConstruction:
+    def test_basic(self, graph):
+        assert graph.n_users == 4
+        assert graph.n_links == 3
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(NetworkError, match="square"):
+            SocialGraph(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        a = np.zeros((2, 2))
+        a[0, 1] = 1.0
+        with pytest.raises(NetworkError, match="symmetric"):
+            SocialGraph(a)
+
+    def test_rejects_nonzero_diagonal(self):
+        a = np.eye(2)
+        with pytest.raises(NetworkError, match="diagonal"):
+            SocialGraph(a)
+
+    def test_rejects_non_binary(self, adjacency):
+        adjacency[0, 1] = adjacency[1, 0] = 0.5
+        with pytest.raises(NetworkError, match="binary"):
+            SocialGraph(adjacency)
+
+    def test_rejects_wrong_user_ids_length(self, adjacency):
+        with pytest.raises(NetworkError, match="user_ids"):
+            SocialGraph(adjacency, user_ids=[1, 2])
+
+    def test_rejects_duplicate_user_ids(self, adjacency):
+        with pytest.raises(NetworkError, match="duplicates"):
+            SocialGraph(adjacency, user_ids=[1, 1, 2, 3])
+
+    def test_adjacency_read_only(self, graph):
+        with pytest.raises(ValueError):
+            graph.adjacency[0, 1] = 0.0
+
+    def test_from_network(self):
+        net = HeterogeneousNetwork()
+        net.add_users(3)
+        net.add_social_link(0, 2)
+        graph = SocialGraph.from_network(net)
+        assert graph.n_links == 1
+        assert graph.adjacency[0, 2] == 1.0
+
+
+class TestQueries:
+    def test_degrees(self, graph):
+        assert list(graph.degrees()) == [2.0, 2.0, 2.0, 0.0]
+
+    def test_degree_single(self, graph):
+        assert graph.degree(3) == 0
+
+    def test_neighbors(self, graph):
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.neighbors(3) == set()
+
+    def test_links_canonical(self, graph):
+        assert graph.links() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_non_links(self, graph):
+        assert set(graph.non_links()) == {(0, 3), (1, 3), (2, 3)}
+
+    def test_links_and_non_links_partition(self, graph):
+        n = graph.n_users
+        assert len(graph.links()) + len(graph.non_links()) == n * (n - 1) // 2
+
+    def test_common_neighbors(self, graph):
+        assert graph.common_neighbors(0, 1) == {2}
+
+    def test_density(self, graph):
+        assert graph.density() == pytest.approx(0.5)
+
+    def test_density_tiny(self):
+        assert SocialGraph(np.zeros((1, 1))).density() == 0.0
+
+    def test_index_of(self, adjacency):
+        graph = SocialGraph(adjacency, user_ids=[10, 20, 30, 40])
+        assert graph.index_of(30) == 2
+        with pytest.raises(UnknownNodeError):
+            graph.index_of(99)
+
+
+class TestMasking:
+    def test_mask_removes(self, graph):
+        masked = graph.mask_links([(0, 1)])
+        assert masked.n_links == 2
+        assert (0, 1) not in masked.links()
+
+    def test_mask_does_not_mutate_original(self, graph):
+        graph.mask_links([(0, 1)])
+        assert graph.n_links == 3
+
+    def test_mask_missing_raises(self, graph):
+        with pytest.raises(NetworkError, match="not present"):
+            graph.mask_links([(0, 3)])
+
+    def test_mask_preserves_user_ids(self, adjacency):
+        graph = SocialGraph(adjacency, user_ids=[5, 6, 7, 8])
+        masked = graph.mask_links([(0, 1)])
+        assert masked.user_ids == [5, 6, 7, 8]

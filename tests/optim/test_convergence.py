@@ -1,0 +1,62 @@
+"""Tests for repro.optim.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.optim.convergence import ConvergenceCriterion, IterationHistory
+
+
+class TestCriterion:
+    def test_satisfied(self):
+        criterion = ConvergenceCriterion(tolerance=0.1)
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.01)
+        assert criterion.satisfied(a, b)
+
+    def test_not_satisfied(self):
+        criterion = ConvergenceCriterion(tolerance=0.01)
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.1)
+        assert not criterion.satisfied(a, b)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(Exception):
+            ConvergenceCriterion(tolerance=0.0)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(Exception):
+            ConvergenceCriterion(max_iterations=0)
+
+    def test_frozen(self):
+        criterion = ConvergenceCriterion()
+        with pytest.raises(Exception):
+            criterion.tolerance = 1.0
+
+
+class TestHistory:
+    def test_record(self):
+        history = IterationHistory()
+        history.record(np.ones((2, 2)), np.zeros((2, 2)))
+        assert history.variable_norms == [4.0]
+        assert history.update_norms == [4.0]
+        assert history.objective_values == []
+
+    def test_record_with_objective(self):
+        history = IterationHistory()
+        history.record(np.ones((2, 2)), np.ones((2, 2)), objective=3.5)
+        assert history.objective_values == [3.5]
+        assert history.update_norms == [0.0]
+
+    def test_n_iterations(self):
+        history = IterationHistory()
+        for _ in range(3):
+            history.record(np.zeros((1, 1)), np.zeros((1, 1)))
+        assert history.n_iterations == 3
+
+    def test_extend(self):
+        a = IterationHistory([1.0], [0.1], [5.0])
+        b = IterationHistory([2.0], [0.2], [])
+        a.extend(b)
+        assert a.variable_norms == [1.0, 2.0]
+        assert a.update_norms == [0.1, 0.2]
+        assert a.objective_values == [5.0]

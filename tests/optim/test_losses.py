@@ -1,0 +1,122 @@
+"""Tests for repro.optim.losses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optim.losses import (
+    LinearizedIntimacyTerm,
+    MaskedSquaredLoss,
+    SquaredFrobeniusLoss,
+    empirical_link_loss,
+    intimacy_score,
+)
+
+
+class TestSquaredFrobenius:
+    def test_value_at_target_is_zero(self, rng):
+        target = rng.random((4, 4))
+        assert SquaredFrobeniusLoss(target).value(target) == 0.0
+
+    def test_value(self):
+        loss = SquaredFrobeniusLoss(np.zeros((2, 2)))
+        assert loss.value(np.ones((2, 2))) == 4.0
+
+    def test_gradient(self):
+        loss = SquaredFrobeniusLoss(np.zeros((2, 2)))
+        grad = loss.gradient(np.ones((2, 2)))
+        assert np.array_equal(grad, 2 * np.ones((2, 2)))
+
+    def test_gradient_matches_finite_difference(self, rng):
+        target = rng.random((3, 3))
+        loss = SquaredFrobeniusLoss(target)
+        point = rng.random((3, 3))
+        grad = loss.gradient(point)
+        eps = 1e-6
+        bump = np.zeros_like(point)
+        bump[1, 2] = eps
+        numeric = (loss.value(point + bump) - loss.value(point - bump)) / (2 * eps)
+        assert grad[1, 2] == pytest.approx(numeric, rel=1e-4)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(OptimizationError):
+            SquaredFrobeniusLoss(np.zeros((2, 3)))
+
+    def test_lipschitz(self):
+        assert SquaredFrobeniusLoss(np.zeros((2, 2))).lipschitz == 2.0
+
+
+class TestMaskedLoss:
+    def test_only_observed_count(self):
+        target = np.zeros((2, 2))
+        mask = np.array([[1.0, 0.0], [0.0, 0.0]])
+        loss = MaskedSquaredLoss(target, mask)
+        assert loss.value(np.ones((2, 2))) == 1.0
+
+    def test_gradient_zero_off_mask(self):
+        target = np.zeros((2, 2))
+        mask = np.array([[1.0, 0.0], [0.0, 1.0]])
+        grad = MaskedSquaredLoss(target, mask).gradient(np.ones((2, 2)))
+        assert grad[0, 1] == 0.0 and grad[0, 0] == 2.0
+
+    def test_rejects_non_binary_mask(self):
+        with pytest.raises(OptimizationError, match="binary"):
+            MaskedSquaredLoss(np.zeros((2, 2)), 0.5 * np.ones((2, 2)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(OptimizationError):
+            MaskedSquaredLoss(np.zeros((2, 2)), np.ones((3, 3)))
+
+
+class TestLinearizedIntimacy:
+    def test_value(self):
+        term = LinearizedIntimacyTerm(np.ones((2, 2)))
+        assert term.value(np.full((2, 2), 2.0)) == -8.0
+
+    def test_gradient_constant(self, rng):
+        g = rng.random((3, 3))
+        term = LinearizedIntimacyTerm(g)
+        assert np.array_equal(term.gradient(rng.random((3, 3))), -g)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(OptimizationError):
+            LinearizedIntimacyTerm(np.zeros((2, 3)))
+
+
+class TestEmpiricalLoss:
+    def test_all_correct(self):
+        predictor = np.array([[0.0, 0.9], [0.9, 0.0]])
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert empirical_link_loss(predictor, adjacency, [(0, 1)]) == 0.0
+
+    def test_all_wrong(self):
+        predictor = np.zeros((2, 2))
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert empirical_link_loss(predictor, adjacency, [(0, 1)]) == 1.0
+
+    def test_empty_links(self):
+        assert empirical_link_loss(np.zeros((2, 2)), np.zeros((2, 2)), []) == 0.0
+
+    def test_fraction(self):
+        predictor = np.array(
+            [[0.0, 0.9, 0.0], [0.9, 0.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        adjacency = np.ones((3, 3)) - np.eye(3)
+        loss = empirical_link_loss(predictor, adjacency, [(0, 1), (0, 2), (1, 2)])
+        assert loss == pytest.approx(2.0 / 3.0)
+
+
+class TestIntimacyScore:
+    def test_value(self):
+        predictor = np.array([[0.0, 1.0], [1.0, 0.0]])
+        features = np.ones((2, 2, 2))
+        assert intimacy_score(predictor, features) == 4.0
+
+    def test_absolute_values(self):
+        predictor = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        features = np.ones((1, 2, 2))
+        assert intimacy_score(predictor, features) == 2.0
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(OptimizationError):
+            intimacy_score(np.zeros((2, 2)), np.zeros((2, 2)))

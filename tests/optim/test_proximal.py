@@ -1,0 +1,125 @@
+"""Tests for repro.optim.proximal."""
+
+import numpy as np
+import pytest
+
+from repro.optim.proximal import (
+    BoxProjection,
+    L1Prox,
+    TraceNormProx,
+    singular_value_threshold,
+    soft_threshold,
+)
+from repro.utils.matrices import trace_norm
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        m = np.array([[3.0, -2.0], [0.5, -0.3]])
+        out = soft_threshold(m, 1.0)
+        assert np.allclose(out, [[2.0, -1.0], [0.0, 0.0]])
+
+    def test_zero_threshold_identity(self):
+        m = np.array([[1.0, -2.0]])
+        assert np.array_equal(soft_threshold(m, 0.0), m)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(Exception):
+            soft_threshold(np.zeros((2, 2)), -1.0)
+
+    def test_sign_preserved(self, rng):
+        m = rng.normal(size=(5, 5))
+        out = soft_threshold(m, 0.1)
+        nonzero = out != 0
+        assert np.all(np.sign(out[nonzero]) == np.sign(m[nonzero]))
+
+    def test_is_prox_of_l1(self, rng):
+        """prox minimizes ½‖x − y‖² + t‖x‖₁ — check against a grid."""
+        y = rng.normal(size=(3, 3))
+        t = 0.5
+        out = soft_threshold(y, t)
+        objective = lambda x: 0.5 * np.sum((x - y) ** 2) + t * np.abs(x).sum()
+        base = objective(out)
+        for _ in range(50):
+            perturbed = out + rng.normal(scale=0.05, size=out.shape)
+            assert objective(perturbed) >= base - 1e-12
+
+
+class TestSingularValueThreshold:
+    def test_diagonal(self):
+        m = np.diag([5.0, 2.0, 0.5])
+        out = singular_value_threshold(m, 1.0)
+        assert np.allclose(np.diag(out), [4.0, 1.0, 0.0])
+
+    def test_reduces_rank(self, rng):
+        m = rng.normal(size=(6, 6))
+        singular = np.linalg.svd(m, compute_uv=False)
+        out = singular_value_threshold(m, singular[2])
+        out_singular = np.linalg.svd(out, compute_uv=False)
+        assert (out_singular > 1e-10).sum() <= 2
+
+    def test_zero_threshold_identity(self, rng):
+        m = rng.normal(size=(4, 4))
+        assert np.allclose(singular_value_threshold(m, 0.0), m)
+
+    def test_reduces_trace_norm(self, rng):
+        m = rng.normal(size=(5, 5))
+        out = singular_value_threshold(m, 0.5)
+        assert trace_norm(out) < trace_norm(m)
+
+    def test_rectangular(self, rng):
+        m = rng.normal(size=(4, 6))
+        out = singular_value_threshold(m, 0.3)
+        assert out.shape == (4, 6)
+
+
+class TestL1Prox:
+    def test_value(self):
+        prox = L1Prox(2.0)
+        assert prox.value(np.array([[1.0, -1.0]])) == 4.0
+
+    def test_apply_scales_with_step(self):
+        prox = L1Prox(1.0)
+        m = np.array([[2.0]])
+        assert prox.apply(m, 0.5)[0, 0] == 1.5
+
+    def test_zero_weight_is_identity(self, rng):
+        prox = L1Prox(0.0)
+        m = rng.normal(size=(3, 3))
+        assert np.array_equal(prox.apply(m, 1.0), m)
+
+
+class TestTraceNormProx:
+    def test_value(self):
+        prox = TraceNormProx(2.0)
+        assert prox.value(np.diag([1.0, 2.0])) == pytest.approx(6.0)
+
+    def test_apply(self):
+        prox = TraceNormProx(1.0)
+        out = prox.apply(np.diag([3.0, 0.5]), 1.0)
+        assert np.allclose(np.diag(out), [2.0, 0.0])
+
+
+class TestBoxProjection:
+    def test_clips(self):
+        box = BoxProjection(0.0, 1.0)
+        out = box.apply(np.array([[-1.0, 0.5, 2.0]]), 0.1)
+        assert np.array_equal(out, [[0.0, 0.5, 1.0]])
+
+    def test_unbounded_above(self):
+        box = BoxProjection(0.0, None)
+        out = box.apply(np.array([[-1.0, 5.0]]), 1.0)
+        assert np.array_equal(out, [[0.0, 5.0]])
+
+    def test_value_is_zero(self):
+        assert BoxProjection().value(np.ones((2, 2))) == 0.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoxProjection(1.0, 0.0)
+
+    def test_idempotent(self, rng):
+        box = BoxProjection(0.0, 1.0)
+        m = rng.normal(size=(4, 4))
+        once = box.apply(m, 1.0)
+        assert np.array_equal(once, box.apply(once, 1.0))

@@ -1,0 +1,124 @@
+"""Property-based tests for structural feature invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.features.structural import (
+    adamic_adar_matrix,
+    common_neighbors_matrix,
+    jaccard_matrix,
+    katz_matrix,
+    preferential_attachment_matrix,
+    resource_allocation_matrix,
+)
+from repro.features.tensor import FeatureTensor
+
+
+@st.composite
+def adjacency_matrices(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    bits = draw(hnp.arrays(dtype=bool, shape=(n, n), elements=st.booleans()))
+    a = np.triu(bits, 1).astype(float)
+    return a + a.T
+
+
+ALL_FEATURES = [
+    common_neighbors_matrix,
+    jaccard_matrix,
+    adamic_adar_matrix,
+    resource_allocation_matrix,
+    preferential_attachment_matrix,
+    katz_matrix,
+]
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=30)
+    @given(adjacency_matrices())
+    def test_symmetric_zero_diagonal_nonnegative(self, adjacency):
+        for feature in ALL_FEATURES:
+            out = feature(adjacency)
+            assert np.allclose(out, out.T), feature.__name__
+            assert not out.diagonal().any(), feature.__name__
+            assert out.min() >= 0.0, feature.__name__
+
+    @settings(max_examples=30)
+    @given(adjacency_matrices())
+    def test_jaccard_bounded(self, adjacency):
+        out = jaccard_matrix(adjacency)
+        assert out.max() <= 1.0 + 1e-12
+
+    @settings(max_examples=30)
+    @given(adjacency_matrices())
+    def test_ra_bounded_by_cn(self, adjacency):
+        """RA divides each common neighbor by degree ≥ 1 → RA ≤ CN."""
+        ra = resource_allocation_matrix(adjacency)
+        cn = common_neighbors_matrix(adjacency)
+        assert np.all(ra <= cn + 1e-9)
+
+    @settings(max_examples=30)
+    @given(adjacency_matrices())
+    def test_relabeling_equivariance(self, adjacency):
+        """Permuting users permutes the feature matrices identically."""
+        n = adjacency.shape[0]
+        perm = np.random.default_rng(0).permutation(n)
+        permuted = adjacency[np.ix_(perm, perm)]
+        for feature in (common_neighbors_matrix, jaccard_matrix):
+            direct = feature(permuted)
+            relabeled = feature(adjacency)[np.ix_(perm, perm)]
+            assert np.allclose(direct, relabeled), feature.__name__
+
+    @settings(max_examples=30)
+    @given(adjacency_matrices(), st.floats(0.01, 0.5))
+    def test_katz_monotone_in_beta(self, adjacency, beta):
+        low = katz_matrix(adjacency, beta=beta / 2, max_length=3)
+        high = katz_matrix(adjacency, beta=beta, max_length=3)
+        assert np.all(high >= low - 1e-12)
+
+
+class TestTensorInvariants:
+    @settings(max_examples=30)
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 4), st.integers(2, 6)).map(
+                lambda t: (t[0], t[1], t[1])
+            ),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_normalized_bounded(self, values):
+        tensor = FeatureTensor(values)
+        assert np.abs(tensor.normalized().values).max() <= 1.0 + 1e-12
+
+    @settings(max_examples=30)
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.integers(2, 5).map(lambda n: (3, n, n)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_projection_linear(self, values):
+        """project(aP + bQ) = a·project(P) + b·project(Q) per pair vector."""
+        tensor = FeatureTensor(values)
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=(3, 2))
+        q = rng.normal(size=(3, 2))
+        combined = tensor.project(2.0 * p + 0.5 * q)
+        separate = 2.0 * tensor.project(p).values + 0.5 * tensor.project(q).values
+        assert np.allclose(combined.values, separate, atol=1e-9)
+
+    @settings(max_examples=30)
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.integers(2, 5).map(lambda n: (2, n, n)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    def test_aggregate_matches_manual_sum(self, values):
+        tensor = FeatureTensor(values)
+        assert np.allclose(tensor.aggregate(), values.sum(axis=0))

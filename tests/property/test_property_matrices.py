@@ -1,0 +1,95 @@
+"""Property-based tests for matrix helpers and graph structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.networks.social import SocialGraph
+from repro.utils.matrices import (
+    density,
+    l1_norm,
+    symmetrize,
+    trace_norm,
+    zero_diagonal,
+)
+
+square = hnp.arrays(
+    dtype=float,
+    shape=st.integers(1, 8).map(lambda n: (n, n)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+@st.composite
+def adjacency_matrices(draw):
+    n = draw(st.integers(2, 10))
+    bits = draw(
+        hnp.arrays(dtype=bool, shape=(n, n), elements=st.booleans())
+    )
+    a = np.triu(bits, 1).astype(float)
+    return a + a.T
+
+
+class TestMatrixProperties:
+    @given(square)
+    def test_symmetrize_is_symmetric(self, m):
+        out = symmetrize(m)
+        assert np.allclose(out, out.T)
+
+    @given(square)
+    def test_symmetrize_idempotent(self, m):
+        once = symmetrize(m)
+        assert np.allclose(once, symmetrize(once))
+
+    @given(square)
+    def test_zero_diagonal_idempotent(self, m):
+        once = zero_diagonal(m)
+        assert np.array_equal(once, zero_diagonal(once))
+
+    @given(square)
+    def test_l1_triangle_inequality(self, m):
+        assert l1_norm(m + m) <= 2 * l1_norm(m) + 1e-9
+
+    @settings(max_examples=40)
+    @given(square)
+    def test_trace_norm_bounds_frobenius(self, m):
+        """‖M‖_F ≤ ‖M‖_* for every matrix."""
+        fro = float(np.linalg.norm(m, "fro"))
+        assert fro <= trace_norm(m) + 1e-7
+
+    @given(square)
+    def test_density_range(self, m):
+        assert 0.0 <= density(m) <= 1.0
+
+
+class TestSocialGraphProperties:
+    @given(adjacency_matrices())
+    def test_links_count_matches_adjacency(self, adjacency):
+        graph = SocialGraph(adjacency)
+        assert graph.n_links == int(adjacency.sum() // 2)
+
+    @given(adjacency_matrices())
+    def test_links_union_non_links_is_all_pairs(self, adjacency):
+        graph = SocialGraph(adjacency)
+        n = graph.n_users
+        total = n * (n - 1) // 2
+        assert len(graph.links()) + len(graph.non_links()) == total
+
+    @given(adjacency_matrices())
+    def test_degrees_sum_to_twice_links(self, adjacency):
+        graph = SocialGraph(adjacency)
+        assert graph.degrees().sum() == 2 * graph.n_links
+
+    @given(adjacency_matrices())
+    def test_neighbors_symmetric(self, adjacency):
+        graph = SocialGraph(adjacency)
+        for i in range(graph.n_users):
+            for j in graph.neighbors(i):
+                assert i in graph.neighbors(j)
+
+    @given(adjacency_matrices())
+    def test_mask_all_links_empties_graph(self, adjacency):
+        graph = SocialGraph(adjacency)
+        masked = graph.mask_links(sorted(graph.links()))
+        assert masked.n_links == 0

@@ -1,0 +1,90 @@
+"""Property-based tests for the evaluation metrics (hypothesis)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import auc_score, precision_at_k, recall_at_k
+
+
+@st.composite
+def scored_labels(draw, min_size=4, max_size=60):
+    n = draw(st.integers(min_size, max_size))
+    # Scores are rounded so affine transforms stay rank-preserving in
+    # floating point (subnormals like 1e-182 would collapse under 2x+1).
+    scores = [
+        round(s, 6)
+        for s in draw(
+            st.lists(st.floats(0, 1, allow_nan=False), min_size=n, max_size=n)
+        )
+    ]
+    labels = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    assume(0 < sum(labels) < n)
+    return np.array(scores), np.array(labels, dtype=float)
+
+
+class TestAucProperties:
+    @given(scored_labels())
+    def test_range(self, data):
+        scores, labels = data
+        assert 0.0 <= auc_score(scores, labels) <= 1.0
+
+    @given(scored_labels())
+    def test_label_flip_symmetry(self, data):
+        """AUC(scores, y) + AUC(scores, 1−y) = 1."""
+        scores, labels = data
+        total = auc_score(scores, labels) + auc_score(scores, 1.0 - labels)
+        assert abs(total - 1.0) < 1e-9
+
+    @given(scored_labels())
+    def test_score_negation_symmetry(self, data):
+        scores, labels = data
+        total = auc_score(scores, labels) + auc_score(-scores, labels)
+        assert abs(total - 1.0) < 1e-9
+
+    @given(scored_labels())
+    def test_permutation_invariance(self, data):
+        scores, labels = data
+        perm = np.random.default_rng(0).permutation(len(scores))
+        assert auc_score(scores, labels) == auc_score(scores[perm], labels[perm])
+
+    @given(scored_labels())
+    def test_monotone_transform_invariance(self, data):
+        scores, labels = data
+        transformed = 2.0 * scores + 1.0
+        assert abs(
+            auc_score(scores, labels) - auc_score(transformed, labels)
+        ) < 1e-9
+
+    @given(scored_labels())
+    def test_constant_scores_half(self, data):
+        _, labels = data
+        assert auc_score(np.zeros_like(labels), labels) == 0.5
+
+
+class TestPrecisionRecallProperties:
+    @settings(max_examples=60)
+    @given(scored_labels(), st.integers(1, 80))
+    def test_precision_range(self, data, k):
+        scores, labels = data
+        assert 0.0 <= precision_at_k(scores, labels, k) <= 1.0
+
+    @settings(max_examples=60)
+    @given(scored_labels(), st.integers(1, 80))
+    def test_recall_range(self, data, k):
+        scores, labels = data
+        assert 0.0 <= recall_at_k(scores, labels, k) <= 1.0 + 1e-12
+
+    @settings(max_examples=60)
+    @given(scored_labels())
+    def test_recall_monotone_in_k(self, data):
+        scores, labels = data
+        values = [recall_at_k(scores, labels, k) for k in (1, 3, len(labels))]
+        assert values[0] <= values[1] + 1e-9 <= values[2] + 2e-9
+
+    @settings(max_examples=60)
+    @given(scored_labels())
+    def test_full_k_precision_is_base_rate(self, data):
+        scores, labels = data
+        n = len(labels)
+        assert precision_at_k(scores, labels, n) == np.mean(labels)

@@ -1,0 +1,127 @@
+"""Property-based tests for classifiers, anchors and losses."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.models.classifiers import LogisticRegression
+from repro.networks.aligned import AnchorLinks
+from repro.optim.losses import SquaredFrobeniusLoss
+
+
+@st.composite
+def classification_data(draw):
+    n = draw(st.integers(10, 40))
+    d = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    labels = (features @ rng.normal(size=d) + rng.normal(scale=0.2, size=n) > 0)
+    labels = labels.astype(float)
+    assume(0 < labels.sum() < n)
+    return features, labels
+
+
+class TestLogisticRegressionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(classification_data())
+    def test_probabilities_bounded(self, data):
+        features, labels = data
+        model = LogisticRegression().fit(features, labels)
+        probs = model.predict_proba(features)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(classification_data(), st.floats(0.1, 100.0))
+    def test_standardized_fit_scale_invariant(self, data, scale):
+        """With standardization, per-feature scaling leaves rankings intact."""
+        features, labels = data
+        base = LogisticRegression(standardize=True).fit(features, labels)
+        scaled = LogisticRegression(standardize=True).fit(
+            features * scale, labels
+        )
+        order_base = np.argsort(base.predict_proba(features), kind="stable")
+        order_scaled = np.argsort(
+            scaled.predict_proba(features * scale), kind="stable"
+        )
+        assert np.array_equal(order_base, order_scaled)
+
+    @settings(max_examples=25, deadline=None)
+    @given(classification_data())
+    def test_label_flip_symmetry(self, data):
+        """Flipping labels flips the decision function's sign (approx)."""
+        features, labels = data
+        direct = LogisticRegression(l2=1.0).fit(features, labels)
+        flipped = LogisticRegression(l2=1.0).fit(features, 1.0 - labels)
+        assert np.allclose(
+            direct.decision_function(features),
+            -flipped.decision_function(features),
+            atol=1e-3,
+        )
+
+
+@st.composite
+def anchor_pairs(draw):
+    n = draw(st.integers(0, 30))
+    lefts = draw(
+        st.lists(
+            st.integers(0, 1000), min_size=n, max_size=n, unique=True
+        )
+    )
+    rights = draw(
+        st.lists(
+            st.integers(0, 1000), min_size=n, max_size=n, unique=True
+        )
+    )
+    return list(zip(lefts, rights))
+
+
+class TestAnchorLinkProperties:
+    @given(anchor_pairs())
+    def test_double_reverse_identity(self, pairs):
+        anchors = AnchorLinks(pairs)
+        assert anchors.reversed().reversed().pairs == anchors.pairs
+
+    @given(anchor_pairs(), st.floats(0.0, 1.0))
+    def test_sample_size_exact(self, pairs, ratio):
+        anchors = AnchorLinks(pairs)
+        sampled = anchors.sample(ratio, random_state=0)
+        assert len(sampled) == round(len(anchors) * ratio)
+
+    @given(anchor_pairs(), st.floats(0.0, 1.0))
+    def test_sample_is_subset(self, pairs, ratio):
+        anchors = AnchorLinks(pairs)
+        assert anchors.sample(ratio, random_state=1).pairs <= anchors.pairs
+
+    @given(anchor_pairs())
+    def test_forward_backward_inverse(self, pairs):
+        anchors = AnchorLinks(pairs)
+        for a, b in anchors.pairs:
+            assert anchors.map_backward(anchors.map_forward(a)) == a
+            assert anchors.map_forward(anchors.map_backward(b)) == b
+
+
+class TestLossProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_squared_loss_convexity(self, seed):
+        """Midpoint inequality: f((x+y)/2) ≤ (f(x)+f(y))/2."""
+        rng = np.random.default_rng(seed)
+        target = rng.normal(size=(4, 4))
+        loss = SquaredFrobeniusLoss(target)
+        x = rng.normal(size=(4, 4))
+        y = rng.normal(size=(4, 4))
+        mid = loss.value((x + y) / 2.0)
+        assert mid <= (loss.value(x) + loss.value(y)) / 2.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_gradient_is_descent_direction(self, seed):
+        rng = np.random.default_rng(seed)
+        target = rng.normal(size=(4, 4))
+        loss = SquaredFrobeniusLoss(target)
+        point = rng.normal(size=(4, 4))
+        gradient = loss.gradient(point)
+        assume(np.linalg.norm(gradient) > 1e-6)
+        stepped = point - 1e-4 * gradient
+        assert loss.value(stepped) < loss.value(point)

@@ -1,0 +1,101 @@
+"""Property-based tests for the proximal operators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optim.proximal import (
+    BoxProjection,
+    singular_value_threshold,
+    soft_threshold,
+)
+from repro.utils.matrices import l1_norm, trace_norm
+
+matrices = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+square_matrices = hnp.arrays(
+    dtype=float,
+    shape=st.integers(1, 6).map(lambda n: (n, n)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+thresholds = st.floats(0, 5, allow_nan=False)
+
+
+class TestSoftThresholdProperties:
+    @given(matrices, thresholds)
+    def test_never_increases_magnitude(self, m, t):
+        out = soft_threshold(m, t)
+        assert np.all(np.abs(out) <= np.abs(m) + 1e-12)
+
+    @given(matrices, thresholds)
+    def test_shrinks_l1_norm(self, m, t):
+        assert l1_norm(soft_threshold(m, t)) <= l1_norm(m) + 1e-9
+
+    @given(matrices, thresholds)
+    def test_kills_small_entries(self, m, t):
+        out = soft_threshold(m, t)
+        small = np.abs(m) <= t
+        assert np.all(out[small] == 0.0)
+
+    @given(matrices, thresholds)
+    def test_nonexpansive(self, m, t):
+        """prox operators are 1-Lipschitz: ‖prox(x)−prox(y)‖ ≤ ‖x−y‖."""
+        other = m + 1.0
+        diff_out = np.linalg.norm(soft_threshold(m, t) - soft_threshold(other, t))
+        diff_in = np.linalg.norm(m - other)
+        assert diff_out <= diff_in + 1e-9
+
+    @given(matrices, thresholds, thresholds)
+    def test_composition(self, m, t1, t2):
+        """Soft thresholding composes additively."""
+        once = soft_threshold(m, t1 + t2)
+        twice = soft_threshold(soft_threshold(m, t1), t2)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestSvtProperties:
+    @settings(max_examples=40)
+    @given(matrices, thresholds)
+    def test_shrinks_trace_norm(self, m, t):
+        assert trace_norm(singular_value_threshold(m, t)) <= trace_norm(m) + 1e-7
+
+    @settings(max_examples=40)
+    @given(matrices, thresholds)
+    def test_rank_never_increases(self, m, t):
+        before = np.linalg.svd(m, compute_uv=False)
+        after = np.linalg.svd(
+            singular_value_threshold(m, t), compute_uv=False
+        )
+        tol = 1e-9 + 1e-6 * max(1.0, before.max(initial=0.0))
+        assert (after > tol).sum() <= (before > tol).sum()
+
+    @settings(max_examples=40)
+    @given(square_matrices)
+    def test_zero_threshold_identity(self, m):
+        assert np.allclose(singular_value_threshold(m, 0.0), m, atol=1e-8)
+
+    @settings(max_examples=40)
+    @given(matrices, thresholds)
+    def test_singular_values_shifted(self, m, t):
+        before = np.linalg.svd(m, compute_uv=False)
+        after = np.linalg.svd(
+            singular_value_threshold(m, t), compute_uv=False
+        )
+        expected = np.maximum(before - t, 0.0)
+        assert np.allclose(np.sort(after), np.sort(expected), atol=1e-7)
+
+
+class TestBoxProperties:
+    @given(matrices)
+    def test_output_in_box(self, m):
+        out = BoxProjection(0.0, 1.0).apply(m, 1.0)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @given(matrices)
+    def test_fixed_points(self, m):
+        box = BoxProjection(-20.0, 20.0)
+        assert np.array_equal(box.apply(m, 1.0), m)

@@ -1,0 +1,116 @@
+"""Tests for repro.synth.attributes."""
+
+import numpy as np
+import pytest
+
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.synth.attributes import (
+    AttributeGenerator,
+    CommunityProfile,
+    build_profiles,
+)
+from repro.synth.config import AttributeConfig
+
+
+class TestBuildProfiles:
+    def test_one_per_community(self):
+        profiles = build_profiles(4, 20, 100, random_state=0)
+        assert [p.community for p in profiles] == [0, 1, 2, 3]
+
+    def test_preferences_in_range(self):
+        profiles = build_profiles(3, 10, 50, random_state=0)
+        for profile in profiles:
+            assert all(0 <= l < 10 for l in profile.preferred_locations)
+            assert all(0 <= w < 50 for w in profile.preferred_words)
+            assert all(0 <= h < 24 for h in profile.preferred_hours)
+
+    def test_hours_contiguous_window(self):
+        profiles = build_profiles(1, 5, 20, random_state=0)
+        hours = profiles[0].preferred_hours
+        assert len(hours) == 6
+        start = hours[0]
+        assert hours == tuple((start + k) % 24 for k in range(6))
+
+    def test_deterministic(self):
+        a = build_profiles(3, 10, 50, random_state=9)
+        b = build_profiles(3, 10, 50, random_state=9)
+        assert a == b
+
+
+class TestAttributeGenerator:
+    def _populate(self, config=None, n_users=10, seed=0):
+        config = config or AttributeConfig(posts_per_user=5.0)
+        profiles = build_profiles(2, 12, 60, random_state=seed)
+        network = HeterogeneousNetwork("attr-test")
+        network.add_users(n_users)
+        communities = [i % 2 for i in range(n_users)]
+        generator = AttributeGenerator(profiles, 12, 60, config)
+        generator.populate(network, communities, random_state=seed)
+        return network
+
+    def test_locations_registered(self):
+        network = self._populate()
+        assert network.n_locations == 12
+
+    def test_posts_generated(self):
+        network = self._populate()
+        assert network.n_posts > 0
+        for post in network.posts():
+            assert 0 <= post.hour < 24
+            assert all(0 <= w < 60 for w in post.word_ids)
+
+    def test_checkin_probability_one(self):
+        config = AttributeConfig(posts_per_user=5.0, checkin_probability=1.0)
+        network = self._populate(config)
+        assert network.n_checkins == network.n_posts
+
+    def test_checkin_probability_zero(self):
+        config = AttributeConfig(posts_per_user=5.0, checkin_probability=0.0)
+        network = self._populate(config)
+        assert network.n_checkins == 0
+
+    def test_zero_posts(self):
+        config = AttributeConfig(posts_per_user=0.0)
+        network = self._populate(config)
+        assert network.n_posts == 0
+
+    def test_community_label_mismatch(self):
+        profiles = build_profiles(2, 5, 20, random_state=0)
+        network = HeterogeneousNetwork()
+        network.add_users(3)
+        generator = AttributeGenerator(profiles, 5, 20, AttributeConfig())
+        with pytest.raises(ValueError, match="community labels"):
+            generator.populate(network, [0, 1], random_state=0)
+
+    def test_homophily_same_community_similar(self):
+        """Same-community users should share more attribute mass."""
+        config = AttributeConfig(
+            posts_per_user=30.0,
+            checkin_probability=1.0,
+            community_location_affinity=0.95,
+            platform_bias=0.0,
+        )
+        network = self._populate(config, n_users=20, seed=3)
+        from repro.features.spatial import checkin_similarity
+
+        similarity = checkin_similarity(network)
+        communities = np.array([i % 2 for i in range(20)])
+        same = communities[:, None] == communities[None, :]
+        np.fill_diagonal(same, False)
+        assert similarity[same].mean() > similarity[~same].mean()
+
+    def test_platform_bias_concentrates_attributes(self):
+        low = self._populate(
+            AttributeConfig(posts_per_user=20.0, platform_bias=0.0), seed=4
+        )
+        high = self._populate(
+            AttributeConfig(posts_per_user=20.0, platform_bias=1.0), seed=4
+        )
+        def hour_entropy(net):
+            hours = np.bincount(
+                [p.hour for p in net.posts()], minlength=24
+            ).astype(float)
+            p = hours / hours.sum()
+            p = p[p > 0]
+            return float(-(p * np.log(p)).sum())
+        assert hour_entropy(high) < hour_entropy(low)

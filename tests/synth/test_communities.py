@@ -1,0 +1,149 @@
+"""Tests for repro.synth.communities."""
+
+import numpy as np
+import pytest
+
+from repro.synth.communities import (
+    assign_communities,
+    community_overlap_matrix,
+    correlated_partition_links,
+    planted_partition_links,
+    shared_link_matrix,
+)
+
+
+class TestAssignCommunities:
+    def test_balanced(self):
+        labels = assign_communities(100, 4, random_state=0)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.min() == 25 and counts.max() == 25
+
+    def test_uneven_sizes(self):
+        labels = assign_communities(10, 3, random_state=0)
+        counts = np.bincount(labels, minlength=3)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_no_empty_communities(self):
+        labels = assign_communities(6, 6, random_state=0)
+        assert set(labels) == set(range(6))
+
+    def test_deterministic(self):
+        a = assign_communities(50, 5, random_state=3)
+        b = assign_communities(50, 5, random_state=3)
+        assert np.array_equal(a, b)
+
+    def test_zero_persons(self):
+        assert assign_communities(0, 3, random_state=0).size == 0
+
+
+class TestPlantedPartition:
+    def test_in_community_density(self):
+        labels = np.zeros(60, dtype=int)
+        links = planted_partition_links(labels, 0.5, 0.0, random_state=0)
+        possible = 60 * 59 / 2
+        assert 0.4 < len(links) / possible < 0.6
+
+    def test_no_cross_links_at_zero(self):
+        labels = np.array([0] * 30 + [1] * 30)
+        links = planted_partition_links(labels, 0.5, 0.0, random_state=0)
+        assert all(labels[i] == labels[j] for i, j in links)
+
+    def test_all_links_at_one(self):
+        labels = np.arange(10)
+        links = planted_partition_links(labels, 1.0, 1.0, random_state=0)
+        assert len(links) == 45
+
+    def test_pairs_canonical(self):
+        labels = np.zeros(10, dtype=int)
+        links = planted_partition_links(labels, 0.8, 0.0, random_state=0)
+        assert all(i < j for i, j in links)
+
+    def test_deterministic(self):
+        labels = assign_communities(40, 4, random_state=0)
+        a = planted_partition_links(labels, 0.3, 0.02, random_state=5)
+        b = planted_partition_links(labels, 0.3, 0.02, random_state=5)
+        assert a == b
+
+
+class TestSharedLinkMatrix:
+    def test_symmetric_boolean(self):
+        labels = assign_communities(40, 4, random_state=0)
+        shared = shared_link_matrix(labels, 0.3, 0.01, random_state=0)
+        assert shared.dtype == bool
+        assert np.array_equal(shared, shared.T)
+        assert not shared.diagonal().any()
+
+    def test_zero_probability(self):
+        labels = np.zeros(20, dtype=int)
+        shared = shared_link_matrix(labels, 0.0, 0.0, random_state=0)
+        assert not shared.any()
+
+    def test_in_community_more_likely(self):
+        labels = np.array([0] * 40 + [1] * 40)
+        shared = shared_link_matrix(labels, 0.5, 0.01, random_state=0)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        in_rate = shared[same].mean()
+        out_rate = shared[~same].mean()
+        assert in_rate > out_rate
+
+
+class TestCorrelatedPartition:
+    def test_marginal_density_preserved(self):
+        labels = np.zeros(80, dtype=int)
+        shared = shared_link_matrix(labels, 0.2, 0.0, random_state=0)
+        links = correlated_partition_links(
+            labels, 0.4, 0.0, shared, 0.2, 0.0, random_state=1
+        )
+        possible = 80 * 79 / 2
+        assert 0.3 < len(links) / possible < 0.5
+
+    def test_shared_events_always_included(self):
+        labels = np.zeros(20, dtype=int)
+        shared = shared_link_matrix(labels, 0.5, 0.0, random_state=0)
+        links = set(
+            correlated_partition_links(
+                labels, 0.5, 0.0, shared, 0.5, 0.0, random_state=1
+            )
+        )
+        rows, cols = np.nonzero(np.triu(shared, k=1))
+        for i, j in zip(rows, cols):
+            assert (i, j) in links
+
+    def test_shared_exceeding_marginal_rejected(self):
+        labels = np.zeros(5, dtype=int)
+        shared = np.zeros((5, 5), dtype=bool)
+        with pytest.raises(ValueError, match="shared"):
+            correlated_partition_links(
+                labels, 0.1, 0.0, shared, 0.2, 0.0, random_state=0
+            )
+
+    def test_networks_correlate(self):
+        labels = np.zeros(60, dtype=int)
+        shared = shared_link_matrix(labels, 0.3, 0.0, random_state=0)
+        links_a = set(
+            correlated_partition_links(
+                labels, 0.4, 0.0, shared, 0.3, 0.0, random_state=1
+            )
+        )
+        links_b = set(
+            correlated_partition_links(
+                labels, 0.4, 0.0, shared, 0.3, 0.0, random_state=2
+            )
+        )
+        # Independent draws with p=0.4 would overlap ~40% of links;
+        # sharing pushes the overlap well above that.
+        overlap = len(links_a & links_b) / min(len(links_a), len(links_b))
+        assert overlap > 0.6
+
+
+class TestOverlapMatrix:
+    def test_shape_and_diagonal(self):
+        overlap = community_overlap_matrix([0, 0, 1])
+        assert overlap.shape == (3, 3)
+        assert not overlap.diagonal().any()
+
+    def test_entries(self):
+        overlap = community_overlap_matrix([0, 0, 1])
+        assert overlap[0, 1] == 1.0 and overlap[0, 2] == 0.0

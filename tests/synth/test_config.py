@@ -1,0 +1,108 @@
+"""Tests for repro.synth.config."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.synth.config import AttributeConfig, NetworkConfig, WorldConfig
+
+
+class TestAttributeConfig:
+    def test_defaults_valid(self):
+        AttributeConfig().validate()
+
+    def test_negative_posts(self):
+        with pytest.raises(ConfigurationError):
+            AttributeConfig(posts_per_user=-1.0).validate()
+
+    def test_bad_checkin_probability(self):
+        with pytest.raises(ConfigurationError):
+            AttributeConfig(checkin_probability=1.5).validate()
+
+    def test_bad_platform_bias(self):
+        with pytest.raises(ConfigurationError):
+            AttributeConfig(platform_bias=-0.1).validate()
+
+    def test_words_must_be_int(self):
+        with pytest.raises(ConfigurationError):
+            AttributeConfig(words_per_post=2.5).validate()
+
+
+class TestNetworkConfig:
+    def test_defaults_valid(self):
+        NetworkConfig().validate()
+
+    def test_p_in_must_exceed_p_out(self):
+        with pytest.raises(ConfigurationError, match="p_in"):
+            NetworkConfig(p_in=0.01, p_out=0.02).validate()
+
+    def test_equal_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(p_in=0.1, p_out=0.1).validate()
+
+    def test_bad_participation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(participation=2.0).validate()
+
+    def test_nested_attribute_validation(self):
+        config = NetworkConfig(
+            attributes=AttributeConfig(checkin_probability=-1.0)
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig().validate()
+
+    def test_too_many_communities(self):
+        with pytest.raises(ConfigurationError, match="n_communities"):
+            WorldConfig(n_persons=3, n_communities=10).validate()
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(ConfigurationError, match="source"):
+            WorldConfig(sources=[]).validate()
+
+    def test_duplicate_names_rejected(self):
+        config = WorldConfig(
+            target=NetworkConfig(name="same"),
+            sources=[NetworkConfig(name="same")],
+        )
+        with pytest.raises(ConfigurationError, match="unique"):
+            config.validate()
+
+    def test_bad_link_correlation(self):
+        with pytest.raises(ConfigurationError, match="link_correlation"):
+            WorldConfig(link_correlation=1.5).validate()
+
+    def test_tiny_persons_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(n_persons=1).validate()
+
+
+class TestFoursquareTwitterLike:
+    def test_valid(self):
+        config = WorldConfig.foursquare_twitter_like(scale=100)
+        assert config.n_persons == 100
+        assert len(config.sources) == 1
+
+    def test_asymmetry(self):
+        config = WorldConfig.foursquare_twitter_like(scale=100)
+        target_attr = config.target.attributes
+        source_attr = config.sources[0].attributes
+        # Twitter-like: more posts, fewer check-ins.
+        assert target_attr.posts_per_user > source_attr.posts_per_user
+        assert source_attr.checkin_probability == 1.0
+        assert target_attr.checkin_probability < 0.5
+
+    def test_target_denser(self):
+        config = WorldConfig.foursquare_twitter_like(scale=100)
+        assert config.target.p_in > config.sources[0].p_in
+
+    def test_minimum_scale(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig.foursquare_twitter_like(scale=5)
+
+    def test_has_link_correlation(self):
+        config = WorldConfig.foursquare_twitter_like(scale=100)
+        assert config.link_correlation > 0

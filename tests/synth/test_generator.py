@@ -1,0 +1,110 @@
+"""Tests for repro.synth.generator."""
+
+import numpy as np
+import pytest
+
+from repro.networks.io import network_to_dict
+from repro.networks.social import SocialGraph
+from repro.synth.config import NetworkConfig, WorldConfig
+from repro.synth.generator import AlignedNetworkGenerator, generate_aligned_pair
+
+
+class TestGenerate:
+    def test_network_count(self, aligned):
+        assert aligned.n_sources == 1
+
+    def test_user_ids_dense(self, aligned):
+        for network in aligned.networks:
+            assert network.user_ids == list(range(network.n_users))
+
+    def test_anchor_one_to_one(self, aligned):
+        anchors = aligned.anchors[0]
+        targets = [t for t, _ in anchors.pairs]
+        sources = [s for _, s in anchors.pairs]
+        assert len(set(targets)) == len(targets)
+        assert len(set(sources)) == len(sources)
+
+    def test_high_participation_gives_high_anchor_ratio(self, aligned):
+        # Both networks observe ~95% of persons, so ~90% of target users
+        # should be anchored.
+        assert aligned.anchor_ratio() > 0.75
+
+    def test_attributes_populated(self, aligned):
+        for network in aligned.networks:
+            assert network.n_posts > 0
+            assert network.n_locations > 0
+
+    def test_deterministic(self, world_config):
+        a = AlignedNetworkGenerator(world_config).generate(random_state=99)
+        b = AlignedNetworkGenerator(world_config).generate(random_state=99)
+        assert network_to_dict(a.target) == network_to_dict(b.target)
+        assert a.anchors[0].pairs == b.anchors[0].pairs
+
+    def test_different_seeds_differ(self, world_config):
+        a = AlignedNetworkGenerator(world_config).generate(random_state=1)
+        b = AlignedNetworkGenerator(world_config).generate(random_state=2)
+        assert network_to_dict(a.target) != network_to_dict(b.target)
+
+    def test_invalid_config_rejected(self):
+        config = WorldConfig(n_persons=3, n_communities=10)
+        with pytest.raises(Exception):
+            AlignedNetworkGenerator(config)
+
+
+class TestCommunityStructure:
+    def test_labels_exposed(self, world_config):
+        out = AlignedNetworkGenerator(world_config).generate_with_communities(
+            random_state=5
+        )
+        aligned = out["aligned"]
+        labels = out["communities"]
+        assert set(labels) == {n.name for n in aligned.networks}
+        for network in aligned.networks:
+            assert len(labels[network.name]) == network.n_users
+
+    def test_links_follow_communities(self, world_config):
+        out = AlignedNetworkGenerator(world_config).generate_with_communities(
+            random_state=5
+        )
+        aligned = out["aligned"]
+        labels = np.array(out["communities"][aligned.target.name])
+        adjacency = aligned.target.adjacency_matrix()
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        in_density = adjacency[same].mean()
+        out_density = adjacency[~same].mean()
+        assert in_density > 3 * out_density
+
+
+class TestCrossNetworkCorrelation:
+    def test_anchored_links_overlap(self, aligned):
+        """Links between anchored persons should co-occur across networks."""
+        target_adj = SocialGraph.from_network(aligned.target).adjacency
+        source_adj = SocialGraph.from_network(aligned.sources[0]).adjacency
+        anchors = aligned.anchors[0]
+        pairs = sorted(anchors.pairs)
+        both, target_only = 0, 0
+        for idx_a in range(len(pairs)):
+            for idx_b in range(idx_a + 1, len(pairs)):
+                t_i, s_i = pairs[idx_a]
+                t_j, s_j = pairs[idx_b]
+                if target_adj[t_i, t_j] == 1.0:
+                    if source_adj[s_i, s_j] == 1.0:
+                        both += 1
+                    else:
+                        target_only += 1
+        # With link_correlation = 0.7, a target link should appear in the
+        # source far more often than the source's base density (~2%).
+        assert both / (both + target_only) > 0.3
+
+
+class TestConvenience:
+    def test_generate_aligned_pair(self):
+        aligned = generate_aligned_pair(scale=40, random_state=0)
+        assert aligned.target.name == "twitter-like"
+        assert aligned.sources[0].name == "foursquare-like"
+
+    def test_scale_controls_size(self):
+        small = generate_aligned_pair(scale=30, random_state=0)
+        large = generate_aligned_pair(scale=90, random_state=0)
+        assert large.target.n_users > small.target.n_users

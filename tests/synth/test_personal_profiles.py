@@ -1,0 +1,109 @@
+"""Tests for the personal-signature attribute machinery."""
+
+import numpy as np
+import pytest
+
+from repro.networks.heterogeneous import HeterogeneousNetwork
+from repro.synth.attributes import (
+    AttributeGenerator,
+    build_personal_profiles,
+    build_profiles,
+)
+from repro.synth.config import AttributeConfig
+
+
+class TestBuildPersonalProfiles:
+    def test_one_per_person(self):
+        profiles = build_personal_profiles(10, 20, 50, random_state=0)
+        assert [p.person for p in profiles] == list(range(10))
+
+    def test_pools_in_range(self):
+        profiles = build_personal_profiles(5, 8, 30, random_state=0)
+        for profile in profiles:
+            assert all(0 <= l < 8 for l in profile.favorite_locations)
+            assert all(0 <= w < 30 for w in profile.favorite_words)
+            assert all(0 <= h < 24 for h in profile.favorite_hours)
+
+    def test_pools_small(self):
+        profiles = build_personal_profiles(5, 20, 100, random_state=0)
+        for profile in profiles:
+            assert len(profile.favorite_locations) <= 2
+            assert len(profile.favorite_words) <= 4
+            assert len(profile.favorite_hours) == 2
+
+    def test_deterministic(self):
+        a = build_personal_profiles(6, 10, 40, random_state=3)
+        b = build_personal_profiles(6, 10, 40, random_state=3)
+        assert a == b
+
+    def test_signatures_differ_between_persons(self):
+        profiles = build_personal_profiles(20, 40, 200, random_state=0)
+        signatures = {p.favorite_words for p in profiles}
+        assert len(signatures) > 15
+
+
+class TestPersonalAffinityGeneration:
+    def _populate(self, personal_affinity, profiles_personal=None, seed=0):
+        community_profiles = build_profiles(2, 12, 60, random_state=seed)
+        config = AttributeConfig(
+            posts_per_user=20.0, personal_affinity=personal_affinity
+        )
+        network = HeterogeneousNetwork()
+        network.add_users(6)
+        generator = AttributeGenerator(community_profiles, 12, 60, config)
+        generator.populate(
+            network,
+            [i % 2 for i in range(6)],
+            random_state=seed,
+            personal_profiles=profiles_personal,
+        )
+        return network
+
+    def test_requires_profiles_when_enabled(self):
+        with pytest.raises(ValueError, match="personal_profiles"):
+            self._populate(0.5)
+
+    def test_profile_count_checked(self):
+        personal = build_personal_profiles(3, 12, 60, random_state=0)
+        with pytest.raises(ValueError, match="personal profiles"):
+            self._populate(0.5, personal)
+
+    def test_zero_affinity_without_profiles_ok(self):
+        network = self._populate(0.0)
+        assert network.n_posts > 0
+
+    def test_personal_words_concentrate(self):
+        personal = build_personal_profiles(6, 12, 60, random_state=1)
+        network = self._populate(1.0, personal, seed=1)
+        # with affinity 1.0 every word comes from the 4-word favorite pool
+        for user_id in network.user_ids:
+            used = {w for post in network.posts_of(user_id) for w in post.word_ids}
+            assert used <= set(personal[user_id].favorite_words)
+
+
+class TestCrossNetworkSignature:
+    def test_same_person_more_similar_across_networks(self, aligned):
+        """Anchored accounts share word usage more than random cross pairs."""
+        from repro.features.textual import user_word_counts
+
+        counts_t = user_word_counts(aligned.target)
+        counts_s = user_word_counts(aligned.sources[0])
+        # common vocabulary width
+        width = min(counts_t.shape[1], counts_s.shape[1])
+
+        def unit(matrix):
+            matrix = matrix[:, :width]
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            return matrix / np.where(norms > 0, norms, 1.0)
+
+        unit_t, unit_s = unit(counts_t), unit(counts_s)
+        anchored = sorted(aligned.anchors[0].pairs)
+        matched = np.mean([
+            float(unit_t[t] @ unit_s[s]) for t, s in anchored
+        ])
+        rng = np.random.default_rng(0)
+        shuffled = np.mean([
+            float(unit_t[t] @ unit_s[rng.integers(0, unit_s.shape[0])])
+            for t, _ in anchored
+        ])
+        assert matched > shuffled

@@ -1,0 +1,106 @@
+"""Tests for repro.temporal.autoregressive."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import auc_score
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.temporal.autoregressive import AutoregressiveLinkPredictor
+from repro.temporal.snapshots import evolve_snapshots
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return evolve_snapshots(
+        n_nodes=60, n_steps=6, n_communities=3, persistence=0.85,
+        random_state=13,
+    )
+
+
+class TestHistoryFeatures:
+    def test_weights_sum_to_one(self, sequence):
+        model = AutoregressiveLinkPredictor(window=3, decay=0.5)
+        features = model.history_features(sequence.snapshots[:4])
+        assert features.max() <= 1.0 + 1e-9
+        assert features.min() >= 0.0
+
+    def test_recent_snapshot_dominates(self):
+        old = np.zeros((3, 3))
+        recent = np.ones((3, 3)) - np.eye(3)
+        model = AutoregressiveLinkPredictor(window=2, decay=0.25)
+        features = model.history_features([old, recent])
+        # recent weight 1/(1+0.25) = 0.8
+        assert features[0, 1] == pytest.approx(0.8)
+
+    def test_window_truncates(self):
+        snapshots = [np.full((2, 2), fill) - np.diag([fill] * 2)
+                     for fill in (1.0, 0.0, 0.0)]
+        model = AutoregressiveLinkPredictor(window=2, decay=0.9)
+        features = model.history_features(snapshots)
+        assert features[0, 1] == 0.0  # first snapshot outside the window
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoregressiveLinkPredictor().history_features([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoregressiveLinkPredictor().history_features(
+                [np.zeros((2, 2)), np.zeros((3, 3))]
+            )
+
+
+class TestPrediction:
+    def test_unfitted_raises(self):
+        model = AutoregressiveLinkPredictor()
+        with pytest.raises(NotFittedError):
+            model.scores
+        with pytest.raises(NotFittedError):
+            model.predict_new_links()
+
+    def test_predicts_next_snapshot(self, sequence):
+        history = sequence.snapshots[:-1]
+        future = sequence.snapshots[-1]
+        model = AutoregressiveLinkPredictor().fit(history)
+        rows, cols = np.triu_indices(sequence.n_nodes, k=1)
+        scores = model.scores[rows, cols]
+        labels = future[rows, cols]
+        assert auc_score(scores, labels) > 0.8
+
+    def test_predicts_new_links_above_chance(self, sequence):
+        """Ranking among pairs absent at T: new links vs never-links."""
+        history = sequence.snapshots[:-1]
+        future = sequence.snapshots[-1]
+        last = history[-1]
+        model = AutoregressiveLinkPredictor().fit(history)
+        rows, cols = np.triu_indices(sequence.n_nodes, k=1)
+        absent = last[rows, cols] == 0
+        scores = model.scores[rows, cols][absent]
+        labels = future[rows, cols][absent]
+        assert labels.sum() > 0
+        assert auc_score(scores, labels) > 0.6
+
+    def test_predict_new_links_excludes_existing(self, sequence):
+        history = sequence.snapshots[:-1]
+        model = AutoregressiveLinkPredictor().fit(history)
+        last = history[-1]
+        for i, j, score in model.predict_new_links(top_k=15):
+            assert last[i, j] == 0.0
+            assert score >= 0.0
+
+    def test_top_k_ordering(self, sequence):
+        model = AutoregressiveLinkPredictor().fit(sequence.snapshots[:-1])
+        predictions = model.predict_new_links(top_k=10)
+        scores = [s for _, _, s in predictions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_pairs(self, sequence):
+        model = AutoregressiveLinkPredictor().fit(sequence.snapshots[:-1])
+        out = model.score_pairs([(0, 1), (2, 3)])
+        assert out.shape == (2,)
+        assert model.score_pairs([]).shape == (0,)
+
+    def test_deterministic(self, sequence):
+        a = AutoregressiveLinkPredictor().fit(sequence.snapshots[:-1]).scores
+        b = AutoregressiveLinkPredictor().fit(sequence.snapshots[:-1]).scores
+        assert np.array_equal(a, b)

@@ -1,0 +1,79 @@
+"""Tests for repro.temporal.snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.temporal.snapshots import SnapshotSequence, evolve_snapshots
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return evolve_snapshots(
+        n_nodes=60, n_steps=6, n_communities=3, persistence=0.85,
+        random_state=5,
+    )
+
+
+class TestEvolveSnapshots:
+    def test_shapes(self, sequence):
+        assert sequence.n_steps == 6
+        assert sequence.n_nodes == 60
+        for snapshot in sequence.snapshots:
+            assert snapshot.shape == (60, 60)
+
+    def test_snapshots_valid_adjacency(self, sequence):
+        for snapshot in sequence.snapshots:
+            assert np.array_equal(snapshot, snapshot.T)
+            assert not snapshot.diagonal().any()
+            assert set(np.unique(snapshot)) <= {0.0, 1.0}
+
+    def test_stationary_density(self, sequence):
+        """The per-step density should stay near the planted level."""
+        densities = [s.sum() / 2 for s in sequence.snapshots]
+        assert max(densities) < 2 * min(densities)
+
+    def test_persistence(self, sequence):
+        """Most links survive step to step at persistence 0.85."""
+        first, second = sequence.snapshots[0], sequence.snapshots[1]
+        survived = ((first > 0) & (second > 0)).sum()
+        existing = (first > 0).sum()
+        assert survived / existing > 0.7
+
+    def test_churn_exists(self, sequence):
+        """New links genuinely appear."""
+        assert len(sequence.new_links(1)) > 0
+
+    def test_new_links_are_new(self, sequence):
+        for step in range(1, sequence.n_steps):
+            previous = sequence.snapshots[step - 1]
+            current = sequence.snapshots[step]
+            for i, j in sequence.new_links(step):
+                assert previous[i, j] == 0.0
+                assert current[i, j] == 1.0
+
+    def test_new_links_bad_step(self, sequence):
+        with pytest.raises(ConfigurationError):
+            sequence.new_links(0)
+        with pytest.raises(ConfigurationError):
+            sequence.new_links(sequence.n_steps)
+
+    def test_new_links_follow_communities(self, sequence):
+        labels = sequence.communities
+        fresh = [pair for step in range(1, 6) for pair in sequence.new_links(step)]
+        same = sum(1 for i, j in fresh if labels[i] == labels[j])
+        assert same / len(fresh) > 0.5
+
+    def test_deterministic(self):
+        a = evolve_snapshots(n_nodes=30, n_steps=3, random_state=9)
+        b = evolve_snapshots(n_nodes=30, n_steps=3, random_state=9)
+        for snap_a, snap_b in zip(a.snapshots, b.snapshots):
+            assert np.array_equal(snap_a, snap_b)
+
+    def test_saturated_probability_rejected(self):
+        with pytest.raises(ConfigurationError, match="stationarity"):
+            evolve_snapshots(n_nodes=10, p_in=1.0, p_out=0.1)
+
+    def test_single_step(self):
+        sequence = evolve_snapshots(n_nodes=20, n_steps=1, random_state=0)
+        assert sequence.n_steps == 1

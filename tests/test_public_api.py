@@ -1,0 +1,65 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        aligned = repro.generate_aligned_pair(scale=40, random_state=7)
+        task = repro.TransferTask.from_aligned(aligned, random_state=7)
+        model = repro.SlamPred(
+            inner_iterations=5, outer_iterations=5
+        ).fit(task)
+        n = aligned.target.n_users
+        assert model.score_matrix.shape == (n, n)
+
+    def test_exception_hierarchy(self):
+        for name in (
+            "ConfigurationError",
+            "NetworkError",
+            "AlignmentError",
+            "FeatureError",
+            "OptimizationError",
+            "NotFittedError",
+            "EvaluationError",
+            "SerializationError",
+        ):
+            exc = getattr(repro, name)
+            assert issubclass(exc, repro.ReproError)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.utils",
+            "repro.networks",
+            "repro.synth",
+            "repro.features",
+            "repro.adaptation",
+            "repro.optim",
+            "repro.models",
+            "repro.evaluation",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        importlib.import_module(module)
+
+    def test_public_items_documented(self):
+        """Every public class/function exported at top level has a docstring."""
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,177 @@
+"""Tests for repro.utils.matrices."""
+
+import numpy as np
+import pytest
+
+from repro.utils.matrices import (
+    clip_unit_interval,
+    density,
+    effective_rank,
+    frobenius_distance,
+    is_square,
+    is_symmetric,
+    l1_norm,
+    matrix_to_pairs,
+    pairs_to_matrix,
+    symmetrize,
+    trace_norm,
+    upper_triangle_pairs,
+    zero_diagonal,
+)
+
+
+class TestShapePredicates:
+    def test_is_square_true(self):
+        assert is_square(np.zeros((3, 3)))
+
+    def test_is_square_false_rect(self):
+        assert not is_square(np.zeros((3, 4)))
+
+    def test_is_square_false_vector(self):
+        assert not is_square(np.zeros(3))
+
+    def test_is_symmetric_true(self):
+        m = np.array([[1.0, 2.0], [2.0, 3.0]])
+        assert is_symmetric(m)
+
+    def test_is_symmetric_false(self):
+        m = np.array([[1.0, 2.0], [0.0, 3.0]])
+        assert not is_symmetric(m)
+
+    def test_is_symmetric_tolerance(self):
+        m = np.array([[1.0, 2.0], [2.0 + 1e-12, 3.0]])
+        assert is_symmetric(m)
+
+
+class TestTransforms:
+    def test_symmetrize(self):
+        m = np.array([[0.0, 2.0], [0.0, 0.0]])
+        out = symmetrize(m)
+        assert np.allclose(out, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_symmetrize_rejects_rect(self):
+        with pytest.raises(ValueError, match="square"):
+            symmetrize(np.zeros((2, 3)))
+
+    def test_zero_diagonal(self):
+        m = np.ones((3, 3))
+        out = zero_diagonal(m)
+        assert np.all(np.diag(out) == 0)
+        assert out[0, 1] == 1.0
+
+    def test_zero_diagonal_copies(self):
+        m = np.ones((2, 2))
+        zero_diagonal(m)
+        assert m[0, 0] == 1.0
+
+    def test_clip_unit_interval(self):
+        m = np.array([[-1.0, 0.5], [2.0, 1.0]])
+        out = clip_unit_interval(m)
+        assert out.min() == 0.0 and out.max() == 1.0
+        assert out[0, 1] == 0.5
+
+
+class TestNorms:
+    def test_frobenius_distance(self):
+        a = np.eye(2)
+        b = np.zeros((2, 2))
+        assert frobenius_distance(a, b) == pytest.approx(np.sqrt(2))
+
+    def test_l1_norm(self):
+        assert l1_norm(np.array([[1.0, -2.0], [3.0, -4.0]])) == 10.0
+
+    def test_trace_norm_diagonal(self):
+        assert trace_norm(np.diag([3.0, 4.0])) == pytest.approx(7.0)
+
+    def test_trace_norm_equals_sum_of_singular_values(self, rng):
+        m = rng.normal(size=(5, 5))
+        expected = np.linalg.svd(m, compute_uv=False).sum()
+        assert trace_norm(m) == pytest.approx(expected)
+
+
+class TestRankAndDensity:
+    def test_effective_rank_full(self):
+        assert effective_rank(np.eye(4)) == 4
+
+    def test_effective_rank_deficient(self):
+        m = np.outer([1.0, 2.0, 3.0], [1.0, 1.0, 1.0])
+        assert effective_rank(m) == 1
+
+    def test_density_zero(self):
+        assert density(np.zeros((3, 3))) == 0.0
+
+    def test_density_partial(self):
+        m = np.zeros((2, 2))
+        m[0, 1] = 1.0
+        assert density(m) == pytest.approx(0.25)
+
+    def test_density_empty_matrix(self):
+        assert density(np.zeros((0, 0))) == 0.0
+
+
+class TestPairHelpers:
+    def test_upper_triangle_pairs_count(self):
+        assert len(upper_triangle_pairs(5)) == 10
+
+    def test_upper_triangle_pairs_order(self):
+        assert upper_triangle_pairs(3) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_upper_triangle_pairs_empty(self):
+        assert upper_triangle_pairs(0) == []
+        assert upper_triangle_pairs(1) == []
+
+    def test_upper_triangle_negative_raises(self):
+        with pytest.raises(ValueError):
+            upper_triangle_pairs(-1)
+
+    def test_pairs_to_matrix_symmetric(self):
+        m = pairs_to_matrix([(0, 2)], 3)
+        assert m[0, 2] == 1.0 and m[2, 0] == 1.0
+        assert m.sum() == 2.0
+
+    def test_pairs_to_matrix_values(self):
+        m = pairs_to_matrix([(0, 1), (1, 2)], 3, values=[0.5, 2.0])
+        assert m[1, 0] == 0.5 and m[2, 1] == 2.0
+
+    def test_pairs_to_matrix_value_length_mismatch(self):
+        with pytest.raises(ValueError, match="values"):
+            pairs_to_matrix([(0, 1)], 2, values=[1.0, 2.0])
+
+    def test_pairs_to_matrix_out_of_range(self):
+        with pytest.raises(IndexError):
+            pairs_to_matrix([(0, 5)], 3)
+
+    def test_matrix_to_pairs_roundtrip(self):
+        m = pairs_to_matrix([(0, 1), (2, 3)], 4, values=[0.7, 0.9])
+        pairs = matrix_to_pairs(m)
+        assert pairs == [(0, 1, 0.7), (2, 3, 0.9)]
+
+    def test_matrix_to_pairs_threshold(self):
+        m = pairs_to_matrix([(0, 1), (1, 2)], 3, values=[0.05, 0.9])
+        assert matrix_to_pairs(m, atol=0.1) == [(1, 2, 0.9)]
+
+    def test_matrix_to_pairs_rejects_rect(self):
+        with pytest.raises(ValueError):
+            matrix_to_pairs(np.zeros((2, 3)))
+
+
+class TestRankTolerance:
+    def test_zero_matrix(self):
+        from repro.utils.matrices import rank_tolerance
+
+        assert rank_tolerance(np.zeros((3, 3))) == 0.0
+
+    def test_scales_with_magnitude(self):
+        from repro.utils.matrices import rank_tolerance
+
+        small = rank_tolerance(np.eye(3))
+        large = rank_tolerance(1000 * np.eye(3))
+        assert large > small
+
+    def test_used_as_default_in_effective_rank(self, rng):
+        from repro.utils.matrices import effective_rank
+
+        # a numerically rank-2 matrix with float noise at machine epsilon
+        u = rng.normal(size=(6, 2))
+        matrix = u @ u.T
+        assert effective_rank(matrix) == 2

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(7)
+        a = ensure_rng(seed).integers(0, 100, size=5)
+        b = ensure_rng(7).integers(0, 100, size=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="random_state"):
+            ensure_rng("not-a-seed")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(3.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(3, 4)
+        draws = [g.integers(0, 10**12) for g in streams]
+        assert len(set(draws)) == len(draws)
+
+    def test_prefix_stability(self):
+        # Spawning more streams must not change the earlier ones.
+        short = [g.integers(0, 10**9) for g in spawn_rngs(9, 2)]
+        long = [g.integers(0, 10**9) for g in spawn_rngs(9, 5)]
+        assert short == long[:2]

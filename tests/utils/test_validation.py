@@ -1,0 +1,105 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_matrix_shape,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 100])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError, match="p must be in"):
+            check_probability(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(True, "p")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("0.5", "p")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.001, "x") == 0.001
+
+    @pytest.mark.parametrize("value", [0, 0.0, -1.0])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError, match="x must be > 0"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        assert check_in_range(0.5, "x", 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            check_in_range(5.0, "my_param", 0.0, 1.0)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(3, "n") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int32(4), "n") == 4
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_integer(3.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_integer(True, "n")
+
+    def test_minimum(self):
+        with pytest.raises(ConfigurationError, match=">= 2"):
+            check_integer(1, "n", minimum=2)
+
+
+class TestCheckMatrixShape:
+    def test_accepts(self):
+        m = check_matrix_shape(np.zeros((2, 3)), (2, 3), "m")
+        assert m.shape == (2, 3)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError, match="m must have shape"):
+            check_matrix_shape(np.zeros((3, 2)), (2, 3), "m")
+
+    def test_rejects_vector(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix_shape(np.zeros(6), (2, 3), "m")
+
+    def test_converts_lists(self):
+        m = check_matrix_shape([[1, 2], [3, 4]], (2, 2), "m")
+        assert isinstance(m, np.ndarray)
