@@ -79,6 +79,13 @@ from repro.models import (
     LinkRecommender,
 )
 from repro.evaluation import grid_search
+from repro.observability import (
+    Tracer,
+    NullTracer,
+    RunReport,
+    build_run_report,
+    default_report_path,
+)
 from repro.applications import GraphDenoiser, SparseLowRankCovariance
 from repro.temporal import (
     AutoregressiveLinkPredictor,
@@ -138,6 +145,11 @@ __all__ = [
     "FrozenPredictor",
     "LinkRecommender",
     "grid_search",
+    "Tracer",
+    "NullTracer",
+    "RunReport",
+    "build_run_report",
+    "default_report_path",
     "GraphDenoiser",
     "SparseLowRankCovariance",
     "AutoregressiveLinkPredictor",

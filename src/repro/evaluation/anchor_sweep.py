@@ -26,6 +26,7 @@ from repro.models.unsupervised import (
 )
 from repro.networks.aligned import AlignedNetworks
 from repro.networks.social import SocialGraph
+from repro.observability.tracer import Tracer, is_tracing
 from repro.utils.rng import RandomState, ensure_rng
 
 DEFAULT_RATIOS = tuple(round(r * 0.1, 1) for r in range(11))
@@ -95,6 +96,16 @@ class AnchorSweepResult:
         return list(self.table)
 
 
+def _cell_span(tracer: Tracer, method: str, ratio):
+    """Span wrapping one method × ratio cell; a no-op without a tracer."""
+    if not is_tracing(tracer):
+        from contextlib import nullcontext
+
+        return nullcontext()
+    label = f"cell:{method}" if ratio is None else f"cell:{method}@{ratio:g}"
+    return tracer.span(label)
+
+
 def run_anchor_sweep(
     aligned: AlignedNetworks,
     methods: Sequence[MethodSpec] = None,
@@ -103,6 +114,7 @@ def run_anchor_sweep(
     precision_k: int = 100,
     random_state: RandomState = None,
     splits: Sequence[LinkSplit] = None,
+    tracer: Tracer = None,
 ) -> AnchorSweepResult:
     """Run the Table II sweep.
 
@@ -119,6 +131,9 @@ def run_anchor_sweep(
     splits:
         Precomputed folds (for reuse across comparisons); generated from the
         target when omitted.
+    tracer:
+        Optional live :class:`~repro.observability.Tracer`; each
+        method × ratio cell becomes a ``cell:<method>@<ratio>`` span.
     """
     if methods is None:
         methods = default_method_specs()
@@ -138,21 +153,25 @@ def run_anchor_sweep(
         if spec.uses_sources:
             for ratio in ratios:
                 sampled = aligned.sample_anchors(ratio, ensure_rng(rng))
-                per_ratio[ratio] = cross_validate(
+                with _cell_span(tracer, spec.name, ratio):
+                    per_ratio[ratio] = cross_validate(
+                        spec.factory,
+                        sampled,
+                        splits,
+                        random_state=rng,
+                        precision_k=precision_k,
+                        tracer=tracer,
+                    )
+        else:
+            with _cell_span(tracer, spec.name, None):
+                constant = cross_validate(
                     spec.factory,
-                    sampled,
+                    aligned,
                     splits,
                     random_state=rng,
                     precision_k=precision_k,
+                    tracer=tracer,
                 )
-        else:
-            constant = cross_validate(
-                spec.factory,
-                aligned,
-                splits,
-                random_state=rng,
-                precision_k=precision_k,
-            )
             per_ratio = {ratio: constant for ratio in ratios}
         result.table[spec.name] = per_ratio
     return result

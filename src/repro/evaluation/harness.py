@@ -17,6 +17,7 @@ from repro.evaluation.splits import LinkSplit
 from repro.exceptions import EvaluationError
 from repro.models.base import LinkPredictor, TransferTask
 from repro.networks.aligned import AlignedNetworks
+from repro.observability.tracer import Tracer, is_tracing
 from repro.utils.rng import RandomState, spawn_rngs
 
 DEFAULT_PRECISION_K = 100
@@ -63,10 +64,23 @@ def evaluate_model(
     task: TransferTask,
     split: LinkSplit,
     precision_k: int = DEFAULT_PRECISION_K,
+    tracer: "Tracer" = None,
 ) -> FoldOutcome:
-    """Fit ``model`` on the task and measure it on the split's test pairs."""
-    model.fit(task)
-    scores = model.score_pairs(split.test_pairs)
+    """Fit ``model`` on the task and measure it on the split's test pairs.
+
+    Under a live ``tracer`` the fit and scoring phases are timed as
+    ``fit:<model>`` / ``score:<model>`` spans; a model that itself carries
+    no tracer still contributes its wall-clock to the harness report.
+    """
+    if is_tracing(tracer):
+        with tracer.span(f"fit:{model.name}"):
+            model.fit(task)
+        with tracer.span(f"score:{model.name}"):
+            scores = model.score_pairs(split.test_pairs)
+        tracer.count("harness.fits")
+    else:
+        model.fit(task)
+        scores = model.score_pairs(split.test_pairs)
     labels = split.test_labels
     metrics = {
         "auc": auc_score(scores, labels),
@@ -81,17 +95,20 @@ def cross_validate(
     splits: Sequence[LinkSplit],
     random_state: RandomState = None,
     precision_k: int = DEFAULT_PRECISION_K,
+    tracer: "Tracer" = None,
 ) -> EvaluationResult:
     """Run a model across all folds of an aligned bundle.
 
     A fresh model instance is built per fold (models keep fitted state); a
     per-fold random stream keeps every fold independently reproducible.
+    A live ``tracer`` wraps each fold in a ``fold[i]`` span.
     """
     if not splits:
         raise EvaluationError("at least one split is required")
     rngs = spawn_rngs(random_state, len(splits))
+    tracing = is_tracing(tracer)
     result = None
-    for split, rng in zip(splits, rngs):
+    for index, (split, rng) in enumerate(zip(splits, rngs)):
         model = model_factory()
         task = TransferTask(
             target=aligned.target,
@@ -100,7 +117,13 @@ def cross_validate(
             anchors=list(aligned.anchors),
             random_state=rng,
         )
-        outcome = evaluate_model(model, task, split, precision_k)
+        if tracing:
+            with tracer.span(f"fold[{index}]"):
+                outcome = evaluate_model(
+                    model, task, split, precision_k, tracer=tracer
+                )
+        else:
+            outcome = evaluate_model(model, task, split, precision_k)
         if result is None:
             result = EvaluationResult(model_name=outcome.model_name)
         for metric, value in outcome.metrics.items():

@@ -50,3 +50,15 @@ class EvaluationError(ReproError):
 
 class SerializationError(ReproError):
     """A network or model could not be serialized or deserialized."""
+
+
+class TruncatedSVTWarning(RuntimeWarning):
+    """The truncated SVT dropped singular values above the threshold.
+
+    The rank-``r`` Lanczos path of
+    :func:`~repro.optim.proximal.truncated_singular_value_threshold` equals
+    the exact prox only when the (r+1)-th singular value falls below the
+    shrinkage threshold; this warning signals the run where it did not, so
+    the approximation was lossy.  The lost mass is also recorded on the
+    active tracer as the ``svt.tail_excess`` metric.
+    """

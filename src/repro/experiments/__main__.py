@@ -9,8 +9,10 @@ from repro.experiments.registry import (
     EXPERIMENTS,
     get_experiment,
     get_result_runner,
+    run_with_report,
 )
 from repro.experiments.serialize import dump_result
+from repro.observability.report import default_report_path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +42,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the structured result to PATH as JSON "
         "(with 'all', one file per experiment: PATH.<name>.json)",
     )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        nargs="?",
+        const="",
+        default=None,
+        help="trace the run and write a schema-versioned telemetry run "
+        "report (default location: results/run_report.<name>.json; "
+        "with 'all', PATH is treated as a prefix)",
+    )
     return parser
 
 
@@ -63,19 +75,37 @@ def main(argv=None) -> int:
         kwargs = dict(base_kwargs)
         if name in _NO_FOLDS:
             kwargs.pop("n_folds", None)
-        if args.json is None:
+        if args.json is None and args.report is None:
             get_experiment(name)(**kwargs)
             continue
-        result = get_result_runner(name)(**kwargs)
-        print(result.get("text", result.get("auc_text", "")))
-        path = (
-            args.json
-            if args.experiment != "all"
-            else f"{args.json}.{name}.json"
-        )
-        dump_result(result, path)
-        print(f"[written {path}]")
+        if args.report is not None:
+            report_path = _report_path(args.report, name, args.experiment)
+            result, report = run_with_report(name, report_path, **kwargs)
+            print(result.get("text", result.get("auc_text", "")))
+            print()
+            print(report.summary())
+            print(f"[run report written {report_path}]")
+        else:
+            result = get_result_runner(name)(**kwargs)
+            print(result.get("text", result.get("auc_text", "")))
+        if args.json is not None:
+            path = (
+                args.json
+                if args.experiment != "all"
+                else f"{args.json}.{name}.json"
+            )
+            dump_result(result, path)
+            print(f"[written {path}]")
     return 0
+
+
+def _report_path(flag_value: str, name: str, chosen: str) -> str:
+    """Resolve the --report destination for one experiment."""
+    if not flag_value:
+        return default_report_path(name)
+    if chosen == "all":
+        return f"{flag_value}.{name}.json"
+    return flag_value
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ from repro.evaluation.splits import k_fold_link_splits
 from repro.models.slampred import SlamPred
 
 from repro.networks.social import SocialGraph
+from repro.observability.tracer import Tracer
 from repro.synth.generator import generate_aligned_pair
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -23,6 +24,7 @@ def run_alpha_sweep(
     n_folds: int = 3,
     precision_k: int = 20,
     random_state: RandomState = 17,
+    tracer: Tracer = None,
 ) -> Dict:
     """Sweep one intimacy weight while fixing the other.
 
@@ -68,6 +70,7 @@ def run_alpha_sweep(
                 splits,
                 random_state=rng,
                 precision_k=precision_k,
+                tracer=tracer,
             )
             for metric in ("auc", precision_metric):
                 curves[(fixed, metric)].append(result.mean(metric))

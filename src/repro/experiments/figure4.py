@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments._alpha_sweep import DEFAULT_ALPHAS, run_alpha_sweep
+from repro.observability.tracer import Tracer
 from repro.utils.rng import RandomState
 
 
@@ -23,6 +24,7 @@ def run_figure4(
     n_folds: int = 3,
     precision_k: int = 20,
     random_state: RandomState = 17,
+    tracer: Tracer = None,
 ) -> Dict:
     """Run the α_s sweep (see :func:`run_alpha_sweep` for the output shape)."""
     return run_alpha_sweep(
@@ -33,6 +35,7 @@ def run_figure4(
         n_folds=n_folds,
         precision_k=precision_k,
         random_state=random_state,
+        tracer=tracer,
     )
 
 

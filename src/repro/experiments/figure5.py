@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments._alpha_sweep import DEFAULT_ALPHAS, run_alpha_sweep
+from repro.observability.tracer import Tracer
 from repro.utils.rng import RandomState
 
 
@@ -21,6 +22,7 @@ def run_figure5(
     n_folds: int = 3,
     precision_k: int = 20,
     random_state: RandomState = 17,
+    tracer: Tracer = None,
 ) -> Dict:
     """Run the α_t sweep (see :func:`run_alpha_sweep` for the output shape)."""
     return run_alpha_sweep(
@@ -31,6 +33,7 @@ def run_figure5(
         n_folds=n_folds,
         precision_k=precision_k,
         random_state=random_state,
+        tracer=tracer,
     )
 
 

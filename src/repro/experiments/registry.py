@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.observability.report import (
+    RunReport,
+    build_run_report,
+    default_report_path,
+)
+from repro.observability.tracer import Tracer
 from repro.experiments.figure3 import main as figure3_main, run_figure3
 from repro.experiments.figure4 import main as figure4_main, run_figure4
 from repro.experiments.figure5 import main as figure5_main, run_figure5
@@ -48,3 +54,33 @@ def get_result_runner(name: str) -> Callable[..., dict]:
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {sorted(RESULT_RUNNERS)}"
         ) from None
+
+
+def run_with_report(
+    name: str,
+    report_path: Optional[str] = None,
+    **kwargs: Any,
+) -> Tuple[dict, RunReport]:
+    """Run an experiment under a live tracer and archive its run report.
+
+    Every registered runner accepts a ``tracer`` keyword, so the whole run
+    — data generation, per-fold fits, CCCP rounds, prox/SVD spans — lands
+    in one schema-versioned JSON report written to ``report_path``
+    (default: ``results/run_report.<name>.json``).  Returns the runner's
+    structured result and the report.
+    """
+    runner = get_result_runner(name)
+    tracer = Tracer()
+    with tracer.span(f"experiment:{name}"):
+        result = runner(tracer=tracer, **kwargs)
+    meta = {"experiment": name}
+    meta.update(
+        {
+            key: value
+            for key, value in kwargs.items()
+            if isinstance(value, (int, float, str, bool)) or value is None
+        }
+    )
+    report = build_run_report(tracer, name=name, meta=meta)
+    report.save(report_path or default_report_path(name))
+    return result, report

@@ -11,17 +11,26 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.evaluation.reporting import format_stats_table
+from repro.observability.tracer import Tracer, is_tracing
 from repro.synth.generator import generate_aligned_pair
 from repro.utils.rng import RandomState
 
 
-def run_table1(scale: int = 300, random_state: RandomState = 17) -> Dict:
+def run_table1(
+    scale: int = 300, random_state: RandomState = 17, tracer: Tracer = None
+) -> Dict:
     """Generate the aligned pair and collect its Table I statistics.
 
     Returns a dict with ``stats`` (per-network property counts),
     ``anchors`` (anchor link count) and ``text`` (the rendered table).
     """
-    aligned = generate_aligned_pair(scale=scale, random_state=random_state)
+    if is_tracing(tracer):
+        with tracer.span("generate_aligned_pair"):
+            aligned = generate_aligned_pair(
+                scale=scale, random_state=random_state
+            )
+    else:
+        aligned = generate_aligned_pair(scale=scale, random_state=random_state)
     stats = {
         network.name: network.stats() for network in aligned.networks
     }

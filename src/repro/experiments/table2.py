@@ -24,6 +24,7 @@ from repro.evaluation.anchor_sweep import (
     run_anchor_sweep,
 )
 from repro.evaluation.reporting import format_sweep_table
+from repro.observability.tracer import Tracer
 from repro.synth.generator import generate_aligned_pair
 from repro.utils.rng import RandomState
 
@@ -36,6 +37,7 @@ def run_table2(
     n_folds: int = 3,
     precision_k: int = 20,
     random_state: RandomState = 17,
+    tracer: Tracer = None,
 ) -> Dict:
     """Run the anchor sweep and render both metric tables.
 
@@ -54,6 +56,7 @@ def run_table2(
         n_folds=n_folds,
         precision_k=precision_k,
         random_state=random_state,
+        tracer=tracer,
     )
     auc_text = format_sweep_table(
         sweep, "auc", title="Table II (AUC) — methods × anchor ratio"

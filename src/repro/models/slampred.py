@@ -39,6 +39,8 @@ from repro.adaptation.adapter import DomainAdapter, align_source_to_target
 from repro.features.intimacy import IntimacyFeatureExtractor
 from repro.features.tensor import FeatureTensor
 from repro.models.base import MatrixPredictor, TransferTask
+from repro.observability.report import RunReport, build_run_report
+from repro.observability.tracer import NullTracer, Tracer, is_tracing
 from repro.optim.cccp import CCCPResult, CCCPSolver
 from repro.optim.convergence import ConvergenceCriterion
 from repro.optim.forward_backward import ForwardBackwardSolver
@@ -108,6 +110,12 @@ class SlamPred(MatrixPredictor):
         Intimacy feature extractor (defaults to the full feature set).
     use_attributes, use_sources:
         Ablation switches (the -T / -H variants preset them).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`.  When live, the fit
+        is traced end to end (feature extraction → adaptation → CCCP rounds
+        → gradient/prox/SVD spans) and :meth:`run_report` can archive the
+        run; the default ``None`` (or a :class:`NullTracer`) keeps fitting
+        bit-identical to the uninstrumented model.
 
     Examples
     --------
@@ -140,6 +148,7 @@ class SlamPred(MatrixPredictor):
         use_sources: bool = True,
         learn_alphas: bool = True,
         display_name: str = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__()
         self.learn_alphas = bool(learn_alphas)
@@ -187,6 +196,7 @@ class SlamPred(MatrixPredictor):
                 "by attribute features)"
             )
         self._display_name = display_name or self._default_name()
+        self.tracer = tracer
         self._result: Optional[CCCPResult] = None
         self._adapter: Optional[DomainAdapter] = None
 
@@ -211,10 +221,46 @@ class SlamPred(MatrixPredictor):
         """The fitted domain adapter, or ``None`` when transfer was skipped."""
         return self._adapter
 
+    @property
+    def _tracer(self) -> Tracer:
+        """The configured tracer, or the shared free null tracer."""
+        return self.tracer if self.tracer is not None else _NULL_TRACER
+
+    def run_report(self, name: str = None, meta: dict = None) -> RunReport:
+        """Archive the traced fit as a :class:`~repro.observability.RunReport`.
+
+        Requires the model to have been constructed with a live tracer and
+        fitted; the report carries the model configuration, the CCCP
+        outcome, the span tree and every iteration record.
+        """
+        if self._result is None:
+            raise NotFittedError(f"{self.name} has not been fitted")
+        if not is_tracing(self.tracer):
+            raise ConfigurationError(
+                "run_report needs a live tracer; construct the model with "
+                "tracer=Tracer()"
+            )
+        merged_meta = {
+            "model": self.name,
+            "gamma": self.gamma,
+            "tau": self.tau,
+            "step_size": self.step_size,
+            "svd_rank": self.svd_rank,
+            "n_users": int(self._result.solution.shape[0]),
+            "n_rounds": self._result.n_rounds,
+            "converged": self._result.converged,
+        }
+        merged_meta.update(meta or {})
+        return build_run_report(
+            self.tracer, name=name or self.name, meta=merged_meta
+        )
+
     # ------------------------------------------------------------------
     def _fit(self, task: TransferTask) -> None:
+        tracer = self._tracer
         adjacency = task.training_graph.adjacency
-        gradient = self._intimacy_gradient(task)
+        with tracer.span("intimacy_gradient"):
+            gradient = self._intimacy_gradient(task)
         if gradient is not None:
             gradient = self.intimacy_scale * gradient
         loss = SquaredFrobeniusLoss(adjacency)
@@ -238,7 +284,8 @@ class SlamPred(MatrixPredictor):
                 tolerance=self.tolerance, max_iterations=self.outer_iterations
             ),
         )
-        self._result = solver.solve(adjacency)
+        with tracer.span("cccp"):
+            self._result = solver.solve(adjacency, tracer=tracer)
         scores = zero_diagonal(self._result.solution)
         peak = scores.max()
         if peak > 0:
@@ -248,10 +295,15 @@ class SlamPred(MatrixPredictor):
     def _intimacy_gradient(self, task: TransferTask) -> Optional[np.ndarray]:
         if not self.use_attributes:
             return None
-        target_tensor = self.extractor.extract(task.target, task.training_graph)
-        target_intimacy = self._weighted_intimacy(
-            target_tensor, task.training_graph, task.random_state
-        )
+        tracer = self._tracer
+        with tracer.span("extract:target"):
+            target_tensor = self.extractor.extract(
+                task.target, task.training_graph
+            )
+        with tracer.span("calibrate:target"):
+            target_intimacy = self._weighted_intimacy(
+                target_tensor, task.training_graph, task.random_state
+            )
         transfer_active = (
             self.use_sources
             and task.n_sources > 0
@@ -262,9 +314,10 @@ class SlamPred(MatrixPredictor):
             # target features, no projection — SLAMPRED degenerates to
             # SLAMPRED-T exactly as in Table II.
             return self.alpha_target * target_intimacy
-        source_tensors = [
-            self.extractor.extract(source) for source in task.sources
-        ]
+        with tracer.span("extract:sources"):
+            source_tensors = [
+                self.extractor.extract(source) for source in task.sources
+            ]
         graphs = [task.training_graph] + [
             _full_graph(source) for source in task.sources
         ]
@@ -274,7 +327,10 @@ class SlamPred(MatrixPredictor):
             instances_per_network=self.instances_per_network,
             random_state=task.random_state,
         )
-        self._adapter.fit([target_tensor] + source_tensors, graphs, task.anchors)
+        with tracer.span("adaptation_fit"):
+            self._adapter.fit(
+                [target_tensor] + source_tensors, graphs, task.anchors
+            )
         n_target = target_tensor.n_users
         alphas = self._source_alphas(task.n_sources)
         # Per-pair blocks: the target's raw intimacy features and latent
@@ -450,6 +506,9 @@ class SlamPredH(SlamPred):
     def __init__(self, **kwargs):
         kwargs.setdefault("display_name", "SLAMPRED-H")
         super().__init__(use_attributes=False, use_sources=False, **kwargs)
+
+
+_NULL_TRACER = NullTracer()
 
 
 def _full_graph(network) -> "SocialGraph":

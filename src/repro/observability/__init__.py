@@ -1,0 +1,40 @@
+"""Solver telemetry: tracing, per-iteration records, run reports.
+
+The subsystem has three pieces:
+
+* :mod:`repro.observability.tracer` — :class:`Tracer` (nested timed spans,
+  counters, metric streams) and the free :class:`NullTracer`;
+* :mod:`repro.observability.records` — the per-iteration
+  :class:`IterationRecord` shared between
+  :class:`~repro.optim.convergence.IterationHistory` and the tracer;
+* :mod:`repro.observability.report` — the schema-versioned
+  :class:`RunReport` JSON archive with its human ``summary()``.
+
+Every solver entry point (``ForwardBackwardSolver.solve``,
+``CCCPSolver.solve``, ``SlamPred(tracer=...)``, ``evaluate_model``) accepts
+an optional tracer; passing ``None`` (the default) keeps the hot path
+untouched.  See DESIGN.md §"Telemetry & run reports".
+"""
+
+from repro.observability.records import IterationRecord
+from repro.observability.tracer import NullTracer, Span, Tracer, is_tracing
+from repro.observability.report import (
+    DEFAULT_REPORT_DIR,
+    SCHEMA_VERSION,
+    RunReport,
+    build_run_report,
+    default_report_path,
+)
+
+__all__ = [
+    "IterationRecord",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "is_tracing",
+    "RunReport",
+    "build_run_report",
+    "default_report_path",
+    "SCHEMA_VERSION",
+    "DEFAULT_REPORT_DIR",
+]

@@ -1,0 +1,178 @@
+"""Structured tracing of solver runs: nested timed spans, counters, metrics.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records everything: a tree of wall-clock
+  :class:`Span` objects (CCCP round → gradient step → prox apply → SVD),
+  monotonic counters, named scalar metric streams and the shared
+  per-iteration :class:`~repro.observability.records.IterationRecord` list.
+* :class:`NullTracer` — every operation is a no-op and ``enabled`` is
+  False, so instrumented code can gate any extra computation (objective
+  breakdowns, tail-singular-value probes) behind ``tracer.enabled`` and the
+  untraced hot path stays bit-identical to — and as fast as — the
+  uninstrumented code.
+
+Solvers accept ``tracer=None`` and treat ``None`` like a null tracer, so
+callers never pay for observability they did not ask for.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.observability.records import IterationRecord
+
+
+@dataclass
+class Span:
+    """One timed region of a run; spans nest to form a tree."""
+
+    name: str
+    start: float = 0.0
+    duration: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible view of the span subtree."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "seconds": float(self.duration),
+        }
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """Depth-first iteration over the subtree (self included)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+
+class Tracer:
+    """Collects spans, counters, metrics and iteration records of one run.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer"):
+    ...     with tracer.span("inner"):
+    ...         tracer.count("steps")
+    >>> [s.name for s in tracer.iter_spans()]
+    ['outer', 'inner']
+    >>> tracer.counters["steps"]
+    1
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self.counters: Dict[str, int] = {}
+        self.metrics: Dict[str, List[float]] = {}
+        self.iterations: List[IterationRecord] = []
+        self._stack: List[Span] = []
+
+    # -- spans ----------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Time a named region; nests under the currently open span."""
+        node = Span(name=name, start=time.perf_counter())
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.duration = time.perf_counter() - node.start
+            self._stack.pop()
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Depth-first iteration over every recorded span."""
+        for root in self.roots:
+            yield from root.iter_spans()
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate wall-clock per span name: ``{name: {count, seconds}}``."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for node in self.iter_spans():
+            slot = totals.setdefault(node.name, {"count": 0, "seconds": 0.0})
+            slot["count"] += 1
+            slot["seconds"] += node.duration
+        return totals
+
+    # -- counters & metrics ---------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def metric(self, name: str, value: float) -> None:
+        """Append one sample to a named scalar metric stream."""
+        self.metrics.setdefault(name, []).append(float(value))
+
+    def last_metric(self, name: str, default: Optional[float] = None):
+        """The most recent sample of a metric, or ``default`` if unseen."""
+        samples = self.metrics.get(name)
+        return samples[-1] if samples else default
+
+    # -- iteration records ----------------------------------------------
+    def record_iteration(self, record: IterationRecord) -> None:
+        """Attach a solver iteration record to the trace (shared object)."""
+        self.iterations.append(record)
+
+
+class _NullSpan:
+    """Reusable do-nothing span context manager."""
+
+    name = ""
+    duration = 0.0
+    children: List[Span] = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """A tracer whose every operation is a free no-op.
+
+    ``enabled`` is False so instrumented code skips any extra computation;
+    the remaining methods are overridden to avoid even allocation, making
+    the instrumented solver path cost nothing when tracing is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str):  # type: ignore[override]
+        """Return the shared do-nothing span context manager."""
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Discard the counter increment."""
+        return None
+
+    def metric(self, name: str, value: float) -> None:
+        """Discard the metric sample."""
+        return None
+
+    def record_iteration(self, record: IterationRecord) -> None:
+        """Discard the iteration record."""
+        return None
+
+
+def is_tracing(tracer: Optional[Tracer]) -> bool:
+    """Whether ``tracer`` is a live (non-null) tracer."""
+    return tracer is not None and tracer.enabled

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import OptimizationError
+from repro.observability.tracer import Tracer, is_tracing
 from repro.optim.convergence import ConvergenceCriterion, IterationHistory
 from repro.optim.forward_backward import ForwardBackwardSolver
 from repro.optim.losses import LinearizedIntimacyTerm
@@ -98,8 +99,15 @@ class CCCPSolver:
             tolerance=1e-4, max_iterations=50
         )
 
-    def solve(self, initial: np.ndarray) -> CCCPResult:
-        """Run Algorithm 1 from ``initial`` (the paper initializes at ``A``)."""
+    def solve(
+        self, initial: np.ndarray, tracer: Optional[Tracer] = None
+    ) -> CCCPResult:
+        """Run Algorithm 1 from ``initial`` (the paper initializes at ``A``).
+
+        Under a live ``tracer`` every outer round becomes a ``cccp_round``
+        span enclosing the inner solver's gradient/prox spans, and each
+        inner iteration record is stamped with its 1-based round index.
+        """
         current = np.asarray(initial, dtype=float)
         if not is_square(current):
             raise OptimizationError(
@@ -118,12 +126,27 @@ class CCCPSolver:
         round_norms = []
         converged = False
         n_rounds = 0
+        tracing = is_tracing(tracer)
         for _ in range(self.outer_criterion.max_iterations):
             n_rounds += 1
             previous = current
-            current = self.inner_solver.solve(
-                previous, smooth_terms, self.prox_terms, history=history
-            )
+            if tracing:
+                iterations_before = history.n_iterations
+                with tracer.span("cccp_round"):
+                    current = self.inner_solver.solve(
+                        previous,
+                        smooth_terms,
+                        self.prox_terms,
+                        history=history,
+                        tracer=tracer,
+                    )
+                tracer.count("cccp.rounds")
+                for record in history.records[iterations_before:]:
+                    record.round = n_rounds
+            else:
+                current = self.inner_solver.solve(
+                    previous, smooth_terms, self.prox_terms, history=history
+                )
             round_norms.append(float(np.abs(current).sum()))
             if self.outer_criterion.satisfied(current, previous):
                 converged = True

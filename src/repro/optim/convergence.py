@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.observability.records import IterationRecord
 from repro.utils.matrices import l1_norm
 from repro.utils.validation import check_integer, check_positive
 
@@ -32,43 +33,109 @@ class ConvergenceCriterion:
         return l1_norm(current - previous) < self.tolerance
 
 
-@dataclass
 class IterationHistory:
     """Per-iteration diagnostics of a solver run.
 
+    Backed by a list of
+    :class:`~repro.observability.records.IterationRecord` — the same
+    objects a live :class:`~repro.observability.tracer.Tracer` collects —
+    so the legacy norm views and the telemetry run report read one
+    bookkeeping path.
+
+    The constructor still accepts the historical parallel lists
+    (``variable_norms``, ``update_norms``, ``objective_values``) and zips
+    them into records.
+
     Attributes
     ----------
+    records:
+        The underlying iteration records, in order.
     variable_norms:
         ``‖S^h‖₁`` per iteration (Figure 3, left panel).
     update_norms:
         ``‖S^h − S^{h−1}‖₁`` per iteration (Figure 3, right panel).
     objective_values:
-        Objective value per iteration when the solver computes it.
+        Objective value per iteration when the solver computed it.
     """
 
-    variable_norms: List[float] = field(default_factory=list)
-    update_norms: List[float] = field(default_factory=list)
-    objective_values: List[float] = field(default_factory=list)
+    def __init__(
+        self,
+        variable_norms: Optional[Sequence[float]] = None,
+        update_norms: Optional[Sequence[float]] = None,
+        objective_values: Optional[Sequence[float]] = None,
+    ):
+        self.records: List[IterationRecord] = []
+        if variable_norms is None and update_norms is None:
+            return
+        variable_norms = list(variable_norms or [])
+        update_norms = list(update_norms or [])
+        if len(variable_norms) != len(update_norms):
+            raise ValueError(
+                f"{len(variable_norms)} variable norms but "
+                f"{len(update_norms)} update norms"
+            )
+        objectives = list(objective_values or [])
+        for index, (variable, update) in enumerate(
+            zip(variable_norms, update_norms)
+        ):
+            self.records.append(
+                IterationRecord(
+                    iteration=index,
+                    variable_norm=float(variable),
+                    update_norm=float(update),
+                    objective=(
+                        float(objectives[index])
+                        if index < len(objectives)
+                        else None
+                    ),
+                )
+            )
+
+    @property
+    def variable_norms(self) -> List[float]:
+        return [record.variable_norm for record in self.records]
+
+    @property
+    def update_norms(self) -> List[float]:
+        return [record.update_norm for record in self.records]
+
+    @property
+    def objective_values(self) -> List[float]:
+        return [
+            record.objective
+            for record in self.records
+            if record.objective is not None
+        ]
 
     def record(
         self,
         current: np.ndarray,
         previous: np.ndarray,
         objective: float = None,
-    ) -> None:
-        """Append one iteration's diagnostics."""
-        self.variable_norms.append(l1_norm(current))
-        self.update_norms.append(l1_norm(current - previous))
-        if objective is not None:
-            self.objective_values.append(float(objective))
+    ) -> IterationRecord:
+        """Append one iteration's diagnostics; returns the new record.
+
+        Solvers enrich the returned record in place (objective breakdown,
+        SVD rank, phase timings) when tracing is enabled.
+        """
+        record = IterationRecord(
+            iteration=len(self.records),
+            variable_norm=l1_norm(current),
+            update_norm=l1_norm(current - previous),
+            objective=None if objective is None else float(objective),
+        )
+        self.records.append(record)
+        return record
 
     @property
     def n_iterations(self) -> int:
         """Number of recorded iterations."""
-        return len(self.variable_norms)
+        return len(self.records)
 
     def extend(self, other: "IterationHistory") -> None:
-        """Concatenate another history (used to chain CCCP rounds)."""
-        self.variable_norms.extend(other.variable_norms)
-        self.update_norms.extend(other.update_norms)
-        self.objective_values.extend(other.objective_values)
+        """Concatenate another history (used to chain CCCP rounds).
+
+        Records are shared, not copied; their ``iteration`` indices keep
+        the numbering of the history that produced them.
+        """
+        self.records.extend(other.records)

@@ -15,15 +15,27 @@ Two solvers for ``min_S f(S) + Σ_i g_i(S)`` with smooth ``f`` and prox-able
 
 Both accept a list of smooth terms (objects with ``value``/``gradient``) and
 a list of prox terms (objects with ``value``/``apply``).
+
+Both also accept an optional ``tracer``
+(:class:`~repro.observability.tracer.Tracer`).  Under a live tracer every
+iteration is wrapped in timed spans (gradient step, each prox apply), the
+objective is evaluated *per term* and the resulting breakdown, step size,
+retained SVD rank and phase wall-clock are written onto the
+:class:`~repro.observability.records.IterationRecord` shared with
+``history``.  With ``tracer=None`` (or a null tracer) none of that runs and
+the iterate sequence is bit-identical to the uninstrumented solver.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import inspect
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import OptimizationError
+from repro.observability.records import IterationRecord
+from repro.observability.tracer import Tracer, is_tracing
 from repro.optim.convergence import ConvergenceCriterion, IterationHistory
 from repro.utils.validation import check_positive
 
@@ -54,6 +66,57 @@ def _total_gradient(matrix, smooth_terms) -> np.ndarray:
     return gradient
 
 
+def _term_labels(terms: Sequence) -> List[str]:
+    """Display names per term, index-suffixed when a class repeats."""
+    names = [type(term).__name__ for term in terms]
+    labels = []
+    for index, name in enumerate(names):
+        if names.count(name) > 1:
+            labels.append(f"{name}[{index}]")
+        else:
+            labels.append(name)
+    return labels
+
+
+def _accepts_tracer(prox) -> bool:
+    """Whether a prox term's ``apply`` takes the ``tracer`` keyword."""
+    try:
+        return "tracer" in inspect.signature(prox.apply).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def _objective_breakdown(
+    matrix, smooth_terms, prox_terms, smooth_labels, prox_labels
+) -> Dict[str, float]:
+    """Objective value per term, keyed by term label."""
+    breakdown = {}
+    for label, term in zip(smooth_labels, smooth_terms):
+        breakdown[label] = float(term.value(matrix))
+    for label, term in zip(prox_labels, prox_terms):
+        breakdown[label] = float(term.value(matrix))
+    return breakdown
+
+
+def _enrich_record(
+    record: IterationRecord,
+    tracer: Tracer,
+    step_size: float,
+    breakdown: Dict[str, float],
+    phase_seconds: Dict[str, float],
+    svt_samples_before: int,
+) -> None:
+    """Copy one traced iteration's extras onto its shared record."""
+    record.step_size = step_size
+    record.objective_terms = breakdown
+    record.phase_seconds = phase_seconds
+    if len(tracer.metrics.get("svt.retained_rank", ())) > svt_samples_before:
+        record.svd_rank = int(tracer.last_metric("svt.retained_rank"))
+        record.svd_tail = tracer.last_metric("svt.tail_singular_value")
+        record.svd_threshold = tracer.last_metric("svt.threshold")
+    tracer.record_iteration(record)
+
+
 class ForwardBackwardSolver:
     """Gradient step + sequential proximal steps (paper's Algorithm 1 inner loop).
 
@@ -65,7 +128,8 @@ class ForwardBackwardSolver:
         Stopping rule for the proximal iteration.
     record_objective:
         Whether to evaluate the full objective each iteration (costs an SVD
-        per trace-norm term; disable inside tight loops).
+        per trace-norm term; disable inside tight loops).  A live tracer
+        implies it — and additionally breaks the objective out per term.
     """
 
     def __init__(
@@ -84,24 +148,62 @@ class ForwardBackwardSolver:
         smooth_terms: Sequence,
         prox_terms: Sequence,
         history: Optional[IterationHistory] = None,
+        tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
         """Run the iteration from ``initial`` until convergence.
 
         Returns the final iterate; per-iteration diagnostics are appended to
-        ``history`` when given.
+        ``history`` when given, and to ``tracer`` when it is live.
         """
         if not smooth_terms and not prox_terms:
             raise OptimizationError("nothing to optimize: no terms given")
+        tracing = is_tracing(tracer)
+        if tracing:
+            smooth_labels = _term_labels(smooth_terms)
+            prox_labels = _term_labels(prox_terms)
+            prox_takes_tracer = [_accepts_tracer(p) for p in prox_terms]
         current = np.asarray(initial, dtype=float).copy()
         for _ in range(self.criterion.max_iterations):
             previous = current
-            current = previous - self.step_size * _total_gradient(
-                previous, smooth_terms
-            )
-            for prox in prox_terms:
-                current = prox.apply(current, self.step_size)
+            if tracing:
+                phase_seconds: Dict[str, float] = {}
+                svt_before = len(tracer.metrics.get("svt.retained_rank", ()))
+                with tracer.span("gradient") as span:
+                    gradient = _total_gradient(previous, smooth_terms)
+                phase_seconds["gradient"] = span.duration
+                current = previous - self.step_size * gradient
+                for i, prox in enumerate(prox_terms):
+                    label = f"prox:{prox_labels[i]}"
+                    with tracer.span(label) as span:
+                        if prox_takes_tracer[i]:
+                            current = prox.apply(
+                                current, self.step_size, tracer=tracer
+                            )
+                        else:
+                            current = prox.apply(current, self.step_size)
+                    phase_seconds[label] = span.duration
+            else:
+                current = previous - self.step_size * _total_gradient(
+                    previous, smooth_terms
+                )
+                for prox in prox_terms:
+                    current = prox.apply(current, self.step_size)
             _check_finite(current, self.step_size)
-            if history is not None:
+            if tracing:
+                tracer.count("fb.iterations")
+                breakdown = _objective_breakdown(
+                    current, smooth_terms, prox_terms,
+                    smooth_labels, prox_labels,
+                )
+                objective = float(sum(breakdown.values()))
+                record = (history or IterationHistory()).record(
+                    current, previous, objective
+                )
+                _enrich_record(
+                    record, tracer, self.step_size, breakdown,
+                    phase_seconds, svt_before,
+                )
+            elif history is not None:
                 objective = (
                     _total_objective(current, smooth_terms, prox_terms)
                     if self.record_objective
@@ -141,27 +243,67 @@ class GeneralizedForwardBackward:
         smooth_terms: Sequence,
         prox_terms: Sequence,
         history: Optional[IterationHistory] = None,
+        tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
         """Run the iteration from ``initial`` until convergence."""
         if not prox_terms:
             raise OptimizationError(
                 "GeneralizedForwardBackward needs at least one prox term"
             )
+        tracing = is_tracing(tracer)
+        if tracing:
+            smooth_labels = _term_labels(smooth_terms)
+            prox_labels = _term_labels(prox_terms)
+            prox_takes_tracer = [_accepts_tracer(p) for p in prox_terms]
         q = len(prox_terms)
         weight = 1.0 / q
         current = np.asarray(initial, dtype=float).copy()
         auxiliaries: List[np.ndarray] = [current.copy() for _ in range(q)]
         for _ in range(self.criterion.max_iterations):
             previous = current
-            gradient = _total_gradient(previous, smooth_terms)
+            phase_seconds: Dict[str, float] = {}
+            if tracing:
+                svt_before = len(tracer.metrics.get("svt.retained_rank", ()))
+                with tracer.span("gradient") as span:
+                    gradient = _total_gradient(previous, smooth_terms)
+                phase_seconds["gradient"] = span.duration
+            else:
+                gradient = _total_gradient(previous, smooth_terms)
             for i, prox in enumerate(prox_terms):
                 argument = 2.0 * previous - auxiliaries[i] - self.step_size * gradient
-                auxiliaries[i] = auxiliaries[i] + prox.apply(
-                    argument, self.step_size / weight
-                ) - previous
+                if tracing:
+                    label = f"prox:{prox_labels[i]}"
+                    with tracer.span(label) as span:
+                        if prox_takes_tracer[i]:
+                            stepped = prox.apply(
+                                argument, self.step_size / weight,
+                                tracer=tracer,
+                            )
+                        else:
+                            stepped = prox.apply(
+                                argument, self.step_size / weight
+                            )
+                    phase_seconds[label] = span.duration
+                else:
+                    stepped = prox.apply(argument, self.step_size / weight)
+                auxiliaries[i] = auxiliaries[i] + stepped - previous
             current = weight * np.sum(auxiliaries, axis=0)
             _check_finite(current, self.step_size)
-            if history is not None:
+            if tracing:
+                tracer.count("gfb.iterations")
+                breakdown = _objective_breakdown(
+                    current, smooth_terms, prox_terms,
+                    smooth_labels, prox_labels,
+                )
+                objective = float(sum(breakdown.values()))
+                record = (history or IterationHistory()).record(
+                    current, previous, objective
+                )
+                _enrich_record(
+                    record, tracer, self.step_size, breakdown,
+                    phase_seconds, svt_before,
+                )
+            elif history is not None:
                 objective = (
                     _total_objective(current, smooth_terms, prox_terms)
                     if self.record_objective

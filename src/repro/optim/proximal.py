@@ -11,34 +11,75 @@ with their proximal maps:
 Each operator is exposed both as a plain function and as a small callable
 class implementing a shared interface (``apply(matrix, step)``) plus the
 regularizer's ``value`` so solvers can report objective values.
+
+Every operator accepts an optional ``tracer``
+(:class:`~repro.observability.tracer.Tracer`): when live, the SVT paths
+record the retained rank, the effective threshold and the first discarded
+singular value (``svt.*`` metrics), which is how truncated-SVT
+approximation loss becomes visible in run reports.  ``tracer=None`` keeps
+the operators byte-for-byte on their untraced path.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Optional
+
 import numpy as np
 
+from repro.exceptions import TruncatedSVTWarning
+from repro.observability.tracer import Tracer, is_tracing
 from repro.utils.matrices import l1_norm, trace_norm
 from repro.utils.validation import check_non_negative
 
 
-def soft_threshold(matrix: np.ndarray, threshold: float) -> np.ndarray:
+def soft_threshold(
+    matrix: np.ndarray, threshold: float, tracer: Optional[Tracer] = None
+) -> np.ndarray:
     """Entry-wise soft thresholding ``sgn(S) ∘ (|S| − t)₊``."""
     threshold = check_non_negative(threshold, "threshold")
     matrix = np.asarray(matrix, dtype=float)
-    return np.sign(matrix) * np.maximum(np.abs(matrix) - threshold, 0.0)
+    shrunk = np.sign(matrix) * np.maximum(np.abs(matrix) - threshold, 0.0)
+    if is_tracing(tracer):
+        tracer.metric("l1.nnz", int(np.count_nonzero(shrunk)))
+    return shrunk
 
 
-def singular_value_threshold(matrix: np.ndarray, threshold: float) -> np.ndarray:
+def _record_svt_metrics(
+    tracer: Optional[Tracer],
+    threshold: float,
+    retained_rank: int,
+    tail: float,
+) -> None:
+    """Publish one SVT application's spectrum diagnostics."""
+    if not is_tracing(tracer):
+        return
+    tracer.metric("svt.retained_rank", retained_rank)
+    tracer.metric("svt.threshold", threshold)
+    tracer.metric("svt.tail_singular_value", tail)
+
+
+def singular_value_threshold(
+    matrix: np.ndarray, threshold: float, tracer: Optional[Tracer] = None
+) -> np.ndarray:
     """Singular value thresholding ``U diag((σᵢ − t)₊) Vᵀ``."""
     threshold = check_non_negative(threshold, "threshold")
     matrix = np.asarray(matrix, dtype=float)
     u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
     shrunk = np.maximum(singular - threshold, 0.0)
+    if is_tracing(tracer):
+        retained = int(np.count_nonzero(shrunk))
+        # Dense SVT is exact; the "tail" is the largest value it zeroed.
+        tail = float(singular[retained]) if retained < singular.size else 0.0
+        _record_svt_metrics(tracer, threshold, retained, tail)
     return (u * shrunk[None, :]) @ vt
 
 
 def truncated_singular_value_threshold(
-    matrix: np.ndarray, threshold: float, rank: int
+    matrix: np.ndarray,
+    threshold: float,
+    rank: int,
+    tracer: Optional[Tracer] = None,
 ) -> np.ndarray:
     """SVT via a rank-``rank`` truncated SVD (scipy's Lanczos ``svds``).
 
@@ -46,9 +87,16 @@ def truncated_singular_value_threshold(
     proximal step is the bottleneck; after thresholding, only the leading
     singular values survive anyway, so computing just the top ``rank``
     triplets gives the same operator whenever the (rank+1)-th singular
-    value is below ``threshold`` — and a best-effort approximation
-    otherwise.  Falls back to the exact dense SVT when the matrix is small
-    or ``rank`` is not actually truncating.
+    value is below ``threshold``.  One extra triplet is computed as a probe
+    of that (rank+1)-th value: when it exceeds the threshold the result is
+    only a best-effort approximation, and the loss is surfaced with a
+    :class:`~repro.exceptions.TruncatedSVTWarning` plus (under a live
+    tracer) the ``svt.lossy_truncations`` counter and ``svt.tail_excess``
+    metric.  Falls back to the exact dense SVT when the matrix is small or
+    ``rank`` is not actually truncating.
+
+    The Lanczos iteration is started from a fixed vector so repeated runs
+    are deterministic (scipy's default draws a random start).
     """
     threshold = check_non_negative(threshold, "threshold")
     rank = int(rank)
@@ -56,12 +104,36 @@ def truncated_singular_value_threshold(
         raise ValueError(f"rank must be >= 1, got {rank}")
     matrix = np.asarray(matrix, dtype=float)
     if rank >= min(matrix.shape) - 1:
-        return singular_value_threshold(matrix, threshold)
+        return singular_value_threshold(matrix, threshold, tracer=tracer)
     import scipy.sparse.linalg
 
-    u, singular, vt = scipy.sparse.linalg.svds(matrix, k=rank)
-    # svds returns singular values in ascending order.
+    n_small = min(matrix.shape)
+    v0 = np.full(n_small, 1.0 / np.sqrt(n_small))
+    u, singular, vt = scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
+    # svds returns singular values in ascending order: the first triplet is
+    # the (rank+1)-th largest — the tail probe — and is never retained.
+    tail = float(singular[0])
+    u, singular, vt = u[:, 1:], singular[1:], vt[1:]
     shrunk = np.maximum(singular - threshold, 0.0)
+    if tail > threshold:
+        excess = tail - threshold
+        # Keep the message value-free so the warnings machinery dedupes it
+        # inside solver loops; per-apply magnitudes go to the tracer.
+        warnings.warn(
+            f"truncated SVT at rank {rank} is lossy: the (rank+1)-th "
+            "singular value exceeds the shrinkage threshold, so part of "
+            "the spectrum was dropped; raise the rank (or svd_rank) to "
+            "recover the exact prox, or inspect the 'svt.tail_excess' "
+            "tracer metric for the lost magnitude",
+            TruncatedSVTWarning,
+            stacklevel=2,
+        )
+        if is_tracing(tracer):
+            tracer.count("svt.lossy_truncations")
+            tracer.metric("svt.tail_excess", excess)
+    _record_svt_metrics(
+        tracer, threshold, int(np.count_nonzero(shrunk)), tail
+    )
     return (u * shrunk[None, :]) @ vt
 
 
@@ -81,9 +153,14 @@ class L1Prox:
         """Regularizer value ``γ‖S‖₁``."""
         return self.weight * l1_norm(matrix)
 
-    def apply(self, matrix: np.ndarray, step: float) -> np.ndarray:
+    def apply(
+        self,
+        matrix: np.ndarray,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
         """``prox_{step·γ‖·‖₁}`` — soft threshold at ``step * γ``."""
-        return soft_threshold(matrix, step * self.weight)
+        return soft_threshold(matrix, step * self.weight, tracer=tracer)
 
     def __repr__(self) -> str:
         return f"L1Prox(weight={self.weight})"
@@ -112,13 +189,20 @@ class TraceNormProx:
         """Regularizer value ``τ‖S‖*``."""
         return self.weight * trace_norm(matrix)
 
-    def apply(self, matrix: np.ndarray, step: float) -> np.ndarray:
+    def apply(
+        self,
+        matrix: np.ndarray,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
         """``prox_{step·τ‖·‖*}`` — singular value threshold at ``step * τ``."""
         if self.max_rank is not None:
             return truncated_singular_value_threshold(
-                matrix, step * self.weight, self.max_rank
+                matrix, step * self.weight, self.max_rank, tracer=tracer
             )
-        return singular_value_threshold(matrix, step * self.weight)
+        return singular_value_threshold(
+            matrix, step * self.weight, tracer=tracer
+        )
 
     def __repr__(self) -> str:
         return (
@@ -147,7 +231,12 @@ class BoxProjection:
         """0 everywhere (solvers only evaluate it on feasible iterates)."""
         return 0.0
 
-    def apply(self, matrix: np.ndarray, step: float) -> np.ndarray:
+    def apply(
+        self,
+        matrix: np.ndarray,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
         """Clip entries to the box (step is irrelevant for projections)."""
         return np.clip(matrix, self.low, self.high)
 

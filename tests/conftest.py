@@ -7,8 +7,19 @@ to mutate build their own).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Hypothesis profiles: "ci" is derandomized so CI failures reproduce
+# exactly (select with HYPOTHESIS_PROFILE=ci); "dev" keeps the default
+# randomized exploration locally.  Deadlines are off in both — SVD-heavy
+# properties are wall-clock noisy on shared runners.
+settings.register_profile("ci", max_examples=50, derandomize=True, deadline=None)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.evaluation.splits import k_fold_link_splits
 from repro.models.base import TransferTask

@@ -1,0 +1,73 @@
+"""Golden regression: the Figure 3 convergence run must match the archive.
+
+``results/run.figure3.json`` is the archived objective trajectory of the
+seed implementation.  Replaying the experiment and asserting the series
+match (within floating-point tolerance) pins the solver numerics, so
+telemetry instrumentation or solver refactors cannot silently change what
+the optimizer computes.  If a change is *intended* to alter numerics,
+regenerate the archive with ``python -m repro.experiments figure3 --json
+results/run.figure3.json`` and call the change out in review.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+from repro.observability.tracer import Tracer
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "results", "run.figure3.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def replay():
+    """One traced replay shared by every assertion in the module."""
+    tracer = Tracer()
+    result = run_figure3(tracer=tracer)
+    return result, tracer
+
+
+class TestGoldenFigure3:
+    def test_iteration_counts_match(self, golden, replay):
+        result, _ = replay
+        assert result["n_iterations"] == golden["n_iterations"]
+        assert result["n_rounds"] == golden["n_rounds"]
+        assert result["converged"] == golden["converged"]
+
+    def test_variable_norm_trajectory_matches(self, golden, replay):
+        result, _ = replay
+        assert np.allclose(
+            result["variable_norms"],
+            golden["variable_norms"],
+            rtol=1e-4,
+            atol=1e-6,
+        )
+
+    def test_update_norm_trajectory_matches(self, golden, replay):
+        result, _ = replay
+        assert np.allclose(
+            result["update_norms"],
+            golden["update_norms"],
+            rtol=1e-4,
+            atol=1e-6,
+        )
+
+    def test_telemetry_covers_every_iteration(self, golden, replay):
+        """The tracer sees exactly the iterations the history records."""
+        result, tracer = replay
+        assert len(tracer.iterations) == golden["n_iterations"]
+        assert tracer.counters["cccp.rounds"] == golden["n_rounds"]
+        # The records are the history's own objects, not copies.
+        assert all(
+            record.objective_terms for record in tracer.iterations
+        ), "traced records should carry the objective breakdown"

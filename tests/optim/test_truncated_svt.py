@@ -1,8 +1,12 @@
 """Tests for the truncated (scalable) singular value thresholding path."""
 
+import warnings
+
 import numpy as np
 import pytest
 
+from repro.exceptions import TruncatedSVTWarning
+from repro.observability.tracer import Tracer
 from repro.optim.proximal import (
     TraceNormProx,
     singular_value_threshold,
@@ -45,6 +49,31 @@ class TestTruncatedSvt:
         )
         singular = np.linalg.svd(out, compute_uv=False)
         assert (singular > 1e-8).sum() <= 4
+
+
+class TestLossyTruncationWarning:
+    def test_warns_when_tail_exceeds_threshold(self, rng):
+        """A rank budget too small for the spectrum must be flagged."""
+        u = rng.normal(size=(30, 6))
+        matrix = u @ u.T * 5.0  # six comparable directions
+        tracer = Tracer()
+        with pytest.warns(TruncatedSVTWarning):
+            truncated_singular_value_threshold(
+                matrix, 0.01, rank=2, tracer=tracer
+            )
+        assert tracer.counters["svt.lossy_truncations"] == 1
+        assert tracer.metrics["svt.tail_excess"][0] > 0.0
+
+    def test_silent_when_tail_below_threshold(self, low_rank_plus_noise):
+        singular = np.linalg.svd(low_rank_plus_noise, compute_uv=False)
+        threshold = float(singular[3] + 1.0)
+        tracer = Tracer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TruncatedSVTWarning)
+            truncated_singular_value_threshold(
+                low_rank_plus_noise, threshold, rank=5, tracer=tracer
+            )
+        assert "svt.lossy_truncations" not in tracer.counters
 
 
 class TestTraceNormProxMaxRank:

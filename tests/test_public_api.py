@@ -47,6 +47,7 @@ class TestPublicApi:
             "repro.features",
             "repro.adaptation",
             "repro.optim",
+            "repro.observability",
             "repro.models",
             "repro.evaluation",
             "repro.experiments",
