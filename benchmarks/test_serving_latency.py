@@ -1,0 +1,159 @@
+"""Serving latency: cold vs warm-cache top-k, and batcher throughput.
+
+Runs against a paper-scale synthetic score matrix (no model fitting — the
+serving layer never imports the training stack), so the numbers isolate
+the ranking/caching/batching hot path itself:
+
+* cold top-k — every query misses the cache and pays one row partition;
+* warm top-k — the same users again, answered from the LRU cache;
+* batcher throughput — many threads submitting concurrently, coalesced
+  into shared vectorized passes.
+
+Print the p50/p99 tables with ``pytest benchmarks/test_serving_latency.py
+--benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.persistence import FrozenPredictor
+from repro.serving.artifacts import ArtifactStore
+from repro.serving.batcher import MicroBatcher
+from repro.serving.service import LinkPredictionService
+
+N_USERS = 2000          # the paper's networks hold a few thousand users
+LINK_DENSITY = 0.01
+N_QUERIES = 400
+TOP_K = 10
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A service over a published paper-scale synthetic artifact."""
+    rng = np.random.default_rng(424242)
+    scores = rng.normal(size=(N_USERS, N_USERS))
+    scores = (scores + scores.T) / 2.0
+    adjacency = np.triu(
+        (rng.random((N_USERS, N_USERS)) < LINK_DENSITY).astype(float), 1
+    )
+    adjacency = adjacency + adjacency.T
+    store = ArtifactStore(str(tmp_path_factory.mktemp("latency-store")))
+    store.publish(
+        FrozenPredictor(scores, {"name": "bench"}), graph=adjacency
+    )
+    return LinkPredictionService(store, cache_size=N_QUERIES * 2)
+
+
+def _percentiles(samples):
+    samples = np.asarray(samples) * 1e3  # seconds → ms
+    return {
+        "p50": float(np.percentile(samples, 50)),
+        "p99": float(np.percentile(samples, 99)),
+    }
+
+
+def _time_queries(service, users, k):
+    latencies = []
+    for user in users:
+        start = time.perf_counter()
+        service.top_k(int(user), k)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def test_topk_cold_vs_warm_latency(benchmark, served):
+    """Warm-cache queries must be far faster than cold row partitions."""
+    users = np.arange(N_QUERIES) % N_USERS
+
+    def run():
+        served.cache.invalidate()
+        cold = _time_queries(served, users, TOP_K)
+        warm = _time_queries(served, users, TOP_K)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_stats, warm_stats = _percentiles(cold), _percentiles(warm)
+    print(
+        f"\ntop_k(k={TOP_K}) over {N_USERS} users, {N_QUERIES} queries/pass"
+        f"\n  cold  p50={cold_stats['p50']:.3f}ms  p99={cold_stats['p99']:.3f}ms"
+        f"\n  warm  p50={warm_stats['p50']:.3f}ms  p99={warm_stats['p99']:.3f}ms"
+    )
+    hit_stats = served.stats()["cache"]
+    assert hit_stats["hits"] >= N_QUERIES
+    # Warm queries are dictionary lookups; cold ones partition a 2000-row.
+    assert warm_stats["p50"] <= cold_stats["p50"]
+    assert cold_stats["p99"] < 1e3  # sanity: nothing pathological
+
+
+def test_batch_topk_beats_singles(benchmark, served):
+    """One vectorized batch pass must beat per-user python loops."""
+    users = list(range(200))
+
+    def run():
+        served.cache.invalidate()
+        start = time.perf_counter()
+        for user in users:
+            served.top_k(user, TOP_K)
+        singles = time.perf_counter() - start
+        served.cache.invalidate()
+        start = time.perf_counter()
+        served.batch_top_k(users, TOP_K)
+        batched = time.perf_counter() - start
+        return singles, batched
+
+    singles, batched = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n200 rankings: singles={singles * 1e3:.1f}ms "
+        f"batched={batched * 1e3:.1f}ms "
+        f"(speedup {singles / max(batched, 1e-9):.1f}x)"
+    )
+    assert batched < singles * 2  # vectorized pass must not regress badly
+
+
+def test_batcher_throughput(benchmark, served):
+    """Concurrent submits coalesce; report requests/second and batch sizes."""
+    n_threads = 8
+    per_thread = 50
+
+    def run():
+        served.cache.invalidate()
+        with MicroBatcher(served, max_batch=64, max_wait_ms=2.0) as batcher:
+            errors = []
+
+            def worker(offset):
+                try:
+                    for i in range(per_thread):
+                        batcher.submit((offset * per_thread + i) % N_USERS, TOP_K)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+        assert not errors
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = n_threads * per_thread
+    counters = served.tracer.counters
+    batch_sizes = served.tracer.metrics.get("batcher.batch_size", [])
+    print(
+        f"\nbatcher: {total} requests / {elapsed:.3f}s "
+        f"= {total / elapsed:.0f} req/s; "
+        f"{counters['batcher.batches']} batches, "
+        f"mean batch {np.mean(batch_sizes):.1f}"
+    )
+    assert counters["batcher.requests"] >= total
+    assert counters["batcher.batches"] <= total

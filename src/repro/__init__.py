@@ -86,6 +86,12 @@ from repro.observability import (
     build_run_report,
     default_report_path,
 )
+from repro.serving import (
+    ArtifactStore,
+    LinkPredictionService,
+    MicroBatcher,
+    RankingCache,
+)
 from repro.applications import GraphDenoiser, SparseLowRankCovariance
 from repro.temporal import (
     AutoregressiveLinkPredictor,
@@ -150,6 +156,10 @@ __all__ = [
     "RunReport",
     "build_run_report",
     "default_report_path",
+    "ArtifactStore",
+    "LinkPredictionService",
+    "MicroBatcher",
+    "RankingCache",
     "GraphDenoiser",
     "SparseLowRankCovariance",
     "AutoregressiveLinkPredictor",

@@ -11,6 +11,10 @@ from repro.experiments.registry import (
     get_result_runner,
     run_with_report,
 )
+from repro.experiments.publishing import (
+    DEFAULT_STORE_DIR,
+    publish_reference_fit,
+)
 from repro.experiments.serialize import dump_result
 from repro.observability.report import default_report_path
 
@@ -51,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the run and write a schema-versioned telemetry run "
         "report (default location: results/run_report.<name>.json; "
         "with 'all', PATH is treated as a prefix)",
+    )
+    parser.add_argument(
+        "--publish",
+        metavar="STORE_DIR",
+        nargs="?",
+        const=DEFAULT_STORE_DIR,
+        default=None,
+        help="after the run, fit the full SLAMPRED on the experiment's "
+        "world (same --scale/--seed) and publish the predictor into this "
+        f"serving artifact store (default: {DEFAULT_STORE_DIR}; query it "
+        "with 'python -m repro.serving serve')",
     )
     return parser
 
@@ -96,6 +111,16 @@ def main(argv=None) -> int:
             )
             dump_result(result, path)
             print(f"[written {path}]")
+    if args.publish is not None:
+        publish_kwargs = {}
+        if args.scale is not None:
+            publish_kwargs["scale"] = args.scale
+        if args.seed is not None:
+            publish_kwargs["random_state"] = args.seed
+        version, store = publish_reference_fit(
+            args.publish, experiment=args.experiment, **publish_kwargs
+        )
+        print(f"[published SLAMPRED v{version:04d} -> {store.path(version)}]")
     return 0
 
 

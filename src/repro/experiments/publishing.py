@@ -1,0 +1,63 @@
+"""Bridge from an experiment run to the serving artifact store.
+
+``python -m repro.experiments <name> --publish [STORE_DIR]`` ends a
+reproduction run by fitting the paper's full SLAMPRED model on the same
+synthetic world the experiment was configured with (scale and seed) and
+publishing the fitted predictor — together with the target's social
+structure, so serving can exclude already-known links — into an
+:class:`~repro.serving.artifacts.ArtifactStore`.  The manifest records
+which experiment produced the artifact, closing the loop from
+"reproduce a table" to "serve the model that table measured".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.models.base import TransferTask
+from repro.models.slampred import SlamPred
+from repro.networks.social import SocialGraph
+from repro.observability.tracer import Tracer
+from repro.serving.artifacts import ArtifactStore
+from repro.synth.generator import generate_aligned_pair
+from repro.utils.rng import RandomState
+
+DEFAULT_STORE_DIR = "results/artifacts"
+"""Where ``--publish`` writes when no store directory is given."""
+
+
+def publish_reference_fit(
+    store_dir: str = DEFAULT_STORE_DIR,
+    scale: int = 120,
+    random_state: RandomState = 17,
+    experiment: Optional[str] = None,
+    inner_iterations: int = 25,
+    outer_iterations: int = 40,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[int, ArtifactStore]:
+    """Fit the full SLAMPRED on the experiment's world and publish it.
+
+    The world is regenerated from ``scale``/``random_state`` exactly as the
+    experiment harness builds it; the model trains on the *complete* target
+    structure (serving wants tomorrow's links given everything known
+    today, not a cross-validation fold).  Returns the published version
+    number and the store.
+    """
+    aligned = generate_aligned_pair(scale=scale, random_state=random_state)
+    task = TransferTask.from_aligned(aligned, random_state=random_state)
+    model = SlamPred(
+        inner_iterations=inner_iterations,
+        outer_iterations=outer_iterations,
+        tracer=tracer,
+    ).fit(task)
+    graph = SocialGraph.from_network(aligned.target)
+    store = ArtifactStore(store_dir)
+    meta = {
+        "source": "experiment",
+        "scale": scale,
+        "seed": random_state if isinstance(random_state, int) else None,
+    }
+    if experiment is not None:
+        meta["experiment"] = experiment
+    version = store.publish(model, graph=graph, meta=meta)
+    return version, store

@@ -6,13 +6,21 @@ hyper-parameters that produced it.  ``save_predictor`` /
 trained predictor can be shipped to a serving process that never imports
 the training stack.
 
+The archive embeds a sha256 content digest over the score matrix and the
+metadata blob; loading recomputes and compares it, so a truncated download
+or a bit-flipped artifact fails with a crisp
+:class:`~repro.exceptions.SerializationError` instead of silently serving
+corrupted scores (or leaking a raw ``zipfile``/``KeyError``).
+
 Loaded predictors come back as :class:`FrozenPredictor` — scoring works,
 refitting is deliberately unsupported (retrain from source data instead).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import zipfile
 from typing import Dict
 
 import numpy as np
@@ -20,7 +28,8 @@ import numpy as np
 from repro.exceptions import SerializationError
 from repro.models.base import MatrixPredictor, TransferTask
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_DIGESTLESS_VERSIONS = (1,)  # legacy archives written before checksums
 
 
 class FrozenPredictor(MatrixPredictor):
@@ -55,16 +64,39 @@ class FrozenPredictor(MatrixPredictor):
         )
 
 
-def save_predictor(model: MatrixPredictor, path: str) -> None:
-    """Write a fitted matrix predictor to ``path`` (.npz).
+def content_digest(matrix: np.ndarray, metadata_json: str) -> str:
+    """Sha256 hex digest binding a score matrix to its metadata blob.
 
-    Serializes the score matrix plus a JSON metadata blob containing the
-    model name and its scalar hyper-parameters.
+    Hashes the matrix shape, its float64 bytes, and the serialized metadata,
+    so any tampering with either half of the archive changes the digest.
     """
-    matrix = model.score_matrix  # raises NotFittedError when unfitted
-    metadata = {"name": model.name, "class": type(model).__name__}
+    matrix = np.ascontiguousarray(matrix, dtype=float)
+    hasher = hashlib.sha256()
+    hasher.update(repr(matrix.shape).encode("ascii"))
+    hasher.update(matrix.tobytes())
+    hasher.update(metadata_json.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _extract_metadata(model: MatrixPredictor) -> Dict:
+    """The model name plus every scalar/flat-sequence hyper-parameter.
+
+    Re-saving a :class:`FrozenPredictor` keeps its original metadata, so
+    hyper-parameters survive load → publish round-trips.
+    """
+    metadata = {}
+    if isinstance(getattr(model, "metadata", None), dict):
+        metadata.update(
+            {
+                key: value
+                for key, value in model.metadata.items()
+                if isinstance(value, (int, float, str, bool, list))
+                or value is None
+            }
+        )
+    metadata.update({"name": model.name, "class": type(model).__name__})
     for key, value in vars(model).items():
-        if key.startswith("_"):
+        if key.startswith("_") or key == "metadata":
             continue
         if isinstance(value, (int, float, str, bool)) or value is None:
             metadata[key] = value
@@ -72,27 +104,65 @@ def save_predictor(model: MatrixPredictor, path: str) -> None:
             isinstance(v, (int, float, str, bool)) for v in value
         ):
             metadata[key] = list(value)
+    return metadata
+
+
+def save_predictor(model: MatrixPredictor, path: str) -> None:
+    """Write a fitted matrix predictor to ``path`` (.npz).
+
+    Serializes the score matrix plus a JSON metadata blob containing the
+    model name and its scalar hyper-parameters, and a sha256 content digest
+    that :func:`load_predictor` verifies on the way back in.
+    """
+    matrix = model.score_matrix  # raises NotFittedError when unfitted
+    metadata_json = json.dumps(_extract_metadata(model))
     np.savez_compressed(
         path,
         version=np.array([_FORMAT_VERSION]),
         score_matrix=matrix,
-        metadata=np.frombuffer(
-            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        metadata=np.frombuffer(metadata_json.encode("utf-8"), dtype=np.uint8),
+        digest=np.frombuffer(
+            content_digest(matrix, metadata_json).encode("ascii"), dtype=np.uint8
         ),
     )
 
 
 def load_predictor(path: str) -> FrozenPredictor:
-    """Read a predictor previously written by :func:`save_predictor`."""
+    """Read a predictor previously written by :func:`save_predictor`.
+
+    Raises
+    ------
+    SerializationError
+        If the file is unreadable or truncated, written with an unsupported
+        format version, or its sha256 digest does not match the content
+        (tampered or corrupted archive).
+    """
     try:
         with np.load(path) as data:
             version = int(data["version"][0])
-            if version != _FORMAT_VERSION:
+            if version != _FORMAT_VERSION and version not in _DIGESTLESS_VERSIONS:
                 raise SerializationError(
                     f"unsupported predictor format version {version}"
                 )
-            matrix = data["score_matrix"]
-            metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
-    except (KeyError, ValueError, OSError) as exc:
+            matrix = np.asarray(data["score_matrix"])
+            metadata_json = bytes(data["metadata"]).decode("utf-8")
+            stored_digest = (
+                bytes(data["digest"]).decode("ascii")
+                if version not in _DIGESTLESS_VERSIONS
+                else None
+            )
+    except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise SerializationError(f"cannot load predictor: {exc}") from exc
+    if stored_digest is not None:
+        actual = content_digest(matrix, metadata_json)
+        if actual != stored_digest:
+            raise SerializationError(
+                f"predictor archive {path} failed its integrity check: "
+                f"stored sha256 {stored_digest[:12]}… but content hashes to "
+                f"{actual[:12]}… (truncated or tampered file)"
+            )
+    try:
+        metadata = json.loads(metadata_json)
+    except ValueError as exc:
         raise SerializationError(f"cannot load predictor: {exc}") from exc
     return FrozenPredictor(matrix, metadata)

@@ -1,0 +1,51 @@
+"""Model serving: versioned artifacts + a low-latency top-k service.
+
+The deployment half of the reproduction — everything a serving process
+needs, and nothing from the training stack:
+
+* :mod:`repro.serving.artifacts` — :class:`ArtifactStore`, the
+  directory-per-version on-disk store with ``manifest.json`` checksums and
+  integrity-validated ``publish``/``resolve_latest``/``load``;
+* :mod:`repro.serving.service` — :class:`LinkPredictionService` with
+  ``score``/``top_k``/``batch_top_k`` and hot-swap ``reload()`` that falls
+  back to the previous artifact when a new one fails validation;
+* :mod:`repro.serving.cache` — the LRU :class:`RankingCache` with
+  hit/miss/eviction counters;
+* :mod:`repro.serving.batcher` — :class:`MicroBatcher`, coalescing
+  concurrent queries into single vectorized scoring passes;
+* :mod:`repro.serving.http` — the stdlib-only JSON endpoint
+  (``/healthz``, ``/v1/topk``, ``/v1/score``, ``/v1/stats``).
+
+Operate it from the command line::
+
+    python -m repro.serving publish --store artifacts --scale 60 --seed 7
+    python -m repro.serving inspect --store artifacts
+    python -m repro.serving serve   --store artifacts --port 8080
+
+Every request path is instrumented through
+:class:`repro.observability.Tracer`.  See DESIGN.md §8.
+"""
+
+from repro.serving.artifacts import (
+    MANIFEST_SCHEMA_VERSION,
+    ArtifactStore,
+    LoadedArtifact,
+    file_sha256,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import RankingCache
+from repro.serving.http import LinkPredictionServer, make_server, serve
+from repro.serving.service import LinkPredictionService
+
+__all__ = [
+    "ArtifactStore",
+    "LoadedArtifact",
+    "MANIFEST_SCHEMA_VERSION",
+    "file_sha256",
+    "LinkPredictionService",
+    "RankingCache",
+    "MicroBatcher",
+    "LinkPredictionServer",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,190 @@
+"""Command-line entry point: ``python -m repro.serving <command>``.
+
+Three subcommands cover the publish → inspect → serve lifecycle:
+
+* ``publish`` — fit a SLAMPRED variant on a synthetic aligned world (or
+  re-publish an existing ``save_predictor`` archive via ``--npz``) and
+  write it into an :class:`~repro.serving.artifacts.ArtifactStore`.
+* ``inspect`` — print a version's manifest (name, hyper-parameters,
+  per-file checksums) after re-verifying its integrity.
+* ``serve`` — start the JSON/HTTP endpoint on the store's latest version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.models.base import TransferTask
+from repro.models.persistence import load_predictor
+from repro.models.slampred import SlamPred, SlamPredH, SlamPredT
+from repro.networks.social import SocialGraph
+from repro.serving.artifacts import ArtifactStore
+from repro.serving.batcher import MicroBatcher
+from repro.serving.http import make_server
+from repro.serving.service import LinkPredictionService
+from repro.synth.generator import generate_aligned_pair
+
+_MODELS = {
+    "slampred": SlamPred,
+    "slampred-t": SlamPredT,
+    "slampred-h": SlamPredH,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the serving CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Publish, inspect and serve link-prediction artifacts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    publish = commands.add_parser(
+        "publish", help="fit (or import) a predictor and publish a version"
+    )
+    publish.add_argument("--store", required=True, help="artifact store directory")
+    publish.add_argument(
+        "--npz",
+        default=None,
+        help="publish this save_predictor archive instead of fitting",
+    )
+    publish.add_argument(
+        "--model",
+        choices=sorted(_MODELS),
+        default="slampred-t",
+        help="model variant to fit (ignored with --npz)",
+    )
+    publish.add_argument("--scale", type=int, default=60, help="synthetic world size")
+    publish.add_argument("--seed", type=int, default=7, help="random seed")
+    publish.add_argument(
+        "--inner-iterations", type=int, default=15, help="proximal iterations"
+    )
+    publish.add_argument(
+        "--outer-iterations", type=int, default=10, help="CCCP rounds"
+    )
+
+    inspect = commands.add_parser(
+        "inspect", help="verify and print a version's manifest"
+    )
+    inspect.add_argument("--store", required=True, help="artifact store directory")
+    inspect.add_argument(
+        "--version", type=int, default=None, help="version to inspect (default latest)"
+    )
+    inspect.add_argument(
+        "--json", action="store_true", help="emit the raw manifest JSON"
+    )
+
+    serve = commands.add_parser("serve", help="serve the latest artifact over HTTP")
+    serve.add_argument("--store", required=True, help="artifact store directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = free)")
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="ranking cache capacity"
+    )
+    serve.add_argument(
+        "--no-batcher",
+        action="store_true",
+        help="answer each request directly instead of micro-batching",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batcher batch bound"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batcher coalescing window",
+    )
+    return parser
+
+
+def run_publish(args: argparse.Namespace) -> int:
+    """Fit or import a predictor and publish it; prints the new version."""
+    store = ArtifactStore(args.store)
+    if args.npz is not None:
+        model = load_predictor(args.npz)
+        graph = None
+        meta = {"source": "npz", "path": args.npz}
+    else:
+        aligned = generate_aligned_pair(scale=args.scale, random_state=args.seed)
+        task = TransferTask.from_aligned(aligned, random_state=args.seed)
+        model = _MODELS[args.model](
+            inner_iterations=args.inner_iterations,
+            outer_iterations=args.outer_iterations,
+        ).fit(task)
+        graph = SocialGraph.from_network(aligned.target)
+        meta = {
+            "source": "synthetic",
+            "scale": args.scale,
+            "seed": args.seed,
+            "variant": args.model,
+        }
+    version = store.publish(model, graph=graph, meta=meta)
+    print(f"published {model.name} as v{version:04d} -> {store.path(version)}")
+    return 0
+
+
+def run_inspect(args: argparse.Namespace) -> int:
+    """Verify a version's checksums and print its manifest."""
+    store = ArtifactStore(args.store)
+    manifest = store.verify(args.version)
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    print(f"store     {store.root}")
+    print(f"versions  {', '.join(f'v{v:04d}' for v in store.versions())}")
+    print(f"inspected v{manifest['version']:04d} — integrity ok")
+    print(f"model     {manifest['name']} ({manifest['model_class']})")
+    print(f"users     {manifest['n_users']}")
+    for filename, entry in sorted(manifest["files"].items()):
+        print(
+            f"file      {filename}  {entry['bytes']} bytes  "
+            f"sha256 {entry['sha256'][:16]}…"
+        )
+    params = manifest.get("hyper_parameters", {})
+    if params:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+        print(f"params    {rendered}")
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP endpoint (blocking) on the store's latest version."""
+    service = LinkPredictionService(args.store, cache_size=args.cache_size)
+    batcher = None
+    if not args.no_batcher:
+        batcher = MicroBatcher(
+            service, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ).start()
+    server = make_server(service, args.host, args.port, batcher)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {service.stats()['model']} v{service.version:04d} "
+        f"({service.n_users} users) on http://{host}:{port}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if batcher is not None:
+            batcher.stop()
+    return 0
+
+
+def main(argv=None) -> int:
+    """Dispatch the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    runner = {
+        "publish": run_publish,
+        "inspect": run_inspect,
+        "serve": run_serve,
+    }[args.command]
+    return runner(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

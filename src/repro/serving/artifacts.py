@@ -1,0 +1,329 @@
+"""Versioned on-disk store for fitted link-prediction artifacts.
+
+An :class:`ArtifactStore` is a plain directory holding one sub-directory per
+published version::
+
+    store/
+    ├── v0001/
+    │   ├── manifest.json    schema version, model name, hyper-parameters,
+    │   │                    per-file sha256 checksums
+    │   ├── model.npz        the predictor (save_predictor format)
+    │   └── graph.npz        optional: known-link adjacency for exclusion
+    └── v0002/
+        └── …
+
+Versions are immutable once published: ``publish`` writes into a hidden
+staging directory and renames it into place, so readers never observe a
+half-written version, and ``load`` re-hashes every file against the
+manifest before deserializing.  All failure modes surface as
+:class:`~repro.exceptions.SerializationError` with the offending path in
+the message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.models.base import MatrixPredictor
+from repro.models.persistence import (
+    FrozenPredictor,
+    load_predictor,
+    save_predictor,
+)
+
+MANIFEST_SCHEMA_VERSION = 1
+"""Bumped whenever the manifest.json layout changes incompatibly."""
+
+_MANIFEST = "manifest.json"
+_MODEL_FILE = "model.npz"
+_GRAPH_FILE = "graph.npz"
+_VERSION_DIR = re.compile(r"^v(\d{4,})$")
+_STAGING_PREFIX = ".staging-"
+
+
+def file_sha256(path: str) -> str:
+    """Sha256 hex digest of a file's bytes (streamed, constant memory)."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+@dataclass
+class LoadedArtifact:
+    """One fully-validated artifact pulled out of the store.
+
+    Attributes
+    ----------
+    version:
+        The integer version number that was loaded.
+    manifest:
+        The parsed ``manifest.json`` of that version.
+    predictor:
+        The deserialized (refit-proof) predictor.
+    adjacency:
+        The known-link adjacency published alongside the model, or ``None``
+        when the publisher provided no graph.
+    """
+
+    version: int
+    manifest: Dict
+    predictor: FrozenPredictor
+    adjacency: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users covered by the predictor's score matrix."""
+        return self.predictor.score_matrix.shape[0]
+
+
+class ArtifactStore:
+    """Directory-per-version artifact store with integrity validation.
+
+    Parameters
+    ----------
+    root:
+        The store directory; created (with parents) on first use.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.models.persistence import FrozenPredictor
+    >>> store = ArtifactStore(tempfile.mkdtemp())
+    >>> version = store.publish(FrozenPredictor(np.eye(3)))
+    >>> store.resolve_latest() == version == 1
+    True
+    >>> store.load().predictor.score_matrix.shape
+    (3, 3)
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- layout ---------------------------------------------------------
+    def path(self, version: int) -> str:
+        """Directory holding the given version."""
+        return os.path.join(self.root, f"v{int(version):04d}")
+
+    def versions(self) -> List[int]:
+        """All published version numbers, ascending."""
+        found = []
+        for entry in os.listdir(self.root):
+            match = _VERSION_DIR.match(entry)
+            if match and os.path.isfile(
+                os.path.join(self.root, entry, _MANIFEST)
+            ):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve_latest(self) -> int:
+        """The highest published version number.
+
+        Raises
+        ------
+        SerializationError
+            If the store holds no published versions.
+        """
+        versions = self.versions()
+        if not versions:
+            raise SerializationError(
+                f"artifact store {self.root} holds no published versions"
+            )
+        return versions[-1]
+
+    # -- publish --------------------------------------------------------
+    def publish(
+        self,
+        model: MatrixPredictor,
+        graph=None,
+        meta: Optional[Dict] = None,
+    ) -> int:
+        """Write a fitted predictor as the next version; returns its number.
+
+        Parameters
+        ----------
+        model:
+            Any fitted matrix predictor (raises ``NotFittedError`` before
+            any disk state is touched if it is not).
+        graph:
+            Optional known-link structure — a
+            :class:`~repro.networks.social.SocialGraph` or a square binary
+            adjacency ndarray matching the score matrix.  Serving uses it
+            to exclude already-connected pairs from top-k answers.
+        meta:
+            Extra JSON-compatible metadata recorded in the manifest
+            (experiment name, training scale, …).
+        """
+        matrix = model.score_matrix  # fitted check before touching disk
+        adjacency = None
+        if graph is not None:
+            adjacency = np.asarray(getattr(graph, "adjacency", graph), dtype=float)
+            if adjacency.shape != matrix.shape:
+                raise SerializationError(
+                    f"graph adjacency {adjacency.shape} does not match the "
+                    f"score matrix {matrix.shape}"
+                )
+        version = (self.versions() or [0])[-1] + 1
+        staging = os.path.join(
+            self.root, f"{_STAGING_PREFIX}v{version:04d}-{os.getpid()}"
+        )
+        os.makedirs(staging)
+        try:
+            model_path = os.path.join(staging, _MODEL_FILE)
+            save_predictor(model, model_path)
+            files = {_MODEL_FILE: self._file_entry(model_path)}
+            if adjacency is not None:
+                graph_path = os.path.join(staging, _GRAPH_FILE)
+                np.savez_compressed(graph_path, adjacency=adjacency)
+                files[_GRAPH_FILE] = self._file_entry(graph_path)
+            manifest = {
+                "schema_version": MANIFEST_SCHEMA_VERSION,
+                "version": version,
+                "name": model.name,
+                "model_class": type(model).__name__,
+                "n_users": int(matrix.shape[0]),
+                "created_at": time.time(),
+                "hyper_parameters": _scalar_params(model),
+                "meta": dict(meta or {}),
+                "files": files,
+            }
+            with open(
+                os.path.join(staging, _MANIFEST), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            final = self.path(version)
+            if os.path.exists(final):
+                raise SerializationError(
+                    f"version directory {final} already exists; "
+                    "concurrent publishers must use distinct stores"
+                )
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return version
+
+    @staticmethod
+    def _file_entry(path: str) -> Dict:
+        return {
+            "sha256": file_sha256(path),
+            "bytes": os.path.getsize(path),
+        }
+
+    # -- read -----------------------------------------------------------
+    def manifest(self, version: Optional[int] = None) -> Dict:
+        """The parsed, schema-checked manifest of a version (default: latest)."""
+        version = self.resolve_latest() if version is None else int(version)
+        manifest_path = os.path.join(self.path(version), _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise SerializationError(
+                f"version {version} not found in {self.root}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise SerializationError(
+                f"corrupt manifest {manifest_path}: {exc}"
+            ) from exc
+        schema = manifest.get("schema_version")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise SerializationError(
+                f"manifest {manifest_path} has schema version {schema}; "
+                f"this build reads version {MANIFEST_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    def verify(self, version: Optional[int] = None) -> Dict:
+        """Re-hash every file of a version against its manifest.
+
+        Returns the manifest on success; raises
+        :class:`~repro.exceptions.SerializationError` naming the first file
+        whose checksum or size diverges.
+        """
+        version = self.resolve_latest() if version is None else int(version)
+        manifest = self.manifest(version)
+        directory = self.path(version)
+        for filename, entry in manifest.get("files", {}).items():
+            path = os.path.join(directory, filename)
+            if not os.path.isfile(path):
+                raise SerializationError(
+                    f"artifact v{version:04d} is missing {filename}"
+                )
+            actual = file_sha256(path)
+            if actual != entry.get("sha256"):
+                raise SerializationError(
+                    f"artifact file {path} failed its integrity check: "
+                    f"manifest says sha256 {entry.get('sha256', '?')[:12]}… "
+                    f"but the file hashes to {actual[:12]}…"
+                )
+        return manifest
+
+    def load(self, version: Optional[int] = None) -> LoadedArtifact:
+        """Load and validate a version (default: latest).
+
+        Every file is checksum-verified against the manifest before
+        deserialization, and the model archive additionally verifies its
+        own embedded content digest.
+        """
+        version = self.resolve_latest() if version is None else int(version)
+        manifest = self.verify(version)
+        directory = self.path(version)
+        predictor = load_predictor(os.path.join(directory, _MODEL_FILE))
+        adjacency = None
+        if _GRAPH_FILE in manifest.get("files", {}):
+            graph_path = os.path.join(directory, _GRAPH_FILE)
+            try:
+                with np.load(graph_path) as data:
+                    adjacency = np.asarray(data["adjacency"], dtype=float)
+            except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
+                raise SerializationError(
+                    f"cannot load graph archive {graph_path}: {exc}"
+                ) from exc
+            if adjacency.shape != predictor.score_matrix.shape:
+                raise SerializationError(
+                    f"graph adjacency {adjacency.shape} does not match the "
+                    f"score matrix {predictor.score_matrix.shape}"
+                )
+        return LoadedArtifact(
+            version=version,
+            manifest=manifest,
+            predictor=predictor,
+            adjacency=adjacency,
+        )
+
+
+def _scalar_params(model: MatrixPredictor) -> Dict:
+    """JSON-safe scalar hyper-parameters of a model (same rule as persistence)."""
+    params = {}
+    for key, value in vars(model).items():
+        if key.startswith("_") or key in ("metadata",):
+            continue
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            params[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(v, (int, float, str, bool)) for v in value
+        ):
+            params[key] = list(value)
+    if isinstance(model, FrozenPredictor):
+        params.update(
+            {
+                k: v
+                for k, v in model.metadata.items()
+                if isinstance(v, (int, float, str, bool, list)) or v is None
+            }
+        )
+    return params

@@ -1,0 +1,180 @@
+"""Micro-batching front-end: coalesce concurrent queries into one pass.
+
+Under concurrent load, many independent ``top_k`` calls each pay a full
+row-partition; stacking them into a single
+:meth:`~repro.serving.service.LinkPredictionService.batch_top_k` call
+amortizes the numpy dispatch and partitions all rows in one vectorized
+pass.  :class:`MicroBatcher` implements the classic pattern: callers block
+on :meth:`submit`, a single worker thread drains the queue — waiting at
+most ``max_wait_ms`` after the first request to let a batch accumulate, up
+to ``max_batch`` — and distributes the batch's answers back to the
+waiters.  Batch sizes and coalescing counters are recorded on the
+service's tracer (``batcher.batches``, ``batcher.requests``, and the
+``batcher.batch_size`` metric stream).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.serving.service import LinkPredictionService, Ranking
+from repro.utils.validation import check_integer
+
+
+class _Pending:
+    """One waiting request: inputs, a completion event, and a result slot."""
+
+    __slots__ = ("user", "k", "event", "result", "error")
+
+    def __init__(self, user: int, k: int):
+        self.user = user
+        self.k = k
+        self.event = threading.Event()
+        self.result: Optional[Ranking] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Queue-backed batcher over a :class:`LinkPredictionService`.
+
+    Parameters
+    ----------
+    service:
+        The service whose ``batch_top_k`` executes the coalesced work.
+    max_batch:
+        Largest number of requests merged into one scoring pass.
+    max_wait_ms:
+        How long the worker waits after the first queued request for more
+        to arrive; the latency cost of coalescing is bounded by this.
+
+    Examples
+    --------
+    Use as a context manager so the worker thread is always joined::
+
+        with MicroBatcher(service) as batcher:
+            ranking = batcher.submit(user=0, k=10)
+    """
+
+    def __init__(
+        self,
+        service: LinkPredictionService,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ):
+        self.service = service
+        self.max_batch = check_integer(max_batch, "max_batch", minimum=1)
+        if max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self._queue: "queue.Queue[_Pending]" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the worker thread is alive."""
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "MicroBatcher":
+        """Launch the worker thread (idempotent); returns ``self``."""
+        if not self.running:
+            self._stopping.clear()
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serving-batcher", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker, draining already-queued requests first."""
+        if self._worker is None:
+            return
+        self._stopping.set()
+        self._worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "MicroBatcher":
+        """Start on entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop (and join the worker) on exit."""
+        self.stop()
+
+    # -- request path ---------------------------------------------------
+    def submit(self, user: int, k: int = 10, timeout: float = 30.0) -> Ranking:
+        """Enqueue one top-k query and block until its batch completes."""
+        if not self.running:
+            raise ConfigurationError(
+                "MicroBatcher is not running; call start() or use it as a "
+                "context manager"
+            )
+        pending = _Pending(int(user), int(k))
+        self._queue.put(pending)
+        if not pending.event.wait(timeout):
+            raise ConfigurationError(
+                f"batched query timed out after {timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    # -- worker ---------------------------------------------------------
+    def _run(self) -> None:
+        """Worker loop: collect a batch, execute it, wake the waiters."""
+        while True:
+            batch = self._collect()
+            if not batch:
+                if self._stopping.is_set() and self._queue.empty():
+                    return
+                continue
+            self._execute(batch)
+
+    def _collect(self) -> List[_Pending]:
+        """Block for the first request, then coalesce briefly arriving ones."""
+        try:
+            first = self._queue.get(timeout=0.05)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            timeout = deadline - time.monotonic()
+            try:
+                if timeout > 0:
+                    batch.append(self._queue.get(timeout=timeout))
+                else:
+                    batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        """Run one coalesced pass and distribute answers (or the error)."""
+        tracer = self.service.tracer
+        tracer.count("batcher.batches")
+        tracer.count("batcher.requests", len(batch))
+        tracer.metric("batcher.batch_size", len(batch))
+        by_k: Dict[int, List[_Pending]] = {}
+        for pending in batch:
+            by_k.setdefault(pending.k, []).append(pending)
+        for k, group in by_k.items():
+            try:
+                rankings = self.service.batch_top_k(
+                    [pending.user for pending in group], k
+                )
+            except BaseException as exc:  # propagate to every waiter
+                for pending in group:
+                    pending.error = exc
+                    pending.event.set()
+                continue
+            for pending, ranking in zip(group, rankings):
+                pending.result = ranking
+                pending.event.set()

@@ -1,0 +1,98 @@
+"""LRU cache for per-user ranking results.
+
+Top-k answers are tiny (k index/score pairs) but computing one touches an
+entire row of the score matrix, so the service keeps the most recently
+served rankings in a bounded LRU map keyed by ``(artifact version, user,
+k)``.  The cache keeps its own hit/miss/eviction counters — surfaced in
+``/v1/stats`` — and is invalidated wholesale on every successful hot-swap
+reload, so stale rankings can never outlive the artifact that produced
+them.  All operations are thread-safe (the HTTP front-end is a threading
+server).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable
+
+from repro.utils.validation import check_integer
+
+_MISS = object()
+
+
+class RankingCache:
+    """A bounded, thread-safe LRU map with observable counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached rankings; the least recently used entry is
+        evicted once the bound is exceeded.
+
+    Examples
+    --------
+    >>> cache = RankingCache(capacity=2)
+    >>> cache.put(("v1", 0, 10), [(3, 0.9)])
+    >>> cache.get(("v1", 0, 10))
+    [(3, 0.9)]
+    >>> cache.get(("v1", 1, 10)) is None
+    True
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = check_integer(capacity, "capacity", minimum=1)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (marking it most recently used)."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (called on artifact reload); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += 1
+            return dropped
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters and occupancy: size, capacity, hits, misses, evictions…"""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+                "hit_rate": (self._hits / total) if total else 0.0,
+            }

@@ -1,0 +1,221 @@
+"""Stdlib-only JSON/HTTP front-end for the link-prediction service.
+
+A thin :class:`ThreadingHTTPServer` exposing four endpoints:
+
+========================  =====================================================
+``GET /healthz``          liveness + served artifact version
+``GET /v1/topk``          ``?user=U&k=K`` → ranked candidate links for ``U``
+``POST /v1/topk``         JSON ``{"users": [...], "k": K}`` → batch answers
+``GET /v1/score``         ``?u=U&v=V`` → raw pair confidence
+``GET /v1/stats``         cache/queue counters, uptime, reload state
+========================  =====================================================
+
+Each request is traced on the service's
+:class:`~repro.observability.Tracer` (an ``http.<route>`` span plus
+``http.requests`` / ``http.errors`` counters).  When the server was built
+with a running :class:`~repro.serving.batcher.MicroBatcher`, single-user
+``GET /v1/topk`` queries are routed through it so concurrent HTTP threads
+coalesce into shared vectorized scoring passes.
+
+Only the standard library is used — a serving container needs numpy and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ReproError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.service import LinkPredictionService
+
+
+class LinkPredictionServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service (and optional batcher)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: LinkPredictionService,
+        batcher: Optional[MicroBatcher] = None,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.batcher = batcher
+
+
+def make_server(
+    service: LinkPredictionService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    batcher: Optional[MicroBatcher] = None,
+) -> LinkPredictionServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    return LinkPredictionServer((host, port), service, batcher)
+
+
+def serve(
+    service: LinkPredictionService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    batcher: Optional[MicroBatcher] = None,
+) -> None:
+    """Serve forever (blocking); Ctrl-C shuts down cleanly."""
+    server = make_server(service, host, port, batcher)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing for :class:`LinkPredictionServer`."""
+
+    server: LinkPredictionServer
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        routes = {
+            "/healthz": lambda: self._healthz(),
+            "/v1/stats": lambda: self._stats(),
+            "/v1/topk": lambda: self._topk_get(query),
+            "/v1/score": lambda: self._score(query),
+        }
+        self._dispatch(url.path, routes)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        url = urlparse(self.path)
+        routes = {"/v1/topk": lambda: self._topk_post()}
+        self._dispatch(url.path, routes)
+
+    def _dispatch(self, path: str, routes: Dict) -> None:
+        tracer = self.server.service.tracer
+        handler = routes.get(path)
+        if handler is None:
+            tracer.count("http.not_found")
+            self._send(404, {"error": f"no such endpoint: {path}"})
+            return
+        with tracer.span(f"http.{path.lstrip('/').replace('/', '.')}"):
+            tracer.count("http.requests")
+            try:
+                status, payload = handler()
+            except (ReproError, ValueError) as exc:
+                tracer.count("http.errors")
+                status, payload = 400, {"error": str(exc)}
+        self._send(status, payload)
+
+    # -- endpoints ------------------------------------------------------
+    def _healthz(self) -> Tuple[int, Dict]:
+        service = self.server.service
+        return 200, {
+            "status": "ok",
+            "version": service.version,
+            "model": service.artifact.manifest.get("name"),
+            "n_users": service.n_users,
+        }
+
+    def _stats(self) -> Tuple[int, Dict]:
+        return 200, self.server.service.stats()
+
+    def _topk_get(self, query: Dict) -> Tuple[int, Dict]:
+        user = _int_param(query, "user")
+        k = _int_param(query, "k", default=10)
+        batcher = self.server.batcher
+        if batcher is not None and batcher.running:
+            ranking = batcher.submit(user, k)
+        else:
+            ranking = self.server.service.top_k(user, k)
+        return 200, _topk_payload(self.server.service, user, k, ranking)
+
+    def _topk_post(self) -> Tuple[int, Dict]:
+        body = self._read_json()
+        k = int(body.get("k", 10))
+        service = self.server.service
+        if "users" in body:
+            users = [int(u) for u in body["users"]]
+            rankings = service.batch_top_k(users, k)
+            return 200, {
+                "k": k,
+                "version": service.version,
+                "results": [
+                    _topk_payload(service, user, k, ranking)
+                    for user, ranking in zip(users, rankings)
+                ],
+            }
+        if "user" not in body:
+            raise ValueError("POST /v1/topk requires 'user' or 'users'")
+        user = int(body["user"])
+        ranking = service.top_k(user, k)
+        return 200, _topk_payload(service, user, k, ranking)
+
+    def _score(self, query: Dict) -> Tuple[int, Dict]:
+        u = _int_param(query, "u")
+        v = _int_param(query, "v")
+        service = self.server.service
+        return 200, {
+            "u": u,
+            "v": v,
+            "score": service.score(u, v),
+            "known_link": service.is_known_link(u, v),
+            "version": service.version,
+        }
+
+    # -- plumbing -------------------------------------------------------
+    def _read_json(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    def _send(self, status: int, payload: Dict) -> None:
+        blob = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr logging; telemetry lives in the tracer."""
+        return None
+
+
+def _topk_payload(service, user: int, k: int, ranking) -> Dict:
+    """The JSON shape of one top-k answer."""
+    return {
+        "user": user,
+        "k": k,
+        "version": service.version,
+        "candidates": [
+            {"user": candidate, "score": score} for candidate, score in ranking
+        ],
+    }
+
+
+def _int_param(query: Dict, name: str, default: Optional[int] = None) -> int:
+    """Parse one required/defaulted integer query parameter."""
+    values = query.get(name)
+    if not values:
+        if default is not None:
+            return default
+        raise ValueError(f"missing required query parameter {name!r}")
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ValueError(
+            f"query parameter {name!r} must be an integer, got {values[0]!r}"
+        ) from None

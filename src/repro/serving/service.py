@@ -1,0 +1,264 @@
+"""The in-process link-prediction service: score, top-k, hot-swap reload.
+
+:class:`LinkPredictionService` is the layer every front-end (HTTP handler,
+micro-batcher, CLI) talks to.  It owns
+
+* the current :class:`~repro.serving.artifacts.LoadedArtifact` (predictor +
+  known-link adjacency) pulled from an
+  :class:`~repro.serving.artifacts.ArtifactStore`,
+* a pre-masked *candidate matrix* — scores with ``-inf`` written over the
+  diagonal and every already-known link, so ranking is a single vectorized
+  ``argpartition`` per row,
+* a :class:`~repro.serving.cache.RankingCache` keyed by
+  ``(version, user, k)``, and
+* a :class:`~repro.observability.Tracer` through which every request path
+  records latency spans and counters (``serve.requests``,
+  ``serve.cache_hit``, ``serve.reloads``, …).
+
+``reload()`` hot-swaps to the store's newest version atomically under a
+lock and *falls back to the artifact already being served* when the new
+one fails integrity validation — a corrupt publish can never take the
+service down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError, UnknownNodeError
+from repro.observability.tracer import Tracer
+from repro.serving.artifacts import ArtifactStore, LoadedArtifact
+from repro.serving.cache import RankingCache
+from repro.utils.validation import check_integer
+
+Ranking = List[Tuple[int, float]]
+"""A top-k answer: ``(candidate index, score)`` pairs, best first."""
+
+
+class LinkPredictionService:
+    """Serve link-prediction queries from the latest store artifact.
+
+    Parameters
+    ----------
+    store:
+        An :class:`~repro.serving.artifacts.ArtifactStore` or the path of
+        one; the latest version is loaded at construction.
+    cache_size:
+        Capacity of the per-user ranking cache.
+    tracer:
+        Telemetry sink; a fresh live :class:`Tracer` is created when omitted
+        so ``stats()`` always has counters to report.
+    version:
+        Pin an explicit artifact version instead of the latest.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> import numpy as np
+    >>> from repro.models.persistence import FrozenPredictor
+    >>> from repro.serving.artifacts import ArtifactStore
+    >>> store = ArtifactStore(tempfile.mkdtemp())
+    >>> _ = store.publish(FrozenPredictor(np.arange(9.0).reshape(3, 3)))
+    >>> service = LinkPredictionService(store)
+    >>> service.top_k(0, k=1)
+    [(2, 2.0)]
+    """
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str],
+        cache_size: int = 1024,
+        tracer: Optional[Tracer] = None,
+        version: Optional[int] = None,
+    ):
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.cache = RankingCache(cache_size)
+        self._lock = threading.RLock()
+        self._artifact: LoadedArtifact = None
+        self._candidates: np.ndarray = None
+        self._started_at = time.time()
+        self._last_reload_error: Optional[str] = None
+        self._install(self.store.load(version))
+
+    # -- artifact state -------------------------------------------------
+    def _install(self, artifact: LoadedArtifact) -> None:
+        """Swap in a validated artifact and rebuild the candidate matrix."""
+        scores = artifact.predictor.score_matrix
+        candidates = np.array(scores, dtype=float)
+        if artifact.adjacency is not None:
+            candidates[artifact.adjacency > 0] = -np.inf
+        np.fill_diagonal(candidates, -np.inf)
+        with self._lock:
+            self._artifact = artifact
+            self._candidates = candidates
+
+    @property
+    def version(self) -> int:
+        """The artifact version currently being served."""
+        return self._artifact.version
+
+    @property
+    def n_users(self) -> int:
+        """Number of users covered by the current artifact."""
+        return self._artifact.n_users
+
+    @property
+    def artifact(self) -> LoadedArtifact:
+        """The currently-served artifact (predictor, manifest, adjacency)."""
+        return self._artifact
+
+    def reload(self) -> bool:
+        """Hot-swap to the store's newest version; ``True`` if swapped.
+
+        A no-op when the served version is already the newest.  When the
+        newest version fails validation (checksum mismatch, unreadable
+        archive), the previous artifact keeps serving, the failure is
+        counted (``serve.reload_failed``) and recorded in ``stats()``, and
+        ``False`` is returned.
+        """
+        with self.tracer.span("serve.reload"):
+            try:
+                latest = self.store.resolve_latest()
+                if latest == self.version:
+                    self.tracer.count("serve.reload_noop")
+                    return False
+                artifact = self.store.load(latest)
+            except SerializationError as exc:
+                self.tracer.count("serve.reload_failed")
+                self._last_reload_error = str(exc)
+                return False
+            self._install(artifact)
+            self.cache.invalidate()
+            self._last_reload_error = None
+            self.tracer.count("serve.reloads")
+            return True
+
+    # -- queries --------------------------------------------------------
+    def _check_user(self, user: int) -> int:
+        user = int(user)
+        if not 0 <= user < self.n_users:
+            raise UnknownNodeError(
+                f"user index {user} out of range (0..{self.n_users - 1})"
+            )
+        return user
+
+    def score(self, u: int, v: int) -> float:
+        """The raw model confidence for the pair ``(u, v)``."""
+        with self.tracer.span("serve.score"):
+            self.tracer.count("serve.requests")
+            self.tracer.count("serve.score_requests")
+            u, v = self._check_user(u), self._check_user(v)
+            return float(self._artifact.predictor.score_matrix[u, v])
+
+    def is_known_link(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is already connected in the published graph.
+
+        ``False`` when the artifact was published without a graph.
+        """
+        u, v = self._check_user(u), self._check_user(v)
+        adjacency = self._artifact.adjacency
+        return bool(adjacency is not None and adjacency[u, v] > 0)
+
+    def top_k(self, user: int, k: int = 10) -> Ranking:
+        """The ``k`` best candidate links for ``user``, best first.
+
+        Self-loops and already-known links never appear; users connected to
+        everyone get an empty list.  Answers are cached per
+        ``(version, user, k)``.
+        """
+        with self.tracer.span("serve.top_k"):
+            self.tracer.count("serve.requests")
+            self.tracer.count("serve.topk_requests")
+            user = self._check_user(user)
+            k = check_integer(k, "k", minimum=1)
+            key = (self.version, user, k)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.tracer.count("serve.cache_hit")
+                return cached
+            self.tracer.count("serve.cache_miss")
+            with self._lock:
+                ranking = _rank_row(self._candidates[user], k)
+            self.cache.put(key, ranking)
+            return ranking
+
+    def batch_top_k(
+        self, users: Sequence[int], k: int = 10
+    ) -> List[Ranking]:
+        """Top-``k`` answers for many users in one vectorized scoring pass.
+
+        Cached users are answered from the cache; the remaining rows are
+        ranked together with a single ``argpartition`` call, which is what
+        the micro-batcher relies on for throughput.
+        """
+        with self.tracer.span("serve.batch_top_k"):
+            k = check_integer(k, "k", minimum=1)
+            users = [self._check_user(u) for u in users]
+            self.tracer.count("serve.requests", len(users))
+            self.tracer.count("serve.topk_requests", len(users))
+            version = self.version
+            answers: Dict[int, Ranking] = {}
+            missing: List[int] = []
+            for user in users:
+                cached = self.cache.get((version, user, k))
+                if cached is not None:
+                    self.tracer.count("serve.cache_hit")
+                    answers[user] = cached
+                elif user not in answers:
+                    self.tracer.count("serve.cache_miss")
+                    answers[user] = None
+                    missing.append(user)
+            if missing:
+                with self._lock:
+                    rows = self._candidates[missing]
+                    rankings = _rank_rows(rows, k)
+                for user, ranking in zip(missing, rankings):
+                    answers[user] = ranking
+                    self.cache.put((version, user, k), ranking)
+            return [answers[user] for user in users]
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict:
+        """A JSON-compatible snapshot of the service's state and counters."""
+        manifest = self._artifact.manifest
+        return {
+            "version": self.version,
+            "model": manifest.get("name"),
+            "n_users": self.n_users,
+            "store": self.store.root,
+            "uptime_seconds": time.time() - self._started_at,
+            "cache": self.cache.stats(),
+            "counters": dict(self.tracer.counters),
+            "last_reload_error": self._last_reload_error,
+        }
+
+
+def _rank_row(row: np.ndarray, k: int) -> Ranking:
+    """Rank one candidate row: finite entries only, best first."""
+    finite = np.flatnonzero(np.isfinite(row))
+    if finite.size == 0:
+        return []
+    kth = min(k, finite.size)
+    top = finite[np.argpartition(-row[finite], kth - 1)[:kth]]
+    top = top[np.argsort(-row[top], kind="stable")]
+    return [(int(j), float(row[j])) for j in top]
+
+
+def _rank_rows(rows: np.ndarray, k: int) -> List[Ranking]:
+    """Rank a stack of candidate rows with one shared argpartition pass."""
+    n = rows.shape[1]
+    kth = min(k, n)
+    # One partition over the full stack; -inf (masked) entries sort last and
+    # are filtered per row below.
+    part = np.argpartition(-rows, kth - 1, axis=1)[:, :kth]
+    rankings: List[Ranking] = []
+    for row, cols in zip(rows, part):
+        cols = cols[np.isfinite(row[cols])]
+        cols = cols[np.argsort(-row[cols], kind="stable")][:k]
+        rankings.append([(int(j), float(row[j])) for j in cols])
+    return rankings

@@ -1,5 +1,7 @@
 """Tests for repro.models.persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.exceptions import NotFittedError, SerializationError
 from repro.models.base import TransferTask
 from repro.models.persistence import (
     FrozenPredictor,
+    content_digest,
     load_predictor,
     save_predictor,
 )
@@ -45,6 +48,103 @@ class TestRoundTrip:
         path.write_bytes(b"not an npz")
         with pytest.raises(SerializationError):
             load_predictor(str(path))
+
+    def test_hyper_parameter_fidelity(self, task, tmp_path):
+        model = SlamPredT(
+            gamma=0.11, tau=1.5, mu=0.8, step_size=0.04, latent_dimension=4
+        ).fit(task)
+        path = str(tmp_path / "m.npz")
+        save_predictor(model, path)
+        metadata = load_predictor(path).metadata
+        assert metadata["gamma"] == 0.11
+        assert metadata["tau"] == 1.5
+        assert metadata["mu"] == 0.8
+        assert metadata["step_size"] == 0.04
+        assert metadata["latent_dimension"] == 4
+        assert metadata["alpha_sources"] == model.alpha_sources
+
+
+class TestIntegrity:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        frozen = FrozenPredictor(np.arange(16.0).reshape(4, 4), {"name": "x"})
+        path = str(tmp_path / "frozen.npz")
+        save_predictor(frozen, path)
+        return path
+
+    def test_digest_embedded(self, saved):
+        with np.load(saved) as data:
+            assert int(data["version"][0]) == 2
+            digest = bytes(data["digest"]).decode("ascii")
+        assert len(digest) == 64
+
+    def test_unsupported_format_version(self, saved, tmp_path):
+        with np.load(saved) as data:
+            arrays = dict(data)
+        arrays["version"] = np.array([99])
+        path = str(tmp_path / "future.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(SerializationError, match="format version 99"):
+            load_predictor(path)
+
+    def test_tampered_matrix_rejected(self, saved, tmp_path):
+        with np.load(saved) as data:
+            arrays = dict(data)
+        arrays["score_matrix"] = arrays["score_matrix"] + 1.0
+        path = str(tmp_path / "tampered.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(SerializationError, match="integrity"):
+            load_predictor(path)
+
+    def test_tampered_metadata_rejected(self, saved, tmp_path):
+        with np.load(saved) as data:
+            arrays = dict(data)
+        blob = json.loads(bytes(arrays["metadata"]).decode("utf-8"))
+        blob["name"] = "evil"
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(blob).encode("utf-8"), dtype=np.uint8
+        )
+        path = str(tmp_path / "renamed.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(SerializationError, match="integrity"):
+            load_predictor(path)
+
+    def test_truncated_file_raises_serialization_error(self, saved):
+        blob = open(saved, "rb").read()
+        open(saved, "wb").write(blob[: len(blob) // 3])
+        with pytest.raises(SerializationError, match="cannot load"):
+            load_predictor(saved)
+
+    def test_missing_digest_field_rejected(self, saved, tmp_path):
+        with np.load(saved) as data:
+            arrays = dict(data)
+        del arrays["digest"]
+        path = str(tmp_path / "stripped.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(SerializationError, match="cannot load"):
+            load_predictor(path)
+
+    def test_legacy_v1_archive_still_loads(self, tmp_path):
+        matrix = np.eye(3)
+        metadata_json = json.dumps({"name": "legacy"})
+        path = str(tmp_path / "v1.npz")
+        np.savez_compressed(
+            path,
+            version=np.array([1]),
+            score_matrix=matrix,
+            metadata=np.frombuffer(
+                metadata_json.encode("utf-8"), dtype=np.uint8
+            ),
+        )
+        loaded = load_predictor(path)
+        assert loaded.name == "legacy"
+        assert np.array_equal(loaded.score_matrix, matrix)
+
+    def test_content_digest_is_deterministic(self):
+        matrix = np.ones((2, 2))
+        assert content_digest(matrix, "{}") == content_digest(matrix, "{}")
+        assert content_digest(matrix, "{}") != content_digest(matrix + 1, "{}")
+        assert content_digest(matrix, "{}") != content_digest(matrix, '{"a":1}')
 
 
 class TestFrozenPredictor:

@@ -1,0 +1,111 @@
+"""Tests for the micro-batcher: correctness under concurrency, coalescing."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownNodeError
+from repro.serving.batcher import MicroBatcher
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops(self, service):
+        with MicroBatcher(service) as batcher:
+            assert batcher.running
+        assert not batcher.running
+
+    def test_submit_before_start_rejected(self, service):
+        batcher = MicroBatcher(service)
+        with pytest.raises(ConfigurationError, match="not running"):
+            batcher.submit(0)
+
+    def test_start_idempotent(self, service):
+        batcher = MicroBatcher(service).start()
+        try:
+            worker = batcher._worker
+            batcher.start()
+            assert batcher._worker is worker
+        finally:
+            batcher.stop()
+
+    def test_invalid_parameters(self, service):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(service, max_batch=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(service, max_wait_ms=-1)
+
+
+class TestCorrectness:
+    def test_single_submit_matches_direct(self, service):
+        expected = service.top_k(5, k=4)
+        with MicroBatcher(service, max_wait_ms=1.0) as batcher:
+            assert batcher.submit(5, k=4) == expected
+
+    def test_concurrent_submits_match_direct(self, service):
+        users = list(range(service.n_users)) * 3
+        expected = {user: service.top_k(user, k=5) for user in set(users)}
+        results = {}
+        errors = []
+
+        def query(slot, user):
+            try:
+                results[slot] = (user, batcher.submit(user, k=5))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with MicroBatcher(service, max_batch=16, max_wait_ms=5.0) as batcher:
+            threads = [
+                threading.Thread(target=query, args=(slot, user))
+                for slot, user in enumerate(users)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(results) == len(users)
+        for user, ranking in results.values():
+            assert ranking == expected[user]
+
+    def test_mixed_k_answered_separately(self, service):
+        with MicroBatcher(service, max_wait_ms=5.0) as batcher:
+            small = batcher.submit(1, k=2)
+            large = batcher.submit(1, k=8)
+        assert len(small) == 2
+        assert len(large) == 8
+        assert small == large[:2]
+
+    def test_errors_propagate_to_caller(self, service):
+        with MicroBatcher(service, max_wait_ms=1.0) as batcher:
+            with pytest.raises(UnknownNodeError):
+                batcher.submit(10_000, k=3)
+            # The worker survives a poisoned batch.
+            assert batcher.submit(0, k=3) == service.top_k(0, k=3)
+
+
+class TestCoalescing:
+    def test_batches_counted_on_tracer(self, service):
+        with MicroBatcher(service, max_wait_ms=1.0) as batcher:
+            batcher.submit(0, k=3)
+        counters = service.tracer.counters
+        assert counters["batcher.batches"] >= 1
+        assert counters["batcher.requests"] >= 1
+        assert service.tracer.metrics["batcher.batch_size"]
+
+    def test_concurrent_load_coalesces(self, service):
+        n_requests = 40
+        with MicroBatcher(service, max_batch=64, max_wait_ms=20.0) as batcher:
+            threads = [
+                threading.Thread(
+                    target=batcher.submit, args=(i % service.n_users, 4)
+                )
+                for i in range(n_requests)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        counters = service.tracer.counters
+        assert counters["batcher.requests"] == n_requests
+        # With a 20ms window, far fewer batches than requests.
+        assert counters["batcher.batches"] < n_requests

@@ -1,0 +1,94 @@
+"""Tests for the LRU ranking cache: ordering, counters, invalidation."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving.cache import RankingCache
+
+
+class TestLru:
+    def test_hit_returns_value(self):
+        cache = RankingCache(capacity=4)
+        cache.put("a", [1])
+        assert cache.get("a") == [1]
+
+    def test_miss_returns_default(self):
+        cache = RankingCache(capacity=4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", default=[]) == []
+
+    def test_least_recently_used_evicted(self):
+        cache = RankingCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_overwrite_does_not_grow(self):
+        cache = RankingCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_empty_value_is_cacheable(self):
+        cache = RankingCache(capacity=2)
+        cache.put("empty", [])
+        assert cache.get("empty", default="MISS") == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RankingCache(capacity=0)
+
+
+class TestCounters:
+    def test_hits_misses_evictions(self):
+        cache = RankingCache(capacity=1)
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        cache.put("y", 2)  # evicts x
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_invalidate_clears_and_counts(self):
+        cache = RankingCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats()["invalidations"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get(self):
+        cache = RankingCache(capacity=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(300):
+                    cache.put((seed, i % 80), i)
+                    cache.get((seed, (i * 7) % 80))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

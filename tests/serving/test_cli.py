@@ -1,0 +1,112 @@
+"""Tests for the serving CLI and the experiments --publish bridge."""
+
+import numpy as np
+import pytest
+
+from repro.models.persistence import FrozenPredictor, save_predictor
+from repro.serving.__main__ import build_parser, main
+from repro.serving.artifacts import ArtifactStore
+from repro.serving.service import LinkPredictionService
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["publish", "--store", "s"],
+            ["inspect", "--store", "s", "--version", "2", "--json"],
+            ["serve", "--store", "s", "--port", "0", "--no-batcher"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestPublishCommand:
+    def test_publish_from_npz(self, tmp_path, predictor, capsys):
+        npz = str(tmp_path / "model.npz")
+        save_predictor(predictor, npz)
+        store_dir = str(tmp_path / "store")
+        assert main(["publish", "--store", store_dir, "--npz", npz]) == 0
+        out = capsys.readouterr().out
+        assert "published" in out and "v0001" in out
+        store = ArtifactStore(store_dir)
+        artifact = store.load()
+        assert np.array_equal(
+            artifact.predictor.score_matrix, predictor.score_matrix
+        )
+        assert artifact.manifest["meta"]["source"] == "npz"
+
+    def test_publish_synthetic_fit_and_serve_round_trip(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        code = main(
+            [
+                "publish",
+                "--store", store_dir,
+                "--scale", "40",
+                "--seed", "3",
+                "--model", "slampred-h",
+                "--inner-iterations", "3",
+                "--outer-iterations", "2",
+            ]
+        )
+        assert code == 0
+        artifact = ArtifactStore(store_dir).load()
+        assert artifact.adjacency is not None
+        assert artifact.manifest["meta"]["variant"] == "slampred-h"
+        service = LinkPredictionService(store_dir)
+        ranking = service.top_k(0, k=5)
+        assert ranking
+        for candidate, _ in ranking:
+            assert artifact.adjacency[0, candidate] == 0
+
+
+class TestInspectCommand:
+    def test_inspect_prints_manifest(self, store, capsys):
+        assert main(["inspect", "--store", store.root]) == 0
+        out = capsys.readouterr().out
+        assert "integrity ok" in out
+        assert "toy-model" in out
+        assert "model.npz" in out
+        assert "sha256" in out
+
+    def test_inspect_json(self, store, capsys):
+        import json
+
+        assert main(["inspect", "--store", store.root, "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["version"] == 1
+
+
+class TestExperimentsPublishFlag:
+    def test_flag_registered_with_default_store(self):
+        from repro.experiments.__main__ import build_parser as experiments_parser
+        from repro.experiments.publishing import DEFAULT_STORE_DIR
+
+        args = experiments_parser().parse_args(["table1", "--publish"])
+        assert args.publish == DEFAULT_STORE_DIR
+        args = experiments_parser().parse_args(["table1", "--publish", "d"])
+        assert args.publish == "d"
+        args = experiments_parser().parse_args(["table1"])
+        assert args.publish is None
+
+    def test_publish_reference_fit(self, tmp_path):
+        from repro.experiments.publishing import publish_reference_fit
+
+        version, store = publish_reference_fit(
+            str(tmp_path / "store"),
+            scale=40,
+            random_state=5,
+            experiment="table1",
+            inner_iterations=3,
+            outer_iterations=2,
+        )
+        assert version == 1
+        artifact = store.load()
+        assert artifact.manifest["meta"]["experiment"] == "table1"
+        assert artifact.manifest["meta"]["scale"] == 40
+        assert artifact.adjacency is not None
+        assert artifact.n_users == artifact.adjacency.shape[0]

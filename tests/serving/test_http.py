@@ -1,0 +1,156 @@
+"""Tests for the HTTP endpoint: routes, shapes, errors, batched GETs."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.http import make_server
+
+
+@pytest.fixture()
+def endpoint(service):
+    """A live server on a free port; yields its base URL."""
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.load(response)
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def _error(url, payload=None):
+    try:
+        if payload is None:
+            urllib.request.urlopen(url, timeout=10)
+        else:
+            _post(url, payload)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+    raise AssertionError("expected an HTTP error")
+
+
+class TestRoutes:
+    def test_healthz(self, endpoint, service):
+        payload = _get(f"{endpoint}/healthz")
+        assert payload == {
+            "status": "ok",
+            "version": 1,
+            "model": "toy-model",
+            "n_users": service.n_users,
+        }
+
+    def test_topk_shape(self, endpoint, service, adjacency):
+        payload = _get(f"{endpoint}/v1/topk?user=3&k=5")
+        assert payload["user"] == 3
+        assert payload["k"] == 5
+        assert payload["version"] == 1
+        candidates = payload["candidates"]
+        assert len(candidates) == 5
+        users = [c["user"] for c in candidates]
+        assert len(set(users)) == 5
+        assert 3 not in users
+        for c in candidates:
+            assert adjacency[3, c["user"]] == 0
+        scores = [c["score"] for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topk_default_k(self, endpoint):
+        assert _get(f"{endpoint}/v1/topk?user=0")["k"] == 10
+
+    def test_score(self, endpoint, service):
+        payload = _get(f"{endpoint}/v1/score?u=1&v=2")
+        assert payload["score"] == pytest.approx(service.score(1, 2))
+        assert payload["known_link"] == service.is_known_link(1, 2)
+
+    def test_stats_reflects_traffic(self, endpoint):
+        _get(f"{endpoint}/v1/topk?user=1&k=3")
+        _get(f"{endpoint}/v1/topk?user=1&k=3")
+        stats = _get(f"{endpoint}/v1/stats")
+        assert stats["cache"]["hits"] >= 1
+        assert stats["counters"]["http.requests"] >= 2
+        assert stats["counters"]["serve.topk_requests"] >= 2
+
+    def test_post_single(self, endpoint, service):
+        payload = _post(f"{endpoint}/v1/topk", {"user": 2, "k": 4})
+        assert [c["user"] for c in payload["candidates"]] == [
+            u for u, _ in service.top_k(2, k=4)
+        ]
+
+    def test_post_batch(self, endpoint):
+        payload = _post(f"{endpoint}/v1/topk", {"users": [0, 1, 2], "k": 3})
+        assert len(payload["results"]) == 3
+        for result, user in zip(payload["results"], [0, 1, 2]):
+            assert result["user"] == user
+            assert len(result["candidates"]) == 3
+
+
+class TestErrors:
+    def test_unknown_route_404(self, endpoint):
+        code, payload = _error(f"{endpoint}/v2/nope")
+        assert code == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_missing_user_400(self, endpoint):
+        code, payload = _error(f"{endpoint}/v1/topk")
+        assert code == 400
+        assert "user" in payload["error"]
+
+    def test_out_of_range_user_400(self, endpoint):
+        code, payload = _error(f"{endpoint}/v1/topk?user=9999")
+        assert code == 400
+        assert "out of range" in payload["error"]
+
+    def test_non_integer_param_400(self, endpoint):
+        code, _ = _error(f"{endpoint}/v1/topk?user=abc")
+        assert code == 400
+
+    def test_bad_json_body_400(self, endpoint):
+        request = urllib.request.Request(
+            f"{endpoint}/v1/topk", data=b"{not json"
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        else:  # pragma: no cover - failure path
+            raise AssertionError("expected 400")
+
+    def test_post_without_user_400(self, endpoint):
+        code, payload = _error(f"{endpoint}/v1/topk", {"k": 3})
+        assert code == 400
+        assert "user" in payload["error"]
+
+
+class TestBatchedServer:
+    def test_get_routed_through_batcher(self, service):
+        with MicroBatcher(service, max_wait_ms=1.0) as batcher:
+            server = make_server(service, port=0, batcher=batcher)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                base = f"http://127.0.0.1:{server.server_address[1]}"
+                payload = _get(f"{base}/v1/topk?user=4&k=3")
+                assert len(payload["candidates"]) == 3
+                assert service.tracer.counters["batcher.requests"] >= 1
+            finally:
+                server.shutdown()
+                server.server_close()

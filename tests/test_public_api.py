@@ -51,6 +51,7 @@ class TestPublicApi:
             "repro.models",
             "repro.evaluation",
             "repro.experiments",
+            "repro.serving",
         ],
     )
     def test_subpackages_importable(self, module):
