@@ -1,0 +1,133 @@
+"""Perf-trajectory recorder: append latency snapshots to BENCH_serving.json.
+
+Every serving-latency benchmark run appends one snapshot per measured
+section — p50/p95/p99 in milliseconds plus enough context (git-tracked
+scale constants, host python) to compare runs — into a single
+append-only JSON file at the repo root.  Future PRs diff the latest
+snapshot against history instead of re-deriving a baseline by hand, which
+is what makes "<5% serving overhead" an enforceable regression gate
+rather than folklore.
+
+Snapshots are appended, never rewritten: the file is the trajectory.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_serving.json"
+)
+
+
+def percentile_summary(samples_seconds: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 of a latency sample list, in milliseconds."""
+    samples = np.asarray(list(samples_seconds), dtype=float) * 1e3
+    if samples.size == 0:
+        raise ValueError("cannot summarize an empty sample list")
+    return {
+        "p50_ms": float(np.percentile(samples, 50)),
+        "p95_ms": float(np.percentile(samples, 95)),
+        "p99_ms": float(np.percentile(samples, 99)),
+        "n_samples": int(samples.size),
+    }
+
+
+def load_trajectory(path: Optional[str] = None) -> Dict:
+    """The parsed trajectory file (empty scaffold when absent/corrupt)."""
+    path = os.path.abspath(path or BENCH_PATH)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {"schema_version": SCHEMA_VERSION, "snapshots": []}
+    if (
+        not isinstance(data, dict)
+        or not isinstance(data.get("snapshots"), list)
+    ):
+        return {"schema_version": SCHEMA_VERSION, "snapshots": []}
+    return data
+
+
+def record_snapshot(
+    section: str,
+    stats: Dict[str, float],
+    context: Optional[Dict] = None,
+    path: Optional[str] = None,
+) -> Dict:
+    """Append one named snapshot; returns the appended record.
+
+    Parameters
+    ----------
+    section:
+        Which benchmark produced the numbers (``topk_cold``,
+        ``topk_warm``, ``batcher``, ``telemetry_overhead`` …).
+    stats:
+        The measurements — typically :func:`percentile_summary` output,
+        but any JSON-scalar dict is accepted.
+    context:
+        Extra JSON-compatible context (scale constants, thread counts).
+    path:
+        Trajectory file (default: repo-root ``BENCH_serving.json``).
+    """
+    path = os.path.abspath(path or BENCH_PATH)
+    trajectory = load_trajectory(path)
+    record = {
+        "section": section,
+        "recorded_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "stats": {key: _scalar(value) for key, value in stats.items()},
+    }
+    if context:
+        record["context"] = {
+            key: _scalar(value) for key, value in context.items()
+        }
+    trajectory["snapshots"].append(record)
+    trajectory["schema_version"] = SCHEMA_VERSION
+    # Write-then-rename so a crashed benchmark never truncates history.
+    directory = os.path.dirname(path)
+    fd, staging = tempfile.mkstemp(dir=directory, suffix=".bench-staging")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(staging, path)
+    except BaseException:
+        if os.path.exists(staging):
+            os.unlink(staging)
+        raise
+    return record
+
+
+def latest_snapshots(
+    section: str, limit: int = 5, path: Optional[str] = None
+) -> List[Dict]:
+    """The most recent ``limit`` snapshots of one section, newest last."""
+    snapshots = [
+        snap
+        for snap in load_trajectory(path)["snapshots"]
+        if snap.get("section") == section
+    ]
+    return snapshots[-limit:]
+
+
+def _scalar(value):
+    """Coerce numpy scalars to JSON scalars; pass scalars through."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

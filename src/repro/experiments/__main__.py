@@ -16,6 +16,7 @@ from repro.experiments.publishing import (
     publish_reference_fit,
 )
 from repro.experiments.serialize import dump_result
+from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import default_report_path
 
 
@@ -57,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
         "with 'all', PATH is treated as a prefix)",
     )
     parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="publish solver metrics (solver.svt_seconds, solver.objective, "
+        "solver.rank, iteration counters) into a registry and write it to "
+        "PATH as Prometheus text after the run (textfile-collector style; "
+        "implies --report)",
+    )
+    parser.add_argument(
         "--publish",
         metavar="STORE_DIR",
         nargs="?",
@@ -84,6 +94,11 @@ def main(argv=None) -> int:
     if args.seed is not None:
         base_kwargs["random_state"] = args.seed
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    metrics_registry = None
+    if args.metrics is not None:
+        metrics_registry = MetricsRegistry()
+        if args.report is None:
+            args.report = ""  # --metrics implies the traced --report path
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 72 + "\n")
@@ -95,7 +110,9 @@ def main(argv=None) -> int:
             continue
         if args.report is not None:
             report_path = _report_path(args.report, name, args.experiment)
-            result, report = run_with_report(name, report_path, **kwargs)
+            result, report = run_with_report(
+                name, report_path, registry=metrics_registry, **kwargs
+            )
             print(result.get("text", result.get("auc_text", "")))
             print()
             print(report.summary())
@@ -111,6 +128,10 @@ def main(argv=None) -> int:
             )
             dump_result(result, path)
             print(f"[written {path}]")
+    if metrics_registry is not None:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(metrics_registry.render())
+        print(f"[solver metrics written {args.metrics}]")
     if args.publish is not None:
         publish_kwargs = {}
         if args.scale is not None:

@@ -5,12 +5,15 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.observability.logging import get_logger, run_context
 from repro.observability.report import (
     RunReport,
     build_run_report,
     default_report_path,
 )
 from repro.observability.tracer import Tracer
+
+_log = get_logger("repro.experiments")
 from repro.experiments.figure3 import main as figure3_main, run_figure3
 from repro.experiments.figure4 import main as figure4_main, run_figure4
 from repro.experiments.figure5 import main as figure5_main, run_figure5
@@ -59,6 +62,7 @@ def get_result_runner(name: str) -> Callable[..., dict]:
 def run_with_report(
     name: str,
     report_path: Optional[str] = None,
+    registry: Optional[Any] = None,
     **kwargs: Any,
 ) -> Tuple[dict, RunReport]:
     """Run an experiment under a live tracer and archive its run report.
@@ -68,19 +72,34 @@ def run_with_report(
     in one schema-versioned JSON report written to ``report_path``
     (default: ``results/run_report.<name>.json``).  Returns the runner's
     structured result and the report.
+
+    The run executes under a fresh **run id**
+    (:func:`~repro.observability.logging.run_context`), so structured log
+    records emitted anywhere inside the solve carry the same ``run_id``,
+    and the id is recorded in the report's meta.  Passing a live
+    ``registry`` (:class:`~repro.observability.MetricsRegistry`)
+    additionally publishes the solver series — ``solver.svt_seconds``,
+    ``solver.objective``, ``solver.rank``, iteration/round counters — for
+    scraping or a textfile collector.
     """
     runner = get_result_runner(name)
-    tracer = Tracer()
-    with tracer.span(f"experiment:{name}"):
-        result = runner(tracer=tracer, **kwargs)
-    meta = {"experiment": name}
-    meta.update(
-        {
-            key: value
-            for key, value in kwargs.items()
-            if isinstance(value, (int, float, str, bool)) or value is None
-        }
-    )
+    tracer = Tracer(registry=registry)
+    with run_context() as run_id:
+        _log.info("experiment started", experiment=name, **_loggable(kwargs))
+        with tracer.span(f"experiment:{name}"):
+            result = runner(tracer=tracer, **kwargs)
+        _log.info("experiment finished", experiment=name)
+    meta = {"experiment": name, "run_id": run_id}
+    meta.update(_loggable(kwargs))
     report = build_run_report(tracer, name=name, meta=meta)
     report.save(report_path or default_report_path(name))
     return result, report
+
+
+def _loggable(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-scalar subset of a kwargs dict (for meta and log fields)."""
+    return {
+        key: value
+        for key, value in kwargs.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    }

@@ -1,9 +1,14 @@
-"""Solver telemetry: tracing, per-iteration records, run reports.
+"""Telemetry: tracing, metrics, structured logging, run reports.
 
-The subsystem has three pieces:
+The subsystem has five pieces:
 
 * :mod:`repro.observability.tracer` — :class:`Tracer` (nested timed spans,
   counters, metric streams) and the free :class:`NullTracer`;
+* :mod:`repro.observability.metrics` — the scrapeable
+  :class:`MetricsRegistry` (Counter/Gauge/Histogram with Prometheus text
+  exposition) and the free :class:`NullRegistry`;
+* :mod:`repro.observability.logging` — structured JSON logging
+  (:func:`get_logger`) with request/run-id propagation via contextvars;
 * :mod:`repro.observability.records` — the per-iteration
   :class:`IterationRecord` shared between
   :class:`~repro.optim.convergence.IterationHistory` and the tracer;
@@ -13,11 +18,30 @@ The subsystem has three pieces:
 Every solver entry point (``ForwardBackwardSolver.solve``,
 ``CCCPSolver.solve``, ``SlamPred(tracer=...)``, ``evaluate_model``) accepts
 an optional tracer; passing ``None`` (the default) keeps the hot path
-untouched.  See DESIGN.md §"Telemetry & run reports".
+untouched.  A tracer built with ``Tracer(registry=...)`` additionally
+publishes solver series (``solver.svt_seconds``, ``solver.objective``,
+``solver.rank``) into the registry the serving stack scrapes.  See
+DESIGN.md §"Telemetry & run reports" and §"Metrics, logs & tracing".
 """
 
 from repro.observability.records import IterationRecord
 from repro.observability.tracer import NullTracer, Span, Tracer, is_tracing
+from repro.observability.metrics import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.observability.logging import (
+    configure_logging,
+    current_request_id,
+    current_run_id,
+    get_logger,
+    new_request_id,
+    request_context,
+    run_context,
+)
 from repro.observability.report import (
     DEFAULT_REPORT_DIR,
     SCHEMA_VERSION,
@@ -32,6 +56,18 @@ __all__ = [
     "NullTracer",
     "Span",
     "is_tracing",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
+    "configure_logging",
+    "get_logger",
+    "new_request_id",
+    "current_request_id",
+    "current_run_id",
+    "request_context",
+    "run_context",
     "RunReport",
     "build_run_report",
     "default_report_path",

@@ -1,0 +1,254 @@
+"""Structured JSON logging with request/run-id context propagation.
+
+Every log record is one JSON object per line — machine-parseable by any
+log pipeline — carrying the logger name, level, message, an ISO-8601
+timestamp and whatever structured fields the call site attached::
+
+    log = get_logger("repro.serving.http")
+    log.debug("http request", method="GET", path="/v1/topk", status=200)
+
+Two pieces of ambient context ride along automatically via
+:mod:`contextvars`:
+
+* the **request id** — bound by the HTTP front-end for the duration of one
+  request (:func:`request_context`), so every record emitted anywhere down
+  the stack (service → cache → batcher) carries the same ``request_id``;
+* the **run id** — bound around one training/experiment run
+  (:func:`run_context`), stitching solver-side records together.
+
+Importing this module configures nothing: the ``repro`` logger hierarchy
+gets a ``NullHandler`` so library users see no output unless they (or the
+serving CLI) call :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import datetime
+import io
+import json
+import logging
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "JsonFormatter",
+    "StructuredLogger",
+    "new_request_id",
+    "current_request_id",
+    "current_run_id",
+    "request_context",
+    "run_context",
+]
+
+_ROOT_LOGGER_NAME = "repro"
+
+_request_id: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+_run_id: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_run_id", default=None
+)
+
+logging.getLogger(_ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+# -- context propagation -------------------------------------------------
+def new_request_id() -> str:
+    """A fresh short request id (12 hex chars — unique enough per process)."""
+    return uuid.uuid4().hex[:12]
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to the current context, or ``None``."""
+    return _request_id.get()
+
+
+def current_run_id() -> Optional[str]:
+    """The run id bound to the current context, or ``None``."""
+    return _run_id.get()
+
+
+@contextmanager
+def request_context(request_id: Optional[str] = None) -> Iterator[str]:
+    """Bind a request id for the block (generated when not given).
+
+    Examples
+    --------
+    >>> with request_context("req-1") as rid:
+    ...     current_request_id() == rid == "req-1"
+    True
+    >>> current_request_id() is None
+    True
+    """
+    rid = request_id or new_request_id()
+    token = _request_id.set(rid)
+    try:
+        yield rid
+    finally:
+        _request_id.reset(token)
+
+
+@contextmanager
+def run_context(run_id: Optional[str] = None) -> Iterator[str]:
+    """Bind a run id (training/experiment scope) for the block."""
+    rid = run_id or new_request_id()
+    token = _run_id.set(rid)
+    try:
+        yield rid
+    finally:
+        _run_id.reset(token)
+
+
+# -- formatting ----------------------------------------------------------
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, context."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a single-line JSON object."""
+        payload: Dict[str, Any] = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = getattr(record, "request_id", None) or _request_id.get()
+        run_id = getattr(record, "run_id", None) or _run_id.get()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        if run_id is not None:
+            payload["run_id"] = run_id
+        fields = getattr(record, "structured_fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, _json_safe(value))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def _json_safe(value: Any) -> Any:
+    """Pass JSON scalars/containers through; stringify everything else."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+class StructuredLogger:
+    """A thin façade over :mod:`logging` accepting keyword fields.
+
+    The stdlib logger API has no place for structured payloads; this
+    wrapper routes ``**fields`` through ``extra`` so :class:`JsonFormatter`
+    can emit them, while staying a plain stdlib logger underneath (levels,
+    handlers and propagation all behave normally).
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        """The underlying stdlib logger's name."""
+        return self._logger.name
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        """The wrapped :class:`logging.Logger` (for handler surgery)."""
+        return self._logger
+
+    def isEnabledFor(self, level: int) -> bool:  # noqa: N802 (stdlib name)
+        """Whether records at ``level`` would be emitted."""
+        return self._logger.isEnabledFor(level)
+
+    def log(self, level: int, message: str, /, **fields: Any) -> None:
+        """Emit ``message`` at ``level`` with structured ``fields``."""
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level, message, extra={"structured_fields": fields}
+            )
+
+    def debug(self, message: str, /, **fields: Any) -> None:
+        """DEBUG-level structured record."""
+        self.log(logging.DEBUG, message, **fields)
+
+    def info(self, message: str, /, **fields: Any) -> None:
+        """INFO-level structured record."""
+        self.log(logging.INFO, message, **fields)
+
+    def warning(self, message: str, /, **fields: Any) -> None:
+        """WARNING-level structured record."""
+        self.log(logging.WARNING, message, **fields)
+
+    def error(self, message: str, /, **fields: Any) -> None:
+        """ERROR-level structured record."""
+        self.log(logging.ERROR, message, **fields)
+
+    def exception(self, message: str, /, **fields: Any) -> None:
+        """ERROR-level record carrying the active exception traceback."""
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.error(
+                message, exc_info=True, extra={"structured_fields": fields}
+            )
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy.
+
+    ``name`` may be fully qualified (``repro.serving.http``) or relative
+    (``serving.http``) — both land on the same logger.
+    """
+    if name != _ROOT_LOGGER_NAME and not name.startswith(
+        _ROOT_LOGGER_NAME + "."
+    ):
+        name = f"{_ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream: Optional[io.TextIOBase] = None,
+    force: bool = False,
+) -> logging.Handler:
+    """Attach one JSON handler to the ``repro`` logger hierarchy.
+
+    Idempotent: a second call adjusts the level of the existing handler
+    unless ``force`` re-creates it (useful for pointing at a new stream in
+    tests).  Returns the active handler.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(_ROOT_LOGGER_NAME)
+    existing = [
+        handler
+        for handler in root.handlers
+        if isinstance(handler.formatter, JsonFormatter)
+    ]
+    if existing and not force:
+        handler = existing[0]
+        handler.setLevel(level)
+        root.setLevel(level)
+        return handler
+    for handler in existing:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream) if stream is not None else (
+        logging.StreamHandler()
+    )
+    handler.setFormatter(JsonFormatter())
+    handler.setLevel(level)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler

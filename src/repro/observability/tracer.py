@@ -25,6 +25,26 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.observability.records import IterationRecord
 
+# Solver-side bridge into a MetricsRegistry: which tracer events surface as
+# which registry series.  Span durations, counters and metric samples not
+# named here stay tracer-only (they still land in run reports).
+_SPAN_HISTOGRAMS: Dict[str, str] = {
+    "svt": "solver.svt_seconds",
+    "gradient": "solver.gradient_seconds",
+    "cccp_round": "solver.cccp_round_seconds",
+    "serve.reload": "serving.reload_seconds",
+}
+_COUNTER_BRIDGE: Dict[str, str] = {
+    "cccp.rounds": "solver.cccp_rounds",
+    "fb.iterations": "solver.fb_iterations",
+    "gfb.iterations": "solver.gfb_iterations",
+    "svt.lossy_truncations": "solver.svt_lossy_truncations",
+}
+_GAUGE_BRIDGE: Dict[str, str] = {
+    "svt.retained_rank": "solver.rank",
+    "svt.tail_excess": "solver.svt_tail_excess",
+}
+
 
 @dataclass
 class Span:
@@ -69,12 +89,20 @@ class Tracer:
 
     enabled: bool = True
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self.roots: List[Span] = []
         self.counters: Dict[str, int] = {}
         self.metrics: Dict[str, List[float]] = {}
         self.iterations: List[IterationRecord] = []
         self._stack: List[Span] = []
+        # Optional MetricsRegistry bridge: when attached (and enabled),
+        # solver events additionally publish scrapeable series
+        # (solver.svt_seconds, solver.objective, solver.rank, …).
+        self.registry = registry
+
+    def _bridging(self) -> bool:
+        registry = self.registry
+        return registry is not None and registry.enabled
 
     # -- spans ----------------------------------------------------------
     @contextmanager
@@ -91,6 +119,10 @@ class Tracer:
         finally:
             node.duration = time.perf_counter() - node.start
             self._stack.pop()
+            if self._bridging():
+                series = _SPAN_HISTOGRAMS.get(name)
+                if series is not None:
+                    self.registry.histogram(series).observe(node.duration)
 
     def iter_spans(self) -> Iterator[Span]:
         """Depth-first iteration over every recorded span."""
@@ -110,10 +142,18 @@ class Tracer:
     def count(self, name: str, value: int = 1) -> None:
         """Increment a monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + int(value)
+        if self._bridging():
+            series = _COUNTER_BRIDGE.get(name)
+            if series is not None:
+                self.registry.counter(series).inc(value)
 
     def metric(self, name: str, value: float) -> None:
         """Append one sample to a named scalar metric stream."""
         self.metrics.setdefault(name, []).append(float(value))
+        if self._bridging():
+            series = _GAUGE_BRIDGE.get(name)
+            if series is not None:
+                self.registry.gauge(series).set(value)
 
     def last_metric(self, name: str, default: Optional[float] = None):
         """The most recent sample of a metric, or ``default`` if unseen."""
@@ -124,6 +164,10 @@ class Tracer:
     def record_iteration(self, record: IterationRecord) -> None:
         """Attach a solver iteration record to the trace (shared object)."""
         self.iterations.append(record)
+        if self._bridging():
+            self.registry.counter("solver.iterations").inc()
+            if record.objective is not None:
+                self.registry.gauge("solver.objective").set(record.objective)
 
 
 class _NullSpan:

@@ -65,7 +65,11 @@ def singular_value_threshold(
     """Singular value thresholding ``U diag((σᵢ − t)₊) Vᵀ``."""
     threshold = check_non_negative(threshold, "threshold")
     matrix = np.asarray(matrix, dtype=float)
-    u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+    if is_tracing(tracer):
+        with tracer.span("svt"):
+            u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+    else:
+        u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
     shrunk = np.maximum(singular - threshold, 0.0)
     if is_tracing(tracer):
         retained = int(np.count_nonzero(shrunk))
@@ -109,7 +113,13 @@ def truncated_singular_value_threshold(
 
     n_small = min(matrix.shape)
     v0 = np.full(n_small, 1.0 / np.sqrt(n_small))
-    u, singular, vt = scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
+    if is_tracing(tracer):
+        with tracer.span("svt"):
+            u, singular, vt = scipy.sparse.linalg.svds(
+                matrix, k=rank + 1, v0=v0
+            )
+    else:
+        u, singular, vt = scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
     # svds returns singular values in ascending order: the first triplet is
     # the (rank+1)-th largest — the tail probe — and is never retained.
     tail = float(singular[0])

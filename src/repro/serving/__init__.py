@@ -14,7 +14,8 @@ needs, and nothing from the training stack:
 * :mod:`repro.serving.batcher` — :class:`MicroBatcher`, coalescing
   concurrent queries into single vectorized scoring passes;
 * :mod:`repro.serving.http` — the stdlib-only JSON endpoint
-  (``/healthz``, ``/v1/topk``, ``/v1/score``, ``/v1/stats``).
+  (``/healthz``, ``/v1/topk``, ``/v1/score``, ``/v1/stats``) plus the
+  Prometheus ``/metrics`` exposition.
 
 Operate it from the command line::
 
@@ -22,8 +23,12 @@ Operate it from the command line::
     python -m repro.serving inspect --store artifacts
     python -m repro.serving serve   --store artifacts --port 8080
 
-Every request path is instrumented through
-:class:`repro.observability.Tracer`.  See DESIGN.md §8.
+Every request path is instrumented twice over: per-run spans/counters on a
+:class:`repro.observability.Tracer`, and scrapeable series (route latency
+histograms, cache and reload counters, batcher coalesce sizes) on a
+:class:`repro.observability.MetricsRegistry` served from ``/metrics``,
+with a request id propagated through every layer.  See DESIGN.md §8 and
+§10.
 """
 
 from repro.serving.artifacts import (

@@ -20,6 +20,9 @@ from repro.models.base import TransferTask
 from repro.models.persistence import load_predictor
 from repro.models.slampred import SlamPred, SlamPredH, SlamPredT
 from repro.networks.social import SocialGraph
+from repro.observability.logging import configure_logging
+from repro.observability.metrics import NullRegistry
+from repro.observability.tracer import NullTracer
 from repro.serving.artifacts import ArtifactStore
 from repro.serving.batcher import MicroBatcher
 from repro.serving.http import make_server
@@ -82,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080, help="bind port (0 = free)")
     serve.add_argument(
         "--cache-size", type=int, default=1024, help="ranking cache capacity"
+    )
+    serve.add_argument(
+        "--log-level",
+        default="INFO",
+        help="structured-log level (DEBUG logs every request)",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable metrics and tracing (NullRegistry/NullTracer fast path; "
+        "/metrics serves an empty document)",
     )
     serve.add_argument(
         "--no-batcher",
@@ -152,7 +166,16 @@ def run_inspect(args: argparse.Namespace) -> int:
 
 def run_serve(args: argparse.Namespace) -> int:
     """Start the HTTP endpoint (blocking) on the store's latest version."""
-    service = LinkPredictionService(args.store, cache_size=args.cache_size)
+    configure_logging(args.log_level)
+    service_kwargs = {}
+    if args.no_telemetry:
+        service_kwargs = {
+            "tracer": NullTracer(),
+            "registry": NullRegistry(),
+        }
+    service = LinkPredictionService(
+        args.store, cache_size=args.cache_size, **service_kwargs
+    )
     batcher = None
     if not args.no_batcher:
         batcher = MicroBatcher(
@@ -162,7 +185,8 @@ def run_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(
         f"serving {service.stats()['model']} v{service.version:04d} "
-        f"({service.n_users} users) on http://{host}:{port}"
+        f"({service.n_users} users) on http://{host}:{port} "
+        f"(metrics: http://{host}:{port}/metrics)"
     )
     try:
         server.serve_forever()

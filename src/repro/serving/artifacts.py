@@ -195,7 +195,7 @@ class ArtifactStore:
                 "name": model.name,
                 "model_class": type(model).__name__,
                 "n_users": int(matrix.shape[0]),
-                "created_at": time.time(),
+                "created_at": time.time(),  # wall-clock: a timestamp, not a duration
                 "hyper_parameters": _scalar_params(model),
                 "meta": dict(meta or {}),
                 "files": files,

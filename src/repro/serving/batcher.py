@@ -21,14 +21,23 @@ import time
 from typing import Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
+from repro.observability.logging import current_request_id, get_logger
+from repro.observability.metrics import BATCH_SIZE_BUCKETS
 from repro.serving.service import LinkPredictionService, Ranking
 from repro.utils.validation import check_integer
 
+_log = get_logger("repro.serving.batcher")
+
 
 class _Pending:
-    """One waiting request: inputs, a completion event, and a result slot."""
+    """One waiting request: inputs, a completion event, and a result slot.
 
-    __slots__ = ("user", "k", "event", "result", "error")
+    The submitting thread's request id is captured at construction so the
+    worker thread — which runs outside any request context — can still
+    attribute the batch's work to the HTTP requests it coalesced.
+    """
+
+    __slots__ = ("user", "k", "event", "result", "error", "request_id")
 
     def __init__(self, user: int, k: int):
         self.user = user
@@ -36,6 +45,7 @@ class _Pending:
         self.event = threading.Event()
         self.result: Optional[Ranking] = None
         self.error: Optional[BaseException] = None
+        self.request_id = current_request_id()
 
 
 class MicroBatcher:
@@ -75,6 +85,18 @@ class MicroBatcher:
         self._queue: "queue.Queue[_Pending]" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        registry = service.registry
+        self._m_batches = registry.counter(
+            "serving.batcher.batches", help="Coalesced scoring passes."
+        )
+        self._m_requests = registry.counter(
+            "serving.batcher.requests", help="Requests routed via the batcher."
+        )
+        self._m_batch_size = registry.histogram(
+            "serving.batcher.batch_size",
+            help="Requests coalesced per batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -162,6 +184,15 @@ class MicroBatcher:
         tracer.count("batcher.batches")
         tracer.count("batcher.requests", len(batch))
         tracer.metric("batcher.batch_size", len(batch))
+        self._m_batches.inc()
+        self._m_requests.inc(len(batch))
+        self._m_batch_size.observe(len(batch))
+        if _log.isEnabledFor(10):  # logging.DEBUG; avoid building the id list
+            _log.debug(
+                "executing coalesced batch",
+                batch_size=len(batch),
+                request_ids=[p.request_id for p in batch if p.request_id],
+            )
         by_k: Dict[int, List[_Pending]] = {}
         for pending in batch:
             by_k.setdefault(pending.k, []).append(pending)

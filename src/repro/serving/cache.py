@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable
+from typing import Any, Dict, Hashable, Optional
 
+from repro.observability.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.utils.validation import check_integer
 
 _MISS = object()
@@ -29,6 +30,11 @@ class RankingCache:
     capacity:
         Maximum number of cached rankings; the least recently used entry is
         evicted once the bound is exceeded.
+    registry:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`;
+        when given, hit/miss/eviction/invalidation counters and a size
+        gauge are published as ``serving.cache.*`` series alongside the
+        cache's own integer counters.
 
     Examples
     --------
@@ -42,7 +48,11 @@ class RankingCache:
     (1, 1)
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.capacity = check_integer(capacity, "capacity", minimum=1)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
@@ -50,6 +60,23 @@ class RankingCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(
+            "serving.cache.hits", help="Ranking cache hits."
+        )
+        self._m_misses = registry.counter(
+            "serving.cache.misses", help="Ranking cache misses."
+        )
+        self._m_evictions = registry.counter(
+            "serving.cache.evictions", help="LRU evictions."
+        )
+        self._m_invalidations = registry.counter(
+            "serving.cache.invalidations",
+            help="Wholesale invalidations (artifact reloads).",
+        )
+        self._m_size = registry.gauge(
+            "serving.cache.size", help="Entries currently cached."
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,10 +87,16 @@ class RankingCache:
             value = self._entries.get(key, _MISS)
             if value is _MISS:
                 self._misses += 1
-                return default
-            self._entries.move_to_end(key)
-            self._hits += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                hit = True
+        if hit:
+            self._m_hits.inc()
             return value
+        self._m_misses.inc()
+        return default
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/overwrite ``key``, evicting the LRU entry when full."""
@@ -71,9 +104,15 @@ class RankingCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
+            evicted = 0
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+            size = len(self._entries)
+        if evicted:
+            self._m_evictions.inc(evicted)
+        self._m_size.set(size)
 
     def invalidate(self) -> int:
         """Drop every entry (called on artifact reload); returns the count."""
@@ -81,7 +120,9 @@ class RankingCache:
             dropped = len(self._entries)
             self._entries.clear()
             self._invalidations += 1
-            return dropped
+        self._m_invalidations.inc()
+        self._m_size.set(0)
+        return dropped
 
     def stats(self) -> Dict[str, Any]:
         """Counters and occupancy: size, capacity, hits, misses, evictions…"""

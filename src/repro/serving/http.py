@@ -1,6 +1,6 @@
 """Stdlib-only JSON/HTTP front-end for the link-prediction service.
 
-A thin :class:`ThreadingHTTPServer` exposing four endpoints:
+A thin :class:`ThreadingHTTPServer` exposing six endpoints:
 
 ========================  =====================================================
 ``GET /healthz``          liveness + served artifact version
@@ -8,14 +8,21 @@ A thin :class:`ThreadingHTTPServer` exposing four endpoints:
 ``POST /v1/topk``         JSON ``{"users": [...], "k": K}`` → batch answers
 ``GET /v1/score``         ``?u=U&v=V`` → raw pair confidence
 ``GET /v1/stats``         cache/queue counters, uptime, reload state
+``GET /metrics``          the whole registry in Prometheus text format
 ========================  =====================================================
 
-Each request is traced on the service's
-:class:`~repro.observability.Tracer` (an ``http.<route>`` span plus
-``http.requests`` / ``http.errors`` counters).  When the server was built
-with a running :class:`~repro.serving.batcher.MicroBatcher`, single-user
-``GET /v1/topk`` queries are routed through it so concurrent HTTP threads
-coalesce into shared vectorized scoring passes.
+Every request is traced end to end: the handler binds a **request id**
+(honouring an incoming ``X-Request-Id`` header, generating one otherwise)
+into the logging context, so records emitted anywhere down the stack —
+service, cache, micro-batcher — carry the same id, and the response echoes
+it back as ``X-Request-Id``.  Per-route latency lands in the
+``serving.http.request_seconds{route,method,status}`` histogram, errors in
+``serving.http.errors{route}``, and each request is additionally traced on
+the service's :class:`~repro.observability.Tracer` (an ``http.<route>``
+span plus ``http.requests`` / ``http.errors`` counters).  When the server
+was built with a running :class:`~repro.serving.batcher.MicroBatcher`,
+single-user ``GET /v1/topk`` queries are routed through it so concurrent
+HTTP threads coalesce into shared vectorized scoring passes.
 
 Only the standard library is used — a serving container needs numpy and
 nothing else.
@@ -24,13 +31,34 @@ nothing else.
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.exceptions import ReproError
+from repro.observability.logging import (
+    get_logger,
+    new_request_id,
+    request_context,
+)
 from repro.serving.batcher import MicroBatcher
 from repro.serving.service import LinkPredictionService
+
+_log = get_logger("repro.serving.http")
+
+_ROUTE_LABELS = {
+    "/healthz": "healthz",
+    "/v1/topk": "topk",
+    "/v1/score": "score",
+    "/v1/stats": "stats",
+    "/metrics": "metrics",
+}
+"""Fixed route-label vocabulary — unknown paths collapse to ``other`` so a
+scanner cannot explode the metric cardinality."""
+
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class LinkPredictionServer(ThreadingHTTPServer):
@@ -47,6 +75,20 @@ class LinkPredictionServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.batcher = batcher
+        registry = service.registry
+        self.request_latency = registry.histogram(
+            "serving.http.request_seconds",
+            help="HTTP request wall-clock by route, method and status.",
+            labels=("route", "method", "status"),
+        )
+        self.request_errors = registry.counter(
+            "serving.http.errors",
+            help="Requests answered 400 (bad input) by route.",
+            labels=("route",),
+        )
+        self.not_found = registry.counter(
+            "serving.http.not_found", help="Requests for unknown endpoints."
+        )
 
 
 def make_server(
@@ -80,6 +122,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: LinkPredictionServer
 
+    _request_id: Optional[str] = None
+    _started: Optional[float] = None
+    _last_status: Optional[int] = None
+
     # -- routing --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         url = urlparse(self.path)
@@ -89,6 +135,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/stats": lambda: self._stats(),
             "/v1/topk": lambda: self._topk_get(query),
             "/v1/score": lambda: self._score(query),
+            "/metrics": lambda: self._metrics(),
         }
         self._dispatch(url.path, routes)
 
@@ -98,20 +145,34 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(url.path, routes)
 
     def _dispatch(self, path: str, routes: Dict) -> None:
-        tracer = self.server.service.tracer
-        handler = routes.get(path)
-        if handler is None:
-            tracer.count("http.not_found")
-            self._send(404, {"error": f"no such endpoint: {path}"})
-            return
-        with tracer.span(f"http.{path.lstrip('/').replace('/', '.')}"):
-            tracer.count("http.requests")
-            try:
-                status, payload = handler()
-            except (ReproError, ValueError) as exc:
-                tracer.count("http.errors")
-                status, payload = 400, {"error": str(exc)}
-        self._send(status, payload)
+        service = self.server.service
+        tracer = service.tracer
+        incoming = self.headers.get("X-Request-Id")
+        self._request_id = (incoming or new_request_id())[:64]
+        self._started = time.perf_counter()
+        self._last_status = None
+        route = _ROUTE_LABELS.get(path, "other")
+        with request_context(self._request_id):
+            handler = routes.get(path)
+            if handler is None:
+                tracer.count("http.not_found")
+                self.server.not_found.inc()
+                status, payload = 404, {"error": f"no such endpoint: {path}"}
+            else:
+                with tracer.span(
+                    f"http.{path.lstrip('/').replace('/', '.')}"
+                ):
+                    tracer.count("http.requests")
+                    try:
+                        status, payload = handler()
+                    except (ReproError, ValueError) as exc:
+                        tracer.count("http.errors")
+                        self.server.request_errors.labels(route=route).inc()
+                        status, payload = 400, {"error": str(exc)}
+            self._send(status, payload)
+        self.server.request_latency.labels(
+            route=route, method=self.command, status=str(status)
+        ).observe(time.perf_counter() - self._started)
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self) -> Tuple[int, Dict]:
@@ -125,6 +186,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _stats(self) -> Tuple[int, Dict]:
         return 200, self.server.service.stats()
+
+    def _metrics(self) -> Tuple[int, str]:
+        return 200, self.server.service.metrics_text()
 
     def _topk_get(self, query: Dict) -> Tuple[int, Dict]:
         user = _int_param(query, "user")
@@ -181,17 +245,40 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    def _send(self, status: int, payload: Dict) -> None:
-        blob = json.dumps(payload).encode("utf-8")
+    def _send(self, status: int, payload: Union[Dict, str]) -> None:
+        if isinstance(payload, str):
+            blob = payload.encode("utf-8")
+            content_type = _PROMETHEUS_CONTENT_TYPE
+        else:
+            blob = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(blob)
 
     def log_message(self, format: str, *args) -> None:
-        """Silence per-request stderr logging; telemetry lives in the tracer."""
-        return None
+        """Per-request logs as structured DEBUG records (never stderr)."""
+        if not _log.isEnabledFor(logging.DEBUG):
+            return
+        duration_ms = (
+            (time.perf_counter() - self._started) * 1e3
+            if self._started is not None
+            else None
+        )
+        _log.debug(
+            format % args,
+            method=getattr(self, "command", None),
+            path=getattr(self, "path", None),
+            status=self._last_status,
+            duration_ms=duration_ms,
+            client=self.client_address[0] if self.client_address else None,
+            request_id=self._request_id,
+        )
 
 
 def _topk_payload(service, user: int, k: int, ranking) -> Dict:

@@ -30,10 +30,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import SerializationError, UnknownNodeError
+from repro.observability.logging import get_logger
+from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
 from repro.serving.artifacts import ArtifactStore, LoadedArtifact
 from repro.serving.cache import RankingCache
 from repro.utils.validation import check_integer
+
+_log = get_logger("repro.serving.service")
 
 Ranking = List[Tuple[int, float]]
 """A top-k answer: ``(candidate index, score)`` pairs, best first."""
@@ -54,6 +58,14 @@ class LinkPredictionService:
         so ``stats()`` always has counters to report.
     version:
         Pin an explicit artifact version instead of the latest.
+    registry:
+        Scrapeable metrics sink
+        (:class:`~repro.observability.metrics.MetricsRegistry`); a fresh
+        live registry is created when omitted so ``/metrics`` always has
+        series to expose.  Pass a
+        :class:`~repro.observability.metrics.NullRegistry` (paired with a
+        :class:`~repro.observability.NullTracer`) for the zero-overhead
+        uninstrumented path.
 
     Examples
     --------
@@ -74,15 +86,38 @@ class LinkPredictionService:
         cache_size: int = 1024,
         tracer: Optional[Tracer] = None,
         version: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
-        self.tracer = tracer if tracer is not None else Tracer()
-        self.cache = RankingCache(cache_size)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        if self.tracer.registry is None and self.tracer.enabled:
+            self.tracer.registry = self.registry
+        self.cache = RankingCache(cache_size, registry=self.registry)
         self._lock = threading.RLock()
         self._artifact: LoadedArtifact = None
         self._candidates: np.ndarray = None
-        self._started_at = time.time()
+        # Monotonic clock for all duration math: NTP/wall-clock jumps must
+        # never corrupt uptime or latency numbers.
+        self._started_at = time.monotonic()
         self._last_reload_error: Optional[str] = None
+        self._m_reload_success = self.registry.counter(
+            "serving.reload.success", help="Successful hot-swap reloads."
+        )
+        self._m_reload_failure = self.registry.counter(
+            "serving.reload.failure",
+            help="Reloads rejected by integrity validation.",
+        )
+        self._m_reload_noop = self.registry.counter(
+            "serving.reload.noop",
+            help="Reload calls that found no newer version.",
+        )
+        self._m_uptime = self.registry.gauge(
+            "serving.uptime_seconds", help="Seconds since service start."
+        )
+        self._m_version = self.registry.gauge(
+            "serving.artifact_version", help="Artifact version being served."
+        )
         self._install(self.store.load(version))
 
     # -- artifact state -------------------------------------------------
@@ -96,6 +131,7 @@ class LinkPredictionService:
         with self._lock:
             self._artifact = artifact
             self._candidates = candidates
+        self._m_version.set(artifact.version)
 
     @property
     def version(self) -> int:
@@ -126,16 +162,31 @@ class LinkPredictionService:
                 latest = self.store.resolve_latest()
                 if latest == self.version:
                     self.tracer.count("serve.reload_noop")
+                    self._m_reload_noop.inc()
                     return False
                 artifact = self.store.load(latest)
             except SerializationError as exc:
                 self.tracer.count("serve.reload_failed")
+                self._m_reload_failure.inc()
                 self._last_reload_error = str(exc)
+                _log.warning(
+                    "artifact reload failed; keeping served version",
+                    served_version=self.version,
+                    error=str(exc),
+                )
                 return False
+            previous = self.version
             self._install(artifact)
             self.cache.invalidate()
             self._last_reload_error = None
             self.tracer.count("serve.reloads")
+            self._m_reload_success.inc()
+            _log.info(
+                "artifact hot-swapped",
+                previous_version=previous,
+                version=artifact.version,
+                n_users=artifact.n_users,
+            )
             return True
 
     # -- queries --------------------------------------------------------
@@ -223,6 +274,22 @@ class LinkPredictionService:
             return [answers[user] for user in users]
 
     # -- introspection --------------------------------------------------
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since construction, immune to wall-clock jumps."""
+        return time.monotonic() - self._started_at
+
+    def observe_uptime(self) -> float:
+        """Refresh the uptime gauge (called before every scrape)."""
+        uptime = self.uptime_seconds
+        self._m_uptime.set(uptime)
+        return uptime
+
+    def metrics_text(self) -> str:
+        """The registry rendered as Prometheus text (uptime refreshed)."""
+        self.observe_uptime()
+        return self.registry.render()
+
     def stats(self) -> Dict:
         """A JSON-compatible snapshot of the service's state and counters."""
         manifest = self._artifact.manifest
@@ -231,7 +298,7 @@ class LinkPredictionService:
             "model": manifest.get("name"),
             "n_users": self.n_users,
             "store": self.store.root,
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": self.observe_uptime(),
             "cache": self.cache.stats(),
             "counters": dict(self.tracer.counters),
             "last_reload_error": self._last_reload_error,

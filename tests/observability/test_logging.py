@@ -1,0 +1,178 @@
+"""Structured logging: JSON records, context ids, idempotent configure."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.logging import (
+    JsonFormatter,
+    configure_logging,
+    current_request_id,
+    current_run_id,
+    get_logger,
+    new_request_id,
+    request_context,
+    run_context,
+)
+
+
+@pytest.fixture()
+def captured():
+    """A (stream, handler) pair capturing JSON records at DEBUG."""
+    stream = io.StringIO()
+    handler = configure_logging(logging.DEBUG, stream=stream, force=True)
+    yield stream
+    logging.getLogger("repro").removeHandler(handler)
+
+
+def _records(stream):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+class TestStructuredLogger:
+    def test_emits_one_json_object_per_line(self, captured):
+        log = get_logger("repro.tests")
+        log.info("first", route="topk")
+        log.warning("second")
+        records = _records(captured)
+        assert [r["message"] for r in records] == ["first", "second"]
+        assert records[0]["route"] == "topk"
+        assert records[0]["level"] == "INFO"
+        assert records[1]["level"] == "WARNING"
+        assert records[0]["logger"] == "repro.tests"
+
+    def test_timestamp_is_iso8601_utc(self, captured):
+        get_logger("repro.tests").info("tick")
+        ts = _records(captured)[0]["ts"]
+        assert ts.endswith("+00:00") and "T" in ts
+
+    def test_relative_name_lands_under_repro(self, captured):
+        get_logger("serving.http").debug("hello")
+        assert _records(captured)[0]["logger"] == "repro.serving.http"
+
+    def test_fields_cannot_shadow_core_keys(self, captured):
+        get_logger("repro.tests").info("msg", level="X", logger="fake")
+        record = _records(captured)[0]
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.tests"
+
+    def test_non_json_fields_stringified(self, captured):
+        get_logger("repro.tests").info("msg", obj=object(), seq=(1, 2))
+        record = _records(captured)[0]
+        assert isinstance(record["obj"], str)
+        assert record["seq"] == [1, 2]
+
+    def test_exception_includes_traceback(self, captured):
+        log = get_logger("repro.tests")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            log.exception("failed", step="load")
+        record = _records(captured)[0]
+        assert "RuntimeError: boom" in record["exception"]
+        assert record["step"] == "load"
+
+    def test_disabled_level_emits_nothing(self, captured):
+        handler = logging.getLogger("repro").handlers[-1]
+        handler.setLevel(logging.WARNING)
+        logging.getLogger("repro").setLevel(logging.WARNING)
+        log = get_logger("repro.tests")
+        assert not log.isEnabledFor(logging.DEBUG)
+        log.debug("invisible")
+        assert _records(captured) == []
+
+
+class TestContextPropagation:
+    def test_request_context_binds_and_restores(self):
+        assert current_request_id() is None
+        with request_context("req-42") as rid:
+            assert rid == "req-42"
+            assert current_request_id() == "req-42"
+            with request_context() as inner:
+                assert current_request_id() == inner != "req-42"
+            assert current_request_id() == "req-42"
+        assert current_request_id() is None
+
+    def test_run_context_independent_of_request_context(self):
+        with run_context("run-1"):
+            with request_context("req-1"):
+                assert current_run_id() == "run-1"
+                assert current_request_id() == "req-1"
+            assert current_request_id() is None
+            assert current_run_id() == "run-1"
+
+    def test_ids_attached_to_records(self, captured):
+        log = get_logger("repro.tests")
+        with run_context("run-7"):
+            with request_context("req-9"):
+                log.info("inside")
+        log.info("outside")
+        inside, outside = _records(captured)
+        assert inside["request_id"] == "req-9"
+        assert inside["run_id"] == "run-7"
+        assert "request_id" not in outside
+        assert "run_id" not in outside
+
+    def test_new_request_id_short_and_unique(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(rid) == 12 for rid in ids)
+
+
+class TestConfigureLogging:
+    def test_idempotent_reuses_handler(self):
+        stream = io.StringIO()
+        first = configure_logging(logging.INFO, stream=stream, force=True)
+        second = configure_logging(logging.DEBUG)
+        try:
+            assert first is second
+            assert first.level == logging.DEBUG
+        finally:
+            logging.getLogger("repro").removeHandler(first)
+
+    def test_force_replaces_handler(self):
+        first = configure_logging(
+            logging.INFO, stream=io.StringIO(), force=True
+        )
+        second = configure_logging(
+            logging.INFO, stream=io.StringIO(), force=True
+        )
+        try:
+            assert first is not second
+            root = logging.getLogger("repro")
+            json_handlers = [
+                h for h in root.handlers
+                if isinstance(h.formatter, JsonFormatter)
+            ]
+            assert json_handlers == [second]
+        finally:
+            logging.getLogger("repro").removeHandler(second)
+
+    def test_string_level_accepted(self):
+        handler = configure_logging(
+            "warning", stream=io.StringIO(), force=True
+        )
+        try:
+            assert handler.level == logging.WARNING
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def test_unknown_string_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+    def test_unconfigured_library_stays_silent(self):
+        # Importing repro must never print: the hierarchy root carries a
+        # NullHandler, so records are swallowed, not dumped to stderr.
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )

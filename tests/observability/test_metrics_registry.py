@@ -1,0 +1,276 @@
+"""MetricsRegistry: kinds, labels, exposition format, null path, threads."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    prometheus_name,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("demo.requests")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        counter = registry.counter("demo.requests")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_labeled_children_are_independent(self, registry):
+        family = registry.counter("demo.hits", labels=("route",))
+        family.labels(route="topk").inc(3)
+        family.labels(route="score").inc()
+        assert family.labels(route="topk").value == 3
+        assert family.labels(route="score").value == 1
+
+    def test_wrong_label_names_raise(self, registry):
+        family = registry.counter("demo.hits", labels=("route",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(verb="GET")
+
+    def test_unlabeled_op_on_labeled_family_raises(self, registry):
+        family = registry.counter("demo.hits", labels=("route",))
+        with pytest.raises(ValueError, match="declares labels"):
+            family.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("demo.level")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_updates_count_sum_quantiles(self, registry):
+        hist = registry.histogram("demo.latency_seconds")
+        for ms in (1, 2, 3, 4, 100):
+            hist.observe(ms / 1e3)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(0.110)
+        assert snap["p50"] == pytest.approx(0.003)
+        assert snap["p99"] == pytest.approx(0.100)
+
+    def test_quantile_of_empty_histogram_is_nan(self, registry):
+        hist = registry.histogram("demo.latency_seconds")
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_out_of_range_raises(self, registry):
+        hist = registry.histogram("demo.latency_seconds")
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_timer_context_manager_observes(self, registry):
+        hist = registry.histogram("demo.latency_seconds")
+        with hist.time():
+            pass
+        assert hist.snapshot()["count"] == 1
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("demo.bad", buckets=(1.0, 0.5))
+
+    def test_custom_buckets_respected(self, registry):
+        hist = registry.histogram("demo.sizes", buckets=BATCH_SIZE_BUCKETS)
+        hist.observe(3)
+        text = registry.render()
+        assert 'demo_sizes_bucket{le="2"} 0' in text
+        assert 'demo_sizes_bucket{le="4"} 1' in text
+
+
+class TestRegistryDeclaration:
+    def test_redeclaration_returns_same_family(self, registry):
+        first = registry.counter("demo.requests")
+        first.inc()
+        second = registry.counter("demo.requests")
+        second.inc()
+        assert second.value == 2
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("demo.requests")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("demo.requests")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("demo.requests", labels=("route",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("demo.requests", labels=("method",))
+
+    def test_families_and_get(self, registry):
+        registry.counter("b.two")
+        registry.gauge("a.one")
+        assert registry.families() == ["a.one", "b.two"]
+        assert registry.get("a.one") is not None
+        assert registry.get("absent") is None
+
+
+class TestPrometheusRendering:
+    def test_counter_gets_total_suffix_and_help_type(self, registry):
+        registry.counter("demo.requests", help="requests served").inc(4)
+        text = registry.render()
+        assert "# HELP repro_demo_requests_total requests served" in text
+        assert "# TYPE repro_demo_requests_total counter" in text
+        assert "repro_demo_requests_total 4" in text
+
+    def test_gauge_renders_plain(self, registry):
+        registry.gauge("demo.uptime_seconds").set(1.5)
+        assert "repro_demo_uptime_seconds 1.5" in registry.render()
+
+    def test_histogram_renders_cumulative_buckets_inf_sum_count(
+        self, registry
+    ):
+        hist = registry.histogram("demo.lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(100.0)  # beyond every finite bucket
+        text = registry.render()
+        assert 'repro_demo_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_demo_lat_bucket{le="1"} 2' in text
+        assert 'repro_demo_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_demo_lat_sum 100.55" in text
+        assert "repro_demo_lat_count 3" in text
+
+    def test_label_values_escaped(self, registry):
+        family = registry.counter("demo.odd", labels=("path",))
+        family.labels(path='a"b\nc\\d').inc()
+        assert r'path="a\"b\nc\\d"' in registry.render()
+
+    def test_render_ends_with_newline_and_sorted(self, registry):
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        text = registry.render()
+        assert text.endswith("\n")
+        assert text.index("repro_a_first") < text.index("repro_z_last")
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render() == ""
+
+    def test_prometheus_name_sanitizes(self):
+        assert prometheus_name("serving.http.request-latency") == (
+            "serving_http_request_latency"
+        )
+        assert prometheus_name("9lives").startswith("_")
+
+
+class TestNullRegistry:
+    def test_disabled_and_renders_empty(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        assert null.render() == ""
+
+    def test_all_operations_are_noops(self):
+        null = NullRegistry()
+        null.counter("x").inc(5)
+        null.gauge("y", labels=("a",)).labels(a="1").set(2)
+        hist = null.histogram("z")
+        hist.observe(1.0)
+        with hist.time():
+            pass
+        assert null.counter("x").value == 0.0
+        assert math.isnan(hist.quantile(0.5))
+        assert hist.snapshot()["count"] == 0
+        assert null.render() == ""
+
+    def test_shared_singleton_child(self):
+        # Zero-allocation contract: every declaration returns the one
+        # shared null metric, so the disabled hot path allocates nothing.
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.histogram("b")
+
+
+class TestConcurrency:
+    """Hammer the registry from many threads; no update may be lost."""
+
+    N_THREADS = 16
+    PER_THREAD = 2000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker():
+            barrier.wait()
+            for _ in range(self.PER_THREAD):
+                fn()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_not_lost(self, registry):
+        counter = registry.counter("demo.hammered")
+        self._hammer(counter.inc)
+        assert counter.value == self.N_THREADS * self.PER_THREAD
+
+    def test_labeled_counter_increments_not_lost(self, registry):
+        family = registry.counter("demo.routes", labels=("route",))
+        self._hammer(lambda: family.labels(route="topk").inc())
+        assert family.labels(route="topk").value == (
+            self.N_THREADS * self.PER_THREAD
+        )
+
+    def test_histogram_observations_not_lost(self, registry):
+        hist = registry.histogram("demo.lat")
+        self._hammer(lambda: hist.observe(0.001))
+        snap = hist.snapshot()
+        assert snap["count"] == self.N_THREADS * self.PER_THREAD
+        assert snap["sum"] == pytest.approx(snap["count"] * 0.001)
+
+    def test_concurrent_declaration_single_family(self, registry):
+        def declare():
+            registry.counter("demo.declared").inc()
+
+        self._hammer(declare)
+        assert registry.get("demo.declared").value == (
+            self.N_THREADS * self.PER_THREAD
+        )
+        assert registry.families().count("demo.declared") == 1
+
+    def test_render_while_writing_does_not_crash(self, registry):
+        hist = registry.histogram("demo.lat", labels=("route",))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                hist.labels(route="topk").observe(0.001)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                text = registry.render()
+                assert "# TYPE repro_demo_lat histogram" in text
+        finally:
+            stop.set()
+            thread.join()
+
+
+def test_default_latency_buckets_sorted_and_subsecond_resolution():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001  # resolves cache hits
+    assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0  # resolves cold solver calls

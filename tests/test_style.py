@@ -1,0 +1,43 @@
+"""The observability style gate must hold for the whole library tree."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_style.py")
+
+
+def test_no_wall_clock_durations_or_bare_prints():
+    result = subprocess.run(
+        [sys.executable, CHECKER],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"style gate failed:\n{result.stdout}{result.stderr}"
+    )
+
+
+def test_checker_catches_violations(tmp_path):
+    # The gate itself must not be a silent no-op: point it at a file with
+    # both violations and watch it flag each one.
+    sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+    try:
+        import check_style
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import time\n"
+        "start = time.time()\n"
+        "stamp = time.time()  # wall-clock: a timestamp\n"
+        'print("hello")\n'
+    )
+    violations = check_style.check_file(str(bad))
+    assert len(violations) == 2
+    assert any("time.time()" in v and ":2:" in v for v in violations)
+    assert any("print()" in v and ":4:" in v for v in violations)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Observability style gate for ``src/repro``.
+
+Two rules, both born from real telemetry bugs:
+
+1. **No ``time.time()`` duration arithmetic.**  Wall-clock time jumps
+   (NTP slew, suspend/resume) corrupt latency and uptime numbers; all
+   duration math must use ``time.monotonic()`` or ``time.perf_counter()``.
+   A line that genuinely needs a wall-clock *timestamp* (manifest
+   ``created_at`` fields and the like) opts out with a ``# wall-clock``
+   comment on the same line, which doubles as reviewer documentation.
+
+2. **No bare ``print()`` in library code.**  Library output must go
+   through :mod:`repro.observability.logging` so it carries levels,
+   request ids and machine-parseable structure.  The experiments package
+   and the CLI ``__main__`` modules are presentation layers whose job is
+   printing tables to a terminal, so they are allowlisted.
+
+Run from the repo root::
+
+    python tools/check_style.py
+
+Exit status 0 when clean; 1 with one ``file:line: message`` per violation
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+WALL_CLOCK_MARKER = "# wall-clock"
+
+# Presentation layers whose stdout IS the product (tables, CLI banners).
+PRINT_ALLOWLIST = (
+    os.path.join("src", "repro", "experiments") + os.sep,
+    os.path.join("src", "repro", "serving", "__main__.py"),
+)
+
+_TIME_TIME = re.compile(r"\btime\.time\(\)")
+_BARE_PRINT = re.compile(r"^\s*print\(")
+
+
+def _relative(path: str) -> str:
+    return os.path.relpath(path, REPO_ROOT)
+
+
+def _print_allowed(relpath: str) -> bool:
+    return any(relpath.startswith(prefix) for prefix in PRINT_ALLOWLIST)
+
+
+def check_file(path: str) -> list:
+    """All style violations in one file, as ``file:line: message`` strings."""
+    relpath = _relative(path)
+    violations = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if _TIME_TIME.search(line) and WALL_CLOCK_MARKER not in line:
+                violations.append(
+                    f"{relpath}:{lineno}: time.time() is wall-clock — use "
+                    "time.monotonic()/time.perf_counter() for durations, or "
+                    f"mark a real timestamp with '{WALL_CLOCK_MARKER}'"
+                )
+            if _BARE_PRINT.search(line) and not _print_allowed(relpath):
+                violations.append(
+                    f"{relpath}:{lineno}: bare print() in library code — "
+                    "use repro.observability.logging.get_logger() instead"
+                )
+    return violations
+
+
+def main() -> int:
+    violations = []
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                violations.extend(check_file(os.path.join(dirpath, filename)))
+    if violations:
+        print("\n".join(violations))
+        print(f"\n{len(violations)} style violation(s).")
+        return 1
+    print("style: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
