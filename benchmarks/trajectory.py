@@ -41,6 +41,24 @@ def percentile_summary(samples_seconds: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def outcome_summary(statuses: Sequence[int]) -> Dict[str, float]:
+    """Request-outcome rates from a list of HTTP status codes.
+
+    Everything >= 400 counts as an error; under fault injection this is
+    the "clean failure" rate (the unclean ones would have crashed the
+    driving loop long before this summary).
+    """
+    statuses = list(statuses)
+    if not statuses:
+        raise ValueError("cannot summarize an empty status list")
+    n_errors = sum(1 for status in statuses if status >= 400)
+    return {
+        "n_requests": len(statuses),
+        "n_errors": n_errors,
+        "error_rate": n_errors / len(statuses),
+    }
+
+
 def load_trajectory(path: Optional[str] = None) -> Dict:
     """The parsed trajectory file (empty scaffold when absent/corrupt)."""
     path = os.path.abspath(path or BENCH_PATH)

@@ -52,6 +52,35 @@ class SerializationError(ReproError):
     """A network or model could not be serialized or deserialized."""
 
 
+class ArtifactCorruptError(SerializationError):
+    """A stored artifact failed its integrity validation.
+
+    Raised when a checksum/digest mismatch, a truncated file, or an
+    undeserializable payload is detected *before* the artifact is handed to
+    any consumer.  Subclasses :class:`SerializationError` so every existing
+    fallback path (serving's stale-serve reload, the CLI) already handles
+    it; the distinct type lets chaos tests and HTTP handlers tell corruption
+    apart from configuration mistakes.
+    """
+
+
+class ReliabilityError(ReproError):
+    """Base class for the failures of the reliability layer itself."""
+
+
+class RetryExhaustedError(ReliabilityError):
+    """Every attempt permitted by a :class:`~repro.reliability.RetryPolicy`
+    failed; the last underlying error is chained as ``__cause__``."""
+
+
+class DeadlineExceededError(ReliabilityError):
+    """A request or retry loop ran out of its wall-clock budget."""
+
+
+class CircuitOpenError(ReliabilityError):
+    """A call was refused because its circuit breaker is open."""
+
+
 class TruncatedSVTWarning(RuntimeWarning):
     """The truncated SVT dropped singular values above the threshold.
 

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import pickle
 import zipfile
 from typing import Dict
 
 import numpy as np
 
-from repro.exceptions import SerializationError
+from repro.exceptions import ArtifactCorruptError, SerializationError
 from repro.models.base import MatrixPredictor, TransferTask
 
 _FORMAT_VERSION = 2
@@ -151,12 +152,19 @@ def load_predictor(path: str) -> FrozenPredictor:
                 if version not in _DIGESTLESS_VERSIONS
                 else None
             )
-    except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+    except (
+        KeyError,
+        ValueError,
+        OSError,
+        EOFError,
+        zipfile.BadZipFile,
+        pickle.UnpicklingError,
+    ) as exc:
         raise SerializationError(f"cannot load predictor: {exc}") from exc
     if stored_digest is not None:
         actual = content_digest(matrix, metadata_json)
         if actual != stored_digest:
-            raise SerializationError(
+            raise ArtifactCorruptError(
                 f"predictor archive {path} failed its integrity check: "
                 f"stored sha256 {stored_digest[:12]}… but content hashes to "
                 f"{actual[:12]}… (truncated or tampered file)"

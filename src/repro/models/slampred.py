@@ -199,6 +199,7 @@ class SlamPred(MatrixPredictor):
         self.tracer = tracer
         self._result: Optional[CCCPResult] = None
         self._adapter: Optional[DomainAdapter] = None
+        self._checkpoint_manager = None
 
     def _default_name(self) -> str:
         if self.use_sources:
@@ -256,6 +257,61 @@ class SlamPred(MatrixPredictor):
         )
 
     # ------------------------------------------------------------------
+    def fit(
+        self,
+        task: TransferTask,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+    ) -> "SlamPred":
+        """Train on a transfer task; returns ``self`` for chaining.
+
+        Parameters
+        ----------
+        task:
+            The transfer problem to fit.
+        checkpoint_dir:
+            When given, every ``checkpoint_every``-th CCCP round writes an
+            atomic, digest-validated checkpoint into this directory
+            (:class:`~repro.reliability.CheckpointManager`), and a fit
+            that finds existing checkpoints there **resumes** from the
+            newest valid one — a killed run replays the remaining rounds
+            and lands on the uninterrupted trajectory exactly (CCCP rounds
+            are pure functions of the iterate).
+        checkpoint_every:
+            Checkpoint cadence in CCCP rounds.
+        """
+        if checkpoint_dir is None:
+            self._checkpoint_manager = None
+        else:
+            from repro.reliability.checkpoints import CheckpointManager
+
+            self._checkpoint_manager = CheckpointManager(
+                checkpoint_dir, every=checkpoint_every
+            )
+        try:
+            return super().fit(task)
+        finally:
+            self._checkpoint_manager = None
+
+    def resume(
+        self, task: TransferTask, checkpoint_dir: str
+    ) -> "SlamPred":
+        """Continue a killed fit from its newest valid checkpoint.
+
+        A convenience wrapper over ``fit(task, checkpoint_dir=...)`` that
+        *requires* a resumable checkpoint to exist, so an operator typo in
+        the directory fails loudly instead of silently refitting from
+        scratch.
+        """
+        from repro.reliability.checkpoints import CheckpointManager
+
+        if CheckpointManager(checkpoint_dir).latest() is None:
+            raise ConfigurationError(
+                f"no resumable checkpoint found in {checkpoint_dir!r}; "
+                "use fit(task, checkpoint_dir=...) for a fresh run"
+            )
+        return self.fit(task, checkpoint_dir=checkpoint_dir)
+
     def _fit(self, task: TransferTask) -> None:
         tracer = self._tracer
         adjacency = task.training_graph.adjacency
@@ -285,7 +341,11 @@ class SlamPred(MatrixPredictor):
             ),
         )
         with tracer.span("cccp"):
-            self._result = solver.solve(adjacency, tracer=tracer)
+            self._result = solver.solve(
+                adjacency,
+                tracer=tracer,
+                checkpoint=self._checkpoint_manager,
+            )
         scores = zero_diagonal(self._result.solution)
         peak = scores.max()
         if peak > 0:

@@ -36,9 +36,15 @@ _SPAN_HISTOGRAMS: Dict[str, str] = {
 }
 _COUNTER_BRIDGE: Dict[str, str] = {
     "cccp.rounds": "solver.cccp_rounds",
+    "cccp.checkpoints": "solver.checkpoints",
+    "cccp.resumes": "solver.resumes",
     "fb.iterations": "solver.fb_iterations",
+    "fb.step_halvings": "solver.step_halvings",
     "gfb.iterations": "solver.gfb_iterations",
     "svt.lossy_truncations": "solver.svt_lossy_truncations",
+    # Both SVD recovery paths roll up into one degradation counter.
+    "svt.dense_fallbacks": "reliability.svd_fallbacks",
+    "svt.eigh_fallbacks": "reliability.svd_fallbacks",
 }
 _GAUGE_BRIDGE: Dict[str, str] = {
     "svt.retained_rank": "solver.rank",

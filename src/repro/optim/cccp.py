@@ -53,6 +53,9 @@ class CCCPResult:
     round_norms: Sequence[float]
     n_rounds: int
     converged: bool
+    resumed_from: Optional[int] = None
+    """Round index of the checkpoint this run resumed from (``None`` for a
+    fresh run)."""
 
 
 class CCCPSolver:
@@ -100,13 +103,23 @@ class CCCPSolver:
         )
 
     def solve(
-        self, initial: np.ndarray, tracer: Optional[Tracer] = None
+        self,
+        initial: np.ndarray,
+        tracer: Optional[Tracer] = None,
+        checkpoint=None,
     ) -> CCCPResult:
         """Run Algorithm 1 from ``initial`` (the paper initializes at ``A``).
 
         Under a live ``tracer`` every outer round becomes a ``cccp_round``
         span enclosing the inner solver's gradient/prox spans, and each
         inner iteration record is stamped with its 1-based round index.
+
+        With a :class:`~repro.reliability.CheckpointManager` as
+        ``checkpoint``, the iterate is snapshotted after each outer round
+        (on the manager's cadence) and — because every CCCP round is a
+        pure function of the incoming iterate — a run that finds an
+        existing checkpoint resumes from it and reproduces the
+        uninterrupted trajectory exactly.
         """
         current = np.asarray(initial, dtype=float)
         if not is_square(current):
@@ -114,6 +127,23 @@ class CCCPSolver:
                 f"initial matrix must be square, got shape {current.shape}"
             )
         current = current.copy()
+        resumed_from = None
+        resumed_norms: list = []
+        start_round = 0
+        if checkpoint is not None:
+            saved = checkpoint.latest()
+            if saved is not None:
+                if saved.solution.shape != current.shape:
+                    raise OptimizationError(
+                        f"checkpointed iterate {saved.solution.shape} does "
+                        f"not match the problem shape {current.shape}; "
+                        "point checkpoint_dir at a fresh directory"
+                    )
+                current = saved.solution.copy()
+                resumed_norms = list(saved.round_norms)
+                start_round = resumed_from = saved.round_index
+                if is_tracing(tracer):
+                    tracer.count("cccp.resumes")
         smooth_terms = [self.loss]
         if self.intimacy_gradient is not None:
             if self.intimacy_gradient.shape != current.shape:
@@ -123,11 +153,11 @@ class CCCPSolver:
                 )
             smooth_terms.append(LinearizedIntimacyTerm(self.intimacy_gradient))
         history = IterationHistory()
-        round_norms = []
+        round_norms = resumed_norms
         converged = False
-        n_rounds = 0
+        n_rounds = start_round
         tracing = is_tracing(tracer)
-        for _ in range(self.outer_criterion.max_iterations):
+        for _ in range(self.outer_criterion.max_iterations - start_round):
             n_rounds += 1
             previous = current
             if tracing:
@@ -148,6 +178,10 @@ class CCCPSolver:
                     previous, smooth_terms, self.prox_terms, history=history
                 )
             round_norms.append(float(np.abs(current).sum()))
+            if checkpoint is not None and checkpoint.should_save(n_rounds):
+                checkpoint.save(n_rounds, current, round_norms)
+                if tracing:
+                    tracer.count("cccp.checkpoints")
             if self.outer_criterion.satisfied(current, previous):
                 converged = True
                 break
@@ -157,4 +191,5 @@ class CCCPSolver:
             round_norms=round_norms,
             n_rounds=n_rounds,
             converged=converged,
+            resumed_from=resumed_from,
         )

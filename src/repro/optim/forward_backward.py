@@ -43,9 +43,17 @@ from repro.utils.validation import check_positive
 _DIVERGENCE_LIMIT = 1e12
 
 
+def _diverged(matrix: np.ndarray) -> bool:
+    """Whether an iterate left the numerically trustworthy region."""
+    return (
+        not np.all(np.isfinite(matrix))
+        or np.abs(matrix).max() > _DIVERGENCE_LIMIT
+    )
+
+
 def _check_finite(matrix: np.ndarray, step_size: float) -> None:
     """Fail fast when the iteration diverges (step size too large)."""
-    if not np.all(np.isfinite(matrix)) or np.abs(matrix).max() > _DIVERGENCE_LIMIT:
+    if _diverged(matrix):
         raise OptimizationError(
             f"iteration diverged (entries exceed {_DIVERGENCE_LIMIT:.0e}); "
             f"reduce step_size (currently {step_size}) below 2/L of the "
@@ -130,6 +138,12 @@ class ForwardBackwardSolver:
         Whether to evaluate the full objective each iteration (costs an SVD
         per trace-norm term; disable inside tight loops).  A live tracer
         implies it — and additionally breaks the objective out per term.
+    max_step_halvings:
+        Recovery budget when an iterate (or its objective) goes non-finite:
+        the step size is halved and the iteration re-taken from the last
+        good iterate, at most this many times, before the solver gives up
+        with :class:`~repro.exceptions.OptimizationError`.  Zero restores
+        the old fail-fast behaviour.
     """
 
     def __init__(
@@ -137,10 +151,16 @@ class ForwardBackwardSolver:
         step_size: float = 1e-3,
         criterion: ConvergenceCriterion = None,
         record_objective: bool = False,
+        max_step_halvings: int = 3,
     ):
         self.step_size = check_positive(step_size, "step_size")
         self.criterion = criterion or ConvergenceCriterion()
         self.record_objective = record_objective
+        if max_step_halvings < 0:
+            raise OptimizationError(
+                f"max_step_halvings must be >= 0, got {max_step_halvings}"
+            )
+        self.max_step_halvings = int(max_step_halvings)
 
     def solve(
         self,
@@ -163,6 +183,20 @@ class ForwardBackwardSolver:
             prox_labels = _term_labels(prox_terms)
             prox_takes_tracer = [_accepts_tracer(p) for p in prox_terms]
         current = np.asarray(initial, dtype=float).copy()
+        step = self.step_size
+        halvings = 0
+
+        def _recover() -> bool:
+            """Halve the step after a non-finite iterate; False = give up."""
+            nonlocal step, halvings
+            if halvings >= self.max_step_halvings:
+                return False
+            halvings += 1
+            step *= 0.5
+            if tracing:
+                tracer.count("fb.step_halvings")
+            return True
+
         for _ in range(self.criterion.max_iterations):
             previous = current
             if tracing:
@@ -171,24 +205,28 @@ class ForwardBackwardSolver:
                 with tracer.span("gradient") as span:
                     gradient = _total_gradient(previous, smooth_terms)
                 phase_seconds["gradient"] = span.duration
-                current = previous - self.step_size * gradient
+                current = previous - step * gradient
                 for i, prox in enumerate(prox_terms):
                     label = f"prox:{prox_labels[i]}"
                     with tracer.span(label) as span:
                         if prox_takes_tracer[i]:
                             current = prox.apply(
-                                current, self.step_size, tracer=tracer
+                                current, step, tracer=tracer
                             )
                         else:
-                            current = prox.apply(current, self.step_size)
+                            current = prox.apply(current, step)
                     phase_seconds[label] = span.duration
             else:
-                current = previous - self.step_size * _total_gradient(
+                current = previous - step * _total_gradient(
                     previous, smooth_terms
                 )
                 for prox in prox_terms:
-                    current = prox.apply(current, self.step_size)
-            _check_finite(current, self.step_size)
+                    current = prox.apply(current, step)
+            if _diverged(current):
+                if _recover():
+                    current = previous
+                    continue
+                _check_finite(current, step)
             if tracing:
                 tracer.count("fb.iterations")
                 breakdown = _objective_breakdown(
@@ -196,11 +234,22 @@ class ForwardBackwardSolver:
                     smooth_labels, prox_labels,
                 )
                 objective = float(sum(breakdown.values()))
+                if not np.isfinite(objective):
+                    # The iterate is representable but the objective
+                    # overflowed — same remedy as a diverged iterate.
+                    if _recover():
+                        current = previous
+                        continue
+                    raise OptimizationError(
+                        f"objective became non-finite ({objective}); "
+                        f"reduce step_size (currently {step}) below 2/L "
+                        "of the smooth term"
+                    )
                 record = (history or IterationHistory()).record(
                     current, previous, objective
                 )
                 _enrich_record(
-                    record, tracer, self.step_size, breakdown,
+                    record, tracer, step, breakdown,
                     phase_seconds, svt_before,
                 )
             elif history is not None:

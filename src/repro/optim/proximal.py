@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import TruncatedSVTWarning
 from repro.observability.tracer import Tracer, is_tracing
+from repro.reliability.faults import fault_point
 from repro.utils.matrices import l1_norm, trace_norm
 from repro.utils.validation import check_non_negative
 
@@ -59,17 +60,53 @@ def _record_svt_metrics(
     tracer.metric("svt.tail_singular_value", tail)
 
 
+def _svd_via_eigh(matrix: np.ndarray):
+    """Deterministic SVD fallback through ``eigh`` of the Gram matrix.
+
+    ``np.linalg.svd`` occasionally fails to converge on ill-conditioned
+    input (LAPACK ``gesdd``); the symmetric eigensolver is far more robust,
+    and for SVT purposes the tiny singular values a Gram-based
+    factorization resolves poorly are exactly the ones the threshold
+    discards anyway.
+    """
+    gram = matrix.T @ matrix
+    eigenvalues, v = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues, v = eigenvalues[order], v[:, order]
+    singular = np.sqrt(np.clip(eigenvalues, 0.0, None))
+    safe = np.where(singular > 0, singular, 1.0)
+    u = (matrix @ v) / safe[None, :]
+    return u, singular, v.T
+
+
+def _dense_svd(matrix: np.ndarray, tracer: Optional[Tracer]):
+    """Dense SVD with the chaos hook and the eigh recovery path."""
+    try:
+        fault_point("solver.svd.dense")
+        return np.linalg.svd(matrix, full_matrices=False)
+    except np.linalg.LinAlgError:
+        if is_tracing(tracer):
+            tracer.count("svt.eigh_fallbacks")
+        return _svd_via_eigh(matrix)
+
+
 def singular_value_threshold(
     matrix: np.ndarray, threshold: float, tracer: Optional[Tracer] = None
 ) -> np.ndarray:
-    """Singular value thresholding ``U diag((σᵢ − t)₊) Vᵀ``."""
+    """Singular value thresholding ``U diag((σᵢ − t)₊) Vᵀ``.
+
+    A dense-SVD convergence failure (``LinAlgError``, real or injected at
+    the ``solver.svd.dense`` fault site) falls back to an
+    eigendecomposition of the Gram matrix (``svt.eigh_fallbacks``
+    counter), so a single bad LAPACK call can no longer abort a CCCP fit.
+    """
     threshold = check_non_negative(threshold, "threshold")
     matrix = np.asarray(matrix, dtype=float)
     if is_tracing(tracer):
         with tracer.span("svt"):
-            u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+            u, singular, vt = _dense_svd(matrix, tracer)
     else:
-        u, singular, vt = np.linalg.svd(matrix, full_matrices=False)
+        u, singular, vt = _dense_svd(matrix, tracer)
     shrunk = np.maximum(singular - threshold, 0.0)
     if is_tracing(tracer):
         retained = int(np.count_nonzero(shrunk))
@@ -113,13 +150,34 @@ def truncated_singular_value_threshold(
 
     n_small = min(matrix.shape)
     v0 = np.full(n_small, 1.0 / np.sqrt(n_small))
-    if is_tracing(tracer):
-        with tracer.span("svt"):
-            u, singular, vt = scipy.sparse.linalg.svds(
-                matrix, k=rank + 1, v0=v0
-            )
-    else:
-        u, singular, vt = scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
+
+    def _truncated_svd():
+        """Lanczos SVD with the chaos hook; failures promote to dense SVT."""
+        fault_point("solver.svd.truncated")
+        return scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
+
+    try:
+        if is_tracing(tracer):
+            with tracer.span("svt"):
+                u, singular, vt = _truncated_svd()
+        else:
+            u, singular, vt = _truncated_svd()
+    except (
+        np.linalg.LinAlgError,
+        getattr(scipy.sparse.linalg, "ArpackError", RuntimeError),
+    ) as exc:
+        # Lanczos non-convergence (ArpackError/ArpackNoConvergence) or an
+        # injected LinAlgError — recover with the exact dense prox rather
+        # than aborting the whole fit.
+        if is_tracing(tracer):
+            tracer.count("svt.dense_fallbacks")
+        warnings.warn(
+            "truncated SVD failed; falling back to the exact dense SVT "
+            f"for this proximal step ({type(exc).__name__})",
+            TruncatedSVTWarning,
+            stacklevel=2,
+        )
+        return singular_value_threshold(matrix, threshold, tracer=tracer)
     # svds returns singular values in ascending order: the first triplet is
     # the (rank+1)-th largest — the tail probe — and is never retained.
     tail = float(singular[0])

@@ -1,0 +1,70 @@
+"""Reliability layer: fault injection, retry/backoff, breakers, checkpoints.
+
+The subsystem that makes the solver and serving stacks survive injected
+faults instead of merely passing clean runs:
+
+* :mod:`repro.reliability.faults` — the :class:`FaultInjector` chaos-hook
+  registry behind :func:`fault_point`; no-op unless armed (via
+  ``REPRO_CHAOS=1`` / :func:`configure_from_env` or explicit ``arm``);
+* :mod:`repro.reliability.retry` — :class:`RetryPolicy` +
+  :func:`call_with_retry`: exponential backoff with deterministic jitter,
+  hard deadlines, per-attempt timeouts;
+* :mod:`repro.reliability.breaker` — the closed/open/half-open
+  :class:`CircuitBreaker` guarding artifact reads and service reloads;
+* :mod:`repro.reliability.checkpoints` — :class:`CheckpointManager`,
+  atomic digest-validated CCCP-round checkpoints with skip-corrupt resume.
+
+Degradation is observable through the shared
+:class:`~repro.observability.metrics.MetricsRegistry`:
+``reliability.retries``, ``reliability.breaker_state`` /
+``reliability.breaker_transitions``, ``reliability.shed_requests`` (from
+the HTTP layer) and ``solver.checkpoints``.  See DESIGN.md §11 and the
+README "Resilience" section for the chaos quickstart.
+"""
+
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.reliability.checkpoints import Checkpoint, CheckpointManager
+from repro.reliability.faults import (
+    GLOBAL_INJECTOR,
+    KNOWN_SITES,
+    FaultInjector,
+    InjectedFaultError,
+    chaos_enabled,
+    configure_from_env,
+    fault_point,
+)
+from repro.reliability.retry import (
+    RetryPolicy,
+    call_with_retry,
+    deterministic_jitter,
+    retry,
+    run_with_timeout,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "LEGAL_TRANSITIONS",
+    "Checkpoint",
+    "CheckpointManager",
+    "FaultInjector",
+    "InjectedFaultError",
+    "GLOBAL_INJECTOR",
+    "KNOWN_SITES",
+    "chaos_enabled",
+    "configure_from_env",
+    "fault_point",
+    "RetryPolicy",
+    "call_with_retry",
+    "deterministic_jitter",
+    "retry",
+    "run_with_timeout",
+]

@@ -1,0 +1,219 @@
+"""Circuit breaker: stop hammering a failing dependency, probe for recovery.
+
+The classic three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted, and hitting
+  ``failure_threshold`` trips the breaker open.
+* **open** — calls are refused (:class:`~repro.exceptions.CircuitOpenError`)
+  until ``recovery_timeout`` (monotonic) seconds have passed, then the next
+  :meth:`allow` transitions to half-open.
+* **half-open** — a bounded number of probe calls is let through; one
+  success closes the breaker, one failure re-opens it (and restarts the
+  recovery clock).
+
+The legal transition edges — and nothing else — are::
+
+    closed → open, open → half_open, half_open → closed, half_open → open
+
+which the property suite asserts from arbitrary operation interleavings.
+
+State changes publish to a
+:class:`~repro.observability.metrics.MetricsRegistry` as the
+``reliability.breaker_state{breaker}`` gauge (0 = closed, 1 = half-open,
+2 = open) and the ``reliability.breaker_transitions{breaker,to}`` counter,
+so a tripped breaker is visible on ``/metrics`` before anyone reads logs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+from repro.observability.logging import get_logger
+
+_log = get_logger("repro.reliability.breaker")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+LEGAL_TRANSITIONS = {
+    (CLOSED, OPEN),
+    (OPEN, HALF_OPEN),
+    (HALF_OPEN, CLOSED),
+    (HALF_OPEN, OPEN),
+}
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker with metrics.
+
+    Parameters
+    ----------
+    name:
+        Label under which state/transition metrics are published.
+    failure_threshold:
+        Consecutive failures (in the closed state) that trip the breaker.
+    recovery_timeout:
+        Seconds the breaker stays open before probing (monotonic clock).
+    half_open_max:
+        Concurrent probe calls admitted while half-open.
+    registry:
+        Optional metrics sink; ``None`` (or a null registry) publishes
+        nothing.
+    clock:
+        Injectable monotonic clock for tests.
+
+    Examples
+    --------
+    >>> from repro.reliability.breaker import CircuitBreaker
+    >>> breaker = CircuitBreaker("demo", failure_threshold=1)
+    >>> breaker.record_failure()
+    >>> breaker.state
+    'open'
+    >>> breaker.allow()
+    False
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        half_open_max: int = 1,
+        registry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_timeout < 0:
+            raise ConfigurationError(
+                f"recovery_timeout must be >= 0, got {recovery_timeout}"
+            )
+        if half_open_max < 1:
+            raise ConfigurationError(
+                f"half_open_max must be >= 1, got {half_open_max}"
+            )
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_timeout = float(recovery_timeout)
+        self.half_open_max = int(half_open_max)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._half_open_inflight = 0
+        self._state_gauge = None
+        self._transitions = None
+        if registry is not None and getattr(registry, "enabled", False):
+            self._state_gauge = registry.gauge(
+                "reliability.breaker_state",
+                help="Breaker state: 0 closed, 1 half-open, 2 open.",
+                labels=("breaker",),
+            ).labels(breaker=name)
+            self._state_gauge.set(_STATE_VALUES[CLOSED])
+            self._transitions = registry.counter(
+                "reliability.breaker_transitions",
+                help="Breaker state transitions, by target state.",
+                labels=("breaker", "to"),
+            )
+
+    # -- state machine --------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state`` (callers hold the lock)."""
+        old = self._state
+        if old == new_state:
+            return
+        assert (old, new_state) in LEGAL_TRANSITIONS, (old, new_state)
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+        if new_state in (CLOSED, HALF_OPEN):
+            self._half_open_inflight = 0
+        if new_state == CLOSED:
+            self._consecutive_failures = 0
+        if self._state_gauge is not None:
+            self._state_gauge.set(_STATE_VALUES[new_state])
+            self._transitions.labels(breaker=self.name, to=new_state).inc()
+        _log.info(
+            "circuit breaker transition",
+            breaker=self.name,
+            from_state=old,
+            to_state=new_state,
+        )
+
+    @property
+    def state(self) -> str:
+        """Current state, after applying any due open → half-open move."""
+        with self._lock:
+            self._maybe_probe()
+            return self._state
+
+    def _maybe_probe(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.recovery_timeout
+        ):
+            self._transition(HALF_OPEN)
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In the half-open state at most ``half_open_max`` callers are
+        admitted until one of them reports an outcome.
+        """
+        with self._lock:
+            self._maybe_probe()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._half_open_inflight >= self.half_open_max:
+                return False
+            self._half_open_inflight += 1
+            return True
+
+    def record_success(self) -> None:
+        """Report one successful call."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """Report one failed call."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            if self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._transition(OPEN)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`~repro.exceptions.CircuitOpenError` without calling
+        ``fn`` when the breaker refuses, and reports the call's outcome
+        otherwise (the original exception propagates on failure).
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker {self.name!r} is {self.state}; "
+                "call refused"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

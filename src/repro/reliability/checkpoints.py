@@ -1,0 +1,217 @@
+"""CCCP-round checkpoints: survive a killed fit, resume deterministically.
+
+A checkpoint is one ``.npz`` per CCCP round (``round-000007.npz``) holding
+the round's iterate, the accumulated round norms, and a sha256 content
+digest; writes are staged and ``os.replace``d so a kill mid-write can
+never leave a half-written "latest".  Because each CCCP round is a pure
+function of the incoming iterate, resuming from round ``r`` reproduces
+the uninterrupted trajectory exactly (the resume test pins 1e-8 on the
+final objective).
+
+Corrupt or truncated checkpoints are *skipped*, not fatal: ``latest()``
+walks backwards to the newest checkpoint that validates, so one bad write
+costs one round of progress rather than the whole fit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ArtifactCorruptError
+from repro.observability.logging import get_logger
+
+_log = get_logger("repro.reliability.checkpoints")
+
+CHECKPOINT_SCHEMA_VERSION = 1
+_CKPT_FILE = re.compile(r"^round-(\d{6})\.npz$")
+
+
+@dataclass
+class Checkpoint:
+    """One validated CCCP-round snapshot."""
+
+    round_index: int
+    solution: np.ndarray = field(repr=False)
+    round_norms: List[float]
+    meta: Dict
+
+    @property
+    def n_rounds(self) -> int:
+        """Rounds completed when this checkpoint was written."""
+        return self.round_index
+
+
+def _digest(solution: np.ndarray, round_norms: np.ndarray, meta_json: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(repr(solution.shape).encode("ascii"))
+    hasher.update(np.ascontiguousarray(solution, dtype=float).tobytes())
+    hasher.update(np.ascontiguousarray(round_norms, dtype=float).tobytes())
+    hasher.update(meta_json.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class CheckpointManager:
+    """Write/read periodic solver checkpoints in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first use.
+    keep:
+        How many most-recent checkpoints to retain (older ones are pruned
+        after each save).
+    every:
+        Write one checkpoint per this many rounds (1 = every round).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> import numpy as np
+    >>> manager = CheckpointManager(tempfile.mkdtemp())
+    >>> _ = manager.save(1, np.eye(2), [2.0])
+    >>> manager.latest().round_index
+    1
+    """
+
+    def __init__(self, directory: str, keep: int = 3, every: int = 1):
+        self.directory = str(directory)
+        self.keep = max(1, int(keep))
+        self.every = max(1, int(every))
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, round_index: int) -> str:
+        """The file holding the given round's checkpoint."""
+        return os.path.join(self.directory, f"round-{int(round_index):06d}.npz")
+
+    def rounds(self) -> List[int]:
+        """Checkpointed round indices, ascending."""
+        found = []
+        for entry in os.listdir(self.directory):
+            match = _CKPT_FILE.match(entry)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def should_save(self, round_index: int) -> bool:
+        """Whether this round falls on the checkpoint cadence."""
+        return round_index % self.every == 0
+
+    def save(
+        self,
+        round_index: int,
+        solution: np.ndarray,
+        round_norms: List[float],
+        meta: Optional[Dict] = None,
+    ) -> str:
+        """Atomically write one round's checkpoint; returns its path."""
+        solution = np.ascontiguousarray(solution, dtype=float)
+        norms = np.asarray(list(round_norms), dtype=float)
+        meta_json = json.dumps(
+            {
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "round": int(round_index),
+                **(meta or {}),
+            },
+            sort_keys=True,
+        )
+        final = self.path(round_index)
+        fd, staging = tempfile.mkstemp(
+            dir=self.directory, suffix=".ckpt-staging"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    round=np.array([int(round_index)]),
+                    solution=solution,
+                    round_norms=norms,
+                    meta=np.frombuffer(
+                        meta_json.encode("utf-8"), dtype=np.uint8
+                    ),
+                    digest=np.frombuffer(
+                        _digest(solution, norms, meta_json).encode("ascii"),
+                        dtype=np.uint8,
+                    ),
+                )
+            os.replace(staging, final)
+        except BaseException:
+            if os.path.exists(staging):
+                os.unlink(staging)
+            raise
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        for stale in self.rounds()[: -self.keep]:
+            try:
+                os.unlink(self.path(stale))
+            except OSError:
+                pass  # already gone; pruning is best-effort
+
+    def load(self, round_index: int) -> Checkpoint:
+        """Load and validate one checkpoint.
+
+        Raises
+        ------
+        ArtifactCorruptError
+            When the file is unreadable, truncated, or its digest does not
+            match the content.
+        """
+        path = self.path(round_index)
+        try:
+            with np.load(path) as data:
+                solution = np.asarray(data["solution"], dtype=float)
+                norms = np.asarray(data["round_norms"], dtype=float)
+                meta_json = bytes(data["meta"]).decode("utf-8")
+                stored = bytes(data["digest"]).decode("ascii")
+        except (
+            KeyError,
+            ValueError,
+            OSError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as exc:
+            raise ArtifactCorruptError(
+                f"cannot read checkpoint {path}: {exc}"
+            ) from exc
+        actual = _digest(solution, norms, meta_json)
+        if actual != stored:
+            raise ArtifactCorruptError(
+                f"checkpoint {path} failed its integrity check: stored "
+                f"sha256 {stored[:12]}… but content hashes to {actual[:12]}…"
+            )
+        meta = json.loads(meta_json)
+        return Checkpoint(
+            round_index=int(meta["round"]),
+            solution=solution,
+            round_norms=[float(v) for v in norms],
+            meta=meta,
+        )
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The newest checkpoint that validates, or ``None``.
+
+        Corrupt files are skipped (with a warning) so a crash mid-write
+        degrades to the previous round instead of failing the resume.
+        """
+        for round_index in reversed(self.rounds()):
+            try:
+                return self.load(round_index)
+            except ArtifactCorruptError as exc:
+                _log.warning(
+                    "skipping corrupt checkpoint",
+                    round=round_index,
+                    error=str(exc),
+                )
+        return None

@@ -1,0 +1,254 @@
+"""Generic retry with exponential backoff, deterministic jitter, deadlines.
+
+The policy is a frozen value object so it can be shared, logged and
+property-tested; the executor (:func:`call_with_retry`) takes injectable
+``clock``/``sleep`` hooks so every timing behaviour is testable without
+real waiting.
+
+Guarantees the property tests pin down:
+
+* the planned backoff schedule (:meth:`RetryPolicy.backoff_schedule`) is
+  monotone non-decreasing and bounded by ``max_delay * (1 + jitter)``;
+* jitter is **deterministic** — derived from ``(seed, attempt)`` via
+  sha256, so two runs of the same policy produce the same schedule and a
+  chaos run is reproducible;
+* a ``deadline`` is a hard wall-clock budget: no sleep is ever started
+  that would overrun it, and :class:`~repro.exceptions.DeadlineExceededError`
+  is raised once the budget cannot accommodate another attempt;
+* ``attempt_timeout`` bounds a *single* attempt by running it on a helper
+  thread (the abandoned attempt keeps running to completion in the
+  background — acceptable for idempotent reads, which is what this layer
+  guards).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+from repro.observability.logging import get_logger
+
+_log = get_logger("repro.reliability.retry")
+
+
+def deterministic_jitter(seed: int, attempt: int) -> float:
+    """A reproducible uniform draw in ``[0, 1)`` for one retry attempt."""
+    digest = hashlib.sha256(f"{seed}:{attempt}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing call is retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first call included); must be >= 1.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Exponential backoff factor between retries (>= 1).
+    max_delay:
+        Upper bound on any single (pre-jitter) sleep.
+    jitter:
+        Fractional jitter in ``[0, 1]``: each delay is stretched by up to
+        ``jitter * delay``, deterministically from ``(seed, attempt)``.
+    deadline:
+        Total wall-clock budget across all attempts and sleeps (``None`` =
+        unbounded).
+    attempt_timeout:
+        Per-attempt wall-clock bound (``None`` = unbounded).
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately.
+    seed:
+        Jitter seed.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+    attempt_timeout: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ConfigurationError(
+                f"attempt_timeout must be positive, got {self.attempt_timeout}"
+            )
+
+    def backoff_schedule(self) -> List[float]:
+        """Planned sleeps between attempts (``max_attempts - 1`` entries).
+
+        Monotone non-decreasing by construction: each jittered delay is
+        clamped to at least its predecessor, so jitter near the
+        ``max_delay`` cap can never make the schedule shrink.
+        """
+        delays: List[float] = []
+        previous = 0.0
+        for attempt in range(self.max_attempts - 1):
+            raw = min(
+                self.base_delay * (self.multiplier**attempt), self.max_delay
+            )
+            jittered = raw * (
+                1.0 + self.jitter * deterministic_jitter(self.seed, attempt)
+            )
+            previous = max(previous, jittered)
+            delays.append(previous)
+        return delays
+
+
+def run_with_timeout(fn: Callable, timeout: Optional[float]):
+    """Run ``fn()`` bounded by ``timeout`` seconds.
+
+    With ``timeout=None`` the call is made inline.  Otherwise the call runs
+    on a daemon thread; on overrun a
+    :class:`~repro.exceptions.DeadlineExceededError` is raised and the
+    thread is abandoned (it finishes in the background), so only wrap
+    idempotent, side-effect-tolerant work — the artifact read paths this
+    layer protects qualify.
+    """
+    if timeout is None:
+        return fn()
+    outcome = {}
+    done = threading.Event()
+
+    def _target() -> None:
+        try:
+            outcome["result"] = fn()
+        except BaseException as exc:  # handed back to the caller's thread
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(
+        target=_target, name="repro-reliability-attempt", daemon=True
+    )
+    worker.start()
+    if not done.wait(timeout):
+        raise DeadlineExceededError(
+            f"attempt exceeded its {timeout}s timeout"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("result")
+
+
+def call_with_retry(
+    fn: Callable,
+    policy: RetryPolicy,
+    name: str = "call",
+    registry=None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Invoke ``fn()`` under ``policy``; return its first successful result.
+
+    Retries are counted on ``registry`` (a
+    :class:`~repro.observability.metrics.MetricsRegistry`) as
+    ``reliability.retries{op}`` so degradation is visible on ``/metrics``.
+    Raises :class:`~repro.exceptions.RetryExhaustedError` (chaining the
+    last error) when attempts run out, or
+    :class:`~repro.exceptions.DeadlineExceededError` when the budget
+    cannot fit another attempt.
+    """
+    retries = None
+    if registry is not None and getattr(registry, "enabled", False):
+        retries = registry.counter(
+            "reliability.retries",
+            help="Retried attempts, by operation.",
+            labels=("op",),
+        ).labels(op=name)
+    schedule = policy.backoff_schedule()
+    started = clock()
+    last_error: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        if policy.deadline is not None and clock() - started >= policy.deadline:
+            raise DeadlineExceededError(
+                f"{name}: retry deadline of {policy.deadline}s exhausted "
+                f"after {attempt} attempt(s)"
+            ) from last_error
+        timeout = policy.attempt_timeout
+        if policy.deadline is not None:
+            remaining = policy.deadline - (clock() - started)
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        try:
+            return run_with_timeout(fn, timeout)
+        except policy.retry_on as exc:
+            last_error = exc
+            if attempt == policy.max_attempts - 1:
+                break
+            delay = schedule[attempt]
+            if policy.deadline is not None and (
+                clock() - started + delay >= policy.deadline
+            ):
+                raise DeadlineExceededError(
+                    f"{name}: next backoff of {delay:.3f}s would overrun "
+                    f"the {policy.deadline}s deadline"
+                ) from exc
+            if retries is not None:
+                retries.inc()
+            _log.warning(
+                "retrying after failure",
+                op=name,
+                attempt=attempt + 1,
+                max_attempts=policy.max_attempts,
+                backoff_seconds=delay,
+                error=str(exc),
+            )
+            if delay > 0:
+                sleep(delay)
+    raise RetryExhaustedError(
+        f"{name}: all {policy.max_attempts} attempt(s) failed "
+        f"(last error: {last_error})"
+    ) from last_error
+
+
+def retry(policy: RetryPolicy, name: Optional[str] = None, registry=None):
+    """Decorator form of :func:`call_with_retry`."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return call_with_retry(
+                lambda: fn(*args, **kwargs),
+                policy,
+                name=name or fn.__name__,
+                registry=registry,
+            )
+
+        return wrapper
+
+    return decorate

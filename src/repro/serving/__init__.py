@@ -14,8 +14,16 @@ needs, and nothing from the training stack:
 * :mod:`repro.serving.batcher` — :class:`MicroBatcher`, coalescing
   concurrent queries into single vectorized scoring passes;
 * :mod:`repro.serving.http` — the stdlib-only JSON endpoint
-  (``/healthz``, ``/v1/topk``, ``/v1/score``, ``/v1/stats``) plus the
-  Prometheus ``/metrics`` exposition.
+  (``/healthz``, ``/readyz``, ``/v1/topk``, ``/v1/score``, ``/v1/stats``)
+  plus the Prometheus ``/metrics`` exposition, with optional load
+  shedding (``max_inflight``) and per-request deadlines.
+
+Resilience (DESIGN.md §11): artifact reads are retried under a
+:class:`~repro.reliability.RetryPolicy` and ``reload()`` sits behind a
+:class:`~repro.reliability.CircuitBreaker` — a corrupt publish or a
+flapping store degrades to stale-serving with ``/readyz`` flipping to 503,
+never to an outage.  ``REPRO_CHAOS=1`` arms fault injection at the
+``artifact.*``/``serving.*`` sites to rehearse exactly that.
 
 Operate it from the command line::
 
@@ -27,8 +35,8 @@ Every request path is instrumented twice over: per-run spans/counters on a
 :class:`repro.observability.Tracer`, and scrapeable series (route latency
 histograms, cache and reload counters, batcher coalesce sizes) on a
 :class:`repro.observability.MetricsRegistry` served from ``/metrics``,
-with a request id propagated through every layer.  See DESIGN.md §8 and
-§10.
+with a request id propagated through every layer.  See DESIGN.md §8, §10
+and §11.
 """
 
 from repro.serving.artifacts import (

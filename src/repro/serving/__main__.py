@@ -23,6 +23,7 @@ from repro.networks.social import SocialGraph
 from repro.observability.logging import configure_logging
 from repro.observability.metrics import NullRegistry
 from repro.observability.tracer import NullTracer
+from repro.reliability.faults import configure_from_env
 from repro.serving.artifacts import ArtifactStore
 from repro.serving.batcher import MicroBatcher
 from repro.serving.http import make_server
@@ -111,6 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="micro-batcher coalescing window",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="shed requests with 503 beyond this many in flight "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; overruns answer 503 (default: none)",
+    )
     return parser
 
 
@@ -165,8 +179,16 @@ def run_inspect(args: argparse.Namespace) -> int:
 
 
 def run_serve(args: argparse.Namespace) -> int:
-    """Start the HTTP endpoint (blocking) on the store's latest version."""
+    """Start the HTTP endpoint (blocking) on the store's latest version.
+
+    With ``REPRO_CHAOS=1`` in the environment, the global fault injector is
+    armed before the service starts (see DESIGN.md §11) — the supported way
+    to rehearse degradation against a live endpoint.
+    """
     configure_logging(args.log_level)
+    armed = configure_from_env()
+    if armed:
+        print(f"chaos mode: faults armed at {', '.join(sorted(armed))}")
     service_kwargs = {}
     if args.no_telemetry:
         service_kwargs = {
@@ -181,7 +203,17 @@ def run_serve(args: argparse.Namespace) -> int:
         batcher = MicroBatcher(
             service, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
         ).start()
-    server = make_server(service, args.host, args.port, batcher)
+    deadline_s = (
+        None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    )
+    server = make_server(
+        service,
+        args.host,
+        args.port,
+        batcher,
+        max_inflight=args.max_inflight,
+        request_deadline_s=deadline_s,
+    )
     host, port = server.server_address[:2]
     print(
         f"serving {service.stats()['model']} v{service.version:04d} "

@@ -34,13 +34,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.exceptions import SerializationError
+from repro.exceptions import ArtifactCorruptError, SerializationError
 from repro.models.base import MatrixPredictor
 from repro.models.persistence import (
     FrozenPredictor,
     load_predictor,
     save_predictor,
 )
+from repro.reliability.faults import fault_point
 
 MANIFEST_SCHEMA_VERSION = 1
 """Bumped whenever the manifest.json layout changes incompatibly."""
@@ -251,8 +252,9 @@ class ArtifactStore:
         """Re-hash every file of a version against its manifest.
 
         Returns the manifest on success; raises
-        :class:`~repro.exceptions.SerializationError` naming the first file
-        whose checksum or size diverges.
+        :class:`~repro.exceptions.ArtifactCorruptError` (a
+        :class:`~repro.exceptions.SerializationError`) naming the first
+        file whose checksum or size diverges.
         """
         version = self.resolve_latest() if version is None else int(version)
         manifest = self.manifest(version)
@@ -260,12 +262,12 @@ class ArtifactStore:
         for filename, entry in manifest.get("files", {}).items():
             path = os.path.join(directory, filename)
             if not os.path.isfile(path):
-                raise SerializationError(
+                raise ArtifactCorruptError(
                     f"artifact v{version:04d} is missing {filename}"
                 )
             actual = file_sha256(path)
             if actual != entry.get("sha256"):
-                raise SerializationError(
+                raise ArtifactCorruptError(
                     f"artifact file {path} failed its integrity check: "
                     f"manifest says sha256 {entry.get('sha256', '?')[:12]}… "
                     f"but the file hashes to {actual[:12]}…"
@@ -278,8 +280,16 @@ class ArtifactStore:
         Every file is checksum-verified against the manifest before
         deserialization, and the model archive additionally verifies its
         own embedded content digest.
+
+        Two chaos sites cover this path: ``artifact.slow_read`` (a
+        delay-only site modelling a stalled disk or network mount) and
+        ``artifact.read`` (raises
+        :class:`~repro.exceptions.ArtifactCorruptError`, modelling a read
+        that fails integrity validation).
         """
         version = self.resolve_latest() if version is None else int(version)
+        fault_point("artifact.slow_read")
+        fault_point("artifact.read")
         manifest = self.verify(version)
         directory = self.path(version)
         predictor = load_predictor(os.path.join(directory, _MODEL_FILE))

@@ -20,7 +20,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.observability.logging import current_request_id, get_logger
 from repro.observability.metrics import BATCH_SIZE_BUCKETS
 from repro.serving.service import LinkPredictionService, Ranking
@@ -132,16 +132,26 @@ class MicroBatcher:
 
     # -- request path ---------------------------------------------------
     def submit(self, user: int, k: int = 10, timeout: float = 30.0) -> Ranking:
-        """Enqueue one top-k query and block until its batch completes."""
+        """Enqueue one top-k query and block until its batch completes.
+
+        ``timeout`` is the caller's remaining deadline budget; an answer
+        that does not arrive in time raises
+        :class:`~repro.exceptions.DeadlineExceededError`, which the HTTP
+        layer maps to a 503.
+        """
         if not self.running:
             raise ConfigurationError(
                 "MicroBatcher is not running; call start() or use it as a "
                 "context manager"
             )
+        if timeout <= 0:
+            raise DeadlineExceededError(
+                "request deadline exhausted before the query was batched"
+            )
         pending = _Pending(int(user), int(k))
         self._queue.put(pending)
         if not pending.event.wait(timeout):
-            raise ConfigurationError(
+            raise DeadlineExceededError(
                 f"batched query timed out after {timeout}s"
             )
         if pending.error is not None:

@@ -1,9 +1,10 @@
 """Stdlib-only JSON/HTTP front-end for the link-prediction service.
 
-A thin :class:`ThreadingHTTPServer` exposing six endpoints:
+A thin :class:`ThreadingHTTPServer` exposing seven endpoints:
 
 ========================  =====================================================
 ``GET /healthz``          liveness + served artifact version
+``GET /readyz``           readiness: 503 while the reload breaker is open
 ``GET /v1/topk``          ``?user=U&k=K`` → ranked candidate links for ``U``
 ``POST /v1/topk``         JSON ``{"users": [...], "k": K}`` → batch answers
 ``GET /v1/score``         ``?u=U&v=V`` → raw pair confidence
@@ -24,6 +25,20 @@ was built with a running :class:`~repro.serving.batcher.MicroBatcher`,
 single-user ``GET /v1/topk`` queries are routed through it so concurrent
 HTTP threads coalesce into shared vectorized scoring passes.
 
+Degradation is explicit, never accidental (DESIGN.md §11):
+
+* every 4xx/5xx body is a JSON object ``{"error", "status", "request_id"}``
+  — clients never have to parse an HTML traceback;
+* an optional in-flight bound (``max_inflight``) sheds excess load with a
+  clean 503 (``reliability.shed_requests``) instead of queueing without
+  bound;
+* an optional per-request deadline (``request_deadline_s``) propagates as
+  the batcher's wait budget and maps
+  :class:`~repro.exceptions.DeadlineExceededError` to 503;
+* any unexpected exception — including faults armed at the
+  ``serving.request`` chaos site — is answered as a JSON 500, so a bug in
+  one handler can never leak a raw stack trace or tear the worker down.
+
 Only the standard library is used — a serving container needs numpy and
 nothing else.
 """
@@ -32,17 +47,23 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
+)
 from repro.observability.logging import (
     get_logger,
     new_request_id,
     request_context,
 )
+from repro.reliability.faults import InjectedFaultError, fault_point
 from repro.serving.batcher import MicroBatcher
 from repro.serving.service import LinkPredictionService
 
@@ -50,6 +71,7 @@ _log = get_logger("repro.serving.http")
 
 _ROUTE_LABELS = {
     "/healthz": "healthz",
+    "/readyz": "readyz",
     "/v1/topk": "topk",
     "/v1/score": "score",
     "/v1/stats": "stats",
@@ -71,10 +93,24 @@ class LinkPredictionServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: LinkPredictionService,
         batcher: Optional[MicroBatcher] = None,
+        max_inflight: Optional[int] = None,
+        request_deadline_s: Optional[float] = None,
     ):
         super().__init__(address, _Handler)
         self.service = service
         self.batcher = batcher
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if request_deadline_s is not None and request_deadline_s <= 0:
+            raise ValueError(
+                f"request_deadline_s must be positive, got {request_deadline_s}"
+            )
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.request_deadline_s = request_deadline_s
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         registry = service.registry
         self.request_latency = registry.histogram(
             "serving.http.request_seconds",
@@ -89,6 +125,32 @@ class LinkPredictionServer(ThreadingHTTPServer):
         self.not_found = registry.counter(
             "serving.http.not_found", help="Requests for unknown endpoints."
         )
+        self.shed_requests = registry.counter(
+            "reliability.shed_requests",
+            help="Requests answered 503 because max_inflight was exceeded.",
+        )
+        self.server_errors = registry.counter(
+            "serving.http.server_errors",
+            help="Requests answered 5xx (internal error or degradation).",
+            labels=("route",),
+        )
+
+    # -- load-shedding accounting ---------------------------------------
+    def inflight_acquire(self) -> bool:
+        """Count one request in; ``False`` means it must be shed."""
+        with self._inflight_lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                return False
+            self._inflight += 1
+            return True
+
+    def inflight_release(self) -> None:
+        """Count one admitted request out."""
+        with self._inflight_lock:
+            self._inflight -= 1
 
 
 def make_server(
@@ -96,9 +158,23 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8080,
     batcher: Optional[MicroBatcher] = None,
+    max_inflight: Optional[int] = None,
+    request_deadline_s: Optional[float] = None,
 ) -> LinkPredictionServer:
-    """Build (but do not start) a server; ``port=0`` picks a free port."""
-    return LinkPredictionServer((host, port), service, batcher)
+    """Build (but do not start) a server; ``port=0`` picks a free port.
+
+    ``max_inflight`` bounds concurrently-admitted requests (excess is shed
+    with 503); ``request_deadline_s`` bounds each request's wall-clock
+    (overrun answers 503).  Both default to off, preserving the previous
+    behaviour.
+    """
+    return LinkPredictionServer(
+        (host, port),
+        service,
+        batcher,
+        max_inflight=max_inflight,
+        request_deadline_s=request_deadline_s,
+    )
 
 
 def serve(
@@ -106,9 +182,18 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     batcher: Optional[MicroBatcher] = None,
+    max_inflight: Optional[int] = None,
+    request_deadline_s: Optional[float] = None,
 ) -> None:
     """Serve forever (blocking); Ctrl-C shuts down cleanly."""
-    server = make_server(service, host, port, batcher)
+    server = make_server(
+        service,
+        host,
+        port,
+        batcher,
+        max_inflight=max_inflight,
+        request_deadline_s=request_deadline_s,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -124,6 +209,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     _request_id: Optional[str] = None
     _started: Optional[float] = None
+    _deadline: Optional[float] = None
     _last_status: Optional[int] = None
 
     # -- routing --------------------------------------------------------
@@ -132,6 +218,7 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(url.query)
         routes = {
             "/healthz": lambda: self._healthz(),
+            "/readyz": lambda: self._readyz(),
             "/v1/stats": lambda: self._stats(),
             "/v1/topk": lambda: self._topk_get(query),
             "/v1/score": lambda: self._score(query),
@@ -150,29 +237,107 @@ class _Handler(BaseHTTPRequestHandler):
         incoming = self.headers.get("X-Request-Id")
         self._request_id = (incoming or new_request_id())[:64]
         self._started = time.perf_counter()
+        deadline_s = self.server.request_deadline_s
+        self._deadline = (
+            None if deadline_s is None else self._started + deadline_s
+        )
         self._last_status = None
         route = _ROUTE_LABELS.get(path, "other")
-        with request_context(self._request_id):
-            handler = routes.get(path)
-            if handler is None:
-                tracer.count("http.not_found")
-                self.server.not_found.inc()
-                status, payload = 404, {"error": f"no such endpoint: {path}"}
-            else:
-                with tracer.span(
-                    f"http.{path.lstrip('/').replace('/', '.')}"
-                ):
-                    tracer.count("http.requests")
-                    try:
-                        status, payload = handler()
-                    except (ReproError, ValueError) as exc:
-                        tracer.count("http.errors")
-                        self.server.request_errors.labels(route=route).inc()
-                        status, payload = 400, {"error": str(exc)}
-            self._send(status, payload)
-        self.server.request_latency.labels(
-            route=route, method=self.command, status=str(status)
-        ).observe(time.perf_counter() - self._started)
+        admitted = self.server.inflight_acquire()
+        try:
+            with request_context(self._request_id):
+                if not admitted:
+                    tracer.count("http.shed")
+                    self.server.shed_requests.inc()
+                    status, payload = 503, self._error_payload(
+                        503,
+                        "overloaded: too many requests in flight; "
+                        "retry with backoff",
+                    )
+                else:
+                    status, payload = self._handle(path, routes, route)
+                # Observe before the body hits the socket: a client that
+                # reads a response and immediately scrapes /metrics must
+                # see this request's sample (the send itself is microseconds
+                # of buffered writes and would race the next scrape).
+                self.server.request_latency.labels(
+                    route=route, method=self.command, status=str(status)
+                ).observe(time.perf_counter() - self._started)
+                self._send(status, payload)
+        finally:
+            if admitted:
+                self.server.inflight_release()
+
+    def _handle(self, path: str, routes: Dict, route: str) -> Tuple[int, Union[Dict, str]]:
+        """Run one admitted request; every failure maps to a JSON error."""
+        tracer = self.server.service.tracer
+        handler = routes.get(path)
+        if handler is None:
+            tracer.count("http.not_found")
+            self.server.not_found.inc()
+            return 404, self._error_payload(
+                404, f"no such endpoint: {path}"
+            )
+        with tracer.span(f"http.{path.lstrip('/').replace('/', '.')}"):
+            tracer.count("http.requests")
+            try:
+                fault_point("serving.request")
+                return handler()
+            except (DeadlineExceededError, CircuitOpenError) as exc:
+                # Degradation, not caller error: the request was valid but
+                # cannot be answered in time / the dependency is fenced off.
+                tracer.count("http.degraded")
+                self.server.server_errors.labels(route=route).inc()
+                return 503, self._error_payload(503, str(exc))
+            except InjectedFaultError as exc:
+                # Chaos faults stand in for arbitrary internal crashes, so
+                # they take the same path a real unhandled error would.
+                tracer.count("http.failures")
+                self.server.server_errors.labels(route=route).inc()
+                return 500, self._error_payload(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+            except (ReproError, ValueError) as exc:
+                tracer.count("http.errors")
+                self.server.request_errors.labels(route=route).inc()
+                return 400, self._error_payload(400, str(exc))
+            except Exception as exc:  # the contract: never an unhandled 500
+                tracer.count("http.failures")
+                self.server.server_errors.labels(route=route).inc()
+                _log.error(
+                    "unhandled error answering request",
+                    route=route,
+                    error=f"{type(exc).__name__}: {exc}",
+                    request_id=self._request_id,
+                )
+                return 500, self._error_payload(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+
+    # -- deadline & error plumbing --------------------------------------
+    def _error_payload(self, status: int, message: str) -> Dict:
+        """The uniform JSON body of every 4xx/5xx answer."""
+        return {
+            "error": message,
+            "status": status,
+            "request_id": self._request_id,
+        }
+
+    def _remaining_budget(self, fallback: float = 30.0) -> float:
+        """Seconds left before this request's deadline (``fallback`` if none).
+
+        Raises :class:`~repro.exceptions.DeadlineExceededError` — mapped to
+        503 by the dispatcher — once the budget is already spent.
+        """
+        if self._deadline is None:
+            return fallback
+        remaining = self._deadline - time.perf_counter()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"request exceeded its {self.server.request_deadline_s}s "
+                "deadline"
+            )
+        return remaining
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self) -> Tuple[int, Dict]:
@@ -183,6 +348,25 @@ class _Handler(BaseHTTPRequestHandler):
             "model": service.artifact.manifest.get("name"),
             "n_users": service.n_users,
         }
+
+    def _readyz(self) -> Tuple[int, Dict]:
+        """Readiness — liveness stays on ``/healthz``; this gate flips to
+        503 while the reload breaker is open (stale-serving replica)."""
+        service = self.server.service
+        breaker_state = service.reload_breaker.state
+        if service.ready():
+            return 200, {
+                "status": "ready",
+                "version": service.version,
+                "reload_breaker": breaker_state,
+            }
+        payload = self._error_payload(
+            503,
+            f"not ready: reload circuit breaker is {breaker_state}; "
+            "serving stale artifact",
+        )
+        payload["reload_breaker"] = breaker_state
+        return 503, payload
 
     def _stats(self) -> Tuple[int, Dict]:
         return 200, self.server.service.stats()
@@ -195,8 +379,13 @@ class _Handler(BaseHTTPRequestHandler):
         k = _int_param(query, "k", default=10)
         batcher = self.server.batcher
         if batcher is not None and batcher.running:
-            ranking = batcher.submit(user, k)
+            # The remaining request budget becomes the batcher wait bound,
+            # so a deadline overrun surfaces as a 503 instead of a stall.
+            ranking = batcher.submit(
+                user, k, timeout=self._remaining_budget()
+            )
         else:
+            self._remaining_budget()  # shed instead of serving a dead request
             ranking = self.server.service.top_k(user, k)
         return 200, _topk_payload(self.server.service, user, k, ranking)
 

@@ -29,13 +29,32 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import SerializationError, UnknownNodeError
+from repro.exceptions import (
+    RetryExhaustedError,
+    SerializationError,
+    UnknownNodeError,
+)
 from repro.observability.logging import get_logger
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
+from repro.reliability.breaker import OPEN, CircuitBreaker
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, call_with_retry
 from repro.serving.artifacts import ArtifactStore, LoadedArtifact
 from repro.serving.cache import RankingCache
 from repro.utils.validation import check_integer
+
+DEFAULT_LOAD_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.02,
+    multiplier=2.0,
+    max_delay=0.2,
+    retry_on=(SerializationError, OSError),
+)
+"""Store reads are retried under this policy: a read racing a publish or a
+transient I/O hiccup recovers in tens of milliseconds, while a genuinely
+corrupt artifact exhausts the attempts quickly and surfaces as
+:class:`~repro.exceptions.RetryExhaustedError` chaining the corruption."""
 
 _log = get_logger("repro.serving.service")
 
@@ -87,6 +106,8 @@ class LinkPredictionService:
         tracer: Optional[Tracer] = None,
         version: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        load_retry: Optional[RetryPolicy] = None,
+        reload_breaker: Optional[CircuitBreaker] = None,
     ):
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -118,7 +139,28 @@ class LinkPredictionService:
         self._m_version = self.registry.gauge(
             "serving.artifact_version", help="Artifact version being served."
         )
-        self._install(self.store.load(version))
+        self._load_retry = (
+            load_retry if load_retry is not None else DEFAULT_LOAD_RETRY
+        )
+        # The breaker only guards *reloads*: once it trips, reload calls
+        # short-circuit and the already-installed artifact keeps serving
+        # (stale-serve) until the recovery probe finds a healthy store.
+        self._reload_breaker = reload_breaker or CircuitBreaker(
+            "reload",
+            failure_threshold=3,
+            recovery_timeout=5.0,
+            registry=self.registry,
+        )
+        self._install(self._load(version))
+
+    def _load(self, version: Optional[int]) -> LoadedArtifact:
+        """One retried, metric-counted artifact read from the store."""
+        return call_with_retry(
+            lambda: self.store.load(version),
+            self._load_retry,
+            name="artifact.load",
+            registry=self.registry,
+        )
 
     # -- artifact state -------------------------------------------------
     def _install(self, artifact: LoadedArtifact) -> None:
@@ -153,19 +195,35 @@ class LinkPredictionService:
 
         A no-op when the served version is already the newest.  When the
         newest version fails validation (checksum mismatch, unreadable
-        archive), the previous artifact keeps serving, the failure is
-        counted (``serve.reload_failed``) and recorded in ``stats()``, and
-        ``False`` is returned.
+        archive) even after the retry policy, the previous artifact keeps
+        serving, the failure is counted (``serve.reload_failed``), recorded
+        in ``stats()`` and reported to the reload circuit breaker, and
+        ``False`` is returned.  Once the breaker trips open, reload calls
+        short-circuit entirely (``serve.reload_shortcircuit``) — the stale
+        artifact keeps answering queries — until the breaker's recovery
+        probe lets an attempt through again.  A fault armed at the
+        ``serving.reload`` chaos site exercises exactly this degradation
+        path.
         """
         with self.tracer.span("serve.reload"):
+            if not self._reload_breaker.allow():
+                self.tracer.count("serve.reload_shortcircuit")
+                self._last_reload_error = (
+                    "reload circuit breaker is open; serving stale version "
+                    f"{self.version}"
+                )
+                return False
             try:
+                fault_point("serving.reload")
                 latest = self.store.resolve_latest()
                 if latest == self.version:
                     self.tracer.count("serve.reload_noop")
                     self._m_reload_noop.inc()
+                    self._reload_breaker.record_success()
                     return False
-                artifact = self.store.load(latest)
-            except SerializationError as exc:
+                artifact = self._load(latest)
+            except (SerializationError, RetryExhaustedError) as exc:
+                self._reload_breaker.record_failure()
                 self.tracer.count("serve.reload_failed")
                 self._m_reload_failure.inc()
                 self._last_reload_error = str(exc)
@@ -179,6 +237,7 @@ class LinkPredictionService:
             self._install(artifact)
             self.cache.invalidate()
             self._last_reload_error = None
+            self._reload_breaker.record_success()
             self.tracer.count("serve.reloads")
             self._m_reload_success.inc()
             _log.info(
@@ -188,6 +247,25 @@ class LinkPredictionService:
                 n_users=artifact.n_users,
             )
             return True
+
+    # -- readiness ------------------------------------------------------
+    @property
+    def reload_breaker(self) -> CircuitBreaker:
+        """The circuit breaker guarding artifact reloads."""
+        return self._reload_breaker
+
+    def ready(self) -> bool:
+        """Whether the service should receive traffic (``/readyz``).
+
+        Liveness (``/healthz``) stays true as long as the process can
+        answer at all; readiness additionally requires an installed
+        artifact and a reload breaker that is not open — an open breaker
+        means the store is misbehaving and this replica is serving stale
+        data, so orchestrators should prefer healthier replicas.
+        """
+        return self._artifact is not None and (
+            self._reload_breaker.state != OPEN
+        )
 
     # -- queries --------------------------------------------------------
     def _check_user(self, user: int) -> int:
@@ -302,6 +380,8 @@ class LinkPredictionService:
             "cache": self.cache.stats(),
             "counters": dict(self.tracer.counters),
             "last_reload_error": self._last_reload_error,
+            "ready": self.ready(),
+            "reload_breaker": self._reload_breaker.state,
         }
 
 

@@ -1,0 +1,56 @@
+"""Shared chaos fixtures: a clean global injector and a tiny serving stack.
+
+Every test in this package runs with the global fault injector reset on
+both sides (autouse), so an armed site can never leak across tests — the
+exact isolation discipline chaos tooling needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.persistence import FrozenPredictor
+from repro.reliability.faults import GLOBAL_INJECTOR
+from repro.serving.artifacts import ArtifactStore
+from repro.serving.service import LinkPredictionService
+
+N_USERS = 16
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    """Reset the global injector around every test in this package."""
+    GLOBAL_INJECTOR.reset()
+    yield GLOBAL_INJECTOR
+    GLOBAL_INJECTOR.reset()
+
+
+@pytest.fixture()
+def predictor(rng):
+    """A tiny frozen predictor with distinct symmetric scores."""
+    scores = rng.normal(size=(N_USERS, N_USERS))
+    return FrozenPredictor(
+        (scores + scores.T) / 2.0, {"name": "chaos-model"}
+    )
+
+
+@pytest.fixture()
+def adjacency(rng):
+    """A sparse symmetric zero-diagonal binary adjacency."""
+    upper = np.triu((rng.random((N_USERS, N_USERS)) < 0.2).astype(float), 1)
+    return upper + upper.T
+
+
+@pytest.fixture()
+def store(tmp_path, predictor, adjacency):
+    """A store with one published version."""
+    store = ArtifactStore(str(tmp_path / "store"))
+    store.publish(predictor, graph=adjacency)
+    return store
+
+
+@pytest.fixture()
+def service(store):
+    """A service over the one-version store."""
+    return LinkPredictionService(store, cache_size=16)

@@ -1,0 +1,174 @@
+"""Tests for the circuit breaker: state machine legality, metrics, call().
+
+The hypothesis suite drives arbitrary interleavings of
+success/failure/allow/time-advance operations against an instrumented
+breaker and asserts that every observed transition is one of the four
+legal edges — the property the chaos tooling relies on.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+from repro.observability.metrics import MetricsRegistry
+from repro.reliability.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+class _ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _make(threshold=2, recovery=10.0, registry=None):
+    clock = _ManualClock()
+    breaker = CircuitBreaker(
+        "test",
+        failure_threshold=threshold,
+        recovery_timeout=recovery,
+        registry=registry,
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", recovery_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("x", half_open_max=0)
+
+
+class TestLifecycle:
+    def test_trips_after_threshold_failures(self):
+        breaker, _ = _make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = _make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_recovery_probe_after_timeout(self):
+        breaker, clock = _make(threshold=1, recovery=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # concurrent probes bounded
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_failed_probe_reopens_and_restarts_clock(self):
+        breaker, clock = _make(threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert not breaker.allow()  # recovery clock restarted at reopen
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_call_wraps_outcomes(self):
+        breaker, clock = _make(threshold=1, recovery=10.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never reached")
+
+
+class TestMetrics:
+    def test_state_gauge_and_transition_counters(self):
+        registry = MetricsRegistry()
+        breaker, clock = _make(threshold=1, recovery=10.0, registry=registry)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        rendered = registry.render()
+        assert 'reliability_breaker_state{breaker="test"} 0' in rendered
+        assert 'to="open"' in rendered
+        assert 'to="half_open"' in rendered
+        assert 'to="closed"' in rendered
+
+
+operations = st.lists(
+    st.sampled_from(["success", "failure", "allow", "advance"]),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestTransitionLegality:
+    @given(
+        operations,
+        st.integers(min_value=1, max_value=4),
+        # recovery must outlast one op, or closed->open->half_open happens
+        # within a single record_failure and reads as an illegal edge
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),
+    )
+    def test_any_interleaving_stays_on_legal_edges(
+        self, ops, threshold, recovery
+    ):
+        breaker, clock = _make(threshold=threshold, recovery=recovery)
+        observed = []
+        last = breaker.state
+        for op in ops:
+            if op == "success":
+                breaker.record_success()
+            elif op == "failure":
+                breaker.record_failure()
+            elif op == "allow":
+                breaker.allow()
+            else:
+                clock.advance(recovery / 2.0 + 0.001)
+            state = breaker.state
+            if state != last:
+                observed.append((last, state))
+                last = state
+        assert all(edge in LEGAL_TRANSITIONS for edge in observed)
+
+    @given(operations)
+    def test_closed_is_reachable_only_from_half_open(self, ops):
+        """A tripped breaker never silently closes without a probe success."""
+        breaker, clock = _make(threshold=1, recovery=5.0)
+        last = breaker.state
+        for op in ops:
+            if op == "success":
+                breaker.record_success()
+            elif op == "failure":
+                breaker.record_failure()
+            elif op == "allow":
+                breaker.allow()
+            else:
+                clock.advance(5.0)
+            state = breaker.state
+            if last == OPEN and state == CLOSED:
+                raise AssertionError("breaker jumped open -> closed")
+            last = state

@@ -1,0 +1,99 @@
+"""Tests for checkpoint save/load: atomicity, pruning, corruption handling."""
+
+import os
+import struct
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ArtifactCorruptError
+from repro.reliability.checkpoints import CheckpointManager
+
+
+def _flip_payload_byte(path, member="solution.npy"):
+    """Flip one byte inside a member's compressed data (not zip framing)."""
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo(member)
+    blob = bytearray(open(path, "rb").read())
+    # The local header records its own name/extra lengths (they can differ
+    # from the central directory's); the compressed stream starts after.
+    name_len, extra_len = struct.unpack_from(
+        "<HH", blob, info.header_offset + 26
+    )
+    start = info.header_offset + 30 + name_len + extra_len
+    blob[start + info.compress_size // 2] ^= 0xFF
+    open(path, "wb").write(bytes(blob))
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    return CheckpointManager(str(tmp_path / "ckpt"), keep=3)
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, manager, rng):
+        solution = rng.random((6, 6))
+        path = manager.save(4, solution, [3.0, 2.5, 2.1, 2.0], meta={"tag": "x"})
+        assert os.path.isfile(path)
+        loaded = manager.load(4)
+        np.testing.assert_array_equal(loaded.solution, solution)
+        assert loaded.round_index == 4
+        assert loaded.round_norms == [3.0, 2.5, 2.1, 2.0]
+        assert loaded.meta["tag"] == "x"
+
+    def test_no_staging_residue(self, manager, rng):
+        manager.save(1, rng.random((4, 4)), [1.0])
+        leftovers = [
+            f for f in os.listdir(manager.directory) if "staging" in f
+        ]
+        assert leftovers == []
+
+    def test_cadence(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), every=3)
+        assert [r for r in range(1, 10) if manager.should_save(r)] == [3, 6, 9]
+
+
+class TestPruning:
+    def test_keeps_only_newest(self, manager, rng):
+        for round_index in range(1, 7):
+            manager.save(round_index, rng.random((4, 4)), [1.0] * round_index)
+        assert manager.rounds() == [4, 5, 6]
+
+    def test_latest_returns_newest(self, manager, rng):
+        for round_index in (1, 2, 3):
+            manager.save(round_index, rng.random((4, 4)), [1.0] * round_index)
+        assert manager.latest().round_index == 3
+
+
+class TestCorruption:
+    def test_bit_flip_detected(self, manager, rng):
+        path = manager.save(2, rng.random((4, 4)), [1.0, 0.5])
+        _flip_payload_byte(path, "solution.npy")
+        with pytest.raises(ArtifactCorruptError):
+            manager.load(2)
+
+    def test_truncated_file_detected(self, manager, rng):
+        path = manager.save(2, rng.random((4, 4)), [1.0, 0.5])
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 3])
+        with pytest.raises(ArtifactCorruptError):
+            manager.load(2)
+
+    def test_latest_walks_past_corrupt_newest(self, manager, rng):
+        manager.save(1, rng.random((4, 4)), [1.0])
+        good = rng.random((4, 4))
+        manager.save(2, good, [1.0, 0.5])
+        newest = manager.save(3, rng.random((4, 4)), [1.0, 0.5, 0.3])
+        open(newest, "wb").write(b"garbage")
+        latest = manager.latest()
+        assert latest.round_index == 2
+        np.testing.assert_array_equal(latest.solution, good)
+
+    def test_latest_none_when_everything_corrupt(self, manager, rng):
+        path = manager.save(1, rng.random((4, 4)), [1.0])
+        open(path, "wb").write(b"garbage")
+        assert manager.latest() is None
+
+    def test_latest_none_on_empty_directory(self, manager):
+        assert manager.latest() is None

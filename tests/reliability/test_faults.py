@@ -1,0 +1,141 @@
+"""Tests for the fault injector: arming, firing, budgets, env config."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ArtifactCorruptError,
+    ConfigurationError,
+    SerializationError,
+)
+from repro.reliability.faults import (
+    GLOBAL_INJECTOR,
+    KNOWN_SITES,
+    FaultInjector,
+    InjectedFaultError,
+    chaos_enabled,
+    configure_from_env,
+    fault_point,
+)
+
+
+class TestArming:
+    def test_unknown_site_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            injector.arm("no.such.site")
+
+    def test_invalid_probability_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ConfigurationError, match="probability"):
+            injector.arm("artifact.read", probability=1.5)
+
+    def test_negative_delay_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ConfigurationError, match="delay"):
+            injector.arm("artifact.read", delay=-0.1)
+
+    def test_inactive_by_default(self):
+        assert not FaultInjector().active
+
+    def test_disarm_and_reset(self):
+        injector = FaultInjector()
+        injector.arm("artifact.read")
+        injector.arm("serving.reload")
+        injector.disarm("artifact.read")
+        assert injector.armed_sites() == ["serving.reload"]
+        injector.reset()
+        assert not injector.active
+
+
+class TestFiring:
+    def test_default_errors_typed_per_site(self):
+        injector = FaultInjector()
+        injector.arm("solver.svd.dense")
+        with pytest.raises(np.linalg.LinAlgError):
+            injector.fire("solver.svd.dense")
+        injector.arm("artifact.read")
+        with pytest.raises(ArtifactCorruptError):
+            injector.fire("artifact.read")
+        injector.arm("serving.reload")
+        with pytest.raises(SerializationError):
+            injector.fire("serving.reload")
+        injector.arm("serving.request")
+        with pytest.raises(InjectedFaultError):
+            injector.fire("serving.request")
+
+    def test_unarmed_site_is_silent(self):
+        injector = FaultInjector()
+        injector.arm("artifact.read")
+        injector.fire("serving.reload")  # not armed: no-op
+
+    def test_times_budget_auto_disarms(self):
+        injector = FaultInjector()
+        injector.arm("artifact.read", times=2)
+        for _ in range(2):
+            with pytest.raises(ArtifactCorruptError):
+                injector.fire("artifact.read")
+        injector.fire("artifact.read")  # budget spent: silent
+        assert injector.fired_counts()["artifact.read"] == 2
+
+    def test_delay_only_site_sleeps_without_raising(self):
+        injector = FaultInjector()
+        injector.arm("artifact.slow_read", delay=0.0)
+        injector.fire("artifact.slow_read")  # no error factory by default
+
+    def test_probability_seeded_runs_reproduce(self):
+        outcomes = []
+        for _ in range(2):
+            injector = FaultInjector(seed=7)
+            injector.arm("serving.request", probability=0.3)
+            fired = []
+            for _ in range(50):
+                try:
+                    injector.fire("serving.request")
+                    fired.append(False)
+                except InjectedFaultError:
+                    fired.append(True)
+            outcomes.append(fired)
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+
+class TestFaultPoint:
+    def test_noop_when_nothing_armed(self):
+        fault_point("artifact.read")  # must not raise
+
+    def test_fires_through_global_injector(self):
+        GLOBAL_INJECTOR.arm("artifact.read", times=1)
+        with pytest.raises(ArtifactCorruptError):
+            fault_point("artifact.read")
+
+
+class TestEnvConfig:
+    def test_disabled_by_default(self):
+        assert not chaos_enabled({})
+        assert configure_from_env({}) == []
+        assert not GLOBAL_INJECTOR.active
+
+    def test_truthy_spellings(self):
+        for value in ("1", "true", "YES", " on "):
+            assert chaos_enabled({"REPRO_CHAOS": value})
+        assert not chaos_enabled({"REPRO_CHAOS": "0"})
+
+    def test_arms_all_sites_by_default(self):
+        armed = configure_from_env({"REPRO_CHAOS": "1"})
+        assert armed == sorted(KNOWN_SITES)
+        assert GLOBAL_INJECTOR.armed_sites() == sorted(KNOWN_SITES)
+
+    def test_site_subset_and_seed(self):
+        armed = configure_from_env(
+            {
+                "REPRO_CHAOS": "1",
+                "REPRO_CHAOS_SITES": "artifact.read, serving.reload",
+                "REPRO_CHAOS_RATE": "1.0",
+                "REPRO_CHAOS_SEED": "3",
+            }
+        )
+        assert armed == ["artifact.read", "serving.reload"]
+        with pytest.raises(ArtifactCorruptError):
+            fault_point("artifact.read")
+        fault_point("solver.svd.dense")  # outside the subset: silent

@@ -1,0 +1,227 @@
+"""Tests for retry/backoff: schedule properties, deadlines, counters.
+
+The timing-sensitive tests drive :func:`call_with_retry` with a fake
+clock/sleep pair, so no test actually waits — the deadline guarantees are
+checked as arithmetic, not as wall-clock races.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.reliability.retry import (
+    RetryPolicy,
+    call_with_retry,
+    deterministic_jitter,
+    retry,
+    run_with_timeout,
+)
+
+
+class _FakeTime:
+    """A manual clock whose sleep() advances it instantly."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    multiplier=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    max_delay=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+
+class TestScheduleProperties:
+    @given(policies)
+    def test_monotone_non_decreasing(self, policy):
+        schedule = policy.backoff_schedule()
+        assert len(schedule) == policy.max_attempts - 1
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    @given(policies)
+    def test_bounded_by_jittered_cap(self, policy):
+        cap = policy.max_delay * (1.0 + policy.jitter)
+        assert all(0.0 <= delay <= cap + 1e-9 for delay in policy.backoff_schedule())
+
+    @given(policies)
+    def test_schedule_deterministic(self, policy):
+        assert policy.backoff_schedule() == policy.backoff_schedule()
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_jitter_in_unit_interval(self, seed, attempt):
+        draw = deterministic_jitter(seed, attempt)
+        assert 0.0 <= draw < 1.0
+        assert draw == deterministic_jitter(seed, attempt)
+
+    @given(
+        policies.filter(lambda p: p.max_attempts >= 2 and p.base_delay > 0),
+        st.floats(min_value=0.05, max_value=30.0, allow_nan=False),
+    )
+    def test_deadline_budget_respected(self, policy, deadline):
+        """No sleep is started that would overrun the deadline budget."""
+        bounded = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            seed=policy.seed,
+            deadline=deadline,
+        )
+        fake = _FakeTime()
+        with pytest.raises((RetryExhaustedError, DeadlineExceededError)):
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(ValueError("always fails")),
+                bounded,
+                clock=fake.clock,
+                sleep=fake.sleep,
+            )
+        # Every started sleep fit the remaining budget at its start time.
+        assert fake.now <= deadline + 1e-9
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_timeout=-1.0)
+
+
+class TestCallWithRetry:
+    def test_first_success_returns_immediately(self):
+        fake = _FakeTime()
+        result = call_with_retry(
+            lambda: 42,
+            RetryPolicy(max_attempts=3),
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        assert result == 42
+        assert fake.sleeps == []
+
+    def test_recovers_after_transient_failures(self):
+        fake = _FakeTime()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+        assert (
+            call_with_retry(flaky, policy, clock=fake.clock, sleep=fake.sleep)
+            == "ok"
+        )
+        assert len(attempts) == 3
+        assert fake.sleeps == pytest.approx([0.1, 0.2])
+
+    def test_exhaustion_chains_last_error(self):
+        fake = _FakeTime()
+
+        def always():
+            raise OSError("disk on fire")
+
+        with pytest.raises(RetryExhaustedError, match="disk on fire") as info:
+            call_with_retry(
+                always,
+                RetryPolicy(max_attempts=2, base_delay=0.0),
+                clock=fake.clock,
+                sleep=fake.sleep,
+            )
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_non_retriable_error_propagates_untouched(self):
+        def boom():
+            raise KeyError("not retriable")
+
+        with pytest.raises(KeyError):
+            call_with_retry(
+                boom,
+                RetryPolicy(max_attempts=5, retry_on=(OSError,)),
+                sleep=lambda s: None,
+            )
+
+    def test_retries_counted_on_registry(self):
+        registry = MetricsRegistry()
+        fake = _FakeTime()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=5, base_delay=0.01),
+            name="test.op",
+            registry=registry,
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        rendered = registry.render()
+        assert "reliability_retries_total" in rendered
+        assert 'op="test.op"' in rendered
+
+    def test_decorator_form(self):
+        calls = []
+
+        @retry(RetryPolicy(max_attempts=3, base_delay=0.0), name="decorated")
+        def sometimes():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("once")
+            return "done"
+
+        assert sometimes() == "done"
+        assert len(calls) == 2
+
+
+class TestAttemptTimeout:
+    def test_inline_when_unbounded(self):
+        assert run_with_timeout(lambda: "fast", None) == "fast"
+
+    def test_overrun_raises_deadline_error(self):
+        import time as _time
+
+        with pytest.raises(DeadlineExceededError, match="timeout"):
+            run_with_timeout(lambda: _time.sleep(5.0), 0.05)
+
+    def test_attempt_errors_surface_on_caller_thread(self):
+        def boom():
+            raise ValueError("from the worker")
+
+        with pytest.raises(ValueError, match="from the worker"):
+            run_with_timeout(boom, 1.0)

@@ -154,3 +154,64 @@ class TestBatchedServer:
             finally:
                 server.shutdown()
                 server.server_close()
+
+
+class TestErrorBodyContract:
+    """Every 4xx/5xx answer is valid JSON: {error, status, request_id}."""
+
+    def test_every_error_response_is_structured_json(self, endpoint):
+        failing = [
+            f"{endpoint}/definitely-not-a-route",        # 404
+            f"{endpoint}/v1/topk",                       # 400: missing user
+            f"{endpoint}/v1/topk?user=abc",              # 400: bad type
+            f"{endpoint}/v1/topk?user=9999",             # 400: out of range
+            f"{endpoint}/v1/score?u=1",                  # 400: missing v
+        ]
+        for url in failing:
+            try:
+                urllib.request.urlopen(url, timeout=10)
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode("utf-8")
+                payload = json.loads(body)  # not JSON -> this test fails
+                assert payload["status"] == exc.code
+                assert payload["error"]
+                assert payload["request_id"]
+                assert exc.headers["Content-Type"] == "application/json"
+            else:  # pragma: no cover - failure path
+                raise AssertionError(f"expected an HTTP error for {url}")
+
+    def test_error_echoes_caller_request_id(self, endpoint):
+        request = urllib.request.Request(
+            f"{endpoint}/v1/topk",  # missing user -> 400
+            headers={"X-Request-Id": "caller-chosen-id"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert json.load(exc)["request_id"] == "caller-chosen-id"
+        else:  # pragma: no cover - failure path
+            raise AssertionError("expected 400")
+
+
+class TestReadiness:
+    def test_readyz_ready(self, endpoint):
+        payload = _get(f"{endpoint}/readyz")
+        assert payload["status"] == "ready"
+        assert payload["reload_breaker"] == "closed"
+
+    def test_readyz_503_when_breaker_open(self, service):
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            for _ in range(10):  # force the reload breaker open
+                service.reload_breaker.record_failure()
+            code, payload = _error(f"{base}/readyz")
+            assert code == 503
+            assert payload["reload_breaker"] == "open"
+            # Liveness is unaffected: the process is up, just not ready.
+            assert _get(f"{base}/healthz")["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()

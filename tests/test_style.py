@@ -36,8 +36,17 @@ def test_checker_catches_violations(tmp_path):
         "start = time.time()\n"
         "stamp = time.time()  # wall-clock: a timestamp\n"
         'print("hello")\n'
+        "try:\n"
+        "    pass\n"
+        "except:\n"
+        "    pass\n"
+        "try:\n"
+        "    pass\n"
+        "except Exception:\n"
+        "    pass\n"
     )
     violations = check_style.check_file(str(bad))
-    assert len(violations) == 2
+    assert len(violations) == 3
     assert any("time.time()" in v and ":2:" in v for v in violations)
     assert any("print()" in v and ":4:" in v for v in violations)
+    assert any("bare except" in v and ":7:" in v for v in violations)

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""CI chaos smoke: serve under injected faults, prove graceful degradation.
+
+End-to-end over a throwaway artifact store with the ``REPRO_CHAOS``
+fault-injection flag armed:
+
+1. publish a tiny synthetic predictor and boot a real
+   :class:`~repro.serving.http.LinkPredictionServer` on a free port;
+2. hammer ``/v1/topk`` and fail unless **every** response — success or
+   injected failure — is valid JSON with the status/request-id error
+   contract (an unhandled traceback or non-JSON 500 fails the run);
+3. publish a corrupt second version and fail unless reloads reject it
+   and queries keep answering from the stale-but-valid artifact;
+4. drive reloads until the reload circuit breaker trips, then check
+   ``/readyz`` reports not-ready while ``/healthz`` stays live;
+5. scrape ``/metrics`` and fail unless the reliability series
+   (retries, breaker state, shed/degraded counters) are exposed.
+
+Run from the repo root::
+
+    REPRO_CHAOS=1 REPRO_CHAOS_SEED=1234 PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.models.persistence import FrozenPredictor
+from repro.reliability.faults import GLOBAL_INJECTOR, configure_from_env
+from repro.serving.artifacts import ArtifactStore
+from repro.serving.http import make_server
+from repro.serving.service import LinkPredictionService
+
+N_USERS = 32
+N_REQUESTS = 80
+
+REQUIRED_RELIABILITY_SERIES = (
+    "repro_reliability_breaker_state",
+    "repro_reliability_retries_total",
+    "repro_serving_reload_failure_total",
+)
+
+
+def _get(base, path):
+    """GET returning (status, parsed JSON); non-JSON error bodies abort."""
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=10) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8")
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise SystemExit(
+                f"{path}: HTTP {exc.code} body is not JSON: {body[:200]!r}"
+            )
+        if payload.get("status") != exc.code or not payload.get("request_id"):
+            raise SystemExit(
+                f"{path}: error body violates the contract: {payload!r}"
+            )
+        return exc.code, payload
+
+
+def main() -> int:
+    armed = configure_from_env()
+    if not armed:
+        raise SystemExit(
+            "chaos smoke needs REPRO_CHAOS=1 (no fault sites are armed)"
+        )
+    print(f"chaos smoke: faults armed at {', '.join(sorted(armed))}")
+
+    rng = np.random.default_rng(7)
+    scores = rng.normal(size=(N_USERS, N_USERS))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        # The injector is process-global, so this very load already runs
+        # under chaos — the service's load retry policy absorbs it.
+        store.publish(
+            FrozenPredictor((scores + scores.T) / 2, {"name": "chaos-smoke"})
+        )
+        service = LinkPredictionService(store)
+        server = make_server(service, port=0, request_deadline_s=10.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            statuses = []
+            for i in range(N_REQUESTS):
+                status, payload = _get(base, f"/v1/topk?user={i % N_USERS}&k=5")
+                statuses.append(status)
+                if status == 200 and len(payload["candidates"]) != 5:
+                    raise SystemExit(f"bad 200 payload: {payload!r}")
+            oks = sum(1 for s in statuses if s == 200)
+            errors = len(statuses) - oks
+            if oks == 0:
+                raise SystemExit("chaos took the service fully down")
+            print(
+                f"chaos smoke: {oks}/{len(statuses)} served, "
+                f"{errors} clean JSON failures"
+            )
+
+            # A corrupt publish must never replace the serving artifact.
+            import os
+
+            version = store.publish(
+                FrozenPredictor((scores + scores.T) / 2, {"name": "bad"})
+            )
+            with open(
+                os.path.join(store.path(version), "model.npz"), "wb"
+            ) as handle:
+                handle.write(b"corrupted beyond repair")
+            served_version = service.version
+            for _ in range(8):  # enough failures to trip the reload breaker
+                service.reload()
+            if service.version != served_version:
+                raise SystemExit("service swapped to a corrupt artifact")
+            status, _ = _get(base, f"/v1/topk?user=1&k=5")
+            if status not in (200, 500):
+                raise SystemExit(f"stale serve answered {status}")
+            print(
+                f"chaos smoke: corrupt v{version} rejected, "
+                f"still serving v{served_version} "
+                f"(breaker {service.reload_breaker.state})"
+            )
+
+            status, payload = _get(base, "/readyz")
+            if status not in (200, 503):
+                raise SystemExit(f"/readyz answered {status}")
+            health_status, health = _get(base, "/healthz")
+            if health_status != 200 or health.get("status") != "ok":
+                raise SystemExit(f"/healthz degraded: {health!r}")
+
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as r:
+                text = r.read().decode("utf-8")
+        finally:
+            GLOBAL_INJECTOR.reset()
+            server.shutdown()
+            server.server_close()
+
+    missing = [s for s in REQUIRED_RELIABILITY_SERIES if s not in text]
+    if missing:
+        raise SystemExit(f"missing reliability series on /metrics: {missing}")
+    print("chaos smoke: ok — degradation clean, reliability series exposed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Observability style gate for ``src/repro``.
+"""Observability and reliability style gate for ``src/repro``.
 
-Two rules, both born from real telemetry bugs:
+Three rules, all born from real production bugs:
 
 1. **No ``time.time()`` duration arithmetic.**  Wall-clock time jumps
    (NTP slew, suspend/resume) corrupt latency and uptime numbers; all
@@ -15,6 +15,13 @@ Two rules, both born from real telemetry bugs:
    request ids and machine-parseable structure.  The experiments package
    and the CLI ``__main__`` modules are presentation layers whose job is
    printing tables to a terminal, so they are allowlisted.
+
+3. **No bare ``except:`` in library code.**  A bare except swallows
+   ``KeyboardInterrupt`` and ``SystemExit``, which breaks the kill →
+   checkpoint → resume contract of the reliability layer (a fit that
+   cannot be interrupted cannot be resumed either).  Catch the narrowest
+   exception the handler can actually recover from; an intentional
+   catch-(almost)-all must spell out ``except Exception``.
 
 Run from the repo root::
 
@@ -43,6 +50,7 @@ PRINT_ALLOWLIST = (
 
 _TIME_TIME = re.compile(r"\btime\.time\(\)")
 _BARE_PRINT = re.compile(r"^\s*print\(")
+_BARE_EXCEPT = re.compile(r"^\s*except\s*:")
 
 
 def _relative(path: str) -> str:
@@ -69,6 +77,12 @@ def check_file(path: str) -> list:
                 violations.append(
                     f"{relpath}:{lineno}: bare print() in library code — "
                     "use repro.observability.logging.get_logger() instead"
+                )
+            if _BARE_EXCEPT.search(line):
+                violations.append(
+                    f"{relpath}:{lineno}: bare except: swallows "
+                    "KeyboardInterrupt/SystemExit and breaks kill→resume — "
+                    "catch a concrete exception (or 'except Exception')"
                 )
     return violations
 
