@@ -1,0 +1,153 @@
+"""Solver hot-path benchmark: warm SVT + workspace loop vs the seed solver.
+
+Fits the paper-scale smoke configuration (scale 800, ``svd_rank=60``)
+twice — once with ``exact=True`` (the seed solver's numerics: cold-start
+Lanczos SVT, sequential smooth terms, allocating inner loop) and once on
+the default hot path (warm-started rank-capped SVT, fused smooth
+objective, workspace-backed loop) — on identical tasks and convergence
+criteria.  Both paths compute the same best-effort rank-capped operator
+(the cap is lossy at this threshold, for the seed path too), so the
+quality gate here is AUC agreement; the bitwise ≤1e-6 parity guarantee
+belongs to the figure-3 configuration (``svd_rank=None``), which is
+fitted and asserted at a compact scale in the same run.
+
+Appends wall-clock and SVT-engine statistics to ``BENCH_solver.json``
+(same trajectory format as ``BENCH_serving.json``) so future PRs diff
+against history instead of folklore.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from repro.evaluation.metrics import auc_score
+from repro.evaluation.splits import k_fold_link_splits
+from repro.exceptions import TruncatedSVTWarning
+from repro.models.base import TransferTask
+from repro.models.slampred import SlamPredT
+from repro.networks.social import SocialGraph
+from repro.synth.generator import generate_aligned_pair
+
+from trajectory import BENCH_SOLVER_PATH, record_snapshot
+
+SCALE = 800
+SVD_RANK = 60
+INNER = 10
+OUTER = 10
+PARITY_SCALE = 140
+
+
+def _problem(scale):
+    aligned = generate_aligned_pair(scale=scale, random_state=1)
+    graph = SocialGraph.from_network(aligned.target)
+    split = k_fold_link_splits(graph, n_folds=5, random_state=1)[0]
+    return aligned, split
+
+
+def _fit(aligned, split, svd_rank, exact):
+    task = TransferTask(
+        target=aligned.target,
+        training_graph=split.training_graph,
+        random_state=np.random.default_rng(1),
+    )
+    model = SlamPredT(
+        svd_rank=svd_rank,
+        inner_iterations=INNER,
+        outer_iterations=OUTER,
+        exact=exact,
+    )
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        # The rank cap is lossy at this threshold for both paths, which
+        # each warn once per application by design.
+        warnings.simplefilter("ignore", TruncatedSVTWarning)
+        model.fit(task)
+    return model, time.perf_counter() - start
+
+
+def test_solver_hotpath(benchmark):
+    def run():
+        aligned, split = _problem(SCALE)
+        exact_model, exact_seconds = _fit(aligned, split, SVD_RANK, True)
+        fast_model, fast_seconds = _fit(aligned, split, SVD_RANK, False)
+        return aligned, split, exact_model, exact_seconds, fast_model, fast_seconds
+
+    aligned, split, exact_model, exact_seconds, fast_model, fast_seconds = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    speedup = exact_seconds / fast_seconds
+    engine = fast_model._svt_engine
+    applies = max(1, int(engine.stats["applies"]))
+    exact_auc = auc_score(
+        exact_model.score_pairs(split.test_pairs), split.test_labels
+    )
+    fast_auc = auc_score(
+        fast_model.score_pairs(split.test_pairs), split.test_labels
+    )
+
+    # Figure-3 configuration numerics (svd_rank=None): the engine is
+    # exact there, so the two score matrices must agree to 1e-6.
+    p_aligned, p_split = _problem(PARITY_SCALE)
+    p_exact, _ = _fit(p_aligned, p_split, None, True)
+    p_fast, _ = _fit(p_aligned, p_split, None, False)
+    fig3_parity = float(
+        np.abs(p_exact.score_matrix - p_fast.score_matrix).max()
+    )
+
+    context = {
+        "scale": SCALE,
+        "n_users": int(aligned.target.n_users),
+        "svd_rank": SVD_RANK,
+        "inner_iterations": INNER,
+        "outer_iterations": OUTER,
+    }
+    record_snapshot(
+        "fit_exact",
+        {"seconds": exact_seconds, "auc": float(exact_auc)},
+        context=context,
+        path=BENCH_SOLVER_PATH,
+    )
+    record_snapshot(
+        "fit_fast",
+        {
+            "seconds": fast_seconds,
+            "auc": float(fast_auc),
+            "svt_seconds": engine.stats["seconds"],
+            "svt_applies": engine.stats["applies"],
+            "svt_seconds_per_apply": engine.stats["seconds"] / applies,
+            "svt_dense_applies": engine.stats["dense_applies"],
+            "svt_dense_fallbacks": engine.stats["dense_fallbacks"],
+            "svt_lossy_truncations": engine.stats["lossy_truncations"],
+            "svt_rank_grows": engine.stats["rank_grows"],
+            "svt_rank_shrinks": engine.stats["rank_shrinks"],
+            "final_rank": engine.rank,
+        },
+        context=context,
+        path=BENCH_SOLVER_PATH,
+    )
+    record_snapshot(
+        "fit_speedup",
+        {
+            "speedup": speedup,
+            "fig3_parity_max_abs_diff": fig3_parity,
+            "fig3_parity_scale": PARITY_SCALE,
+        },
+        context=context,
+        path=BENCH_SOLVER_PATH,
+    )
+    print(
+        f"\nscale {SCALE}: exact {exact_seconds:.1f}s, fast {fast_seconds:.1f}s "
+        f"({speedup:.2f}x), AUC {exact_auc:.3f} -> {fast_auc:.3f}, "
+        f"SVT {engine.stats['seconds'] / applies * 1e3:.1f}ms/apply "
+        f"over {applies} applies, fig3 parity {fig3_parity:.2e}"
+    )
+    assert fig3_parity <= 1e-6
+    assert engine.stats["dense_fallbacks"] == 0
+    # The committed BENCH_solver.json trajectory documents >=1.5x; the
+    # in-test floor is looser so a loaded CI box doesn't flake the suite.
+    assert speedup >= 1.2
+    assert fast_auc > 0.7
+    assert abs(fast_auc - exact_auc) <= 0.05

@@ -26,6 +26,12 @@ SCHEMA_VERSION = 1
 BENCH_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_serving.json"
 )
+BENCH_SOLVER_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_solver.json"
+)
+"""Solver hot-path trajectory: same snapshot format, separate file, so the
+fit-time history and the serving-latency history stay independently
+diffable."""
 
 
 def percentile_summary(samples_seconds: Sequence[float]) -> Dict[str, float]:

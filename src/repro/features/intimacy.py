@@ -128,6 +128,39 @@ class IntimacyFeatureExtractor:
         tensor = FeatureTensor.from_matrices(matrices, list(self.features))
         return tensor.normalized() if self.normalize else tensor
 
+    def extract_many(
+        self,
+        networks: Sequence[HeterogeneousNetwork],
+        training_graphs: Optional[Sequence[Optional[SocialGraph]]] = None,
+        max_workers: Optional[int] = None,
+    ):
+        """:meth:`extract` for several networks, fanned out over threads.
+
+        Each network's extraction is independent and spends its time in
+        numpy kernels that release the GIL, so the K aligned sources of a
+        transfer task extract concurrently.  Returns ``(tensors,
+        seconds)`` where both lists follow the input order and
+        ``seconds[i]`` is network ``i``'s own extraction wall time.
+        """
+        from repro.perf.parallel import parallel_map
+
+        networks = list(networks)
+        if training_graphs is None:
+            training_graphs = [None] * len(networks)
+        elif len(training_graphs) != len(networks):
+            raise FeatureError(
+                f"{len(training_graphs)} training graphs for "
+                f"{len(networks)} networks"
+            )
+
+        def _one(job):
+            network, graph = job
+            return self.extract(network, graph)
+
+        return parallel_map(
+            _one, list(zip(networks, training_graphs)), max_workers=max_workers
+        )
+
     # ------------------------------------------------------------------
     def _compute(
         self,

@@ -46,6 +46,8 @@ from repro.optim.convergence import ConvergenceCriterion
 from repro.optim.forward_backward import ForwardBackwardSolver
 from repro.optim.losses import SquaredFrobeniusLoss
 from repro.optim.proximal import BoxProjection, L1Prox, TraceNormProx
+from repro.perf.parallel import parallel_map
+from repro.perf.warm_svt import WarmStartSVT
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.matrices import zero_diagonal
 from repro.utils.validation import (
@@ -87,9 +89,20 @@ class SlamPred(MatrixPredictor):
         refine rather than drown the intimacy ranking (see the
         gradient-scale ablation benchmark).
     svd_rank:
-        When set, the trace-norm prox uses a truncated (Lanczos) SVD of
-        this rank instead of a full SVD per step — the scalable path for
-        networks with thousands of users.
+        Starting rank of the warm-started SVT engine (and, on the exact
+        path, the rank of the legacy truncated Lanczos SVD) — the
+        scalable path for networks with thousands of users.
+    exact:
+        When True, fit with the seed solver's bit-exact numerics: legacy
+        cold-start SVT, sequential smooth terms, allocating inner loop.
+        The default False enables the hot path — the warm-started
+        adaptive-rank SVT engine, the fused smooth objective and the
+        workspace-backed inner loop (DESIGN.md §12); predictions match
+        the exact path to the SVT's verified residual tolerance.
+    n_jobs:
+        Thread count for the per-source intimacy extraction and transfer
+        pipeline (``None`` picks a bounded default; 1 forces the
+        sequential path).
     latent_dimension:
         Shared latent feature dimension ``c``.
     step_size:
@@ -147,6 +160,8 @@ class SlamPred(MatrixPredictor):
         use_attributes: bool = True,
         use_sources: bool = True,
         learn_alphas: bool = True,
+        exact: bool = False,
+        n_jobs: Optional[int] = None,
         display_name: str = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -195,11 +210,17 @@ class SlamPred(MatrixPredictor):
                 "use_sources requires use_attributes (transfer is carried "
                 "by attribute features)"
             )
+        self.exact = bool(exact)
+        if n_jobs is None:
+            self.n_jobs = None
+        else:
+            self.n_jobs = check_integer(n_jobs, "n_jobs", minimum=1)
         self._display_name = display_name or self._default_name()
         self.tracer = tracer
         self._result: Optional[CCCPResult] = None
         self._adapter: Optional[DomainAdapter] = None
         self._checkpoint_manager = None
+        self._svt_engine: Optional[WarmStartSVT] = None
 
     def _default_name(self) -> str:
         if self.use_sources:
@@ -320,8 +341,19 @@ class SlamPred(MatrixPredictor):
         if gradient is not None:
             gradient = self.intimacy_scale * gradient
         loss = SquaredFrobeniusLoss(adjacency)
+        if self.exact:
+            self._svt_engine = None
+        else:
+            # svd_rank caps the engine exactly like it capped the legacy
+            # truncated path: the fast path is then a warm-started drop-in
+            # for the same rank-capped (possibly lossy) operator.
+            self._svt_engine = WarmStartSVT(
+                initial_rank=self.svd_rank, max_rank=self.svd_rank
+            )
         prox_terms = [
-            TraceNormProx(self.tau, max_rank=self.svd_rank),
+            TraceNormProx(
+                self.tau, max_rank=self.svd_rank, engine=self._svt_engine
+            ),
             L1Prox(self.gamma),
             BoxProjection(0.0, None),
         ]
@@ -339,6 +371,7 @@ class SlamPred(MatrixPredictor):
             outer_criterion=ConvergenceCriterion(
                 tolerance=self.tolerance, max_iterations=self.outer_iterations
             ),
+            fuse_smooth=not self.exact,
         )
         with tracer.span("cccp"):
             self._result = solver.solve(
@@ -375,9 +408,12 @@ class SlamPred(MatrixPredictor):
             # SLAMPRED-T exactly as in Table II.
             return self.alpha_target * target_intimacy
         with tracer.span("extract:sources"):
-            source_tensors = [
-                self.extractor.extract(source) for source in task.sources
-            ]
+            source_tensors, extract_seconds = self.extractor.extract_many(
+                task.sources, max_workers=self.n_jobs
+            )
+        tracer.metric("intimacy.n_sources", float(task.n_sources))
+        for seconds in extract_seconds:
+            tracer.metric("intimacy.source_seconds", seconds)
         graphs = [task.training_graph] + [
             _full_graph(source) for source in task.sources
         ]
@@ -404,20 +440,38 @@ class SlamPred(MatrixPredictor):
             self._adapter.transform(target_tensor, 0).values,
         ]
         block_alphas = [self.alpha_target, self.alpha_target]
-        coverage_blocks = []
-        for k, (alpha, tensor, anchors) in enumerate(
-            zip(alphas, source_tensors, task.anchors), start=1
-        ):
+
+        def _transfer(job):
+            k, tensor, anchors = job
             latent_source = self._adapter.transform(tensor, k)
             n_source = tensor.n_users
             coverage = np.ones((1, n_source, n_source))
-            transferred = align_source_to_target(
+            return align_source_to_target(
                 FeatureTensor(
                     np.concatenate([latent_source.values, coverage])
                 ),
                 anchors,
                 n_target,
             ).values
+
+        # Per-source transfer touches only that source's matrices and the
+        # frozen adapter, so the K sources fan out over threads; order is
+        # preserved, keeping the block layout (and numerics) identical to
+        # the sequential loop.
+        transfers, transfer_seconds = parallel_map(
+            _transfer,
+            [
+                (k, tensor, anchors)
+                for k, (tensor, anchors) in enumerate(
+                    zip(source_tensors, task.anchors), start=1
+                )
+            ],
+            max_workers=self.n_jobs,
+        )
+        for seconds in transfer_seconds:
+            tracer.metric("intimacy.transfer_seconds", seconds)
+        coverage_blocks = []
+        for alpha, transferred in zip(alphas, transfers):
             latent_blocks.append(transferred[:-1])
             block_alphas.append(alpha)
             # Coverage carries the source's α too: a zero-weighted source

@@ -41,7 +41,10 @@ _COUNTER_BRIDGE: Dict[str, str] = {
     "fb.iterations": "solver.fb_iterations",
     "fb.step_halvings": "solver.step_halvings",
     "gfb.iterations": "solver.gfb_iterations",
+    "gfb.step_halvings": "solver.step_halvings",
     "svt.lossy_truncations": "solver.svt_lossy_truncations",
+    "svt.rank_grows": "solver.svt_rank_grows",
+    "svt.rank_shrinks": "solver.svt_rank_shrinks",
     # Both SVD recovery paths roll up into one degradation counter.
     "svt.dense_fallbacks": "reliability.svd_fallbacks",
     "svt.eigh_fallbacks": "reliability.svd_fallbacks",
@@ -49,6 +52,14 @@ _COUNTER_BRIDGE: Dict[str, str] = {
 _GAUGE_BRIDGE: Dict[str, str] = {
     "svt.retained_rank": "solver.rank",
     "svt.tail_excess": "solver.svt_tail_excess",
+    "svt.adaptive_rank": "solver.svt_adaptive_rank",
+    "intimacy.n_sources": "solver.intimacy_sources",
+}
+# Metric samples that feed a registry histogram rather than a gauge —
+# per-item wall times whose distribution (not last value) matters.
+_HISTOGRAM_BRIDGE: Dict[str, str] = {
+    "intimacy.source_seconds": "solver.source_extract_seconds",
+    "intimacy.transfer_seconds": "solver.source_transfer_seconds",
 }
 
 
@@ -160,6 +171,9 @@ class Tracer:
             series = _GAUGE_BRIDGE.get(name)
             if series is not None:
                 self.registry.gauge(series).set(value)
+            histogram = _HISTOGRAM_BRIDGE.get(name)
+            if histogram is not None:
+                self.registry.histogram(histogram).observe(value)
 
     def last_metric(self, name: str, default: Optional[float] = None):
         """The most recent sample of a metric, or ``default`` if unseen."""

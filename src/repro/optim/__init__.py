@@ -14,6 +14,7 @@ alternates a gradient step with the trace-norm and ℓ1 proximal operators
 
 from repro.optim.proximal import (
     soft_threshold,
+    soft_threshold_inplace,
     singular_value_threshold,
     truncated_singular_value_threshold,
     L1Prox,
@@ -24,6 +25,7 @@ from repro.optim.losses import (
     SquaredFrobeniusLoss,
     MaskedSquaredLoss,
     LinearizedIntimacyTerm,
+    FusedSmoothObjective,
     empirical_link_loss,
     intimacy_score,
 )
@@ -36,6 +38,7 @@ from repro.optim.cccp import CCCPSolver, CCCPResult
 
 __all__ = [
     "soft_threshold",
+    "soft_threshold_inplace",
     "singular_value_threshold",
     "truncated_singular_value_threshold",
     "L1Prox",
@@ -44,6 +47,7 @@ __all__ = [
     "SquaredFrobeniusLoss",
     "MaskedSquaredLoss",
     "LinearizedIntimacyTerm",
+    "FusedSmoothObjective",
     "empirical_link_loss",
     "intimacy_score",
     "ConvergenceCriterion",

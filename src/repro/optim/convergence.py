@@ -32,6 +32,15 @@ class ConvergenceCriterion:
         """Whether the update from ``previous`` to ``current`` is below tolerance."""
         return l1_norm(current - previous) < self.tolerance
 
+    def satisfied_value(self, update_norm: float) -> bool:
+        """:meth:`satisfied` for a caller that already has the update norm.
+
+        The workspace-backed solver computes ``‖S^h − S^{h−1}‖₁`` through
+        its scratch buffer for the iteration record anyway; this avoids
+        recomputing it (and the full-size temporary) here.
+        """
+        return update_norm < self.tolerance
+
 
 class IterationHistory:
     """Per-iteration diagnostics of a solver run.
@@ -122,6 +131,22 @@ class IterationHistory:
             iteration=len(self.records),
             variable_norm=l1_norm(current),
             update_norm=l1_norm(current - previous),
+            objective=None if objective is None else float(objective),
+        )
+        self.records.append(record)
+        return record
+
+    def record_norms(
+        self,
+        variable_norm: float,
+        update_norm: float,
+        objective: float = None,
+    ) -> IterationRecord:
+        """:meth:`record` for precomputed norms (allocation-free path)."""
+        record = IterationRecord(
+            iteration=len(self.records),
+            variable_norm=float(variable_norm),
+            update_norm=float(update_norm),
             objective=None if objective is None else float(objective),
         )
         self.records.append(record)

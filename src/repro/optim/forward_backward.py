@@ -37,6 +37,7 @@ from repro.exceptions import OptimizationError
 from repro.observability.records import IterationRecord
 from repro.observability.tracer import Tracer, is_tracing
 from repro.optim.convergence import ConvergenceCriterion, IterationHistory
+from repro.perf.workspace import Workspace
 from repro.utils.validation import check_positive
 
 
@@ -67,11 +68,55 @@ def _total_objective(matrix, smooth_terms, prox_terms) -> float:
     return float(value)
 
 
-def _total_gradient(matrix, smooth_terms) -> np.ndarray:
-    gradient = np.zeros_like(matrix)
-    for term in smooth_terms:
-        gradient += term.gradient(matrix)
-    return gradient
+_OUT_SUPPORT: Dict[type, bool] = {}
+
+
+def _accepts_out(term) -> bool:
+    """Whether a smooth term's ``gradient`` takes the ``out`` keyword."""
+    kind = type(term)
+    cached = _OUT_SUPPORT.get(kind)
+    if cached is None:
+        try:
+            cached = "out" in inspect.signature(term.gradient).parameters
+        except (TypeError, ValueError):
+            cached = False
+        _OUT_SUPPORT[kind] = cached
+    return cached
+
+
+def _total_gradient(
+    matrix,
+    smooth_terms,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Summed smooth-term gradient, accumulated into ``out`` when given.
+
+    Without ``out`` this is the legacy allocating path (used by the traced
+    solver branch, whose numerics stay pinned by the golden regression).
+    With ``out`` the first term writes straight into the accumulator and
+    later terms route through ``scratch``, so no full-size temporary is
+    allocated.
+    """
+    if out is None:
+        gradient = np.zeros_like(matrix)
+        for term in smooth_terms:
+            gradient += term.gradient(matrix)
+        return gradient
+    terms = list(smooth_terms)
+    if not terms:
+        out.fill(0.0)
+        return out
+    if _accepts_out(terms[0]):
+        terms[0].gradient(matrix, out=out)
+    else:
+        np.copyto(out, terms[0].gradient(matrix))
+    for term in terms[1:]:
+        if scratch is not None and _accepts_out(term):
+            out += term.gradient(matrix, out=scratch)
+        else:
+            out += term.gradient(matrix)
+    return out
 
 
 def _term_labels(terms: Sequence) -> List[str]:
@@ -174,15 +219,89 @@ class ForwardBackwardSolver:
 
         Returns the final iterate; per-iteration diagnostics are appended to
         ``history`` when given, and to ``tracer`` when it is live.
+
+        The untraced branch runs on a preallocated :class:`Workspace`
+        (cached on the solver and reused across CCCP rounds): gradient
+        accumulation, the gradient step and the entry-wise proxes all
+        write into workspace buffers, so a steady-state iteration
+        allocates nothing beyond what the SVT itself produces.  The
+        iterate sequence is bit-identical to the legacy allocating loop.
         """
         if not smooth_terms and not prox_terms:
             raise OptimizationError("nothing to optimize: no terms given")
-        tracing = is_tracing(tracer)
-        if tracing:
-            smooth_labels = _term_labels(smooth_terms)
-            prox_labels = _term_labels(prox_terms)
-            prox_takes_tracer = [_accepts_tracer(p) for p in prox_terms]
         current = np.asarray(initial, dtype=float).copy()
+        if is_tracing(tracer):
+            return self._solve_traced(
+                current, smooth_terms, prox_terms, history, tracer
+            )
+        return self._solve_fast(current, smooth_terms, prox_terms, history)
+
+    def _solve_fast(
+        self,
+        current: np.ndarray,
+        smooth_terms: Sequence,
+        prox_terms: Sequence,
+        history: Optional[IterationHistory],
+    ) -> np.ndarray:
+        """Workspace-backed loop (no tracer): the allocation-free path."""
+        ws = Workspace.ensure(getattr(self, "_workspace", None), current)
+        self._workspace = ws
+        inplace_proxes = [
+            getattr(prox, "apply_inplace", None) for prox in prox_terms
+        ]
+        step = self.step_size
+        halvings = 0
+        for _ in range(self.criterion.max_iterations):
+            previous = current
+            gradient = _total_gradient(
+                previous, smooth_terms, out=ws.gradient, scratch=ws.scratch
+            )
+            # previous + (-step)·g is bitwise previous − step·g, and lets
+            # the scale land in the gradient buffer we own.
+            np.multiply(gradient, -step, out=gradient)
+            buffer = ws.step_buffer(avoid=previous)
+            np.add(previous, gradient, out=buffer)
+            current = buffer
+            for prox, inplace in zip(prox_terms, inplace_proxes):
+                if inplace is not None:
+                    current = inplace(current, step, scratch=ws.scratch)
+                else:
+                    current = prox.apply(current, step)
+            if _diverged(current):
+                if halvings < self.max_step_halvings:
+                    halvings += 1
+                    step *= 0.5
+                    current = previous
+                    continue
+                _check_finite(current, step)
+            update_norm = ws.l1_update_norm(current, previous)
+            if history is not None:
+                objective = (
+                    _total_objective(current, smooth_terms, prox_terms)
+                    if self.record_objective
+                    else None
+                )
+                history.record_norms(
+                    ws.l1_norm(current), update_norm, objective
+                )
+            if self.criterion.satisfied_value(update_norm):
+                break
+        if ws.owns(current):
+            current = current.copy()
+        return current
+
+    def _solve_traced(
+        self,
+        current: np.ndarray,
+        smooth_terms: Sequence,
+        prox_terms: Sequence,
+        history: Optional[IterationHistory],
+        tracer: Tracer,
+    ) -> np.ndarray:
+        """Instrumented loop — numerics pinned by the golden regression."""
+        smooth_labels = _term_labels(smooth_terms)
+        prox_labels = _term_labels(prox_terms)
+        prox_takes_tracer = [_accepts_tracer(p) for p in prox_terms]
         step = self.step_size
         halvings = 0
 
@@ -193,72 +312,56 @@ class ForwardBackwardSolver:
                 return False
             halvings += 1
             step *= 0.5
-            if tracing:
-                tracer.count("fb.step_halvings")
+            tracer.count("fb.step_halvings")
             return True
 
         for _ in range(self.criterion.max_iterations):
             previous = current
-            if tracing:
-                phase_seconds: Dict[str, float] = {}
-                svt_before = len(tracer.metrics.get("svt.retained_rank", ()))
-                with tracer.span("gradient") as span:
-                    gradient = _total_gradient(previous, smooth_terms)
-                phase_seconds["gradient"] = span.duration
-                current = previous - step * gradient
-                for i, prox in enumerate(prox_terms):
-                    label = f"prox:{prox_labels[i]}"
-                    with tracer.span(label) as span:
-                        if prox_takes_tracer[i]:
-                            current = prox.apply(
-                                current, step, tracer=tracer
-                            )
-                        else:
-                            current = prox.apply(current, step)
-                    phase_seconds[label] = span.duration
-            else:
-                current = previous - step * _total_gradient(
-                    previous, smooth_terms
-                )
-                for prox in prox_terms:
-                    current = prox.apply(current, step)
+            phase_seconds: Dict[str, float] = {}
+            svt_before = len(tracer.metrics.get("svt.retained_rank", ()))
+            with tracer.span("gradient") as span:
+                gradient = _total_gradient(previous, smooth_terms)
+            phase_seconds["gradient"] = span.duration
+            current = previous - step * gradient
+            for i, prox in enumerate(prox_terms):
+                label = f"prox:{prox_labels[i]}"
+                with tracer.span(label) as span:
+                    if prox_takes_tracer[i]:
+                        current = prox.apply(
+                            current, step, tracer=tracer
+                        )
+                    else:
+                        current = prox.apply(current, step)
+                phase_seconds[label] = span.duration
             if _diverged(current):
                 if _recover():
                     current = previous
                     continue
                 _check_finite(current, step)
-            if tracing:
-                tracer.count("fb.iterations")
-                breakdown = _objective_breakdown(
-                    current, smooth_terms, prox_terms,
-                    smooth_labels, prox_labels,
+            tracer.count("fb.iterations")
+            breakdown = _objective_breakdown(
+                current, smooth_terms, prox_terms,
+                smooth_labels, prox_labels,
+            )
+            objective = float(sum(breakdown.values()))
+            if not np.isfinite(objective):
+                # The iterate is representable but the objective
+                # overflowed — same remedy as a diverged iterate.
+                if _recover():
+                    current = previous
+                    continue
+                raise OptimizationError(
+                    f"objective became non-finite ({objective}); "
+                    f"reduce step_size (currently {step}) below 2/L "
+                    "of the smooth term"
                 )
-                objective = float(sum(breakdown.values()))
-                if not np.isfinite(objective):
-                    # The iterate is representable but the objective
-                    # overflowed — same remedy as a diverged iterate.
-                    if _recover():
-                        current = previous
-                        continue
-                    raise OptimizationError(
-                        f"objective became non-finite ({objective}); "
-                        f"reduce step_size (currently {step}) below 2/L "
-                        "of the smooth term"
-                    )
-                record = (history or IterationHistory()).record(
-                    current, previous, objective
-                )
-                _enrich_record(
-                    record, tracer, step, breakdown,
-                    phase_seconds, svt_before,
-                )
-            elif history is not None:
-                objective = (
-                    _total_objective(current, smooth_terms, prox_terms)
-                    if self.record_objective
-                    else None
-                )
-                history.record(current, previous, objective)
+            record = (history or IterationHistory()).record(
+                current, previous, objective
+            )
+            _enrich_record(
+                record, tracer, step, breakdown,
+                phase_seconds, svt_before,
+            )
             if self.criterion.satisfied(current, previous):
                 break
         return current
@@ -274,6 +377,11 @@ class GeneralizedForwardBackward:
 
     with uniform weights ``ω_i = 1/q``.  Converges for ``θ < 2/L`` where L is
     the Lipschitz constant of ``∇f``.
+
+    Like :class:`ForwardBackwardSolver`, a non-finite iterate triggers a
+    step-halving retry from the last good iterate (and auxiliaries), at
+    most ``max_step_halvings`` times, before the solver raises
+    :class:`~repro.exceptions.OptimizationError`.
     """
 
     def __init__(
@@ -281,10 +389,16 @@ class GeneralizedForwardBackward:
         step_size: float = 1e-3,
         criterion: ConvergenceCriterion = None,
         record_objective: bool = False,
+        max_step_halvings: int = 3,
     ):
         self.step_size = check_positive(step_size, "step_size")
         self.criterion = criterion or ConvergenceCriterion()
         self.record_objective = record_objective
+        if max_step_halvings < 0:
+            raise OptimizationError(
+                f"max_step_halvings must be >= 0, got {max_step_halvings}"
+            )
+        self.max_step_halvings = int(max_step_halvings)
 
     def solve(
         self,
@@ -308,8 +422,13 @@ class GeneralizedForwardBackward:
         weight = 1.0 / q
         current = np.asarray(initial, dtype=float).copy()
         auxiliaries: List[np.ndarray] = [current.copy() for _ in range(q)]
+        step = self.step_size
+        halvings = 0
         for _ in range(self.criterion.max_iterations):
             previous = current
+            # Auxiliary updates rebind (never mutate), so a shallow list
+            # copy is enough to restore them after a step-halving retry.
+            old_auxiliaries = list(auxiliaries)
             phase_seconds: Dict[str, float] = {}
             if tracing:
                 svt_before = len(tracer.metrics.get("svt.retained_rank", ()))
@@ -319,25 +438,34 @@ class GeneralizedForwardBackward:
             else:
                 gradient = _total_gradient(previous, smooth_terms)
             for i, prox in enumerate(prox_terms):
-                argument = 2.0 * previous - auxiliaries[i] - self.step_size * gradient
+                argument = 2.0 * previous - auxiliaries[i] - step * gradient
                 if tracing:
                     label = f"prox:{prox_labels[i]}"
                     with tracer.span(label) as span:
                         if prox_takes_tracer[i]:
                             stepped = prox.apply(
-                                argument, self.step_size / weight,
+                                argument, step / weight,
                                 tracer=tracer,
                             )
                         else:
                             stepped = prox.apply(
-                                argument, self.step_size / weight
+                                argument, step / weight
                             )
                     phase_seconds[label] = span.duration
                 else:
-                    stepped = prox.apply(argument, self.step_size / weight)
+                    stepped = prox.apply(argument, step / weight)
                 auxiliaries[i] = auxiliaries[i] + stepped - previous
             current = weight * np.sum(auxiliaries, axis=0)
-            _check_finite(current, self.step_size)
+            if _diverged(current):
+                if halvings < self.max_step_halvings:
+                    halvings += 1
+                    step *= 0.5
+                    if tracing:
+                        tracer.count("gfb.step_halvings")
+                    auxiliaries = old_auxiliaries
+                    current = previous
+                    continue
+                _check_finite(current, step)
             if tracing:
                 tracer.count("gfb.iterations")
                 breakdown = _objective_breakdown(
@@ -349,7 +477,7 @@ class GeneralizedForwardBackward:
                     current, previous, objective
                 )
                 _enrich_record(
-                    record, tracer, self.step_size, breakdown,
+                    record, tracer, step, breakdown,
                     phase_seconds, svt_before,
                 )
             elif history is not None:

@@ -26,12 +26,18 @@ import warnings
 from typing import Optional
 
 import numpy as np
+import scipy.sparse.linalg as _sparse_linalg
 
 from repro.exceptions import TruncatedSVTWarning
 from repro.observability.tracer import Tracer, is_tracing
 from repro.reliability.faults import fault_point
 from repro.utils.matrices import l1_norm, trace_norm
 from repro.utils.validation import check_non_negative
+
+# Hoisted from the truncated-SVT hot path: the per-call ``import`` and the
+# ``ArpackError`` attribute lookup used to run inside every single
+# truncated prox application.
+_ARPACK_ERROR = getattr(_sparse_linalg, "ArpackError", RuntimeError)
 
 
 def soft_threshold(
@@ -44,6 +50,32 @@ def soft_threshold(
     if is_tracing(tracer):
         tracer.metric("l1.nnz", int(np.count_nonzero(shrunk)))
     return shrunk
+
+
+def soft_threshold_inplace(
+    matrix: np.ndarray,
+    threshold: float,
+    scratch: Optional[np.ndarray] = None,
+    tracer: Optional[Tracer] = None,
+) -> np.ndarray:
+    """Entry-wise soft thresholding that mutates ``matrix`` in place.
+
+    Bit-identical to :func:`soft_threshold` (same element-wise operations,
+    reordered into in-place form) but allocation-free when ``scratch`` — a
+    same-shaped buffer for the sign mask — is provided.  Returns the
+    mutated ``matrix``.
+    """
+    threshold = check_non_negative(threshold, "threshold")
+    if scratch is None:
+        scratch = np.empty_like(matrix)
+    np.sign(matrix, out=scratch)
+    np.abs(matrix, out=matrix)
+    matrix -= threshold
+    np.maximum(matrix, 0.0, out=matrix)
+    matrix *= scratch
+    if is_tracing(tracer):
+        tracer.metric("l1.nnz", int(np.count_nonzero(matrix)))
+    return matrix
 
 
 def _record_svt_metrics(
@@ -146,15 +178,13 @@ def truncated_singular_value_threshold(
     matrix = np.asarray(matrix, dtype=float)
     if rank >= min(matrix.shape) - 1:
         return singular_value_threshold(matrix, threshold, tracer=tracer)
-    import scipy.sparse.linalg
-
     n_small = min(matrix.shape)
     v0 = np.full(n_small, 1.0 / np.sqrt(n_small))
 
     def _truncated_svd():
         """Lanczos SVD with the chaos hook; failures promote to dense SVT."""
         fault_point("solver.svd.truncated")
-        return scipy.sparse.linalg.svds(matrix, k=rank + 1, v0=v0)
+        return _sparse_linalg.svds(matrix, k=rank + 1, v0=v0)
 
     try:
         if is_tracing(tracer):
@@ -162,10 +192,7 @@ def truncated_singular_value_threshold(
                 u, singular, vt = _truncated_svd()
         else:
             u, singular, vt = _truncated_svd()
-    except (
-        np.linalg.LinAlgError,
-        getattr(scipy.sparse.linalg, "ArpackError", RuntimeError),
-    ) as exc:
+    except (np.linalg.LinAlgError, _ARPACK_ERROR) as exc:
         # Lanczos non-convergence (ArpackError/ArpackNoConvergence) or an
         # injected LinAlgError — recover with the exact dense prox rather
         # than aborting the whole fit.
@@ -230,6 +257,18 @@ class L1Prox:
         """``prox_{step·γ‖·‖₁}`` — soft threshold at ``step * γ``."""
         return soft_threshold(matrix, step * self.weight, tracer=tracer)
 
+    def apply_inplace(
+        self,
+        matrix: np.ndarray,
+        step: float,
+        scratch: Optional[np.ndarray] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`apply` variant; mutates ``matrix``."""
+        return soft_threshold_inplace(
+            matrix, step * self.weight, scratch=scratch, tracer=tracer
+        )
+
     def __repr__(self) -> str:
         return f"L1Prox(weight={self.weight})"
 
@@ -242,19 +281,42 @@ class TraceNormProx:
     weight:
         The regularization weight τ (the paper uses τ = 1.0).
     max_rank:
-        When set, the prox uses a truncated SVD of this rank
-        (:func:`truncated_singular_value_threshold`) — the scalable path
-        for matrices at the paper's 5k-user scale.
+        When set (and no ``engine`` is given), the prox uses a truncated
+        SVD of this rank (:func:`truncated_singular_value_threshold`) —
+        the legacy scalable path for matrices at the paper's 5k-user
+        scale.
+    engine:
+        A stateful SVT operator (duck-typed; in practice
+        :class:`~repro.perf.warm_svt.WarmStartSVT`) that takes over the
+        proximal map.  The engine warm-starts each application from the
+        previous one and exposes the spectrum it computed, which
+        :meth:`value` reuses when asked about the exact array the engine
+        just produced — sparing the objective breakdown a second SVD.
     """
 
-    def __init__(self, weight: float, max_rank: int = None):
+    def __init__(self, weight: float, max_rank: int = None, engine=None):
         self.weight = check_non_negative(weight, "weight")
         if max_rank is not None and int(max_rank) < 1:
             raise ValueError(f"max_rank must be >= 1, got {max_rank}")
         self.max_rank = None if max_rank is None else int(max_rank)
+        self.engine = engine
 
     def value(self, matrix: np.ndarray) -> float:
-        """Regularizer value ``τ‖S‖*``."""
+        """Regularizer value ``τ‖S‖*``.
+
+        When ``matrix`` *is* the engine's most recent output — same
+        object, unmutated (the entry-wise ℓ1 norm doubles as a cheap
+        mutation fingerprint: both the soft threshold and the box
+        projection strictly decrease it whenever they change anything) —
+        the cached spectrum gives the exact value without an SVD.
+        """
+        engine = self.engine
+        if (
+            engine is not None
+            and engine.last_output is matrix
+            and float(np.abs(matrix).sum()) == engine.last_output_l1
+        ):
+            return self.weight * engine.last_output_trace_norm
         return self.weight * trace_norm(matrix)
 
     def apply(
@@ -264,6 +326,8 @@ class TraceNormProx:
         tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
         """``prox_{step·τ‖·‖*}`` — singular value threshold at ``step * τ``."""
+        if self.engine is not None:
+            return self.engine.apply(matrix, step * self.weight, tracer=tracer)
         if self.max_rank is not None:
             return truncated_singular_value_threshold(
                 matrix, step * self.weight, self.max_rank, tracer=tracer
@@ -273,6 +337,10 @@ class TraceNormProx:
         )
 
     def __repr__(self) -> str:
+        if self.engine is not None:
+            return (
+                f"TraceNormProx(weight={self.weight}, engine={self.engine!r})"
+            )
         return (
             f"TraceNormProx(weight={self.weight}, max_rank={self.max_rank})"
         )
@@ -307,6 +375,17 @@ class BoxProjection:
     ) -> np.ndarray:
         """Clip entries to the box (step is irrelevant for projections)."""
         return np.clip(matrix, self.low, self.high)
+
+    def apply_inplace(
+        self,
+        matrix: np.ndarray,
+        step: float,
+        scratch: Optional[np.ndarray] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
+        """Allocation-free :meth:`apply` variant; mutates ``matrix``."""
+        np.clip(matrix, self.low, self.high, out=matrix)
+        return matrix
 
     def __repr__(self) -> str:
         return f"BoxProjection(low={self.low}, high={self.high})"

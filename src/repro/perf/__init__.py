@@ -1,0 +1,35 @@
+"""Solver hot-path kernels: warm-started SVT, workspaces, thread fan-out.
+
+The fit path of the paper's Algorithm 1 spends essentially all of its time
+in three places — the SVD inside every trace-norm proximal step, the
+gradient/prox entry-wise arithmetic of the forward-backward inner loop,
+and the per-source intimacy extraction pipeline.  This package holds the
+kernels that attack each one:
+
+* :class:`~repro.perf.warm_svt.WarmStartSVT` — a stateful singular value
+  thresholding operator that warm-starts each proximal step's randomized
+  range finder from the previous step's retained singular subspace and
+  adapts its rank to the observed spectrum/threshold gap (DESIGN.md §12).
+* :class:`~repro.perf.workspace.Workspace` — preallocated buffers that
+  make the forward-backward inner loop allocation-free.
+* :func:`~repro.perf.parallel.parallel_map` — an order-preserving thread
+  fan-out (numpy releases the GIL inside BLAS) used by the K-source
+  intimacy pipeline.
+
+``WarmStartSVT`` is loaded lazily (PEP 562) because it imports the
+proximal operators, which themselves sit below this package's workspace
+in the import graph.
+"""
+
+from repro.perf.parallel import default_workers, parallel_map
+from repro.perf.workspace import Workspace
+
+__all__ = ["WarmStartSVT", "Workspace", "default_workers", "parallel_map"]
+
+
+def __getattr__(name):
+    if name == "WarmStartSVT":
+        from repro.perf.warm_svt import WarmStartSVT
+
+        return WarmStartSVT
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,103 @@
+"""Preallocated buffers for the forward-backward inner loop.
+
+Every seed-solver iteration allocated at least four n×n temporaries
+(the zero-initialized gradient accumulator, one array per smooth term's
+gradient, the gradient-step iterate and the entry-wise prox outputs).
+At the paper's 5k-user scale each of those is 200 MB of traffic per
+iteration, so the allocator — not the FPU — sets the pace.
+
+A :class:`Workspace` owns the handful of buffers the loop actually
+needs: a gradient accumulator, a scratch array for out-parameter
+accumulation / in-place proxes, and a ping-pong pair for the
+gradient-step iterate (two, so the new iterate never overwrites the
+previous one that convergence checks still read).  Buffers are reused
+across iterations *and* across CCCP rounds; the solver copies the final
+iterate out before returning whenever it still aliases workspace memory.
+
+Workspaces are not thread-safe: one solver instance, one workspace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class Workspace:
+    """Reusable buffers sized to one solver problem.
+
+    Attributes
+    ----------
+    gradient:
+        Accumulator for the summed smooth-term gradient.
+    scratch:
+        General-purpose temporary (gradient accumulation of secondary
+        terms, sign masks of the in-place soft threshold, norm diffs).
+    """
+
+    def __init__(self, shape: Tuple[int, ...], dtype=np.float64):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.gradient = np.empty(shape, dtype=dtype)
+        self.scratch = np.empty(shape, dtype=dtype)
+        self._step = (
+            np.empty(shape, dtype=dtype),
+            np.empty(shape, dtype=dtype),
+        )
+        self._flip = 0
+
+    @classmethod
+    def ensure(
+        cls, workspace: Optional["Workspace"], matrix: np.ndarray
+    ) -> "Workspace":
+        """Return ``workspace`` if it fits ``matrix``, else a fresh one."""
+        if (
+            workspace is not None
+            and workspace.shape == matrix.shape
+            and workspace.dtype == matrix.dtype
+        ):
+            return workspace
+        return cls(matrix.shape, dtype=matrix.dtype)
+
+    def step_buffer(self, avoid: Optional[np.ndarray] = None) -> np.ndarray:
+        """The next ping-pong iterate buffer, never ``avoid`` itself.
+
+        ``avoid`` is the previous iterate: after a step-halving recovery
+        both ping-pong slots can end up on the same side, and handing the
+        caller the buffer it is about to read from would corrupt the
+        convergence check.
+        """
+        buffer = self._step[self._flip]
+        if buffer is avoid:
+            self._flip ^= 1
+            buffer = self._step[self._flip]
+        self._flip ^= 1
+        return buffer
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is one of this workspace's buffers.
+
+        The solver uses this to decide if its final iterate must be
+        copied out before the workspace is reused.
+        """
+        return (
+            array is self.gradient
+            or array is self.scratch
+            or array is self._step[0]
+            or array is self._step[1]
+        )
+
+    def l1_norm(self, matrix: np.ndarray) -> float:
+        """``Σ|M_ij|`` computed through the scratch buffer (no temporary)."""
+        np.abs(matrix, out=self.scratch)
+        return float(self.scratch.sum())
+
+    def l1_update_norm(self, current: np.ndarray, previous: np.ndarray) -> float:
+        """``Σ|C_ij − P_ij|`` computed through the scratch buffer."""
+        np.subtract(current, previous, out=self.scratch)
+        np.abs(self.scratch, out=self.scratch)
+        return float(self.scratch.sum())
+
+    def __repr__(self) -> str:
+        return f"Workspace(shape={self.shape}, dtype={self.dtype})"

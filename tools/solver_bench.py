@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Solver hot-path smoke bench: exact vs fast fit at compact scale.
+
+Two legs, matching the two guarantees the hot path makes:
+
+* **Speedup** (``--scale``, ``--svd-rank``): fits the same rank-capped
+  transfer task twice — ``exact=True`` (the seed solver: cold-start
+  Lanczos SVT, sequential smooth terms, allocating inner loop) and the
+  default hot path (warm-started rank-capped SVT, fused smooth
+  objective, workspace-backed loop) — under identical convergence
+  criteria.  Both paths compute the same best-effort rank-capped
+  operator, so the gate here is predictive quality (AUC must agree to
+  ``--auc-gap``), not bitwise parity.
+* **Parity** (``--parity-scale``): fits with ``svd_rank=None`` — the
+  figure-3 configuration's numerics, where the engine is exact — and
+  gates the two score matrices to ``--parity`` (default 1e-6) max
+  absolute difference.
+
+Also measures tracemalloc peaks (the allocation-free claim as a number)
+and appends everything as snapshots to ``BENCH_solver.json``.  With
+``--check`` the fast-path wall-clock is compared against the newest
+committed ``bench_fast`` snapshot at the same scale and the run **fails
+(exit 1) on a >2x regression** — the CI smoke gate.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/solver_bench.py            # record
+    PYTHONPATH=src python tools/solver_bench.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+import warnings
+
+import numpy as np
+
+sys.path.insert(0, "benchmarks")
+
+from trajectory import BENCH_SOLVER_PATH, load_trajectory, record_snapshot  # noqa: E402
+
+from repro.evaluation.metrics import auc_score  # noqa: E402
+from repro.evaluation.splits import k_fold_link_splits  # noqa: E402
+from repro.exceptions import TruncatedSVTWarning  # noqa: E402
+from repro.models.base import TransferTask  # noqa: E402
+from repro.models.slampred import SlamPredT  # noqa: E402
+from repro.networks.social import SocialGraph  # noqa: E402
+from repro.synth.generator import generate_aligned_pair  # noqa: E402
+
+REGRESSION_FACTOR = 2.0
+
+
+def _problem(scale):
+    aligned = generate_aligned_pair(scale=scale, random_state=1)
+    graph = SocialGraph.from_network(aligned.target)
+    split = k_fold_link_splits(graph, n_folds=5, random_state=1)[0]
+    return aligned, split
+
+
+def _fit(aligned, split, svd_rank, inner, outer, exact):
+    task = TransferTask(
+        target=aligned.target,
+        training_graph=split.training_graph,
+        random_state=np.random.default_rng(1),
+    )
+    model = SlamPredT(
+        svd_rank=svd_rank,
+        inner_iterations=inner,
+        outer_iterations=outer,
+        exact=exact,
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        # Both paths warn on every lossy rank-capped application, by
+        # design; a bench run would otherwise drown in them.
+        warnings.simplefilter("ignore", TruncatedSVTWarning)
+        model.fit(task)
+    seconds = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return model, seconds, peak_bytes
+
+
+def _auc(model, split):
+    return float(
+        auc_score(model.score_pairs(split.test_pairs), split.test_labels)
+    )
+
+
+def _baseline_seconds(path, scale):
+    """Newest committed fast-path wall-clock at this scale, or None."""
+    for snap in reversed(load_trajectory(path)["snapshots"]):
+        if (
+            snap.get("section") == "bench_fast"
+            and snap.get("context", {}).get("scale") == scale
+        ):
+            return float(snap["stats"]["seconds"])
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=300)
+    parser.add_argument("--svd-rank", type=int, default=40, dest="svd_rank")
+    parser.add_argument("--inner", type=int, default=8)
+    parser.add_argument("--outer", type=int, default=6)
+    parser.add_argument("--auc-gap", type=float, default=0.05, dest="auc_gap")
+    parser.add_argument(
+        "--parity-scale", type=int, default=140, dest="parity_scale"
+    )
+    parser.add_argument("--parity", type=float, default=1e-6)
+    parser.add_argument("--path", default=BENCH_SOLVER_PATH)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of recording; "
+        "exit 1 on a >2x fast-path wall-clock regression",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _baseline_seconds(args.path, args.scale) if args.check else None
+
+    # --- speedup leg: rank-capped, warm path vs seed solver -------------
+    aligned, split = _problem(args.scale)
+    exact_model, exact_seconds, exact_peak = _fit(
+        aligned, split, args.svd_rank, args.inner, args.outer, exact=True
+    )
+    fast_model, fast_seconds, fast_peak = _fit(
+        aligned, split, args.svd_rank, args.inner, args.outer, exact=False
+    )
+    exact_auc = _auc(exact_model, split)
+    fast_auc = _auc(fast_model, split)
+    speedup = exact_seconds / fast_seconds
+    engine = fast_model._svt_engine
+    applies = max(1, int(engine.stats["applies"]))
+    print(
+        f"scale {args.scale} ({aligned.target.n_users} users, "
+        f"svd_rank {args.svd_rank}): "
+        f"exact {exact_seconds:.2f}s / {exact_peak / 1e6:.0f}MB peak, "
+        f"fast {fast_seconds:.2f}s / {fast_peak / 1e6:.0f}MB peak "
+        f"({speedup:.2f}x), AUC {exact_auc:.3f} -> {fast_auc:.3f}, "
+        f"SVT {engine.stats['seconds'] / applies * 1e3:.1f}ms/apply, "
+        f"{int(engine.stats['dense_fallbacks'])} fallbacks"
+    )
+    if not np.isfinite(fast_auc) or abs(fast_auc - exact_auc) > args.auc_gap:
+        print(
+            f"FAIL: fast-path AUC {fast_auc:.3f} deviates from the seed "
+            f"solver's {exact_auc:.3f} by more than {args.auc_gap}"
+        )
+        return 1
+
+    # --- parity leg: svd_rank=None, the figure-3 configuration ---------
+    p_aligned, p_split = _problem(args.parity_scale)
+    p_exact, p_exact_seconds, _ = _fit(
+        p_aligned, p_split, None, args.inner, args.outer, exact=True
+    )
+    p_fast, p_fast_seconds, _ = _fit(
+        p_aligned, p_split, None, args.inner, args.outer, exact=False
+    )
+    max_abs_diff = float(
+        np.abs(p_exact.score_matrix - p_fast.score_matrix).max()
+    )
+    print(
+        f"parity at scale {args.parity_scale} (svd_rank None): "
+        f"exact {p_exact_seconds:.2f}s, fast {p_fast_seconds:.2f}s, "
+        f"max|diff|={max_abs_diff:.2e}"
+    )
+    if not np.isfinite(max_abs_diff) or max_abs_diff > args.parity:
+        print(
+            f"FAIL: fast-path parity {max_abs_diff:.3e} exceeds "
+            f"{args.parity:.1e}"
+        )
+        return 1
+
+    if args.check:
+        if baseline is None:
+            print(
+                "FAIL: no committed bench_fast baseline at this scale in "
+                f"{args.path}; run without --check first and commit the file"
+            )
+            return 1
+        if fast_seconds > REGRESSION_FACTOR * baseline:
+            print(
+                f"FAIL: fast path took {fast_seconds:.2f}s vs committed "
+                f"baseline {baseline:.2f}s (> {REGRESSION_FACTOR:.0f}x)"
+            )
+            return 1
+        print(
+            f"OK: fast path {fast_seconds:.2f}s vs baseline {baseline:.2f}s "
+            f"(<= {REGRESSION_FACTOR:.0f}x)"
+        )
+        return 0
+
+    context = {
+        "scale": args.scale,
+        "n_users": int(aligned.target.n_users),
+        "svd_rank": args.svd_rank,
+        "inner_iterations": args.inner,
+        "outer_iterations": args.outer,
+    }
+    record_snapshot(
+        "bench_exact",
+        {
+            "seconds": exact_seconds,
+            "alloc_peak_bytes": exact_peak,
+            "auc": exact_auc,
+        },
+        context=context,
+        path=args.path,
+    )
+    record_snapshot(
+        "bench_fast",
+        {
+            "seconds": fast_seconds,
+            "alloc_peak_bytes": fast_peak,
+            "speedup": speedup,
+            "auc": fast_auc,
+            "svt_seconds": engine.stats["seconds"],
+            "svt_applies": engine.stats["applies"],
+            "svt_seconds_per_apply": engine.stats["seconds"] / applies,
+            "svt_dense_fallbacks": engine.stats["dense_fallbacks"],
+            "svt_lossy_truncations": engine.stats["lossy_truncations"],
+            "svt_rank_grows": engine.stats["rank_grows"],
+            "svt_rank_shrinks": engine.stats["rank_shrinks"],
+            "final_rank": engine.rank,
+        },
+        context=context,
+        path=args.path,
+    )
+    record_snapshot(
+        "bench_parity",
+        {
+            "max_abs_diff": max_abs_diff,
+            "exact_seconds": p_exact_seconds,
+            "fast_seconds": p_fast_seconds,
+        },
+        context={"scale": args.parity_scale, "svd_rank": None},
+        path=args.path,
+    )
+    print(f"recorded bench_exact/bench_fast/bench_parity to {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
