@@ -65,6 +65,8 @@ from repro.models import (
 from repro.evaluation import (
     auc_score,
     precision_at_k,
+    map_at_k,
+    ndcg_at_k,
     k_fold_link_splits,
     cross_validate,
     run_anchor_sweep,
@@ -72,10 +74,12 @@ from repro.evaluation import (
     precision_recall_curve,
 )
 from repro.alignment import AnchorPredictor, UserProfileBuilder
+from repro.factored import FactoredEstimate
 from repro.models import (
     save_predictor,
     load_predictor,
     FrozenPredictor,
+    FrozenFactoredPredictor,
     LinkRecommender,
 )
 from repro.evaluation import grid_search
@@ -139,6 +143,8 @@ __all__ = [
     "LogisticRegression",
     "auc_score",
     "precision_at_k",
+    "map_at_k",
+    "ndcg_at_k",
     "k_fold_link_splits",
     "cross_validate",
     "run_anchor_sweep",
@@ -149,6 +155,8 @@ __all__ = [
     "save_predictor",
     "load_predictor",
     "FrozenPredictor",
+    "FrozenFactoredPredictor",
+    "FactoredEstimate",
     "LinkRecommender",
     "grid_search",
     "Tracer",

@@ -178,9 +178,9 @@ def build_joint_indicators(
     sizes = [s.n_instances for s in samples]
     total = sum(sizes)
     offsets = np.concatenate(([0], np.cumsum(sizes)))
-    w_a = np.zeros((total, total))
-    w_s = np.zeros((total, total))
-    w_d = np.zeros((total, total))
+    w_a = np.zeros((total, total))  # dense-ok: small sampled-instance space
+    w_s = np.zeros((total, total))  # dense-ok: small sampled-instance space
+    w_d = np.zeros((total, total))  # dense-ok: small sampled-instance space
 
     def block(matrix: np.ndarray, m: int, n: int, values: np.ndarray) -> None:
         matrix[offsets[m]:offsets[m + 1], offsets[n]:offsets[n + 1]] = values

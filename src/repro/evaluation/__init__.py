@@ -12,6 +12,8 @@ from repro.evaluation.metrics import (
     recall_at_k,
     average_precision,
     f1_at_threshold,
+    map_at_k,
+    ndcg_at_k,
 )
 from repro.evaluation.curves import (
     roc_curve,
@@ -48,6 +50,8 @@ __all__ = [
     "recall_at_k",
     "average_precision",
     "f1_at_threshold",
+    "map_at_k",
+    "ndcg_at_k",
     "roc_curve",
     "precision_recall_curve",
     "auc_from_roc",

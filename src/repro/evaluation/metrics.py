@@ -97,6 +97,72 @@ def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
     return float((precision * sorted_labels).sum() / total_pos)
 
 
+def _expected_relevance(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Labels in descending-score order, tie groups averaged.
+
+    Instances sharing a score are interchangeable under any tie-breaking
+    rule; replacing each one's label with its tie group's mean makes every
+    rank-discounted metric deterministic and order-independent (and exact
+    in expectation over random tie permutations of a linear metric).
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    expected = labels[order].astype(float).copy()
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0.0) + 1
+    for start, end in zip(
+        np.concatenate([[0], boundaries]),
+        np.concatenate([boundaries, [sorted_scores.size]]),
+    ):
+        expected[start:end] = expected[start:end].mean()
+    return expected
+
+
+def ndcg_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
+    """Normalized discounted cumulative gain over the top ``k`` (binary).
+
+    ``DCG@k / IDCG@k`` with the standard ``1 / log2(rank + 1)`` discount.
+    Tied scores contribute their tie group's expected relevance at each
+    position, so the value is deterministic regardless of sort order.
+    ``k`` larger than the instance count is clamped; a ranking with no
+    positives scores 0.0 (there is no ideal ordering to normalize by).
+    """
+    scores, labels = _validate(scores, labels)
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    k = min(int(k), scores.size)
+    if float(labels.sum()) == 0.0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    expected = _expected_relevance(scores, labels)
+    dcg = float((expected[:k] * discounts).sum())
+    ideal = np.sort(labels)[::-1][:k]
+    idcg = float((ideal * discounts).sum())
+    return dcg / idcg
+
+
+def map_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
+    """Average precision truncated at rank ``k`` (binary relevance).
+
+    ``Σ_{i≤k} P(i)·rel_i / min(n_positives, k)`` over the descending
+    ranking — the single-query "MAP@k" of the recommender literature.
+    Tie groups contribute their expected relevance (exact for the
+    untied case, first-order in expectation under tied permutations);
+    ``k`` beyond the instance count is clamped and an all-negative
+    labelling scores 0.0.
+    """
+    scores, labels = _validate(scores, labels)
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    k = min(int(k), scores.size)
+    total_pos = float(labels.sum())
+    if total_pos == 0.0:
+        return 0.0
+    expected = _expected_relevance(scores, labels)
+    cumulative = np.cumsum(expected)[:k]
+    precision = cumulative / np.arange(1, k + 1)
+    return float((precision * expected[:k]).sum() / min(total_pos, k))
+
+
 def f1_at_threshold(
     scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5
 ) -> float:

@@ -96,7 +96,7 @@ def katz_sparse(
     csr = _as_csr(adjacency)
     n = csr.shape[0]
     power = np.eye(n)
-    scores = np.zeros((n, n))
+    scores = np.zeros((n, n))  # dense-ok: dense Katz accumulator
     damping = 1.0
     for _ in range(int(max_length)):
         power = csr @ power  # sparse @ dense → dense

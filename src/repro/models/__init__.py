@@ -31,6 +31,7 @@ from repro.models.pu import PLPredictor
 from repro.models.slampred import SlamPred, SlamPredT, SlamPredH
 from repro.models.persistence import (
     FrozenPredictor,
+    FrozenFactoredPredictor,
     save_predictor,
     load_predictor,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "SlamPredT",
     "SlamPredH",
     "FrozenPredictor",
+    "FrozenFactoredPredictor",
     "save_predictor",
     "load_predictor",
     "LinkRecommender",

@@ -150,6 +150,15 @@ class MatrixPredictor(LinkPredictor):
             )
         return self._score_matrix
 
+    @property
+    def n_users(self) -> int:
+        """Number of target users the fitted predictor covers.
+
+        Factored predictors override this so consumers (serving, benches)
+        can size themselves without materializing a dense score matrix.
+        """
+        return int(self.score_matrix.shape[0])
+
     def _score_pairs(self, pairs: List[Tuple[int, int]]) -> np.ndarray:
         rows = np.array([p[0] for p in pairs], dtype=int)
         cols = np.array([p[1] for p in pairs], dtype=int)

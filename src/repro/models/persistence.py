@@ -14,6 +14,13 @@ corrupted scores (or leaking a raw ``zipfile``/``KeyError``).
 
 Loaded predictors come back as :class:`FrozenPredictor` — scoring works,
 refitting is deliberately unsupported (retrain from source data instead).
+
+Factored models (``factored=True`` fits, DESIGN.md §13) round-trip through
+a distinct format version that stores the O(nk) factors — ``U``, ``σ``,
+``Vᵀ`` and the CSR residual arrays — instead of the n×n matrix, with the
+same digest discipline over every array.  They come back as
+:class:`FrozenFactoredPredictor`, which scores pairs through O(k) dots and
+never materializes the dense matrix unless explicitly asked.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.exceptions import ArtifactCorruptError, SerializationError
 from repro.models.base import MatrixPredictor, TransferTask
 
 _FORMAT_VERSION = 2
+_FACTORED_FORMAT_VERSION = 3  # factored archives: factors, not the matrix
 _DIGESTLESS_VERSIONS = (1,)  # legacy archives written before checksums
 
 
@@ -65,6 +73,72 @@ class FrozenPredictor(MatrixPredictor):
         )
 
 
+class FrozenFactoredPredictor(MatrixPredictor):
+    """A deserialized factored O(nk) predictor.
+
+    Pair scores are ``max(S_uv, 0)`` with a zero diagonal, computed from
+    the factors in O(k) per pair — the same (unnormalized) convention the
+    ``factored=True`` training path uses, so a publish → load round trip
+    is score-identical.
+
+    Parameters
+    ----------
+    estimate:
+        The fitted :class:`~repro.factored.estimate.FactoredEstimate`.
+    metadata:
+        The saved model's name and hyper-parameters (read-only diagnostics).
+    """
+
+    factored = True
+    """Marks the predictor as factored for publish/serving dispatch."""
+
+    def __init__(self, estimate, metadata: Dict = None):
+        super().__init__()
+        self.estimate = estimate
+        self.metadata = dict(metadata or {})
+        self._fitted = True
+
+    @property
+    def name(self) -> str:
+        """The saved model's display name."""
+        return self.metadata.get("name", "FrozenFactoredPredictor")
+
+    @property
+    def factored_estimate(self):
+        """The underlying factored estimate (alias of ``estimate``)."""
+        return self.estimate
+
+    @property
+    def n_users(self) -> int:
+        """Users covered — O(1), no dense materialization."""
+        return self.estimate.n_users
+
+    @property
+    def score_matrix(self) -> np.ndarray:
+        """The dense n×n scores — **materializes** O(n²) memory.
+
+        A parity/debug oracle for small n; serving-scale consumers should
+        score through :meth:`score_pairs` or :attr:`estimate` rows.
+        """
+        dense = self.estimate.to_dense()
+        np.maximum(dense, 0.0, out=dense)
+        np.fill_diagonal(dense, 0.0)
+        return dense
+
+    def _score_pairs(self, pairs) -> np.ndarray:
+        rows = np.array([p[0] for p in pairs], dtype=int)
+        cols = np.array([p[1] for p in pairs], dtype=int)
+        scores = np.maximum(self.estimate.entries(rows, cols), 0.0)
+        scores[rows == cols] = 0.0
+        return scores
+
+    def _fit(self, task: TransferTask) -> None:
+        raise SerializationError(
+            "FrozenFactoredPredictor cannot be refitted; train a fresh "
+            "model instead"
+        )
+
+
 def content_digest(matrix: np.ndarray, metadata_json: str) -> str:
     """Sha256 hex digest binding a score matrix to its metadata blob.
 
@@ -77,6 +151,41 @@ def content_digest(matrix: np.ndarray, metadata_json: str) -> str:
     hasher.update(matrix.tobytes())
     hasher.update(metadata_json.encode("utf-8"))
     return hasher.hexdigest()
+
+
+def factored_content_digest(arrays: Dict, metadata_json: str) -> str:
+    """Sha256 hex digest binding factor arrays to their metadata blob.
+
+    Arrays are hashed in sorted key order — name, shape, contiguous
+    float/int bytes — so corrupting any single factor file (or swapping
+    two) changes the digest.
+    """
+    hasher = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        hasher.update(key.encode("ascii"))
+        hasher.update(repr(array.shape).encode("ascii"))
+        hasher.update(array.tobytes())
+    hasher.update(metadata_json.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _factored_arrays(estimate) -> Dict:
+    """The npz payload of a factored estimate (all O(nk) arrays)."""
+    residual = estimate.residual.tocsr()
+    return {
+        "factor_u": np.ascontiguousarray(estimate.u, dtype=float),
+        "factor_s": np.ascontiguousarray(estimate.s, dtype=float),
+        "factor_vt": np.ascontiguousarray(estimate.vt, dtype=float),
+        "residual_data": np.ascontiguousarray(residual.data, dtype=float),
+        "residual_indices": np.ascontiguousarray(
+            residual.indices, dtype=np.int64
+        ),
+        "residual_indptr": np.ascontiguousarray(
+            residual.indptr, dtype=np.int64
+        ),
+        "n_users": np.array([estimate.n_users], dtype=np.int64),
+    }
 
 
 def _extract_metadata(model: MatrixPredictor) -> Dict:
@@ -111,10 +220,31 @@ def _extract_metadata(model: MatrixPredictor) -> Dict:
 def save_predictor(model: MatrixPredictor, path: str) -> None:
     """Write a fitted matrix predictor to ``path`` (.npz).
 
-    Serializes the score matrix plus a JSON metadata blob containing the
-    model name and its scalar hyper-parameters, and a sha256 content digest
-    that :func:`load_predictor` verifies on the way back in.
+    Dense predictors serialize the score matrix plus a JSON metadata blob
+    containing the model name and its scalar hyper-parameters, and a
+    sha256 content digest that :func:`load_predictor` verifies on the way
+    back in.  Factored predictors (``model.factored`` truthy) serialize
+    the O(nk) factor arrays instead — the dense matrix is never formed.
     """
+    if getattr(model, "factored", False):
+        estimate = model.factored_estimate  # fitted check before disk I/O
+        metadata_json = json.dumps(_extract_metadata(model))
+        arrays = _factored_arrays(estimate)
+        np.savez_compressed(
+            path,
+            version=np.array([_FACTORED_FORMAT_VERSION]),
+            metadata=np.frombuffer(
+                metadata_json.encode("utf-8"), dtype=np.uint8
+            ),
+            digest=np.frombuffer(
+                factored_content_digest(arrays, metadata_json).encode(
+                    "ascii"
+                ),
+                dtype=np.uint8,
+            ),
+            **arrays,
+        )
+        return
     matrix = model.score_matrix  # raises NotFittedError when unfitted
     metadata_json = json.dumps(_extract_metadata(model))
     np.savez_compressed(
@@ -141,17 +271,25 @@ def load_predictor(path: str) -> FrozenPredictor:
     try:
         with np.load(path) as data:
             version = int(data["version"][0])
-            if version != _FORMAT_VERSION and version not in _DIGESTLESS_VERSIONS:
+            supported = (_FORMAT_VERSION, _FACTORED_FORMAT_VERSION)
+            if version not in supported and version not in _DIGESTLESS_VERSIONS:
                 raise SerializationError(
                     f"unsupported predictor format version {version}"
                 )
-            matrix = np.asarray(data["score_matrix"])
             metadata_json = bytes(data["metadata"]).decode("utf-8")
             stored_digest = (
                 bytes(data["digest"]).decode("ascii")
                 if version not in _DIGESTLESS_VERSIONS
                 else None
             )
+            if version == _FACTORED_FORMAT_VERSION:
+                arrays = {
+                    key: np.asarray(data[key]) for key in _factored_keys()
+                }
+                matrix = None
+            else:
+                matrix = np.asarray(data["score_matrix"])
+                arrays = None
     except (
         KeyError,
         ValueError,
@@ -162,7 +300,11 @@ def load_predictor(path: str) -> FrozenPredictor:
     ) as exc:
         raise SerializationError(f"cannot load predictor: {exc}") from exc
     if stored_digest is not None:
-        actual = content_digest(matrix, metadata_json)
+        actual = (
+            factored_content_digest(arrays, metadata_json)
+            if arrays is not None
+            else content_digest(matrix, metadata_json)
+        )
         if actual != stored_digest:
             raise ArtifactCorruptError(
                 f"predictor archive {path} failed its integrity check: "
@@ -173,4 +315,46 @@ def load_predictor(path: str) -> FrozenPredictor:
         metadata = json.loads(metadata_json)
     except ValueError as exc:
         raise SerializationError(f"cannot load predictor: {exc}") from exc
+    if arrays is not None:
+        return FrozenFactoredPredictor(
+            _estimate_from_arrays(arrays, path), metadata
+        )
     return FrozenPredictor(matrix, metadata)
+
+
+def _factored_keys():
+    """Array names of the factored archive payload, in a fixed order."""
+    return (
+        "factor_u",
+        "factor_s",
+        "factor_vt",
+        "residual_data",
+        "residual_indices",
+        "residual_indptr",
+        "n_users",
+    )
+
+
+def _estimate_from_arrays(arrays: Dict, path: str):
+    """Rebuild a :class:`FactoredEstimate` from validated archive arrays."""
+    from scipy import sparse
+
+    from repro.factored.estimate import FactoredEstimate
+
+    n = int(arrays["n_users"][0])
+    try:
+        residual = sparse.csr_matrix(
+            (
+                arrays["residual_data"],
+                arrays["residual_indices"],
+                arrays["residual_indptr"],
+            ),
+            shape=(n, n),
+        )
+        return FactoredEstimate(
+            arrays["factor_u"], arrays["factor_s"], arrays["factor_vt"], residual
+        )
+    except ValueError as exc:
+        raise SerializationError(
+            f"cannot load predictor {path}: inconsistent factors ({exc})"
+        ) from exc

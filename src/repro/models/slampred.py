@@ -27,6 +27,14 @@ Variants:
 * :class:`SlamPred` — full model (structure + attributes + sources);
 * :class:`SlamPredT` — target network only (structure + attributes);
 * :class:`SlamPredH` — homogeneous: target structure only.
+
+Every variant also accepts ``factored=True``, which swaps the dense n×n
+iterate for the O(nk) :class:`~repro.factored.estimate.FactoredEstimate`
+representation end to end (DESIGN.md §13): the solve runs on factors, the
+fitted predictor stores ``U diag(σ) Vᵀ + R`` and scoring a pair costs one
+O(k) dot product.  The dense path (and its ``exact=True`` bit-exact seed
+numerics) remains the parity oracle the test suite checks the factored
+path against.
 """
 
 from __future__ import annotations
@@ -55,6 +63,13 @@ from repro.utils.validation import (
     check_non_negative,
     check_positive,
 )
+
+
+# Near-lossless compression of the (dense, rank-spread) intimacy gradient
+# for the factored solve: top singular directions plus the largest-|·|
+# residual entries, sized as a multiple of the adjacency's nnz.
+_FACTORED_GRADIENT_RANK = 128
+_FACTORED_GRADIENT_RESIDUAL_MULTIPLE = 8
 
 
 class SlamPred(MatrixPredictor):
@@ -99,6 +114,18 @@ class SlamPred(MatrixPredictor):
         adaptive-rank SVT engine, the fused smooth objective and the
         workspace-backed inner loop (DESIGN.md §12); predictions match
         the exact path to the SVT's verified residual tolerance.
+    factored:
+        When True, run the solve on the factored O(nk) representation
+        (DESIGN.md §13): no n×n array is formed during fitting, the
+        fitted predictor is a
+        :class:`~repro.factored.estimate.FactoredEstimate` exposed via
+        :attr:`factored_estimate`, and pair scores are unnormalized
+        ``max(S_ij, 0)`` entries (a positive rescaling of the dense
+        path's peak-normalized scores — AUC and top-k rankings are
+        unaffected).  Mutually exclusive with ``exact``; the intimacy
+        gradient, when present, is compressed to rank
+        ``min(n − 1, 128)`` plus its largest-magnitude residual entries
+        before the solve.
     n_jobs:
         Thread count for the per-source intimacy extraction and transfer
         pipeline (``None`` picks a bounded default; 1 forces the
@@ -161,6 +188,7 @@ class SlamPred(MatrixPredictor):
         use_sources: bool = True,
         learn_alphas: bool = True,
         exact: bool = False,
+        factored: bool = False,
         n_jobs: Optional[int] = None,
         display_name: str = None,
         tracer: Optional[Tracer] = None,
@@ -211,6 +239,12 @@ class SlamPred(MatrixPredictor):
                 "by attribute features)"
             )
         self.exact = bool(exact)
+        self.factored = bool(factored)
+        if self.exact and self.factored:
+            raise ConfigurationError(
+                "exact and factored are mutually exclusive: exact pins the "
+                "dense seed numerics, factored never forms the dense iterate"
+            )
         if n_jobs is None:
             self.n_jobs = None
         else:
@@ -218,6 +252,7 @@ class SlamPred(MatrixPredictor):
         self._display_name = display_name or self._default_name()
         self.tracer = tracer
         self._result: Optional[CCCPResult] = None
+        self._factored_estimate = None
         self._adapter: Optional[DomainAdapter] = None
         self._checkpoint_manager = None
         self._svt_engine: Optional[WarmStartSVT] = None
@@ -233,10 +268,28 @@ class SlamPred(MatrixPredictor):
 
     @property
     def result(self) -> CCCPResult:
-        """The CCCP run record (history feeds the Figure 3 reproduction)."""
+        """The solve record (history feeds the Figure 3 reproduction).
+
+        A :class:`~repro.optim.cccp.CCCPResult` on the dense path, a
+        :class:`~repro.factored.solver.FactoredResult` when the model was
+        constructed with ``factored=True``; both carry ``history``,
+        ``round_norms``, ``n_rounds`` and ``converged``.
+        """
         if self._result is None:
             raise NotFittedError(f"{self.name} has not been fitted")
         return self._result
+
+    @property
+    def factored_estimate(self):
+        """The fitted O(nk) estimate (``factored=True`` models only)."""
+        if not self.factored:
+            raise ConfigurationError(
+                f"{self.name} was fitted densely; construct the model with "
+                "factored=True for a factored estimate"
+            )
+        if self._factored_estimate is None:
+            raise NotFittedError(f"{self.name} has not been fitted")
+        return self._factored_estimate
 
     @property
     def adapter(self) -> Optional[DomainAdapter]:
@@ -262,13 +315,19 @@ class SlamPred(MatrixPredictor):
                 "run_report needs a live tracer; construct the model with "
                 "tracer=Tracer()"
             )
+        solution = getattr(self._result, "solution", None)
+        n_users = (
+            int(solution.shape[0])
+            if solution is not None
+            else int(self._result.estimate.n_users)
+        )
         merged_meta = {
             "model": self.name,
             "gamma": self.gamma,
             "tau": self.tau,
             "step_size": self.step_size,
             "svd_rank": self.svd_rank,
-            "n_users": int(self._result.solution.shape[0]),
+            "n_users": n_users,
             "n_rounds": self._result.n_rounds,
             "converged": self._result.converged,
         }
@@ -340,6 +399,11 @@ class SlamPred(MatrixPredictor):
             gradient = self._intimacy_gradient(task)
         if gradient is not None:
             gradient = self.intimacy_scale * gradient
+        if self.factored:
+            from scipy import sparse
+
+            self._fit_factored(sparse.csr_matrix(adjacency), gradient)
+            return
         loss = SquaredFrobeniusLoss(adjacency)
         if self.exact:
             self._svt_engine = None
@@ -384,6 +448,140 @@ class SlamPred(MatrixPredictor):
         if peak > 0:
             scores = scores / peak
         self._score_matrix = scores
+
+    def fit_adjacency(self, adjacency) -> "SlamPred":
+        """Fit the factored homogeneous model straight from an adjacency.
+
+        The large-scale entry point: no :class:`TransferTask`, no feature
+        extraction — just the structural solve on a scipy sparse (or
+        csr-ifiable) adjacency.  Requires ``factored=True`` and
+        ``use_attributes=False`` (the intimacy pipeline needs the full
+        heterogeneous task); returns ``self`` for chaining.  This is what
+        the ``bench_factored`` benchmark drives at sizes the dense path
+        cannot allocate.
+        """
+        from scipy import sparse
+
+        if not self.factored:
+            raise ConfigurationError(
+                "fit_adjacency requires factored=True; the dense path "
+                "fits through a TransferTask"
+            )
+        if self.use_attributes:
+            raise ConfigurationError(
+                "fit_adjacency is structural-only; use the homogeneous "
+                "variant (use_attributes=False) or fit a TransferTask"
+            )
+        matrix = sparse.csr_matrix(adjacency, dtype=float)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"adjacency must be square, got shape {matrix.shape}"
+            )
+        self._fit_factored(matrix, None)
+        self._fitted = True
+        return self
+
+    def _fit_factored(self, adjacency, gradient) -> None:
+        """Run the O(nk) solve (DESIGN.md §13) on a sparse adjacency."""
+        from scipy import sparse
+
+        from repro.factored.estimate import FactoredEstimate
+        from repro.factored.solver import FactoredSolver
+        from repro.optim.forward_backward import FactoredForwardBackwardSolver
+
+        if self._checkpoint_manager is not None:
+            raise ConfigurationError(
+                "checkpointing is a dense-path feature; factored fits "
+                "store O(nk) artifacts and are cheap to re-run"
+            )
+        tracer = self._tracer
+        if gradient is None:
+            intimacy = None
+        elif sparse.issparse(gradient):
+            intimacy = (
+                None
+                if gradient.nnz == 0
+                else FactoredEstimate.from_sparse(gradient)
+            )
+        else:
+            gradient = np.asarray(gradient, dtype=float)
+            n = gradient.shape[0]
+            rank = max(1, min(n - 1, _FACTORED_GRADIENT_RANK))
+            residual_nnz = min(
+                gradient.size,
+                _FACTORED_GRADIENT_RESIDUAL_MULTIPLE
+                * max(int(adjacency.nnz), n),
+            )
+            intimacy = FactoredEstimate.compress(
+                gradient, rank=rank, residual_nnz=residual_nnz
+            )
+        self._svt_engine = WarmStartSVT(
+            initial_rank=self.svd_rank, max_rank=self.svd_rank
+        )
+        prox_terms = [
+            TraceNormProx(
+                self.tau, max_rank=self.svd_rank, engine=self._svt_engine
+            ),
+            L1Prox(self.gamma),
+            BoxProjection(0.0, None),
+        ]
+        inner = FactoredForwardBackwardSolver(
+            step_size=self.step_size,
+            criterion=ConvergenceCriterion(
+                tolerance=self.tolerance, max_iterations=self.inner_iterations
+            ),
+        )
+        solver = FactoredSolver(
+            adjacency,
+            prox_terms,
+            intimacy=intimacy,
+            inner_solver=inner,
+            outer_criterion=ConvergenceCriterion(
+                tolerance=self.tolerance, max_iterations=self.outer_iterations
+            ),
+        )
+        with tracer.span("cccp"):
+            self._result = solver.solve(tracer=tracer)
+        self._factored_estimate = self._result.estimate
+        self._score_matrix = None
+
+    @property
+    def score_matrix(self) -> np.ndarray:
+        """The full n×n score matrix.
+
+        On the factored path this **materializes** the dense matrix
+        (``max(S, 0)`` with a zero diagonal, unnormalized) — the parity
+        oracle for small n; serving-scale consumers should read rows via
+        :attr:`factored_estimate` instead.
+        """
+        if self.factored:
+            if self._factored_estimate is None:
+                raise NotFittedError(
+                    f"{self.name} must be fitted before reading scores"
+                )
+            dense = self._factored_estimate.to_dense()
+            np.maximum(dense, 0.0, out=dense)
+            np.fill_diagonal(dense, 0.0)
+            return dense
+        return MatrixPredictor.score_matrix.fget(self)
+
+    @property
+    def n_users(self) -> int:
+        """Users covered by the fit — O(1) on the factored path."""
+        if self.factored and self._factored_estimate is not None:
+            return self._factored_estimate.n_users
+        return MatrixPredictor.n_users.fget(self)
+
+    def _score_pairs(self, pairs) -> np.ndarray:
+        if not self.factored:
+            return super()._score_pairs(pairs)
+        rows = np.array([p[0] for p in pairs], dtype=int)
+        cols = np.array([p[1] for p in pairs], dtype=int)
+        scores = np.maximum(
+            self._factored_estimate.entries(rows, cols), 0.0
+        )
+        scores[rows == cols] = 0.0
+        return scores
 
     def _intimacy_gradient(self, task: TransferTask) -> Optional[np.ndarray]:
         if not self.use_attributes:
@@ -487,7 +685,7 @@ class SlamPred(MatrixPredictor):
             ):
                 affinity = self._adapter.affinity_matrix(tensor, k)
                 n_source = tensor.n_users
-                coverage = np.ones((n_source, n_source))
+                coverage = np.ones((n_source, n_source))  # dense-ok: source-side alignment
                 np.fill_diagonal(coverage, 0.0)
                 transferred = align_source_to_target(
                     FeatureTensor(np.stack([affinity, coverage])),
@@ -526,7 +724,15 @@ class SlamPred(MatrixPredictor):
         n = latent_blocks[0].shape[1]
         links = sorted(graph.links())
         if not links:
-            return np.zeros((n, n))
+            # Degenerate linkless graph: the calibration has nothing to fit
+            # on, so the gradient is identically zero.  Returned as an
+            # empty CSR matrix — allocating a dense n×n of zeros here cost
+            # O(n²) memory for a matrix both solver paths treat as "no
+            # transfer" (the CCCP solver drops it, the factored objective
+            # keeps it sparse).
+            from scipy import sparse
+
+            return sparse.csr_matrix((n, n))
         scaled = []
         for alpha, block in zip(block_alphas, latent_blocks):
             flat = block.reshape(block.shape[0], -1)

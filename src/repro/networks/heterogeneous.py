@@ -258,7 +258,7 @@ class HeterogeneousNetwork:
         """Binary symmetric social adjacency matrix ``A`` (paper's A^t)."""
         index = self.user_index()
         n = self.n_users
-        matrix = np.zeros((n, n))
+        matrix = np.zeros((n, n))  # dense-ok: exact-path adjacency
         for a, b in self._social_links:
             i, j = index[a], index[b]
             matrix[i, j] = 1.0

@@ -33,6 +33,30 @@ from repro.optim.losses import (
 from repro.utils.matrices import is_square
 
 
+def _as_dense_gradient(intimacy_gradient):
+    """Normalize the constant ``∇v`` to a dense array or ``None``.
+
+    Scipy sparse inputs are accepted (the degenerate linkless calibration
+    returns an empty CSR instead of a dense zero matrix): an all-zero
+    sparse gradient is mathematically "no transfer", so it maps to
+    ``None`` without ever allocating n² zeros; a non-trivial sparse
+    gradient is densified, since this dense-path solver consumes it
+    entry-wise anyway.  ``np.asarray`` alone would wrap a sparse matrix
+    in a 0-d object array and fail much later, inside the solve.
+    """
+    if intimacy_gradient is None:
+        return None
+    try:
+        from scipy import sparse
+    except ImportError:  # pragma: no cover - scipy ships with the repo
+        sparse = None
+    if sparse is not None and sparse.issparse(intimacy_gradient):
+        if intimacy_gradient.nnz == 0:
+            return None
+        return np.asarray(intimacy_gradient.todense(), dtype=float)
+    return np.asarray(intimacy_gradient, dtype=float)
+
+
 @dataclass
 class CCCPResult:
     """Outcome of a CCCP run.
@@ -104,11 +128,7 @@ class CCCPSolver:
         self.loss = loss
         self.prox_terms = list(prox_terms)
         self.fuse_smooth = bool(fuse_smooth)
-        self.intimacy_gradient = (
-            None
-            if intimacy_gradient is None
-            else np.asarray(intimacy_gradient, dtype=float)
-        )
+        self.intimacy_gradient = _as_dense_gradient(intimacy_gradient)
         self.inner_solver = inner_solver or ForwardBackwardSolver(
             step_size=1e-3,
             criterion=ConvergenceCriterion(tolerance=1e-5, max_iterations=30),

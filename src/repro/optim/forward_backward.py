@@ -37,7 +37,7 @@ from repro.exceptions import OptimizationError
 from repro.observability.records import IterationRecord
 from repro.observability.tracer import Tracer, is_tracing
 from repro.optim.convergence import ConvergenceCriterion, IterationHistory
-from repro.perf.workspace import Workspace
+from repro.perf.workspace import FactoredWorkspace, Workspace
 from repro.utils.validation import check_positive
 
 
@@ -49,6 +49,20 @@ def _diverged(matrix: np.ndarray) -> bool:
     return (
         not np.all(np.isfinite(matrix))
         or np.abs(matrix).max() > _DIVERGENCE_LIMIT
+    )
+
+
+def _diverged_factored(estimate) -> bool:
+    """Divergence check on factors: non-finite or huge weights/residual."""
+    s = estimate.s
+    if s.size and (
+        not np.all(np.isfinite(s)) or float(s.max()) > _DIVERGENCE_LIMIT
+    ):
+        return True
+    data = estimate.residual.data
+    return data.size > 0 and (
+        not np.all(np.isfinite(data))
+        or float(np.abs(data).max()) > _DIVERGENCE_LIMIT
     )
 
 
@@ -363,6 +377,152 @@ class ForwardBackwardSolver:
                 phase_seconds, svt_before,
             )
             if self.criterion.satisfied(current, previous):
+                break
+        return current
+
+
+class FactoredForwardBackwardSolver:
+    """Forward-backward splitting on a factored iterate ``S = L + R``.
+
+    Runs the same iteration as :class:`ForwardBackwardSolver` — gradient
+    step, singular-value thresholding, entry-wise proxes — but the iterate
+    is a :class:`~repro.factored.estimate.FactoredEstimate` and no n×n
+    array is ever formed (DESIGN.md §13):
+
+    * the forward step is :meth:`FactoredSmoothObjective.gradient_step`
+      (a factor concatenation plus one CSR combination, O(nnz + nk)),
+    * the trace-norm prox is the exact SVT of the *full* iterate, applied
+      through matvecs (``TraceNormProx.apply_factored``), producing a pure
+      low-rank ``L'``,
+    * the entry-wise proxes (ℓ1 shrinkage, box projection) act on the
+      fixed sparse support Ω — the union of ``2A + G_sparse``'s pattern
+      and the initial residual's — via their ``apply_values`` hooks; the
+      new residual stores the correction ``prox(v) − v`` on Ω.
+
+    Off-support entries therefore see the SVT but skip the entry-wise
+    proxes, whose effect there is a uniform monotone shrink-and-clip —
+    ranking-based metrics (AUC, top-k) over off-support pairs are
+    unaffected up to the tolerance the parity suite pins down.
+
+    Convergence bookkeeping uses Frobenius-norm surrogates computed from
+    Gram matrices (``‖S_t − S_{t−1}‖_F``), a lower bound on the entrywise
+    ℓ1 norm the dense solver tracks; iteration budgets are shared with the
+    dense configuration.
+    """
+
+    def __init__(
+        self,
+        step_size: float = 1e-3,
+        criterion: ConvergenceCriterion = None,
+        max_step_halvings: int = 3,
+    ):
+        self.step_size = check_positive(step_size, "step_size")
+        self.criterion = criterion or ConvergenceCriterion()
+        if max_step_halvings < 0:
+            raise OptimizationError(
+                f"max_step_halvings must be >= 0, got {max_step_halvings}"
+            )
+        self.max_step_halvings = int(max_step_halvings)
+
+    @staticmethod
+    def _split_proxes(prox_terms: Sequence):
+        """Partition prox terms into the one SVT and the entry-wise rest."""
+        trace_proxes = [
+            p for p in prox_terms if hasattr(p, "apply_factored")
+        ]
+        entry_proxes = [
+            p for p in prox_terms if not hasattr(p, "apply_factored")
+        ]
+        if len(trace_proxes) != 1:
+            raise OptimizationError(
+                "factored solve needs exactly one trace-norm prox "
+                f"(apply_factored), got {len(trace_proxes)}"
+            )
+        missing = [
+            type(p).__name__
+            for p in entry_proxes
+            if not hasattr(p, "apply_values")
+        ]
+        if missing:
+            raise OptimizationError(
+                "entry-wise prox terms must expose apply_values for the "
+                f"factored path; missing on {missing}"
+            )
+        return trace_proxes[0], entry_proxes
+
+    def solve(
+        self,
+        initial,
+        objective,
+        prox_terms: Sequence,
+        history: Optional[IterationHistory] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """Run the factored iteration from ``initial`` until convergence.
+
+        Parameters
+        ----------
+        initial:
+            Starting :class:`~repro.factored.estimate.FactoredEstimate`.
+        objective:
+            A :class:`~repro.optim.losses.FactoredSmoothObjective` (or
+            anything with ``gradient_step`` and ``constant_sparse``).
+        prox_terms:
+            Exactly one term with ``apply_factored`` (the SVT) plus any
+            number with ``apply_values`` (entry-wise), in apply order.
+        """
+        trace_prox, entry_proxes = self._split_proxes(prox_terms)
+        constant = objective.constant_sparse
+        pattern = abs(constant)
+        if initial.residual.nnz:
+            pattern = pattern + abs(initial.residual)
+        ws = FactoredWorkspace.ensure(
+            getattr(self, "_workspace", None), pattern
+        )
+        self._workspace = ws
+        tracing = is_tracing(tracer)
+        current = initial
+        step = self.step_size
+        halvings = 0
+        for _ in range(self.criterion.max_iterations):
+            previous = current
+            forwarded = objective.gradient_step(previous, step)
+            if tracing:
+                with tracer.span("prox:TraceNormProx"):
+                    lowrank = trace_prox.apply_factored(
+                        forwarded, step, tracer=tracer
+                    )
+            else:
+                lowrank = trace_prox.apply_factored(forwarded, step)
+            values = ws.lowrank_entries(lowrank)
+            proxed = values
+            for prox in entry_proxes:
+                proxed = prox.apply_values(proxed, step)
+            correction = np.subtract(proxed, values)
+            current = lowrank.with_residual(ws.residual_from(correction))
+            if _diverged_factored(current):
+                if halvings < self.max_step_halvings:
+                    halvings += 1
+                    step *= 0.5
+                    if tracing:
+                        tracer.count("fb.step_halvings")
+                    current = previous
+                    continue
+                raise OptimizationError(
+                    "factored iteration diverged (factor weights exceed "
+                    f"{_DIVERGENCE_LIMIT:.0e}); reduce step_size "
+                    f"(currently {step}) below 2/L of the smooth term"
+                )
+            update_norm = current.delta_frobenius(previous)
+            if tracing:
+                tracer.count("fb.iterations")
+            if history is not None:
+                history.record_norms(
+                    float(np.sqrt(current.frobenius_sq())),
+                    update_norm,
+                    None,
+                )
+            if self.criterion.satisfied_value(update_norm):
                 break
         return current
 

@@ -269,6 +269,21 @@ class L1Prox:
             matrix, step * self.weight, scratch=scratch, tracer=tracer
         )
 
+    def apply_values(
+        self,
+        values: np.ndarray,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
+        """:meth:`apply` on a flat array of entry values.
+
+        The factored solver's entry-wise prox acts on the iterate's
+        values over the sparse support Ω only (the off-support part stays
+        with the low-rank block — DESIGN.md §13); this is the same soft
+        threshold applied to that value vector.
+        """
+        return soft_threshold(values, step * self.weight, tracer=tracer)
+
     def __repr__(self) -> str:
         return f"L1Prox(weight={self.weight})"
 
@@ -336,6 +351,45 @@ class TraceNormProx:
             matrix, step * self.weight, tracer=tracer
         )
 
+    def apply_factored(
+        self,
+        estimate,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ):
+        """:meth:`apply` on a factored operand, returning factors.
+
+        With an engine, this is
+        :meth:`~repro.perf.warm_svt.WarmStartSVT.apply_factored` — the
+        range finder runs through the operand's matvecs and no dense
+        matrix is formed.  Without one, the operand is densified (small-n
+        oracle path), SVT'd exactly, and re-wrapped as a pure low-rank
+        estimate, honoring ``max_rank`` the way the truncated path does.
+        """
+        if self.engine is not None:
+            return self.engine.apply_factored(
+                estimate, step * self.weight, tracer=tracer
+            )
+        from repro.factored.estimate import FactoredEstimate
+
+        u, singular, vt = _dense_svd(estimate.to_dense(), tracer)
+        shrunk = np.maximum(singular - step * self.weight, 0.0)
+        retained = int(np.count_nonzero(shrunk[: self.max_rank]))
+        if is_tracing(tracer):
+            tail = (
+                float(singular[retained])
+                if retained < singular.size
+                else 0.0
+            )
+            _record_svt_metrics(
+                tracer, step * self.weight, retained, tail
+            )
+        return FactoredEstimate.from_lowrank(
+            np.ascontiguousarray(u[:, :retained]),
+            shrunk[:retained].copy(),
+            np.ascontiguousarray(vt[:retained]),
+        )
+
     def __repr__(self) -> str:
         if self.engine is not None:
             return (
@@ -386,6 +440,15 @@ class BoxProjection:
         """Allocation-free :meth:`apply` variant; mutates ``matrix``."""
         np.clip(matrix, self.low, self.high, out=matrix)
         return matrix
+
+    def apply_values(
+        self,
+        values: np.ndarray,
+        step: float,
+        tracer: Optional[Tracer] = None,
+    ) -> np.ndarray:
+        """:meth:`apply` on a flat array of entry values (factored path)."""
+        return np.clip(np.asarray(values, dtype=float), self.low, self.high)
 
     def __repr__(self) -> str:
         return f"BoxProjection(low={self.low}, high={self.high})"

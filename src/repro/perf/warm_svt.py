@@ -108,6 +108,16 @@ class WarmStartSVT:
         Matrices with ``min(shape)`` at or below this size always take
         the exact dense path (a dense SVD is already cheap there, and it
         still seeds the warm subspace for later growth).
+    dense_fallback_cutoff:
+        Largest ``min(shape)`` at which a failed verification may still
+        *recover* through the exact dense prox.  Beyond it the dense
+        backstop would materialize the very O(n²) arrays the factored
+        path exists to avoid, so the engine instead accepts the
+        best-effort randomized triplet — warned via
+        :class:`TruncatedSVTWarning` and counted in
+        ``stats["unverified_accepts"]`` — keeping the memory contract
+        intact at benchmark scale.  Only the factored path consults this;
+        the dense path already holds a dense operand.
     seed:
         Seed of the deterministic oversampling columns.
     """
@@ -125,6 +135,7 @@ class WarmStartSVT:
         lossy_residual_tol: float = 2e-2,
         max_refinements: int = 40,
         dense_cutoff: int = 96,
+        dense_fallback_cutoff: int = 2048,
         seed: int = 0x5EED,
     ):
         self.min_rank = int(min_rank)
@@ -145,6 +156,7 @@ class WarmStartSVT:
         self.lossy_residual_tol = float(lossy_residual_tol)
         self.max_refinements = int(max_refinements)
         self.dense_cutoff = int(dense_cutoff)
+        self.dense_fallback_cutoff = int(dense_fallback_cutoff)
         self.seed = int(seed)
         self.rank = max(self.min_rank, int(initial_rank or self.min_rank))
         if self.max_rank is not None:
@@ -158,8 +170,10 @@ class WarmStartSVT:
         self.last_threshold: float = 0.0
         self.stats: Dict[str, float] = {
             "applies": 0,
+            "factored_applies": 0,
             "dense_applies": 0,
             "dense_fallbacks": 0,
+            "unverified_accepts": 0,
             "lossy_truncations": 0,
             "rank_grows": 0,
             "rank_shrinks": 0,
@@ -424,6 +438,243 @@ class WarmStartSVT:
             tracer.metric("svt.adaptive_rank", self.rank)
             _record_svt_metrics(tracer, threshold, retained, tail)
         return output
+
+    # -- factored path --------------------------------------------------
+    def apply_factored(self, operand, threshold: float, tracer=None):
+        """``prox_{threshold‖·‖*}`` of a factored operand, as factors.
+
+        ``operand`` is anything exposing ``shape``, ``matmat(block)``,
+        ``rmatmat(block)`` and ``to_dense()`` — in practice a
+        :class:`~repro.factored.estimate.FactoredEstimate`.  The
+        range finder runs entirely through matvecs (O(nnz·b + nk·b) per
+        sketch multiply), so no dense ``n×n`` matrix is formed unless the
+        problem is small (``dense_cutoff``) or verification fails and the
+        exact dense backstop takes over.  Returns a pure low-rank
+        :class:`~repro.factored.estimate.FactoredEstimate` whose ``s``
+        holds the shrunk singular values exactly.
+
+        Shares the warm subspace, adaptive rank and stats with
+        :meth:`apply`: the verification tolerances, capped-mode lossy
+        semantics and fault sites are identical by construction.
+        """
+        threshold = check_non_negative(threshold, "threshold")
+        start = time.perf_counter()
+        self.stats["applies"] += 1
+        self.stats["factored_applies"] = (
+            self.stats.get("factored_applies", 0) + 1
+        )
+        if is_tracing(tracer):
+            with tracer.span("svt"):
+                output = self._apply_factored(operand, threshold, tracer)
+        else:
+            output = self._apply_factored(operand, threshold, tracer)
+        self.stats["seconds"] += time.perf_counter() - start
+        return output
+
+    def _apply_factored(self, operand, threshold: float, tracer):
+        n_small = min(operand.shape)
+        try:
+            fault_point("solver.svd.truncated")
+        except np.linalg.LinAlgError as exc:
+            return self._fallback_factored(operand, threshold, tracer, repr(exc))
+        if n_small <= self.dense_cutoff:
+            return self._apply_dense_factored(operand, threshold, tracer)
+        capped = self.max_rank is not None and self.max_rank < n_small - 1
+        rank_ceiling = self.max_rank if capped else n_small
+        limit = None
+        # Past the fallback cutoff a dense recovery would materialize the
+        # O(n²) arrays the factored path exists to avoid: accept the
+        # best-effort randomized triplet instead (warned and counted).
+        may_go_dense = n_small <= self.dense_fallback_cutoff
+        mm, rmm = operand.matmat, operand.rmatmat
+        while True:
+            budget = self.rank + self.oversample
+            if budget >= n_small - 1:
+                return self._apply_dense_factored(operand, threshold, tracer)
+            can_grow = self.rank < rank_ceiling
+            try:
+                factors, ritz, converged = self._randomized_factors_op(
+                    mm, rmm, n_small, budget, capped, threshold, can_grow
+                )
+            except np.linalg.LinAlgError as exc:
+                if not may_go_dense:
+                    raise
+                return self._fallback_factored(
+                    operand, threshold, tracer, repr(exc)
+                )
+            if factors is None:
+                if ritz is not None and ritz[-1] > threshold and (
+                    self.rank < rank_ceiling
+                ):
+                    self._grow(rank_ceiling, tracer)
+                    continue
+                return self._fallback_factored(
+                    operand, threshold, tracer, "refinement budget exhausted"
+                )
+            u, singular, vt = factors
+            if not converged:
+                if may_go_dense:
+                    return self._fallback_factored(
+                        operand,
+                        threshold,
+                        tracer,
+                        "refinement budget exhausted",
+                    )
+                self._accept_unverified(
+                    "refinement budget exhausted", tracer
+                )
+                break
+            if singular[-1] > threshold and can_grow:
+                self._grow(rank_ceiling, tracer)
+                continue
+            break
+        if capped:
+            limit = self.max_rank
+            if singular.size > limit and float(singular[limit]) > threshold:
+                self._record_lossy(float(singular[limit]) - threshold, tracer)
+        retained = int(np.count_nonzero(singular[:limit] > threshold))
+        if not self._residuals_ok_op(mm, u, singular, vt, retained, capped):
+            if may_go_dense:
+                return self._fallback_factored(
+                    operand,
+                    threshold,
+                    tracer,
+                    "retained-triplet residual too large",
+                )
+            self._accept_unverified(
+                "retained-triplet residual too large", tracer
+            )
+        return self._finish_factored(
+            u, singular, vt, threshold, tracer, limit=limit
+        )
+
+    def _accept_unverified(self, reason: str, tracer) -> None:
+        """Record keeping the randomized triplet past the dense cutoff."""
+        self.stats["unverified_accepts"] = (
+            self.stats.get("unverified_accepts", 0) + 1
+        )
+        if is_tracing(tracer):
+            tracer.count("svt.unverified_accepts")
+        warnings.warn(
+            "warm-started SVT could not verify its randomized subspace "
+            f"({reason}); the operand is past dense_fallback_cutoff="
+            f"{self.dense_fallback_cutoff}, so the best-effort randomized "
+            "triplet was kept to preserve the O(nk) memory contract",
+            TruncatedSVTWarning,
+            stacklevel=4,
+        )
+
+    def _randomized_factors_op(
+        self, mm, rmm, n: int, budget: int, capped: bool,
+        threshold: float, can_grow: bool,
+    ):
+        """:meth:`_randomized_factors` driven through matvec closures.
+
+        Deliberately a sibling of the dense version rather than a shared
+        implementation: the dense hot path's numerics are pinned by golden
+        regressions, so it keeps its exact expressions while this one
+        phrases every product as ``mm``/``rmm`` (``q.T @ A`` becomes
+        ``rmm(q).T`` — same sums, operator-friendly form).
+
+        Returns ``(factors, ritz, converged)``.  ``factors`` is ``None``
+        only on the rank-growth early exits; a refinement budget that
+        runs out still yields the best-effort triplet with
+        ``converged=False``, so the caller can decide between the dense
+        backstop (small operands) and accepting it (operands too large
+        to densify).
+        """
+        sketch = np.empty((n, budget))
+        filled = 0
+        if self._subspace is not None and self._subspace.shape[0] == n:
+            filled = min(self._subspace.shape[1], budget)
+            sketch[:, :filled] = self._subspace[:, :filled]
+        if filled < budget:
+            rng = np.random.default_rng(self.seed)
+            sketch[:, filled:] = rng.standard_normal((n, budget - filled))
+        tolerance = self.lossy_ritz_tol if capped else self.ritz_tol
+        q, r = np.linalg.qr(mm(sketch))
+        estimates = np.linalg.svd(r, compute_uv=False)
+        ritz = estimates
+        if can_grow and ritz[-1] > threshold:
+            return None, ritz, False
+        converged = False
+        for _refinement in range(self.max_refinements):
+            self.stats["refinements"] += 1
+            v, _ = np.linalg.qr(rmm(q))
+            q, r = np.linalg.qr(mm(v))
+            ritz = np.linalg.svd(r, compute_uv=False)
+            if can_grow and ritz[-1] > threshold:
+                return None, ritz, False
+            scale = max(float(ritz[0]), np.finfo(float).tiny)
+            if np.max(np.abs(ritz - estimates)) <= tolerance * scale:
+                converged = True
+                break
+            estimates = ritz
+        small = rmm(q).T  # == q.T @ A, through the operator
+        u_small, singular, vt = np.linalg.svd(small, full_matrices=False)
+        u = q @ u_small
+        return (u, singular, vt), ritz, converged
+
+    def _residuals_ok_op(
+        self, mm, u, singular, vt, retained: int, capped: bool
+    ) -> bool:
+        """:meth:`_residuals_ok` through the operand's matvec closure."""
+        if retained == 0:
+            return True
+        image = mm(vt[:retained].T)
+        image -= u[:, :retained] * singular[:retained]
+        worst = float(np.linalg.norm(image, axis=0).max())
+        scale = max(float(singular[0]), np.finfo(float).tiny)
+        tolerance = self.lossy_residual_tol if capped else self.residual_tol
+        return worst <= tolerance * scale
+
+    def _apply_dense_factored(self, operand, threshold: float, tracer):
+        """Exact dense prox of a small (or unverifiable) factored operand."""
+        self.stats["dense_applies"] += 1
+        u, singular, vt = _dense_svd(operand.to_dense(), tracer)
+        return self._finish_factored(u, singular, vt, threshold, tracer)
+
+    def _fallback_factored(self, operand, threshold: float, tracer, reason):
+        """Dense-backstop recovery for the factored path (never silent)."""
+        self.stats["dense_fallbacks"] += 1
+        if is_tracing(tracer):
+            tracer.count("svt.dense_fallbacks")
+        warnings.warn(
+            "warm-started SVT could not verify its randomized subspace; "
+            "falling back to the exact dense SVT for this proximal step "
+            f"({reason})",
+            TruncatedSVTWarning,
+            stacklevel=4,
+        )
+        return self._apply_dense_factored(operand, threshold, tracer)
+
+    def _finish_factored(
+        self, u, singular, vt, threshold: float, tracer, limit=None
+    ):
+        """Assemble a low-rank estimate from triplets; keep ≤ ``limit``."""
+        from repro.factored.estimate import FactoredEstimate
+
+        shrunk = np.maximum(singular - threshold, 0.0)
+        retained = int(np.count_nonzero(shrunk[:limit]))
+        tail = float(singular[retained]) if retained < singular.size else 0.0
+        self._update_rank(retained, tracer)
+        keep = min(singular.size, self.rank + self.oversample)
+        self._subspace = vt[:keep].T.copy()
+        self.last_spectrum = singular.copy()
+        self.last_threshold = float(threshold)
+        # No dense output exists on this path; the spectrum cache still
+        # serves trace-norm evaluations through the estimate's own ``s``.
+        self.last_output = None
+        self.last_output_trace_norm = float(shrunk[:retained].sum())
+        self.last_output_l1 = 0.0
+        if is_tracing(tracer):
+            tracer.metric("svt.adaptive_rank", self.rank)
+            _record_svt_metrics(tracer, threshold, retained, tail)
+        return FactoredEstimate.from_lowrank(
+            np.ascontiguousarray(u[:, :retained]),
+            shrunk[:retained].copy(),
+            np.ascontiguousarray(vt[:retained]),
+        )
 
     def _update_rank(self, retained: int, tracer: Optional[Tracer]) -> None:
         """Shrink the operating rank when it overshoots the retained rank."""

@@ -101,3 +101,81 @@ class Workspace:
 
     def __repr__(self) -> str:
         return f"Workspace(shape={self.shape}, dtype={self.dtype})"
+
+
+class FactoredWorkspace:
+    """Reusable buffers for the factored forward-backward inner loop.
+
+    The factored iteration's entry-wise work happens on the fixed sparse
+    support Ω (DESIGN.md §13): every iteration extracts the low-rank
+    iterate's values over Ω, proxes them, and rebuilds the CSR residual
+    on the same pattern.  This workspace pins Ω's index arrays once
+    (shared by every residual the loop builds — no per-iteration index
+    copies) and owns the O(nnz) value buffers.
+
+    Parameters
+    ----------
+    pattern:
+        A scipy CSR matrix whose sparsity pattern *is* Ω (values are
+        ignored).  Canonicalized (sorted indices) on ingestion.
+    """
+
+    def __init__(self, pattern):
+        from scipy import sparse
+
+        pattern = sparse.csr_matrix(pattern)
+        pattern.sum_duplicates()
+        pattern.sort_indices()
+        self.n = int(pattern.shape[0])
+        self.indptr = pattern.indptr.copy()
+        self.indices = pattern.indices.copy()
+        self.rows = np.repeat(
+            np.arange(self.n), np.diff(self.indptr)
+        ).astype(self.indices.dtype)
+        self.nnz = int(self.indices.size)
+        self.values = np.empty(self.nnz)
+        self.scratch = np.empty(self.nnz)
+
+    @classmethod
+    def ensure(cls, workspace, pattern) -> "FactoredWorkspace":
+        """Return ``workspace`` if it matches ``pattern``'s Ω, else rebuild."""
+        from scipy import sparse
+
+        candidate = sparse.csr_matrix(pattern)
+        if (
+            workspace is not None
+            and workspace.n == candidate.shape[0]
+            and workspace.nnz == candidate.nnz
+            and np.array_equal(workspace.indptr, candidate.indptr)
+            and np.array_equal(workspace.indices, candidate.indices)
+        ):
+            return workspace
+        return cls(candidate)
+
+    def lowrank_entries(self, estimate) -> np.ndarray:
+        """The low-rank part's values over Ω, written into ``values``.
+
+        O(nnz·k) work; the gather temporaries are transient, the result
+        buffer is reused across iterations.
+        """
+        if estimate.rank == 0:
+            self.values.fill(0.0)
+            return self.values
+        np.einsum(
+            "ik,ik->i",
+            estimate.u[self.rows] * estimate.s,
+            estimate.vt[:, self.indices].T,
+            out=self.values,
+        )
+        return self.values
+
+    def residual_from(self, data: np.ndarray):
+        """A CSR residual over Ω from a data vector (indices shared)."""
+        from scipy import sparse
+
+        return sparse.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+    def __repr__(self) -> str:
+        return f"FactoredWorkspace(n={self.n}, nnz={self.nnz})"

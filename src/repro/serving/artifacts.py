@@ -83,11 +83,17 @@ class LoadedArtifact:
     manifest: Dict
     predictor: FrozenPredictor
     adjacency: Optional[np.ndarray] = field(default=None, repr=False)
+    """Dense ndarray for dense artifacts; a scipy CSR matrix when the
+    publisher provided a sparse graph (factored artifacts)."""
 
     @property
     def n_users(self) -> int:
-        """Number of users covered by the predictor's score matrix."""
-        return self.predictor.score_matrix.shape[0]
+        """Number of users covered by the predictor.
+
+        Reads the predictor's ``n_users`` property — O(1) for factored
+        artifacts, which never materialize a dense score matrix.
+        """
+        return int(self.predictor.n_users)
 
 
 class ArtifactStore:
@@ -161,21 +167,35 @@ class ArtifactStore:
             any disk state is touched if it is not).
         graph:
             Optional known-link structure — a
-            :class:`~repro.networks.social.SocialGraph` or a square binary
-            adjacency ndarray matching the score matrix.  Serving uses it
-            to exclude already-connected pairs from top-k answers.
+            :class:`~repro.networks.social.SocialGraph`, a square binary
+            adjacency ndarray, or a scipy sparse matrix matching the
+            predictor's user count.  Serving uses it to exclude
+            already-connected pairs from top-k answers.  Sparse inputs
+            stay sparse on disk (CSR arrays), which is how factored
+            publishes keep the whole artifact O(nk).
         meta:
             Extra JSON-compatible metadata recorded in the manifest
             (experiment name, training scale, …).
         """
-        matrix = model.score_matrix  # fitted check before touching disk
+        from scipy import sparse as _sparse
+
+        factored = bool(getattr(model, "factored", False))
+        if factored:
+            # Fitted check before touching disk; never densifies.
+            n_users = int(model.factored_estimate.n_users)
+        else:
+            n_users = int(model.score_matrix.shape[0])
         adjacency = None
         if graph is not None:
-            adjacency = np.asarray(getattr(graph, "adjacency", graph), dtype=float)
-            if adjacency.shape != matrix.shape:
+            adjacency = getattr(graph, "adjacency", graph)
+            if _sparse.issparse(adjacency):
+                adjacency = _sparse.csr_matrix(adjacency, dtype=float)
+            else:
+                adjacency = np.asarray(adjacency, dtype=float)
+            if adjacency.shape != (n_users, n_users):
                 raise SerializationError(
                     f"graph adjacency {adjacency.shape} does not match the "
-                    f"score matrix {matrix.shape}"
+                    f"predictor's {(n_users, n_users)}"
                 )
         version = (self.versions() or [0])[-1] + 1
         staging = os.path.join(
@@ -188,14 +208,25 @@ class ArtifactStore:
             files = {_MODEL_FILE: self._file_entry(model_path)}
             if adjacency is not None:
                 graph_path = os.path.join(staging, _GRAPH_FILE)
-                np.savez_compressed(graph_path, adjacency=adjacency)
+                if _sparse.issparse(adjacency):
+                    np.savez_compressed(
+                        graph_path,
+                        format=np.frombuffer(b"csr", dtype=np.uint8),
+                        data=adjacency.data,
+                        indices=adjacency.indices,
+                        indptr=adjacency.indptr,
+                        shape=np.asarray(adjacency.shape, dtype=np.int64),
+                    )
+                else:
+                    np.savez_compressed(graph_path, adjacency=adjacency)
                 files[_GRAPH_FILE] = self._file_entry(graph_path)
             manifest = {
                 "schema_version": MANIFEST_SCHEMA_VERSION,
                 "version": version,
                 "name": model.name,
                 "model_class": type(model).__name__,
-                "n_users": int(matrix.shape[0]),
+                "kind": "factored" if factored else "dense",
+                "n_users": n_users,
                 "created_at": time.time(),  # wall-clock: a timestamp, not a duration
                 "hyper_parameters": _scalar_params(model),
                 "meta": dict(meta or {}),
@@ -296,17 +327,12 @@ class ArtifactStore:
         adjacency = None
         if _GRAPH_FILE in manifest.get("files", {}):
             graph_path = os.path.join(directory, _GRAPH_FILE)
-            try:
-                with np.load(graph_path) as data:
-                    adjacency = np.asarray(data["adjacency"], dtype=float)
-            except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
-                raise SerializationError(
-                    f"cannot load graph archive {graph_path}: {exc}"
-                ) from exc
-            if adjacency.shape != predictor.score_matrix.shape:
+            adjacency = _load_graph(graph_path)
+            n_users = int(predictor.n_users)
+            if adjacency.shape != (n_users, n_users):
                 raise SerializationError(
                     f"graph adjacency {adjacency.shape} does not match the "
-                    f"score matrix {predictor.score_matrix.shape}"
+                    f"predictor's {(n_users, n_users)}"
                 )
         return LoadedArtifact(
             version=version,
@@ -314,6 +340,34 @@ class ArtifactStore:
             predictor=predictor,
             adjacency=adjacency,
         )
+
+
+def _load_graph(graph_path: str):
+    """Read a published graph archive — dense ndarray or sparse CSR.
+
+    The archive self-describes: a ``format`` marker (b"csr") selects the
+    sparse layout, otherwise the legacy dense ``adjacency`` array is read.
+    """
+    from scipy import sparse
+
+    try:
+        with np.load(graph_path) as data:
+            if "format" in data.files:
+                marker = bytes(np.asarray(data["format"])).decode("ascii")
+                if marker != "csr":
+                    raise SerializationError(
+                        f"unknown graph format {marker!r} in {graph_path}"
+                    )
+                shape = tuple(int(v) for v in data["shape"])
+                return sparse.csr_matrix(
+                    (data["data"], data["indices"], data["indptr"]),
+                    shape=shape,
+                )
+            return np.asarray(data["adjacency"], dtype=float)
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"cannot load graph archive {graph_path}: {exc}"
+        ) from exc
 
 
 def _scalar_params(model: MatrixPredictor) -> Dict:

@@ -164,12 +164,25 @@ class LinkPredictionService:
 
     # -- artifact state -------------------------------------------------
     def _install(self, artifact: LoadedArtifact) -> None:
-        """Swap in a validated artifact and rebuild the candidate matrix."""
-        scores = artifact.predictor.score_matrix
-        candidates = np.array(scores, dtype=float)
-        if artifact.adjacency is not None:
-            candidates[artifact.adjacency > 0] = -np.inf
-        np.fill_diagonal(candidates, -np.inf)
+        """Swap in a validated artifact and rebuild the candidate source.
+
+        Dense artifacts pre-mask the full score matrix as before.
+        Factored artifacts install a :class:`_FactoredCandidates` view
+        instead: rows are computed on demand from the O(nk) factors (one
+        ``u_i Vᵀ`` matvec each), so install cost and resident memory stay
+        O(nk) at any user count.
+        """
+        predictor = artifact.predictor
+        if getattr(predictor, "factored", False):
+            candidates = _FactoredCandidates(
+                predictor.factored_estimate, artifact.adjacency
+            )
+        else:
+            scores = predictor.score_matrix
+            candidates = np.array(scores, dtype=float)
+            if artifact.adjacency is not None:
+                candidates[artifact.adjacency > 0] = -np.inf
+            np.fill_diagonal(candidates, -np.inf)
         with self._lock:
             self._artifact = artifact
             self._candidates = candidates
@@ -277,17 +290,23 @@ class LinkPredictionService:
         return user
 
     def score(self, u: int, v: int) -> float:
-        """The raw model confidence for the pair ``(u, v)``."""
+        """The raw model confidence for the pair ``(u, v)``.
+
+        Routed through the predictor's pair-scoring API: an O(1) matrix
+        read for dense artifacts, an O(k) factor dot for factored ones —
+        never a dense materialization.
+        """
         with self.tracer.span("serve.score"):
             self.tracer.count("serve.requests")
             self.tracer.count("serve.score_requests")
             u, v = self._check_user(u), self._check_user(v)
-            return float(self._artifact.predictor.score_matrix[u, v])
+            return float(self._artifact.predictor.score_pairs([(u, v)])[0])
 
     def is_known_link(self, u: int, v: int) -> bool:
         """Whether ``(u, v)`` is already connected in the published graph.
 
-        ``False`` when the artifact was published without a graph.
+        ``False`` when the artifact was published without a graph.  Works
+        for both dense and scipy-sparse published adjacencies.
         """
         u, v = self._check_user(u), self._check_user(v)
         adjacency = self._artifact.adjacency
@@ -383,6 +402,52 @@ class LinkPredictionService:
             "ready": self.ready(),
             "reload_breaker": self._reload_breaker.state,
         }
+
+
+class _FactoredCandidates:
+    """On-demand masked candidate rows backed by a factored estimate.
+
+    The factored analogue of the dense pre-masked candidate matrix:
+    ``self[user]`` (or ``self[list_of_users]``) computes the requested
+    score rows from the O(nk) factors — ``(u_i ∘ σ) Vᵀ`` plus the CSR
+    residual row, clipped at zero to match the factored scoring
+    convention — and writes ``-inf`` over the diagonal entry and every
+    already-known link before ranking sees them.  Nothing n×n is ever
+    resident; each query touches O(n) per requested row.
+    """
+
+    def __init__(self, estimate, adjacency=None):
+        from scipy import sparse
+
+        self.estimate = estimate
+        if adjacency is None:
+            self._known = None
+        else:
+            known = sparse.csr_matrix(adjacency)
+            # Keep only positive entries so explicit zeros never mask.
+            known = (known > 0).tocsr()
+            self._known = known
+
+    def _rows(self, users: np.ndarray) -> np.ndarray:
+        rows = self.estimate.rows(users)
+        np.maximum(rows, 0.0, out=rows)
+        for offset, user in enumerate(users):
+            if self._known is not None:
+                start, end = (
+                    self._known.indptr[user],
+                    self._known.indptr[user + 1],
+                )
+                rows[offset, self._known.indices[start:end]] = -np.inf
+            rows[offset, user] = -np.inf
+        return rows
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            return self._rows(np.array([int(key)]))[0]
+        return self._rows(np.asarray(key, dtype=int))
+
+    def __repr__(self) -> str:
+        return f"_FactoredCandidates(n={self.estimate.n_users})"
 
 
 def _rank_row(row: np.ndarray, k: int) -> Ranking:

@@ -86,7 +86,7 @@ def shared_link_matrix(
     labels = np.asarray(labels)
     rng = ensure_rng(random_state)
     n = labels.shape[0]
-    shared = np.zeros((n, n), dtype=bool)
+    shared = np.zeros((n, n), dtype=bool)  # dense-ok: synthetic generator
     rows, cols = np.triu_indices(n, k=1)
     same = labels[rows] == labels[cols]
     probs = np.where(same, p_in_shared, p_out_shared)

@@ -99,7 +99,7 @@ def evolve_snapshots(
     birth = stationary * (1.0 - persistence) / (1.0 - stationary)
 
     def to_matrix(flags: np.ndarray) -> np.ndarray:
-        matrix = np.zeros((n_nodes, n_nodes))
+        matrix = np.zeros((n_nodes, n_nodes))  # dense-ok: synthetic generator
         matrix[rows[flags], cols[flags]] = 1.0
         matrix[cols[flags], rows[flags]] = 1.0
         return matrix

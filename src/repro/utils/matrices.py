@@ -115,7 +115,7 @@ def pairs_to_matrix(
     values:
         Optional per-pair values; defaults to 1.0 for every pair.
     """
-    matrix = np.zeros((n, n))
+    matrix = np.zeros((n, n))  # dense-ok: dense-path constructor
     pair_list = list(pairs)
     if values is None:
         values = [1.0] * len(pair_list)

@@ -1,0 +1,9 @@
+"""Factored-vs-dense parity harness (DESIGN.md §13).
+
+Every operation the factored O(nk) path performs — objective values,
+gradients, forward steps, proximal maps, pair scores, top-k rankings,
+persistence round trips — is checked against its dense counterpart on
+``to_dense()`` materializations at small n, where the dense path is the
+oracle.  A separate, environment-gated module asserts the O(nk) memory
+claim itself at a scale the dense path cannot reach.
+"""

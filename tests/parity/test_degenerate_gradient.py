@@ -1,0 +1,78 @@
+"""Regression: the linkless-graph intimacy fallback must stay sparse.
+
+The calibrated intimacy gradient has nothing to fit on when the training
+graph holds no links; the old fallback allocated a dense n×n array of
+zeros — O(n²) memory for a value both solver paths treat as "no
+transfer".  It now returns an empty CSR matrix, the CCCP solver maps a
+sparse all-zero gradient to ``None`` (numerically identical), and both
+the dense and factored fits run unchanged.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.models.base import TransferTask
+from repro.models.slampred import SlamPredT
+from repro.networks.social import SocialGraph
+from repro.optim.cccp import _as_dense_gradient
+
+
+class TestSparseFallback:
+    def test_joint_latent_intimacy_returns_empty_csr(self):
+        n = 12
+        model = SlamPredT(inner_iterations=2, outer_iterations=1)
+        graph = SocialGraph(np.zeros((n, n)))
+        blocks = [np.zeros((2, n, n))]
+        gradient = model._joint_latent_intimacy(
+            blocks, [1.0], [], graph, np.random.default_rng(0)
+        )
+        assert sparse.issparse(gradient)
+        assert gradient.shape == (n, n)
+        assert gradient.nnz == 0
+
+    def test_cccp_maps_sparse_zero_gradient_to_none(self):
+        assert _as_dense_gradient(sparse.csr_matrix((5, 5))) is None
+
+    def test_cccp_densifies_sparse_nonzero_gradient(self):
+        matrix = sparse.csr_matrix(
+            (np.array([2.0]), (np.array([1],), np.array([3]))), shape=(5, 5)
+        )
+        dense = _as_dense_gradient(matrix)
+        assert isinstance(dense, np.ndarray)
+        assert dense.dtype == float
+        assert dense[1, 3] == 2.0
+        assert dense.sum() == 2.0
+
+    def test_cccp_passes_none_and_dense_through(self):
+        assert _as_dense_gradient(None) is None
+        dense = np.ones((3, 3))
+        np.testing.assert_array_equal(_as_dense_gradient(dense), dense)
+
+
+class TestLinklessFits:
+    @pytest.fixture(scope="class")
+    def linkless_task(self, aligned):
+        """The shared world with an entirely linkless training graph."""
+        n = aligned.target.n_users
+        return TransferTask(
+            target=aligned.target,
+            training_graph=SocialGraph(np.zeros((n, n))),
+            random_state=np.random.default_rng(3),
+        )
+
+    def test_dense_fit_survives_linkless_graph(self, linkless_task):
+        model = SlamPredT(inner_iterations=2, outer_iterations=1).fit(
+            linkless_task
+        )
+        n = linkless_task.target.n_users
+        assert model.score_matrix.shape == (n, n)
+        assert np.all(np.isfinite(model.score_matrix))
+
+    def test_factored_fit_survives_linkless_graph(self, linkless_task):
+        model = SlamPredT(
+            factored=True, inner_iterations=2, outer_iterations=1
+        ).fit(linkless_task)
+        assert model.n_users == linkless_task.target.n_users
+        scores = model.score_pairs([(0, 1), (2, 3)])
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,87 @@
+"""The O(nk) memory claim, measured: no dense n×n allocation while fitting.
+
+Gated behind ``REPRO_PARITY_MEM=1`` because the probe fits at n = 5000 —
+a size where the dense iterate alone would cost 200 MB (and the dense
+solver several such temporaries).  The assertion is the tentpole's
+acceptance bar: peak traced allocation under 25% of one dense n×n array.
+"""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.models.slampred import SlamPredH
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PARITY_MEM") != "1",
+    reason="large-n memory probe; enable with REPRO_PARITY_MEM=1",
+)
+
+N_USERS = 5000
+DEGREE = 6
+
+
+def _synthetic_adjacency(n, degree, seed):
+    rng = np.random.default_rng(seed)
+    upper = sparse.random(
+        n, n, density=degree / n, format="csr", random_state=rng
+    )
+    adjacency = ((upper + upper.T) > 0).astype(float).tocsr()
+    adjacency.setdiag(0.0)
+    adjacency.eliminate_zeros()
+    return adjacency
+
+
+class TestFactoredMemoryScaling:
+    def test_peak_allocation_is_subquadratic(self):
+        adjacency = _synthetic_adjacency(N_USERS, DEGREE, seed=7)
+        model = SlamPredH(
+            factored=True,
+            svd_rank=8,
+            inner_iterations=3,
+            outer_iterations=2,
+            tolerance=1e-4,
+        )
+        tracemalloc.start()
+        try:
+            model.fit_adjacency(adjacency)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        dense_matrix_bytes = N_USERS * N_USERS * 8
+        assert peak < 0.25 * dense_matrix_bytes, (
+            f"factored fit peaked at {peak / 1e6:.1f} MB — more than 25% "
+            f"of one dense n×n array ({dense_matrix_bytes / 1e6:.0f} MB); "
+            "something materialized the iterate"
+        )
+        assert model.n_users == N_USERS
+        scores = model.score_pairs([(0, 1), (10, 999)])
+        assert np.all(np.isfinite(scores))
+
+    def test_peak_allocation_scales_linearly_in_n(self):
+        """Two-scale probe: doubling n must not quadruple the peak."""
+        peaks = []
+        for n in (1500, 3000):
+            adjacency = _synthetic_adjacency(n, DEGREE, seed=11)
+            model = SlamPredH(
+                factored=True,
+                svd_rank=8,
+                inner_iterations=3,
+                outer_iterations=2,
+                tolerance=1e-4,
+            )
+            tracemalloc.start()
+            try:
+                model.fit_adjacency(adjacency)
+                peaks.append(tracemalloc.get_traced_memory()[1])
+            finally:
+                tracemalloc.stop()
+        ratio = peaks[1] / peaks[0]
+        assert ratio < 3.0, (
+            f"peak grew {ratio:.1f}× for 2× users "
+            f"({peaks[0] / 1e6:.1f} → {peaks[1] / 1e6:.1f} MB) — "
+            "super-linear in n·k"
+        )

@@ -1,0 +1,122 @@
+"""Tests for the NDCG@k / MAP@k ranking metrics (satellite of §13).
+
+Hand-checked values on untied rankings, tie invariance under
+permutation, the all-negative and k-clamping edge cases, and validation
+errors — matching the tie-expectation semantics of the existing
+``precision_at_k``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import map_at_k, ndcg_at_k
+from repro.evaluation.metrics import average_precision
+from repro.exceptions import EvaluationError
+
+
+class TestHandChecked:
+    def test_ndcg_untied(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        # DCG = 1/log2(2) + 1/log2(4) = 1.5; IDCG = 1 + 1/log2(3)
+        expected = 1.5 / (1.0 + 1.0 / np.log2(3.0))
+        assert ndcg_at_k(scores, labels, k=4) == pytest.approx(expected)
+
+    def test_ndcg_perfect_ranking_is_one(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert ndcg_at_k(scores, labels, k=4) == pytest.approx(1.0)
+
+    def test_map_untied(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        # P(1) = 1, P(3) = 2/3, two positives → (1 + 2/3) / 2
+        assert map_at_k(scores, labels, k=4) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_map_at_k_equals_average_precision_when_untied(self):
+        rng = np.random.default_rng(17)
+        scores = rng.permutation(np.linspace(0.0, 1.0, 30))  # all distinct
+        labels = (rng.random(30) < 0.4).astype(float)
+        labels[0] = 1.0  # ensure at least one positive
+        assert map_at_k(scores, labels, k=30) == pytest.approx(
+            average_precision(scores, labels)
+        )
+
+    def test_truncation_drops_tail_positives(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([0, 0, 1, 1])
+        # Top-2 holds no positives at all.
+        assert map_at_k(scores, labels, k=2) == 0.0
+        assert ndcg_at_k(scores, labels, k=2) == 0.0
+
+
+class TestTies:
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**31 - 1))
+    def test_tie_groups_are_order_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.choice([0.1, 0.5, 0.9], size=20)  # heavy ties
+        labels = (rng.random(20) < 0.5).astype(float)
+        permutation = rng.permutation(20)
+        for metric in (ndcg_at_k, map_at_k):
+            assert metric(scores, labels, k=7) == pytest.approx(
+                metric(scores[permutation], labels[permutation], k=7)
+            )
+
+    def test_all_tied_equals_base_rate_expectation(self):
+        scores = np.zeros(10)
+        labels = np.array([1, 1, 1, 0, 0, 0, 0, 0, 0, 0])
+        # Every position's expected relevance is the base rate 0.3, so
+        # MAP's per-rank precision is 0.3 everywhere.
+        assert map_at_k(scores, labels, k=3) == pytest.approx(
+            0.3 * 0.3 * 3 / 3
+        )
+        assert ndcg_at_k(scores, labels, k=3) == pytest.approx(0.3)
+
+
+class TestEdgeCases:
+    def test_all_negative_scores_zero(self):
+        scores = np.linspace(1, 0, 6)
+        labels = np.zeros(6)
+        assert ndcg_at_k(scores, labels, k=3) == 0.0
+        assert map_at_k(scores, labels, k=3) == 0.0
+
+    def test_k_beyond_size_is_clamped(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        assert ndcg_at_k(scores, labels, k=400) == ndcg_at_k(
+            scores, labels, k=4
+        )
+        assert map_at_k(scores, labels, k=400) == map_at_k(
+            scores, labels, k=4
+        )
+
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_non_positive_k_rejected(self, k):
+        scores = np.array([0.5, 0.4])
+        labels = np.array([1.0, 0.0])
+        for metric in (ndcg_at_k, map_at_k):
+            with pytest.raises(EvaluationError, match="positive"):
+                metric(scores, labels, k=k)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EvaluationError, match="same length"):
+            ndcg_at_k(np.ones(3), np.ones(4), k=2)
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(EvaluationError, match="binary"):
+            map_at_k(np.ones(3), np.array([0.0, 0.5, 1.0]), k=2)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**31 - 1))
+    def test_bounded_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(15)
+        labels = (rng.random(15) < 0.5).astype(float)
+        for metric in (ndcg_at_k, map_at_k):
+            value = metric(scores, labels, k=5)
+            assert 0.0 <= value <= 1.0 + 1e-12

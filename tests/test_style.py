@@ -44,9 +44,21 @@ def test_checker_catches_violations(tmp_path):
         "    pass\n"
         "except Exception:\n"
         "    pass\n"
+        "import numpy as np\n"
+        "iterate = np.zeros((n, n))\n"
+        "oracle = np.zeros((n, n))  # dense-ok: parity oracle\n"
+        "ones = np.ones((n_users, n_users))\n"
+        "rectangular = np.zeros((n, k))\n"
+        "typed = np.full((m, m), 0.5)\n"
     )
     violations = check_style.check_file(str(bad))
-    assert len(violations) == 3
+    assert len(violations) == 6
     assert any("time.time()" in v and ":2:" in v for v in violations)
     assert any("print()" in v and ":4:" in v for v in violations)
     assert any("bare except" in v and ":7:" in v for v in violations)
+    dense = [v for v in violations if "dense square" in v]
+    assert len(dense) == 3
+    assert any(":14:" in v for v in dense)
+    assert any(":16:" in v for v in dense)
+    assert any(":18:" in v for v in dense)
+    assert not any(":15:" in v or ":17:" in v for v in dense)

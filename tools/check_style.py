@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Observability and reliability style gate for ``src/repro``.
 
-Three rules, all born from real production bugs:
+Four rules, all born from real production bugs:
 
 1. **No ``time.time()`` duration arithmetic.**  Wall-clock time jumps
    (NTP slew, suspend/resume) corrupt latency and uptime numbers; all
@@ -23,6 +23,16 @@ Three rules, all born from real production bugs:
    exception the handler can actually recover from; an intentional
    catch-(almost)-all must spell out ``except Exception``.
 
+4. **No new dense n×n allocations.**  The factored solver path exists
+   precisely so that no code materializes an ``n_users × n_users``
+   array; one stray ``np.zeros((n, n))`` silently reinstates the O(n²)
+   memory wall the estimate was factored to avoid (the linkless-graph
+   fallback did exactly that before it was made sparse).  A square
+   allocation that is genuinely part of the exact/dense path — small-n
+   oracles, dense feature builders, synthetic generators — opts out
+   with a ``# dense-ok`` comment on the same line, which doubles as
+   reviewer documentation of why quadratic memory is acceptable there.
+
 Run from the repo root::
 
     python tools/check_style.py
@@ -41,6 +51,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
 WALL_CLOCK_MARKER = "# wall-clock"
+DENSE_OK_MARKER = "# dense-ok"
 
 # Presentation layers whose stdout IS the product (tables, CLI banners).
 PRINT_ALLOWLIST = (
@@ -51,6 +62,12 @@ PRINT_ALLOWLIST = (
 _TIME_TIME = re.compile(r"\btime\.time\(\)")
 _BARE_PRINT = re.compile(r"^\s*print\(")
 _BARE_EXCEPT = re.compile(r"^\s*except\s*:")
+# np.zeros((n, n)) and friends — the same symbol on both axes is the
+# signature of a dense square allocation in user-count space.
+_DENSE_SQUARE = re.compile(
+    r"\bnp\.(?:zeros|ones|empty|full)\(\s*\(\s*"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*,\s*\1\s*[,)]"
+)
 
 
 def _relative(path: str) -> str:
@@ -83,6 +100,13 @@ def check_file(path: str) -> list:
                     f"{relpath}:{lineno}: bare except: swallows "
                     "KeyboardInterrupt/SystemExit and breaks kill→resume — "
                     "catch a concrete exception (or 'except Exception')"
+                )
+            if _DENSE_SQUARE.search(line) and DENSE_OK_MARKER not in line:
+                violations.append(
+                    f"{relpath}:{lineno}: dense square allocation — the "
+                    "factored path must stay O(nk); use scipy.sparse or "
+                    "FactoredEstimate, or mark a deliberate dense-path "
+                    f"site with '{DENSE_OK_MARKER}'"
                 )
     return violations
 

@@ -15,6 +15,14 @@ Two legs, matching the two guarantees the hot path makes:
   figure-3 configuration's numerics, where the engine is exact — and
   gates the two score matrices to ``--parity`` (default 1e-6) max
   absolute difference.
+* **Factored** (``--factored-n``): fits the factored O(nk) estimate on a
+  synthetic sparse graph at a scale the dense path cannot reach (default
+  n = 5000, where one dense iterate alone is 200 MB), scores a held-out
+  link sample, and gates three claims: peak traced allocation under 25%
+  of the dense cost extrapolated quadratically from this run's exact
+  fit; a two-scale probe showing the peak grows sub-quadratically in n;
+  and factored-vs-exact AUC drift at ``--parity-scale`` within
+  ``--factored-drift`` (default 1e-3).
 
 Also measures tracemalloc peaks (the allocation-free claim as a number)
 and appends everything as snapshots to ``BENCH_solver.json``.  With
@@ -37,6 +45,7 @@ import tracemalloc
 import warnings
 
 import numpy as np
+from scipy import sparse
 
 sys.path.insert(0, "benchmarks")
 
@@ -46,11 +55,16 @@ from repro.evaluation.metrics import auc_score  # noqa: E402
 from repro.evaluation.splits import k_fold_link_splits  # noqa: E402
 from repro.exceptions import TruncatedSVTWarning  # noqa: E402
 from repro.models.base import TransferTask  # noqa: E402
-from repro.models.slampred import SlamPredT  # noqa: E402
+from repro.models.slampred import SlamPredH, SlamPredT  # noqa: E402
 from repro.networks.social import SocialGraph  # noqa: E402
 from repro.synth.generator import generate_aligned_pair  # noqa: E402
 
 REGRESSION_FACTOR = 2.0
+# The tentpole's acceptance bar: the factored fit's peak allocation must
+# stay under this fraction of the dense solver's quadratic extrapolation.
+FACTORED_ALLOC_FRACTION = 0.25
+# Doubling n must not quadruple the peak; linear in n·k would be 2x.
+FACTORED_RATIO_LIMIT = 3.0
 
 
 def _problem(scale):
@@ -60,7 +74,7 @@ def _problem(scale):
     return aligned, split
 
 
-def _fit(aligned, split, svd_rank, inner, outer, exact):
+def _fit(aligned, split, svd_rank, inner, outer, exact, factored=False):
     task = TransferTask(
         target=aligned.target,
         training_graph=split.training_graph,
@@ -71,6 +85,7 @@ def _fit(aligned, split, svd_rank, inner, outer, exact):
         inner_iterations=inner,
         outer_iterations=outer,
         exact=exact,
+        factored=factored,
     )
     tracemalloc.start()
     start = time.perf_counter()
@@ -89,6 +104,91 @@ def _auc(model, split):
     return float(
         auc_score(model.score_pairs(split.test_pairs), split.test_labels)
     )
+
+
+def _synthetic_adjacency(n, degree, seed, n_blocks=8):
+    """A sparse stochastic block model with expected degree ``degree``.
+
+    Built block by block (never a dense n×n mask) so generation itself
+    stays O(nk).  Most links live inside one of ``n_blocks`` communities,
+    which a rank-``n_blocks`` estimate can recover — held-out links are
+    genuinely predictable, unlike in an Erdős–Rényi graph where any AUC
+    is chance.
+    """
+    rng = np.random.default_rng(seed)
+    block = -(-n // n_blocks)
+    p_in = degree * 0.8 / block
+    rows, cols = [], []
+    for start in range(0, n, block):
+        size = min(block, n - start)
+        mask = np.triu(rng.random((size, size)) < p_in, k=1)
+        r, c = np.nonzero(mask)
+        rows.append(r + start)
+        cols.append(c + start)
+    n_cross = int(n * degree * 0.2 / 2)
+    rows.append(rng.integers(0, n, n_cross))
+    cols.append(rng.integers(0, n, n_cross))
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    adjacency = sparse.coo_matrix(
+        (np.ones(row.size), (row, col)), shape=(n, n)
+    )
+    adjacency = ((adjacency + adjacency.T) > 0).astype(float).tocsr()
+    adjacency.setdiag(0.0)
+    adjacency.eliminate_zeros()
+    return adjacency
+
+
+def _holdout_links(adjacency, fraction, seed):
+    """Remove ``fraction`` of links; return (training, pairs, labels).
+
+    Held-out positives are balanced against uniformly sampled non-links
+    so the AUC below is a standard balanced link-prediction score.
+    """
+    rng = np.random.default_rng(seed)
+    upper = sparse.triu(adjacency, k=1).tocoo()
+    n_links = upper.nnz
+    held = np.zeros(n_links, dtype=bool)
+    held[
+        rng.choice(n_links, size=max(1, int(fraction * n_links)), replace=False)
+    ] = True
+    training = sparse.coo_matrix(
+        (upper.data[~held], (upper.row[~held], upper.col[~held])),
+        shape=adjacency.shape,
+    )
+    training = (training + training.T).tocsr()
+    positives = list(zip(upper.row[held].tolist(), upper.col[held].tolist()))
+    linked = set(zip(upper.row.tolist(), upper.col.tolist()))
+    n = adjacency.shape[0]
+    negatives = []
+    while len(negatives) < len(positives):
+        u, v = sorted(rng.integers(0, n, size=2).tolist())
+        if u != v and (u, v) not in linked:
+            negatives.append((u, v))
+    labels = np.concatenate(
+        [np.ones(len(positives)), np.zeros(len(negatives))]
+    )
+    return training, positives + negatives, labels
+
+
+def _fit_factored(adjacency, rank, inner, outer):
+    """Factored structural fit under tracemalloc; (model, seconds, peak)."""
+    model = SlamPredH(
+        factored=True,
+        svd_rank=rank,
+        inner_iterations=inner,
+        outer_iterations=outer,
+        tolerance=1e-4,
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TruncatedSVTWarning)
+        model.fit_adjacency(adjacency)
+    seconds = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return model, seconds, peak_bytes
 
 
 def _baseline_seconds(path, scale):
@@ -113,6 +213,18 @@ def main(argv=None) -> int:
         "--parity-scale", type=int, default=140, dest="parity_scale"
     )
     parser.add_argument("--parity", type=float, default=1e-6)
+    parser.add_argument(
+        "--factored-n", type=int, default=5000, dest="factored_n"
+    )
+    parser.add_argument(
+        "--factored-degree", type=int, default=6, dest="factored_degree"
+    )
+    parser.add_argument(
+        "--factored-rank", type=int, default=8, dest="factored_rank"
+    )
+    parser.add_argument(
+        "--factored-drift", type=float, default=1e-3, dest="factored_drift"
+    )
     parser.add_argument("--path", default=BENCH_SOLVER_PATH)
     parser.add_argument(
         "--check",
@@ -173,6 +285,79 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fast-path parity {max_abs_diff:.3e} exceeds "
             f"{args.parity:.1e}"
+        )
+        return 1
+
+    # --- factored leg: O(nk) estimate at a scale dense cannot reach ----
+    # Quality first, at the parity scale where the exact fit exists.
+    p_factored, _, _ = _fit(
+        p_aligned, p_split, None, args.inner, args.outer,
+        exact=False, factored=True,
+    )
+    p_exact_auc = _auc(p_exact, p_split)
+    p_factored_auc = _auc(p_factored, p_split)
+    auc_drift = abs(p_factored_auc - p_exact_auc)
+    print(
+        f"factored AUC at scale {args.parity_scale}: "
+        f"exact {p_exact_auc:.4f}, factored {p_factored_auc:.4f} "
+        f"(drift {auc_drift:.2e})"
+    )
+    if not np.isfinite(p_factored_auc) or auc_drift > args.factored_drift:
+        print(
+            f"FAIL: factored AUC drifts {auc_drift:.3e} from the exact "
+            f"solver at scale {args.parity_scale} (> {args.factored_drift})"
+        )
+        return 1
+
+    # Memory next, at large n.  The dense cost is extrapolated from this
+    # run's own exact fit: alloc is quadratic in users, so scale by
+    # (factored_n / n_users)².
+    adjacency = _synthetic_adjacency(
+        args.factored_n, args.factored_degree, seed=7
+    )
+    training, heldout_pairs, heldout_labels = _holdout_links(
+        adjacency, fraction=0.1, seed=8
+    )
+    factored_model, factored_seconds, factored_peak = _fit_factored(
+        training, args.factored_rank, inner=3, outer=2
+    )
+    factored_auc = float(
+        auc_score(
+            factored_model.score_pairs(heldout_pairs), heldout_labels
+        )
+    )
+    dense_extrapolated = exact_peak * (
+        args.factored_n / aligned.target.n_users
+    ) ** 2
+    print(
+        f"factored n={args.factored_n} (rank {args.factored_rank}): "
+        f"{factored_seconds:.2f}s, {factored_peak / 1e6:.1f}MB peak vs "
+        f"{dense_extrapolated / 1e6:.0f}MB dense-extrapolated, "
+        f"held-out AUC {factored_auc:.3f}"
+    )
+    if factored_peak >= FACTORED_ALLOC_FRACTION * dense_extrapolated:
+        print(
+            f"FAIL: factored peak {factored_peak / 1e6:.1f}MB is not under "
+            f"{FACTORED_ALLOC_FRACTION:.0%} of the dense extrapolation "
+            f"({dense_extrapolated / 1e6:.0f}MB)"
+        )
+        return 1
+    # Two-scale probe: sub-quadratic growth, not just a low absolute.
+    half_adjacency = _synthetic_adjacency(
+        args.factored_n // 2, args.factored_degree, seed=7
+    )
+    _, _, half_peak = _fit_factored(
+        half_adjacency, args.factored_rank, inner=3, outer=2
+    )
+    peak_ratio = factored_peak / max(1, half_peak)
+    print(
+        f"factored peak ratio n/2 -> n: {half_peak / 1e6:.1f}MB -> "
+        f"{factored_peak / 1e6:.1f}MB ({peak_ratio:.2f}x)"
+    )
+    if peak_ratio >= FACTORED_RATIO_LIMIT:
+        print(
+            f"FAIL: factored peak grew {peak_ratio:.2f}x for 2x users — "
+            f"super-linear in n·k (limit {FACTORED_RATIO_LIMIT}x)"
         )
         return 1
 
@@ -241,7 +426,32 @@ def main(argv=None) -> int:
         context={"scale": args.parity_scale, "svd_rank": None},
         path=args.path,
     )
-    print(f"recorded bench_exact/bench_fast/bench_parity to {args.path}")
+    record_snapshot(
+        "bench_factored",
+        {
+            "seconds": factored_seconds,
+            "alloc_peak_bytes": factored_peak,
+            "alloc_peak_half_n_bytes": half_peak,
+            "peak_ratio_half_to_full": peak_ratio,
+            "dense_extrapolated_bytes": dense_extrapolated,
+            "auc": factored_auc,
+            "auc_drift_vs_exact": auc_drift,
+        },
+        context={
+            "n_users": args.factored_n,
+            "degree": args.factored_degree,
+            "svd_rank": args.factored_rank,
+            "inner_iterations": 3,
+            "outer_iterations": 2,
+            "holdout_fraction": 0.1,
+            "drift_scale": args.parity_scale,
+        },
+        path=args.path,
+    )
+    print(
+        "recorded bench_exact/bench_fast/bench_parity/bench_factored to "
+        f"{args.path}"
+    )
     return 0
 
 
