@@ -202,6 +202,95 @@ def test_batcher_throughput(benchmark, served):
     assert counters["batcher.batches"] <= total
 
 
+def test_batcher_mixed_k_coalescing(benchmark, served):
+    """One max-k scoring pass must beat per-k grouped passes on mixed load.
+
+    This is the regression the batcher's per-k grouping caused: a batch
+    whose requests carried several distinct ``k`` values used to issue
+    one ``batch_top_k`` per ``k`` (0.86–0.97× of sequential under mixed
+    load).  The batcher now issues a single ``batch_top_k_mixed`` pass —
+    one argpartition/argsort at the batch's largest ``k``, each answer
+    trimmed to its own request's ``k`` before materialization (exact,
+    because every top-k list is a prefix of the top-max-k list).  This
+    leg measures exactly those two strategies over the same mixed-k
+    batch, checks the answers are identical, and records the speedup so
+    it stays pinned.
+    """
+    # Batch size matches what the throughput leg actually observes
+    # coalescing per batch (mean batch ≈ 8); at that size the per-k
+    # split's extra numpy dispatches dominate, which is exactly the
+    # production regime the batcher lives in.
+    batch_size = 8
+    n_batches = 64
+    k_choices = (5, 10, 20, 50)
+    batches = [
+        (
+            [(b * batch_size + i) % N_USERS for i in range(batch_size)],
+            [k_choices[i % len(k_choices)] for i in range(batch_size)],
+        )
+        for b in range(n_batches)
+    ]
+
+    def run_grouped():
+        elapsed = 0.0
+        answers = {}
+        for users, ks in batches:
+            served.cache.invalidate()
+            start = time.perf_counter()
+            by_k = {}
+            for user, k in zip(users, ks):
+                by_k.setdefault(k, []).append(user)
+            for k, group in by_k.items():
+                for user, ranking in zip(
+                    group, served.batch_top_k(group, k)
+                ):
+                    answers[(user, k)] = ranking
+            elapsed += time.perf_counter() - start
+        return elapsed, answers
+
+    def run_coalesced():
+        elapsed = 0.0
+        answers = {}
+        for users, ks in batches:
+            served.cache.invalidate()
+            start = time.perf_counter()
+            rankings = served.batch_top_k_mixed(users, ks)
+            for user, k, ranking in zip(users, ks, rankings):
+                answers[(user, k)] = ranking
+            elapsed += time.perf_counter() - start
+        return elapsed, answers
+
+    grouped_s, grouped_answers = run_grouped()
+    coalesced_s, coalesced_answers = benchmark.pedantic(
+        run_coalesced, rounds=1, iterations=1
+    )
+    assert coalesced_answers == grouped_answers, (
+        "trimmed max-k answers must match the per-k passes exactly"
+    )
+    speedup = grouped_s / max(coalesced_s, 1e-9)
+    print(
+        f"\nmixed-k: per-k passes {grouped_s:.3f}s vs one coalesced pass "
+        f"{coalesced_s:.3f}s (speedup {speedup:.2f}x)"
+    )
+    record_snapshot(
+        "batcher_mixed_k",
+        {
+            "grouped_s": grouped_s,
+            "coalesced_s": coalesced_s,
+            "speedup": speedup,
+        },
+        context={
+            **_CONTEXT,
+            "batch_size": batch_size,
+            "n_batches": n_batches,
+            "k_choices": list(k_choices),
+        },
+    )
+    assert speedup > 1.0, (
+        f"coalesced mixed-k pass must beat per-k grouping, got {speedup:.2f}x"
+    )
+
+
 def test_telemetry_overhead(benchmark, published_store):
     """The disabled path (NullTracer+NullRegistry) must stay near-free.
 

@@ -96,6 +96,13 @@ from repro.serving import (
     MicroBatcher,
     RankingCache,
 )
+from repro.sharding import (
+    ShardedArtifactStore,
+    ShardedLinkPredictionService,
+    ShardedSlamPred,
+    ShardPlan,
+    plan_shards,
+)
 from repro.applications import GraphDenoiser, SparseLowRankCovariance
 from repro.temporal import (
     AutoregressiveLinkPredictor,
@@ -168,6 +175,11 @@ __all__ = [
     "LinkPredictionService",
     "MicroBatcher",
     "RankingCache",
+    "ShardPlan",
+    "ShardedArtifactStore",
+    "ShardedLinkPredictionService",
+    "ShardedSlamPred",
+    "plan_shards",
     "GraphDenoiser",
     "SparseLowRankCovariance",
     "AutoregressiveLinkPredictor",

@@ -47,28 +47,73 @@ def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
     return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
 
 
+def _expected_relevance(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Labels in descending-score order, tie groups averaged.
+
+    Instances sharing a score are interchangeable under any tie-breaking
+    rule; replacing each one's label with its tie group's mean makes every
+    rank-discounted metric deterministic and order-independent (and exact
+    in expectation over random tie permutations of a linear metric).
+    This is the single tie-handling primitive shared by every top-``k``
+    metric in this module — precision@k, recall@k, nDCG@k and MAP@k all
+    read the same expected ranking, so their tie semantics agree.
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    expected = labels[order].astype(float).copy()
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0.0) + 1
+    for start, end in zip(
+        np.concatenate([[0], boundaries]),
+        np.concatenate([boundaries, [sorted_scores.size]]),
+    ):
+        expected[start:end] = expected[start:end].mean()
+    return expected
+
+
+def _expected_topk_mass(
+    scores: np.ndarray, labels: np.ndarray, k: int
+) -> float:
+    """Expected positives in the top ``k`` — Σ of ``_expected_relevance``.
+
+    Computed per tie group rather than by summing the expanded vector:
+    a group overlapping the cutoff by ``overlap`` slots contributes
+    ``group_sum · overlap / size``, and a group fully inside contributes
+    ``group_sum`` *exactly* — no ``mean → re-sum`` rounding — so at
+    ``k = n`` the mass is bit-for-bit ``labels.sum()`` (precision@n is
+    exactly the base rate, recall@n exactly 1).
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order].astype(float)
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0.0) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_scores.size]])
+    mass = 0.0
+    for start, end in zip(starts, ends):
+        overlap = min(int(end), k) - int(start)
+        if overlap <= 0:
+            break
+        group_sum = float(sorted_labels[start:end].sum())
+        size = int(end) - int(start)
+        mass += group_sum if overlap == size else group_sum * overlap / size
+    return mass
+
+
 def precision_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
     """Fraction of positives among the top-``k`` scored instances.
 
-    Ties at the cutoff are resolved by expected value: tied instances share
-    the remaining slots proportionally, so the metric is deterministic and
-    order-independent.
+    Ties at the cutoff are resolved by expected value: tied instances
+    share the remaining slots proportionally (their tie group's mean
+    relevance fills each slot), so the metric is deterministic and
+    order-independent.  A tie group straddling the cutoff contributes
+    ``slots × (group positives / group size)`` — identical to drawing
+    the remaining slots uniformly from the group.
     """
     scores, labels = _validate(scores, labels)
     if k <= 0:
         raise EvaluationError(f"k must be positive, got {k}")
     k = min(int(k), scores.size)
-    order = np.argsort(-scores, kind="stable")
-    cutoff_score = scores[order[k - 1]]
-    above = scores > cutoff_score
-    n_above = int(above.sum())
-    hits = float(labels[above].sum())
-    tied = scores == cutoff_score
-    n_tied = int(tied.sum())
-    slots = k - n_above
-    if n_tied > 0 and slots > 0:
-        hits += float(labels[tied].sum()) * slots / n_tied
-    return hits / k
+    return _expected_topk_mass(scores, labels, k) / k
 
 
 def recall_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
@@ -77,7 +122,8 @@ def recall_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:
     total_pos = float(labels.sum())
     if total_pos == 0:
         raise EvaluationError("recall@k needs at least one positive")
-    return precision_at_k(scores, labels, k) * min(int(k), scores.size) / total_pos
+    k = min(int(k), scores.size)
+    return _expected_topk_mass(scores, labels, k) / total_pos
 
 
 def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
@@ -95,26 +141,6 @@ def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
     cumulative_hits = np.cumsum(sorted_labels)
     precision = cumulative_hits / np.arange(1, labels.size + 1)
     return float((precision * sorted_labels).sum() / total_pos)
-
-
-def _expected_relevance(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
-    """Labels in descending-score order, tie groups averaged.
-
-    Instances sharing a score are interchangeable under any tie-breaking
-    rule; replacing each one's label with its tie group's mean makes every
-    rank-discounted metric deterministic and order-independent (and exact
-    in expectation over random tie permutations of a linear metric).
-    """
-    order = np.argsort(-scores, kind="stable")
-    sorted_scores = scores[order]
-    expected = labels[order].astype(float).copy()
-    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0.0) + 1
-    for start, end in zip(
-        np.concatenate([[0], boundaries]),
-        np.concatenate([boundaries, [sorted_scores.size]]),
-    ):
-        expected[start:end] = expected[start:end].mean()
-    return expected
 
 
 def ndcg_at_k(scores: np.ndarray, labels: np.ndarray, k: int = 100) -> float:

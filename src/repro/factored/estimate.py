@@ -319,6 +319,72 @@ class FactoredEstimate:
         )
         return float(np.sqrt(max(value, 0.0)))
 
+    # -- single-array codec ----------------------------------------------
+    def pack(self) -> np.ndarray:
+        """Flatten the estimate into one 1-D float array.
+
+        Layout: a ``[n, k, nnz]`` header followed by ``u`` (row-major),
+        ``s``, ``vt`` (row-major) and the residual's CSR ``data``,
+        ``indices`` and ``indptr`` arrays.  Exists so consumers whose
+        snapshot format holds exactly one ndarray — the round-based
+        :class:`~repro.reliability.checkpoints.CheckpointManager`, which
+        the sharded solver reuses for per-shard fit checkpoints — can
+        round-trip a factored estimate losslessly; CSR index values are
+        integers well inside float64's exact range.
+        """
+        residual = self.residual.tocsr()
+        n, k, nnz = self.n_users, self.rank, int(residual.nnz)
+        return np.concatenate(
+            [
+                np.array([n, k, nnz], dtype=float),
+                self.u.ravel(),
+                self.s,
+                self.vt.ravel(),
+                residual.data.astype(float),
+                residual.indices.astype(float),
+                residual.indptr.astype(float),
+            ]
+        )
+
+    @classmethod
+    def unpack(cls, packed: np.ndarray) -> "FactoredEstimate":
+        """Rebuild an estimate from a :meth:`pack` array.
+
+        Raises ``ValueError`` when the array's header is inconsistent
+        with its length (a truncated or foreign snapshot).
+        """
+        packed = np.asarray(packed, dtype=float).ravel()
+        if packed.size < 3:
+            raise ValueError(
+                f"packed estimate needs a [n, k, nnz] header, got "
+                f"{packed.size} values"
+            )
+        n, k, nnz = (int(v) for v in packed[:3])
+        if n < 0 or k < 0 or nnz < 0:
+            raise ValueError(
+                f"packed estimate header is negative: n={n}, k={k}, nnz={nnz}"
+            )
+        expected = 3 + 2 * n * k + k + 2 * nnz + n + 1
+        if packed.size != expected:
+            raise ValueError(
+                f"packed estimate of {packed.size} values does not match "
+                f"its header (n={n}, k={k}, nnz={nnz} needs {expected})"
+            )
+        cursor = 3
+        u = packed[cursor:cursor + n * k].reshape(n, k)
+        cursor += n * k
+        s = packed[cursor:cursor + k]
+        cursor += k
+        vt = packed[cursor:cursor + k * n].reshape(k, n)
+        cursor += k * n
+        data = packed[cursor:cursor + nnz]
+        cursor += nnz
+        indices = packed[cursor:cursor + nnz].astype(np.int64)
+        cursor += nnz
+        indptr = packed[cursor:].astype(np.int64)
+        residual = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+        return cls(u, s, vt, residual)
+
     def __repr__(self) -> str:
         return (
             f"FactoredEstimate(n={self.n_users}, rank={self.rank}, "

@@ -126,6 +126,15 @@ class SlamPred(MatrixPredictor):
         gradient, when present, is compressed to rank
         ``min(n − 1, 128)`` plus its largest-magnitude residual entries
         before the solve.
+    svt_options:
+        Extra keyword arguments for the
+        :class:`~repro.perf.warm_svt.WarmStartSVT` engine on the hot and
+        factored paths (``seed``, ``dense_fallback_cutoff``, tolerance
+        knobs, …), layered over the rank settings derived from
+        ``svd_rank``.  This is how the sharded solver gives every shard
+        its own deterministic SVT seed and disables the dense recovery
+        fallback on sub-problems small enough to qualify for it.
+        Ignored on the ``exact`` path, which pins the legacy engine.
     n_jobs:
         Thread count for the per-source intimacy extraction and transfer
         pipeline (``None`` picks a bounded default; 1 forces the
@@ -189,6 +198,7 @@ class SlamPred(MatrixPredictor):
         learn_alphas: bool = True,
         exact: bool = False,
         factored: bool = False,
+        svt_options: Optional[dict] = None,
         n_jobs: Optional[int] = None,
         display_name: str = None,
         tracer: Optional[Tracer] = None,
@@ -244,6 +254,15 @@ class SlamPred(MatrixPredictor):
             raise ConfigurationError(
                 "exact and factored are mutually exclusive: exact pins the "
                 "dense seed numerics, factored never forms the dense iterate"
+            )
+        if svt_options is None:
+            self.svt_options = {}
+        elif isinstance(svt_options, dict):
+            self.svt_options = dict(svt_options)
+        else:
+            raise ConfigurationError(
+                f"svt_options must be a dict of WarmStartSVT keyword "
+                f"arguments, got {type(svt_options).__name__}"
             )
         if n_jobs is None:
             self.n_jobs = None
@@ -392,6 +411,17 @@ class SlamPred(MatrixPredictor):
             )
         return self.fit(task, checkpoint_dir=checkpoint_dir)
 
+    def _build_svt_engine(self) -> WarmStartSVT:
+        """The warm-started SVT engine: rank caps layered with svt_options."""
+        options = {"initial_rank": self.svd_rank, "max_rank": self.svd_rank}
+        options.update(self.svt_options)
+        try:
+            return WarmStartSVT(**options)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid svt_options for WarmStartSVT: {exc}"
+            ) from exc
+
     def _fit(self, task: TransferTask) -> None:
         tracer = self._tracer
         adjacency = task.training_graph.adjacency
@@ -411,9 +441,7 @@ class SlamPred(MatrixPredictor):
             # svd_rank caps the engine exactly like it capped the legacy
             # truncated path: the fast path is then a warm-started drop-in
             # for the same rank-capped (possibly lossy) operator.
-            self._svt_engine = WarmStartSVT(
-                initial_rank=self.svd_rank, max_rank=self.svd_rank
-            )
+            self._svt_engine = self._build_svt_engine()
         prox_terms = [
             TraceNormProx(
                 self.tau, max_rank=self.svd_rank, engine=self._svt_engine
@@ -515,9 +543,7 @@ class SlamPred(MatrixPredictor):
             intimacy = FactoredEstimate.compress(
                 gradient, rank=rank, residual_nnz=residual_nnz
             )
-        self._svt_engine = WarmStartSVT(
-            initial_rank=self.svd_rank, max_rank=self.svd_rank
-        )
+        self._svt_engine = self._build_svt_engine()
         prox_terms = [
             TraceNormProx(
                 self.tau, max_rank=self.svd_rank, engine=self._svt_engine

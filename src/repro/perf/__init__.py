@@ -21,10 +21,20 @@ proximal operators, which themselves sit below this package's workspace
 in the import graph.
 """
 
-from repro.perf.parallel import default_workers, parallel_map
+from repro.perf.parallel import (
+    default_workers,
+    parallel_map,
+    parallel_map_processes,
+)
 from repro.perf.workspace import Workspace
 
-__all__ = ["WarmStartSVT", "Workspace", "default_workers", "parallel_map"]
+__all__ = [
+    "WarmStartSVT",
+    "Workspace",
+    "default_workers",
+    "parallel_map",
+    "parallel_map_processes",
+]
 
 
 def __getattr__(name):

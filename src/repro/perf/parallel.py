@@ -1,4 +1,4 @@
-"""Order-preserving thread fan-out for BLAS-heavy per-source work.
+"""Order-preserving thread and process fan-out for per-item work.
 
 The K-source intimacy pipeline is embarrassingly parallel: each source's
 feature extraction and adapted-slice transfer touches only that source's
@@ -11,13 +11,26 @@ individually (so per-source wall time can be published through the
 metrics registry), degenerates to a plain sequential loop for a single
 item or ``max_workers=1`` (bit-identical semantics, no pool spin-up),
 and propagates the first worker exception to the caller.
+
+:func:`parallel_map_processes` is the same contract over a
+**process** pool, for work that holds the GIL (pure-Python loops,
+scipy code paths that never release it) — the sharded solver fans its
+per-shard fits out here so shard count, not user count, bounds the
+wall clock on multi-core machines.  Function and items must be
+picklable; on platforms where process pools cannot start (sandboxes
+without semaphores) it degrades to the thread pool, which is
+result-identical because workers are required to be pure functions of
+their item.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from itertools import repeat
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -66,3 +79,58 @@ def parallel_map(
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(timed, enumerate(items)))
     return results, seconds
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> Tuple[R, float]:
+    """Run one item in a worker process, returning (result, seconds).
+
+    Module-level so it pickles; the item's own wall time is measured
+    inside the child, excluding fork/dispatch overhead.
+    """
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+def parallel_map_processes(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: Optional[int] = None,
+) -> Tuple[List[R], List[float]]:
+    """Apply ``fn`` to every item across processes; returns (results, seconds).
+
+    Same contract as :func:`parallel_map` — ``results[i]`` corresponds to
+    ``items[i]`` regardless of completion order, ``seconds[i]`` is that
+    item's own (in-child) wall time, one item or ``max_workers=1`` runs
+    sequentially in the calling process — but workers are separate
+    interpreters, so Python-level work scales past the GIL.  ``fn`` and
+    every item must be picklable, and ``fn`` must be a pure function of
+    its item: results are collected by input index, which is what makes
+    the output independent of worker scheduling.  When the platform
+    cannot start a process pool at all, the call falls back to the
+    thread pool (purity makes that result-identical).
+    """
+    items = list(items)
+    if not items:
+        return [], []
+    workers = default_workers(len(items), max_workers)
+    if workers == 1:
+        pairs = [_timed_call(fn, item) for item in items]
+        return [r for r, _ in pairs], [s for _, s in pairs]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(_timed_call, repeat(fn), items))
+    except (
+        OSError,
+        PermissionError,
+        BrokenProcessPool,
+        pickle.PicklingError,
+        AttributeError,  # local functions/lambdas surface as this
+        TypeError,  # unpicklable closed-over state (locks, handles)
+    ):
+        # No usable process primitives (restricted sandbox), the pool died
+        # before producing results, or fn/items cannot cross the process
+        # boundary: the thread pool computes the same answers for pure fn,
+        # just without GIL-free scaling.
+        return parallel_map(fn, items, max_workers)
+    return [r for r, _ in pairs], [s for _, s in pairs]

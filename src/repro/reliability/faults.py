@@ -19,6 +19,7 @@ drive):
 ``artifact.slow_read``    delay-only site on the same load path
 ``serving.reload``        :meth:`LinkPredictionService.reload`
 ``serving.request``       the HTTP dispatch path (before routing)
+``sharding.shard_read``   per-shard reads of a sharded artifact load
 ======================  ======================================================
 
 Environment configuration (read by :func:`configure_from_env`, which the
@@ -61,6 +62,7 @@ KNOWN_SITES: Dict[str, str] = {
     "artifact.slow_read": "artifact-store load path (delay only)",
     "serving.reload": "service hot-swap reload",
     "serving.request": "HTTP request dispatch",
+    "sharding.shard_read": "per-shard artifact read inside a sharded load",
 }
 """Site name → human description; :meth:`FaultInjector.arm` validates
 against this registry so chaos configs cannot silently target a typo."""
@@ -80,6 +82,9 @@ _DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
     ),
     "serving.request": lambda: InjectedFaultError(
         "injected: request-path fault"
+    ),
+    "sharding.shard_read": lambda: ArtifactCorruptError(
+        "injected: shard artifact failed its integrity check"
     ),
 }
 """What each site raises when armed without an explicit ``error``.

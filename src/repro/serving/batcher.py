@@ -18,7 +18,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.observability.logging import current_request_id, get_logger
@@ -203,19 +203,24 @@ class MicroBatcher:
                 batch_size=len(batch),
                 request_ids=[p.request_id for p in batch if p.request_id],
             )
-        by_k: Dict[int, List[_Pending]] = {}
-        for pending in batch:
-            by_k.setdefault(pending.k, []).append(pending)
-        for k, group in by_k.items():
-            try:
-                rankings = self.service.batch_top_k(
-                    [pending.user for pending in group], k
-                )
-            except BaseException as exc:  # propagate to every waiter
-                for pending in group:
-                    pending.error = exc
-                    pending.event.set()
-                continue
-            for pending, ranking in zip(group, rankings):
-                pending.result = ranking
+        # One true coalesced pass: mixed-k requests share a single
+        # scoring pass at the batch's largest k — every request's answer
+        # is a prefix of its top-max_k list (same descending order, same
+        # tie-break), so per-request trimming is exact and happens inside
+        # the service before any oversized list is materialized.  Grouping
+        # by k here used to issue one scoring pass per distinct k, which
+        # under mixed load made the batcher *slower* than sequential
+        # queries.
+        try:
+            rankings = self.service.batch_top_k_mixed(
+                [pending.user for pending in batch],
+                [pending.k for pending in batch],
+            )
+        except BaseException as exc:  # propagate to every waiter
+            for pending in batch:
+                pending.error = exc
                 pending.event.set()
+            return
+        for pending, ranking in zip(batch, rankings):
+            pending.result = ranking
+            pending.event.set()

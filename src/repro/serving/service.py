@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import threading
 import time
+from itertools import repeat
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import (
+    ConfigurationError,
     RetryExhaustedError,
     SerializationError,
     UnknownNodeError,
@@ -344,31 +346,54 @@ class LinkPredictionService:
         ranked together with a single ``argpartition`` call, which is what
         the micro-batcher relies on for throughput.
         """
+        return self.batch_top_k_mixed(users, [k] * len(users))
+
+    def batch_top_k_mixed(
+        self, users: Sequence[int], ks: Sequence[int]
+    ) -> List[Ranking]:
+        """Per-request ``k`` values answered in one vectorized pass.
+
+        The heavy numpy work — row extraction, one ``argpartition`` and
+        one stable ``argsort`` at the batch's largest ``k`` — is shared
+        by every request; only the final per-row list materialization is
+        trimmed to each request's own ``k``.  This is what lets the
+        micro-batcher coalesce mixed-``k`` traffic into a single scoring
+        pass without building oversized answers.
+        """
         with self.tracer.span("serve.batch_top_k"):
-            k = check_integer(k, "k", minimum=1)
+            if len(users) != len(ks):
+                raise ConfigurationError(
+                    f"{len(users)} users but {len(ks)} k values"
+                )
+            ks = [check_integer(k, "k", minimum=1) for k in ks]
             users = [self._check_user(u) for u in users]
             self.tracer.count("serve.requests", len(users))
             self.tracer.count("serve.topk_requests", len(users))
             version = self.version
-            answers: Dict[int, Ranking] = {}
-            missing: List[int] = []
-            for user in users:
+            answers: Dict[Tuple[int, int], Ranking] = {}
+            missing: List[Tuple[int, int]] = []
+            for user, k in zip(users, ks):
+                pair = (user, k)
                 cached = self.cache.get((version, user, k))
                 if cached is not None:
                     self.tracer.count("serve.cache_hit")
-                    answers[user] = cached
-                elif user not in answers:
+                    answers[pair] = cached
+                elif pair not in answers:
                     self.tracer.count("serve.cache_miss")
-                    answers[user] = None
-                    missing.append(user)
+                    answers[pair] = None
+                    missing.append(pair)
             if missing:
                 with self._lock:
-                    rows = self._candidates[missing]
-                    rankings = _rank_rows(rows, k)
-                for user, ranking in zip(missing, rankings):
-                    answers[user] = ranking
-                    self.cache.put((version, user, k), ranking)
-            return [answers[user] for user in users]
+                    rows = self._candidates[[user for user, _ in missing]]
+                    rankings = _rank_rows(
+                        rows,
+                        max(k for _, k in missing),
+                        ks=[k for _, k in missing],
+                    )
+                for pair, ranking in zip(missing, rankings):
+                    answers[pair] = ranking
+                    self.cache.put((version, pair[0], pair[1]), ranking)
+            return [answers[(user, k)] for user, k in zip(users, ks)]
 
     # -- introspection --------------------------------------------------
     @property
@@ -461,16 +486,35 @@ def _rank_row(row: np.ndarray, k: int) -> Ranking:
     return [(int(j), float(row[j])) for j in top]
 
 
-def _rank_rows(rows: np.ndarray, k: int) -> List[Ranking]:
-    """Rank a stack of candidate rows with one shared argpartition pass."""
+def _rank_rows(
+    rows: np.ndarray, k: int, ks: Optional[Sequence[int]] = None
+) -> List[Ranking]:
+    """Rank a stack of candidate rows in two vectorized passes.
+
+    One ``argpartition`` narrows every row to its top ``k`` columns, one
+    ``axis=1`` stable argsort orders all of them together; the only
+    per-row work left is materializing the output lists.  -inf (masked)
+    entries sort last and are dropped per row.  With ``ks`` given, row
+    ``i``'s output list is trimmed to ``ks[i]`` entries (each at most
+    ``k``) — the shared numpy passes still run once at ``k``, but no row
+    materializes more tuples than its own request asked for.
+    """
     n = rows.shape[1]
     kth = min(k, n)
-    # One partition over the full stack; -inf (masked) entries sort last and
-    # are filtered per row below.
     part = np.argpartition(-rows, kth - 1, axis=1)[:, :kth]
+    values = np.take_along_axis(rows, part, axis=1)
+    order = np.argsort(-values, axis=1, kind="stable")
+    cols = np.take_along_axis(part, order, axis=1)
+    values = np.take_along_axis(values, order, axis=1)
+    finite = np.isfinite(values)
+    limits = repeat(kth) if ks is None else ks
     rankings: List[Ranking] = []
-    for row, cols in zip(rows, part):
-        cols = cols[np.isfinite(row[cols])]
-        cols = cols[np.argsort(-row[cols], kind="stable")][:k]
-        rankings.append([(int(j), float(row[j])) for j in cols])
+    for row_cols, row_values, row_finite, limit in zip(
+        cols, values, finite, limits
+    ):
+        row_cols = row_cols[row_finite][:limit]
+        row_values = row_values[row_finite][:limit]
+        rankings.append(
+            [(int(j), float(v)) for j, v in zip(row_cols, row_values)]
+        )
     return rankings

@@ -1,0 +1,402 @@
+"""Versioned on-disk store for sharded link-prediction artifacts.
+
+A :class:`ShardedArtifactStore` extends the directory-per-version layout
+of :class:`~repro.serving.artifacts.ArtifactStore` to one model made of
+many shard files::
+
+    store/
+    ├── v0001/
+    │   ├── manifest.json     schema version, shard plan summary, per-file
+    │   │                     sha256 checksums, stitch scales
+    │   ├── plan.npz          shard assignment + anchor replication arrays
+    │   ├── graph.npz         optional: global known-link adjacency (CSR)
+    │   ├── shard-000.npz     shard 0's factored predictor (save_predictor)
+    │   ├── shard-001.npz
+    │   └── …
+    └── v0002/ …
+
+Publishes stage into a hidden directory and rename into place, so readers
+never observe a half-written version.  Loading re-hashes every file
+against the manifest; the crucial difference from the unsharded store is
+**partial degradation**: with ``strict=False`` a corrupt or missing
+*shard* file is skipped and reported in
+:attr:`LoadedShardedArtifact.missing_shards` instead of failing the whole
+load — the scatter-gather service keeps answering from the surviving
+shards.  Corruption of the manifest, the plan or the graph is always
+fatal (there is no meaningful artifact without them).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ArtifactCorruptError, SerializationError
+from repro.models.persistence import (
+    FrozenFactoredPredictor,
+    load_predictor,
+    save_predictor,
+)
+from repro.reliability.faults import fault_point
+from repro.serving.artifacts import _VERSION_DIR, file_sha256
+from repro.sharding.partition import ShardPlan
+
+SHARDED_MANIFEST_SCHEMA_VERSION = 1
+"""Bumped whenever the sharded manifest layout changes incompatibly."""
+
+_MANIFEST = "manifest.json"
+_PLAN_FILE = "plan.npz"
+_GRAPH_FILE = "graph.npz"
+_SHARD_FILE_FORMAT = "shard-%03d.npz"
+_STAGING_PREFIX = ".staging-"
+
+
+@dataclass
+class LoadedShardedArtifact:
+    """One validated (possibly degraded) sharded artifact.
+
+    Attributes
+    ----------
+    version:
+        The loaded version number.
+    manifest:
+        The parsed ``manifest.json``.
+    plan:
+        The deserialized :class:`~repro.sharding.partition.ShardPlan`.
+    scales:
+        Per-shard stitching multipliers λ.
+    estimates:
+        Shard id → the shard's
+        :class:`~repro.factored.estimate.FactoredEstimate`; shards that
+        failed validation under ``strict=False`` are absent.
+    adjacency:
+        The global known-link CSR adjacency, or ``None``.
+    missing_shards:
+        Shard ids dropped by a degraded load (empty on a clean one).
+    """
+
+    version: int
+    manifest: Dict
+    plan: ShardPlan
+    scales: np.ndarray
+    estimates: Dict[int, "FactoredEstimate"] = field(repr=False, default_factory=dict)
+    adjacency: Optional[sparse.csr_matrix] = field(default=None, repr=False)
+    missing_shards: List[int] = field(default_factory=list)
+
+    @property
+    def n_users(self) -> int:
+        """Users covered by the plan (independent of shard health)."""
+        return self.plan.n_users
+
+    @property
+    def n_shards(self) -> int:
+        """Shards the artifact was published with."""
+        return self.plan.n_shards
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard was dropped during loading."""
+        return bool(self.missing_shards)
+
+
+class ShardedArtifactStore:
+    """Directory-per-version store for sharded factored models.
+
+    Parameters
+    ----------
+    root:
+        The store directory; created (with parents) on first use.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- layout ---------------------------------------------------------
+    def path(self, version: int) -> str:
+        """Directory holding the given version."""
+        return os.path.join(self.root, f"v{int(version):04d}")
+
+    def shard_file(self, shard: int) -> str:
+        """The in-version filename of one shard's predictor archive."""
+        return _SHARD_FILE_FORMAT % int(shard)
+
+    def versions(self) -> List[int]:
+        """All published version numbers, ascending."""
+        found = []
+        for entry in os.listdir(self.root):
+            match = _VERSION_DIR.match(entry)
+            if match and os.path.isfile(
+                os.path.join(self.root, entry, _MANIFEST)
+            ):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def resolve_latest(self) -> int:
+        """The highest published version number (raises when empty)."""
+        versions = self.versions()
+        if not versions:
+            raise SerializationError(
+                f"sharded artifact store {self.root} holds no published "
+                "versions"
+            )
+        return versions[-1]
+
+    # -- publish --------------------------------------------------------
+    def publish(self, model, graph=None, meta: Optional[Dict] = None) -> int:
+        """Write a fitted :class:`ShardedSlamPred` as the next version.
+
+        Parameters
+        ----------
+        model:
+            A fitted :class:`~repro.sharding.model.ShardedSlamPred`
+            (raises ``NotFittedError`` before disk state is touched
+            otherwise).
+        graph:
+            Optional global known-link structure (SocialGraph, ndarray
+            or scipy sparse) matching the plan's user count; serving
+            excludes these pairs from top-k answers across shard
+            boundaries.  Stored sparse.
+        meta:
+            Extra JSON-compatible metadata for the manifest.
+        """
+        plan = model.plan  # fitted check before touching disk
+        estimates = model.estimates
+        scales = np.asarray(model.scales, dtype=float)
+        adjacency = None
+        if graph is not None:
+            adjacency = getattr(graph, "adjacency", graph)
+            adjacency = sparse.csr_matrix(adjacency, dtype=float)
+            if adjacency.shape != (plan.n_users, plan.n_users):
+                raise SerializationError(
+                    f"graph adjacency {adjacency.shape} does not match the "
+                    f"plan's {(plan.n_users, plan.n_users)}"
+                )
+        version = (self.versions() or [0])[-1] + 1
+        staging = os.path.join(
+            self.root, f"{_STAGING_PREFIX}v{version:04d}-{os.getpid()}"
+        )
+        os.makedirs(staging)
+        try:
+            files: Dict[str, Dict] = {}
+            plan_path = os.path.join(staging, _PLAN_FILE)
+            np.savez_compressed(
+                plan_path, scales=scales, **plan.to_arrays()
+            )
+            files[_PLAN_FILE] = self._file_entry(plan_path)
+            for s, estimate in enumerate(estimates):
+                shard_name = self.shard_file(s)
+                shard_path = os.path.join(staging, shard_name)
+                predictor = FrozenFactoredPredictor(
+                    estimate,
+                    {
+                        "name": model.name,
+                        "shard": s,
+                        "n_members": int(plan.members[s].size),
+                        "scale": float(scales[s]),
+                    },
+                )
+                save_predictor(predictor, shard_path)
+                files[shard_name] = self._file_entry(shard_path)
+            if adjacency is not None:
+                graph_path = os.path.join(staging, _GRAPH_FILE)
+                np.savez_compressed(
+                    graph_path,
+                    format=np.frombuffer(b"csr", dtype=np.uint8),
+                    data=adjacency.data,
+                    indices=adjacency.indices,
+                    indptr=adjacency.indptr,
+                    shape=np.asarray(adjacency.shape, dtype=np.int64),
+                )
+                files[_GRAPH_FILE] = self._file_entry(graph_path)
+            manifest = {
+                "schema_version": SHARDED_MANIFEST_SCHEMA_VERSION,
+                "version": version,
+                "name": model.name,
+                "kind": "sharded",
+                "n_users": plan.n_users,
+                "n_shards": plan.n_shards,
+                "shard_sizes": plan.shard_sizes(),
+                "scales": [float(v) for v in scales],
+                "created_at": time.time(),  # wall-clock: a timestamp, not a duration
+                "meta": dict(meta or {}),
+                "files": files,
+            }
+            with open(
+                os.path.join(staging, _MANIFEST), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            final = self.path(version)
+            if os.path.exists(final):
+                raise SerializationError(
+                    f"version directory {final} already exists; "
+                    "concurrent publishers must use distinct stores"
+                )
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return version
+
+    @staticmethod
+    def _file_entry(path: str) -> Dict:
+        return {
+            "sha256": file_sha256(path),
+            "bytes": os.path.getsize(path),
+        }
+
+    # -- read -----------------------------------------------------------
+    def manifest(self, version: Optional[int] = None) -> Dict:
+        """The parsed, schema-checked manifest of a version (default latest)."""
+        version = self.resolve_latest() if version is None else int(version)
+        manifest_path = os.path.join(self.path(version), _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise SerializationError(
+                f"version {version} not found in {self.root}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise SerializationError(
+                f"corrupt manifest {manifest_path}: {exc}"
+            ) from exc
+        schema = manifest.get("schema_version")
+        if schema != SHARDED_MANIFEST_SCHEMA_VERSION:
+            raise SerializationError(
+                f"manifest {manifest_path} has schema version {schema}; "
+                f"this build reads version {SHARDED_MANIFEST_SCHEMA_VERSION}"
+            )
+        return manifest
+
+    def _verify_file(
+        self, version: int, manifest: Dict, filename: str
+    ) -> str:
+        """Hash-check one manifest file; returns its absolute path."""
+        entry = manifest.get("files", {}).get(filename)
+        if entry is None:
+            raise ArtifactCorruptError(
+                f"artifact v{version:04d} manifest lists no file {filename}"
+            )
+        path = os.path.join(self.path(version), filename)
+        if not os.path.isfile(path):
+            raise ArtifactCorruptError(
+                f"artifact v{version:04d} is missing {filename}"
+            )
+        actual = file_sha256(path)
+        if actual != entry.get("sha256"):
+            raise ArtifactCorruptError(
+                f"artifact file {path} failed its integrity check: "
+                f"manifest says sha256 {entry.get('sha256', '?')[:12]}… "
+                f"but the file hashes to {actual[:12]}…"
+            )
+        return path
+
+    def verify(self, version: Optional[int] = None) -> Dict:
+        """Re-hash every file of a version; returns the manifest."""
+        version = self.resolve_latest() if version is None else int(version)
+        manifest = self.manifest(version)
+        for filename in manifest.get("files", {}):
+            self._verify_file(version, manifest, filename)
+        return manifest
+
+    def load(
+        self, version: Optional[int] = None, strict: bool = True
+    ) -> LoadedShardedArtifact:
+        """Load a version (default latest), optionally degrading.
+
+        With ``strict=True`` any invalid file fails the load.  With
+        ``strict=False`` invalid *shard* archives are skipped — recorded
+        in :attr:`LoadedShardedArtifact.missing_shards` — while the
+        manifest, the plan and the graph stay load-or-fail: serving can
+        answer from a subset of shards, but not without knowing the
+        partition.  The ``sharding.shard_read`` chaos site fires once
+        per shard read, modelling exactly the single-corrupt-shard
+        degradation the reliability tests pin.
+        """
+        version = self.resolve_latest() if version is None else int(version)
+        manifest = self.manifest(version)
+        plan_path = self._verify_file(version, manifest, _PLAN_FILE)
+        try:
+            with np.load(plan_path) as data:
+                plan = ShardPlan.from_arrays(
+                    {key: np.asarray(data[key]) for key in data.files}
+                )
+                scales = np.asarray(data["scales"], dtype=float)
+        except (KeyError, ValueError, OSError, zipfile.BadZipFile) as exc:
+            raise SerializationError(
+                f"cannot load shard plan {plan_path}: {exc}"
+            ) from exc
+        if scales.size != plan.n_shards:
+            raise SerializationError(
+                f"plan {plan_path} carries {scales.size} scales for "
+                f"{plan.n_shards} shards"
+            )
+        adjacency = None
+        if _GRAPH_FILE in manifest.get("files", {}):
+            graph_path = self._verify_file(version, manifest, _GRAPH_FILE)
+            from repro.serving.artifacts import _load_graph
+
+            adjacency = _load_graph(graph_path)
+            if not sparse.issparse(adjacency):
+                adjacency = sparse.csr_matrix(adjacency)
+            if adjacency.shape != (plan.n_users, plan.n_users):
+                raise SerializationError(
+                    f"graph adjacency {adjacency.shape} does not match the "
+                    f"plan's {(plan.n_users, plan.n_users)}"
+                )
+        estimates: Dict[int, object] = {}
+        missing: List[int] = []
+        for s in range(plan.n_shards):
+            try:
+                fault_point("sharding.shard_read")
+                shard_path = self._verify_file(
+                    version, manifest, self.shard_file(s)
+                )
+                predictor = load_predictor(shard_path)
+            except SerializationError:
+                if strict:
+                    raise
+                missing.append(s)
+                continue
+            if not getattr(predictor, "factored", False):
+                if strict:
+                    raise SerializationError(
+                        f"shard {s} of v{version:04d} is not a factored "
+                        "predictor archive"
+                    )
+                missing.append(s)
+                continue
+            estimate = predictor.factored_estimate
+            if estimate.n_users != plan.members[s].size:
+                problem = SerializationError(
+                    f"shard {s} of v{version:04d} covers "
+                    f"{estimate.n_users} users but the plan lists "
+                    f"{plan.members[s].size} members"
+                )
+                if strict:
+                    raise problem
+                missing.append(s)
+                continue
+            estimates[s] = estimate
+        if not estimates:
+            raise SerializationError(
+                f"artifact v{version:04d} has no loadable shards"
+            )
+        return LoadedShardedArtifact(
+            version=version,
+            manifest=manifest,
+            plan=plan,
+            scales=scales,
+            estimates=estimates,
+            adjacency=adjacency,
+            missing_shards=missing,
+        )

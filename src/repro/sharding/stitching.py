@@ -1,0 +1,173 @@
+"""Cross-shard score calibration through replicated anchor users.
+
+Each shard's factored fit produces scores on its own (unnormalized)
+scale: the SVT trajectory, the sub-problem's spectrum and the per-shard
+rank budget all differ, so raw scores from different shards are not
+directly comparable when the serving layer merges candidate lists.  The
+anchor users replicated by the :class:`~repro.sharding.partition.ShardPlan`
+give every pair of adjacent shards a set of user *pairs* both shards
+scored; equating the mean positive score over those shared pairs pins
+the shards to one common scale.
+
+Formally, with ``m_{st}`` the mean shared-pair score of shard ``s``
+against shard ``t``, we solve for per-shard multipliers ``λ_s`` with
+``λ_s · m_{st} ≈ λ_t · m_{ts}`` in log space — a least-squares problem
+on the shard overlap graph, one equation per overlapping pair, anchored
+at ``λ = 1`` on the smallest shard id of each connected component (so
+the single-shard plan is stitched with exactly ``λ = [1.0]`` and the
+unsharded trajectory passes through untouched).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sharding.partition import ShardPlan
+
+_MAX_OVERLAP_USERS = 64
+"""Shared users sampled per shard pair (all i<j pairs among them)."""
+
+_POSITIVE_EPS = 1e-12
+"""Scores below this are treated as zero when forming scale ratios."""
+
+
+def _shared_pair_means(
+    plan: ShardPlan,
+    estimates: Sequence,
+    s: int,
+    t: int,
+) -> Tuple[float, float]:
+    """Mean positive score of shards ``s`` and ``t`` over shared pairs.
+
+    Returns ``(0.0, 0.0)`` when the shards share fewer than two users or
+    neither shard scores any shared pair positively.
+    """
+    common = np.intersect1d(plan.members[s], plan.members[t])
+    if common.size < 2:
+        return 0.0, 0.0
+    common = common[:_MAX_OVERLAP_USERS]
+    rows, cols = np.triu_indices(common.size, k=1)
+    users_i, users_j = common[rows], common[cols]
+    means = []
+    for shard in (s, t):
+        local_i = plan.local_indices(shard, users_i)
+        local_j = plan.local_indices(shard, users_j)
+        values = np.maximum(
+            estimates[shard].entries(local_i, local_j), 0.0
+        )
+        positive = values[values > _POSITIVE_EPS]
+        means.append(float(positive.mean()) if positive.size else 0.0)
+    return means[0], means[1]
+
+
+def fit_stitch_scales(
+    plan: ShardPlan, estimates: Sequence
+) -> np.ndarray:
+    """Per-shard multipliers aligning shard score scales via anchors.
+
+    Parameters
+    ----------
+    plan:
+        The shard plan whose replicated members define the overlaps.
+    estimates:
+        One fitted :class:`~repro.factored.estimate.FactoredEstimate`
+        per shard, indexed locally by ``plan.members[shard]``.
+
+    Returns
+    -------
+    ``(n_shards,)`` float array of positive multipliers ``λ``; shards
+    with no usable overlap keep ``λ = 1``.  The reference shard of every
+    connected overlap component is its smallest shard id, pinned to 1,
+    so a single-shard plan returns exactly ``[1.0]``.
+    """
+    n_shards = plan.n_shards
+    if len(estimates) != n_shards:
+        raise ValueError(
+            f"{len(estimates)} estimates for {n_shards} shards"
+        )
+    if n_shards == 1:
+        return np.ones(1)
+    edges: List[Tuple[int, int, float]] = []
+    for s in range(n_shards):
+        for t in range(s + 1, n_shards):
+            mean_s, mean_t = _shared_pair_means(plan, estimates, s, t)
+            if mean_s <= 0.0 or mean_t <= 0.0:
+                continue
+            # λ_s · mean_s ≈ λ_t · mean_t  ⇒  log λ_s − log λ_t = log(mean_t / mean_s)
+            edges.append((s, t, float(np.log(mean_t) - np.log(mean_s))))
+    # Connected components of the overlap graph: each gets one λ = 1 anchor.
+    component = np.arange(n_shards)
+
+    def _root(node: int) -> int:
+        while component[node] != node:
+            component[node] = component[component[node]]
+            node = component[node]
+        return node
+
+    for s, t, _ in edges:
+        component[_root(s)] = _root(t)
+    anchors = {}
+    for s in range(n_shards):
+        root = _root(s)
+        anchors.setdefault(root, s)
+    rows = []
+    rhs = []
+    for s, t, value in edges:
+        row = np.zeros(n_shards)
+        row[s], row[t] = 1.0, -1.0
+        rows.append(row)
+        rhs.append(value)
+    for anchor in anchors.values():
+        row = np.zeros(n_shards)
+        row[anchor] = 1.0
+        rows.append(row)
+        rhs.append(0.0)
+    solution, *_ = np.linalg.lstsq(
+        np.asarray(rows), np.asarray(rhs), rcond=None
+    )
+    return np.exp(solution)
+
+
+def boundary_disagreement(
+    plan: ShardPlan,
+    estimates: Sequence,
+    scales: Sequence[float],
+) -> float:
+    """Worst relative score gap on pairs two shards both model.
+
+    For every shard pair's shared user pairs, compares the *stitched*
+    scores ``λ_s · max(S_s, 0)`` against ``λ_t · max(S_t, 0)`` and
+    returns the maximum of ``|a − b| / max(a, b)`` over pairs where at
+    least one shard scores positively.  0.0 when nothing overlaps.
+    This is the tolerance the stitching tests (and the sharded bench)
+    check boundary-user ranking agreement with.
+    """
+    scales = np.asarray(scales, dtype=float)
+    worst = 0.0
+    for s in range(plan.n_shards):
+        for t in range(s + 1, plan.n_shards):
+            common = np.intersect1d(plan.members[s], plan.members[t])
+            if common.size < 2:
+                continue
+            common = common[:_MAX_OVERLAP_USERS]
+            rows, cols = np.triu_indices(common.size, k=1)
+            users_i, users_j = common[rows], common[cols]
+            stitched = []
+            for shard in (s, t):
+                local_i = plan.local_indices(shard, users_i)
+                local_j = plan.local_indices(shard, users_j)
+                stitched.append(
+                    scales[shard]
+                    * np.maximum(
+                        estimates[shard].entries(local_i, local_j), 0.0
+                    )
+                )
+            peak = np.maximum(stitched[0], stitched[1])
+            active = peak > _POSITIVE_EPS
+            if not np.any(active):
+                continue
+            gaps = np.abs(stitched[0] - stitched[1])[active] / peak[active]
+            worst = max(worst, float(gaps.max()))
+    return worst

@@ -7,6 +7,7 @@ from repro.evaluation.metrics import (
     auc_score,
     average_precision,
     f1_at_threshold,
+    ndcg_at_k,
     precision_at_k,
     recall_at_k,
 )
@@ -87,6 +88,32 @@ class TestPrecisionAtK:
             precision_at_k(scores[perm], labels[perm], k=10)
         )
 
+    def test_all_tied_equals_base_rate_for_every_k(self):
+        # With every score identical, any cutoff draws uniformly from the
+        # whole pool: precision@k must be the global positive rate.
+        scores = [0.5] * 10
+        labels = [1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+        for k in (1, 3, 7, 10):
+            assert precision_at_k(scores, labels, k=k) == pytest.approx(0.3)
+
+    def test_partial_tie_group_at_cutoff(self):
+        # One clear winner, then 3 tied at the cutoff sharing 1 slot with
+        # 2 positives among them: 1 + 2/3 hits over k=2.
+        scores = [0.9, 0.5, 0.5, 0.5]
+        labels = [1, 1, 1, 0]
+        assert precision_at_k(scores, labels, k=2) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_shares_tie_semantics_with_ndcg(self):
+        # The k=n case ignores ordering entirely in both metrics — they
+        # must agree on their tie treatment (both read the same expected
+        # relevance vector).
+        scores = [0.5, 0.5, 0.9, 0.5]
+        labels = [1.0, 0.0, 1.0, 0.0]
+        assert precision_at_k(scores, labels, k=4) == pytest.approx(0.5)
+        assert ndcg_at_k(scores, labels, k=1) == pytest.approx(1.0)
+
 
 class TestRecallAtK:
     def test_full_recall(self):
@@ -98,6 +125,19 @@ class TestRecallAtK:
     def test_no_positives(self):
         with pytest.raises(EvaluationError):
             recall_at_k([0.5, 0.5], [0, 0], k=1)
+
+    def test_tied_cutoff_gets_expected_share(self):
+        # 2 positives among 4 all-tied instances, k=2 → expected 1 hit.
+        assert recall_at_k([0.3] * 4, [1, 1, 0, 0], k=2) == pytest.approx(0.5)
+
+    def test_consistent_with_precision(self, rng):
+        # recall@k · n_pos == precision@k · k on the same expected ranking.
+        scores = rng.integers(0, 5, size=40).astype(float)  # heavy ties
+        labels = (rng.random(40) < 0.4).astype(float)
+        k = 15
+        assert recall_at_k(scores, labels, k=k) * labels.sum() == (
+            pytest.approx(precision_at_k(scores, labels, k=k) * k)
+        )
 
 
 class TestAveragePrecision:

@@ -79,3 +79,61 @@ class TestDefaultWorkers:
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError, match="max_workers"):
             default_workers(4, max_workers=0)
+
+
+class TestParallelMapProcesses:
+    def test_preserves_input_order(self):
+        """results[i] belongs to items[i] regardless of which child ran it."""
+        from repro.perf import parallel_map_processes
+
+        items = list(range(12))
+        results, seconds = parallel_map_processes(_square, items, max_workers=2)
+        assert results == [x * x for x in items]
+        assert len(seconds) == len(items)
+        assert all(s >= 0.0 for s in seconds)
+
+    def test_matches_thread_pool_on_numpy_work(self, rng):
+        """Process fan-out must be bit-identical to the thread fan-out."""
+        from repro.perf import parallel_map, parallel_map_processes
+
+        blocks = [rng.normal(size=(16, 16)) for _ in range(4)]
+        thread_results, _ = parallel_map(_gram, blocks, max_workers=2)
+        process_results, _ = parallel_map_processes(_gram, blocks, max_workers=2)
+        for a, b in zip(thread_results, process_results):
+            assert np.array_equal(a, b)
+
+    def test_single_worker_runs_in_calling_process(self):
+        from repro.perf import parallel_map_processes
+
+        import os as _os
+
+        results, _ = parallel_map_processes(_pid_of, [0], max_workers=1)
+        assert results == [_os.getpid()]
+
+    def test_unpicklable_fn_falls_back_to_threads(self):
+        """A lambda cannot cross the process boundary; threads still answer."""
+        from repro.perf import parallel_map_processes
+
+        results, _ = parallel_map_processes(
+            lambda x: x + 1, [1, 2, 3], max_workers=2
+        )
+        assert results == [2, 3, 4]
+
+    def test_empty_items(self):
+        from repro.perf import parallel_map_processes
+
+        assert parallel_map_processes(_square, []) == ([], [])
+
+
+def _square(x):
+    return x * x
+
+
+def _gram(block):
+    return block @ block.T
+
+
+def _pid_of(_):
+    import os as _os
+
+    return _os.getpid()

@@ -109,3 +109,30 @@ class TestCoalescing:
         assert counters["batcher.requests"] == n_requests
         # With a 20ms window, far fewer batches than requests.
         assert counters["batcher.batches"] < n_requests
+
+    def test_mixed_k_batch_is_one_scoring_pass(self, service):
+        """Distinct k values in one batch must not split the pass per k."""
+        ks = (2, 4, 6, 8)
+        expected = {
+            (user, k): service.top_k(user, k)
+            for user, k in zip(range(4), ks)
+        }
+        service.cache.invalidate()
+        before = service.tracer.counters.get("batcher.batches", 0)
+        results = {}
+        with MicroBatcher(service, max_batch=8, max_wait_ms=50.0) as batcher:
+            threads = [
+                threading.Thread(
+                    target=lambda u=user, kk=k: results.__setitem__(
+                        (u, kk), batcher.submit(u, kk)
+                    )
+                )
+                for user, k in zip(range(4), ks)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert results == expected
+        # All four mixed-k requests coalesced into a single batch.
+        assert service.tracer.counters["batcher.batches"] == before + 1

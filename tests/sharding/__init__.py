@@ -1,0 +1,1 @@
+"""Community-sharding suite: partitioning, stitching, artifacts, serving."""

@@ -1,0 +1,122 @@
+"""Shard planning: community binning, anchor replication, plan round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.exceptions import ConfigurationError
+from repro.sharding.partition import (
+    ShardPlan,
+    detect_communities,
+    plan_shards,
+)
+
+
+def _block_graph(n=120, blocks=4, p_in=0.3, p_out=0.01, seed=7):
+    """A planted-partition adjacency with contiguous equal blocks."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) // (n // blocks)
+    probs = np.where(labels[:, None] == labels[None, :], p_in, p_out)
+    dense = (rng.random((n, n)) < probs).astype(float)
+    dense = np.maximum(dense, dense.T)
+    np.fill_diagonal(dense, 0.0)
+    return sparse.csr_matrix(dense), labels
+
+
+class TestPlanShards:
+    def test_single_shard_holds_everyone_with_no_anchors(self):
+        plan = plan_shards(np.zeros(10, dtype=int), 1)
+        assert plan.n_shards == 1
+        assert plan.members[0].tolist() == list(range(10))
+        assert plan.anchors[0].size == 0
+
+    def test_core_assignment_partitions_users(self):
+        _, labels = _block_graph()
+        plan = plan_shards(labels, 4)
+        cores = np.concatenate(
+            [plan.members[s][~np.isin(plan.members[s], plan.anchors[s])]
+             for s in range(4)]
+        )
+        assert sorted(cores.tolist()) == list(range(labels.size))
+
+    def test_anchors_are_replicas_of_other_shards_cores(self):
+        adjacency, labels = _block_graph()
+        plan = plan_shards(labels, 4, adjacency=adjacency)
+        for s in range(plan.n_shards):
+            for anchor in plan.anchors[s]:
+                assert plan.shard_of[anchor] != s
+                # the anchor's shard list carries its core shard first
+                assert plan.shards_of_user(anchor)[0] == plan.shard_of[anchor]
+                assert s in plan.shards_of_user(anchor)
+
+    def test_members_sorted_and_unique(self):
+        adjacency, labels = _block_graph()
+        plan = plan_shards(labels, 3, adjacency=adjacency)
+        for members in plan.members:
+            assert np.all(np.diff(members) > 0)
+
+    def test_more_shards_than_communities_splits_largest(self):
+        labels = np.zeros(40, dtype=int)
+        plan = plan_shards(labels, 4)
+        assert plan.n_shards == 4
+        assert all(members.size > 0 for members in plan.members)
+
+    def test_anchor_budget_respected(self):
+        adjacency, labels = _block_graph()
+        plan = plan_shards(labels, 4, adjacency=adjacency, max_anchors=3)
+        assert all(anchors.size <= 3 for anchors in plan.anchors)
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(np.zeros(4, dtype=int), 0)
+        with pytest.raises(ConfigurationError):
+            plan_shards(np.zeros(4, dtype=int), 5)
+
+
+class TestShardPlanOps:
+    def test_local_indices_round_trip(self):
+        adjacency, labels = _block_graph()
+        plan = plan_shards(labels, 4, adjacency=adjacency)
+        for s in range(plan.n_shards):
+            members = plan.members[s]
+            local = plan.local_indices(s, members)
+            assert np.array_equal(members[local], members)
+
+    def test_local_indices_rejects_non_members(self):
+        plan = plan_shards(np.array([0, 0, 1, 1]), 2)
+        outsider = plan.members[1][0]
+        with pytest.raises(ConfigurationError):
+            plan.local_indices(0, [int(outsider)])
+
+    def test_array_round_trip_preserves_plan(self):
+        adjacency, labels = _block_graph()
+        plan = plan_shards(labels, 4, adjacency=adjacency)
+        clone = ShardPlan.from_arrays(plan.to_arrays())
+        assert clone.n_shards == plan.n_shards
+        assert np.array_equal(clone.shard_of, plan.shard_of)
+        for s in range(plan.n_shards):
+            assert np.array_equal(clone.members[s], plan.members[s])
+            assert np.array_equal(clone.anchors[s], plan.anchors[s])
+
+
+class TestDetectCommunities:
+    def test_recovers_planted_blocks_up_to_relabeling(self):
+        adjacency, labels = _block_graph(p_in=0.5, p_out=0.005)
+        detected = detect_communities(adjacency)
+        # Every planted block maps to exactly one detected label.
+        for b in np.unique(labels):
+            block_labels = detected[labels == b]
+            assert np.unique(block_labels).size == 1
+
+    def test_deterministic(self):
+        adjacency, _ = _block_graph()
+        first = detect_communities(adjacency)
+        second = detect_communities(adjacency)
+        assert np.array_equal(first, second)
+
+    def test_isolated_users_keep_their_own_label(self):
+        adjacency = sparse.csr_matrix((5, 5))
+        detected = detect_communities(adjacency)
+        assert np.unique(detected).size == 5

@@ -1,0 +1,193 @@
+"""Scatter-gather serving: merge determinism, exclusion, degradation."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.factored.estimate import FactoredEstimate
+from repro.serving.batcher import MicroBatcher
+from repro.sharding.artifacts import ShardedArtifactStore
+from repro.sharding.partition import ShardPlan
+from repro.sharding.service import ShardedLinkPredictionService
+
+N_USERS = 8
+
+
+class _StubModel:
+    """The minimal fitted-model surface ``publish`` consumes."""
+
+    name = "stub-sharded"
+
+    def __init__(self, plan, estimates, scales):
+        self.plan = plan
+        self.estimates = estimates
+        self.scales = np.asarray(scales, dtype=float)
+
+
+def _plan():
+    """Users 0–3 in shard 0, 4–7 in shard 1; 4 and 3 cross-replicated."""
+    return ShardPlan(
+        shard_of=np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+        anchors=[np.array([4]), np.array([3])],
+    )
+
+
+def _flat_estimate(n_members, value=1.0):
+    """A rank-1 estimate scoring every pair exactly ``value``."""
+    u = np.ones((n_members, 1))
+    vt = np.ones((1, n_members))
+    return FactoredEstimate(u, np.array([value]), vt)
+
+
+def _publish(tmp_path, graph=None, values=(1.0, 1.0), scales=(1.0, 1.0)):
+    plan = _plan()
+    estimates = [
+        _flat_estimate(plan.members[s].size, values[s]) for s in range(2)
+    ]
+    store = ShardedArtifactStore(str(tmp_path / "store"))
+    store.publish(_StubModel(plan, estimates, scales), graph=graph)
+    return store
+
+
+class TestDeterministicMerge:
+    def test_all_tied_scores_rank_by_ascending_id(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        ranking = service.top_k(3, k=10)
+        # user 3 sees both shards: candidates 0..7 minus itself, all tied
+        # at 1.0 → ascending candidate id is the only legal order.
+        assert [c for c, _ in ranking] == [0, 1, 2, 4, 5, 6, 7]
+        assert all(score == pytest.approx(1.0) for _, score in ranking)
+
+    def test_two_services_agree_exactly(self, tmp_path):
+        store = _publish(tmp_path)
+        first = ShardedLinkPredictionService(store)
+        second = ShardedLinkPredictionService(store)
+        for user in range(N_USERS):
+            assert first.top_k(user, k=10) == second.top_k(user, k=10)
+
+    def test_duplicate_candidates_keep_max_stitched_score(self, tmp_path):
+        # Shard 1 scores 2.0 while shard 0 scores 1.0; boundary user 3
+        # sees candidate 4 from both shards and must keep the larger.
+        service = ShardedLinkPredictionService(
+            _publish(tmp_path, values=(1.0, 2.0))
+        )
+        scores = dict(service.top_k(3, k=10))
+        assert scores[4] == pytest.approx(2.0)
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_batch_matches_single_queries(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        singles = [service.top_k(u, k=5) for u in range(N_USERS)]
+        service.cache.invalidate()
+        batched = service.batch_top_k(list(range(N_USERS)), k=5)
+        assert batched == singles
+
+    def test_mixed_k_trims_per_request(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        full, trimmed = service.batch_top_k_mixed([3, 3], [10, 2])
+        assert trimmed == full[:2]
+
+
+class TestKnownLinkExclusion:
+    def test_cross_shard_links_never_appear(self, tmp_path):
+        # Edge (3, 5) spans the shard boundary: user 3's core shard never
+        # models user 5, so only the *global* graph can exclude it.
+        graph = sparse.csr_matrix(
+            ([1.0, 1.0], ([3, 5], [5, 3])), shape=(N_USERS, N_USERS)
+        )
+        service = ShardedLinkPredictionService(_publish(tmp_path, graph))
+        candidates = [c for c, _ in service.top_k(3, k=10)]
+        assert 5 not in candidates
+        assert 3 not in candidates  # self always excluded
+        assert service.is_known_link(3, 5)
+        assert not service.is_known_link(3, 6)
+
+    def test_self_excluded_without_graph(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        for user in range(N_USERS):
+            assert user not in [c for c, _ in service.top_k(user, k=10)]
+
+
+class TestDegradation:
+    def _corrupt_shard(self, store, shard):
+        path = os.path.join(store.path(1), f"shard-{shard:03d}.npz")
+        with open(path, "r+b") as handle:
+            handle.seek(12)
+            handle.write(b"\xde\xad\xbe\xef")
+
+    def test_corrupt_shard_serves_remaining_users(self, tmp_path):
+        store = _publish(tmp_path)
+        self._corrupt_shard(store, 0)
+        service = ShardedLinkPredictionService(store)
+        assert service.artifact.missing_shards == [0]
+        assert service.shard_health()[0] == "missing"
+        # Core shard-1 users answer from the surviving shard.
+        ranking = service.top_k(5, k=10)
+        assert [c for c, _ in ranking] == [3, 4, 6, 7]
+        # The boundary user still answers through its anchor replica.
+        assert service.top_k(3, k=10)
+        # Users modeled only by the dead shard degrade to empty, not error.
+        assert service.top_k(0, k=10) == []
+        assert service.stats()["missing_shards"] == [0]
+
+    def test_degraded_answers_are_not_cached(self, tmp_path):
+        store = _publish(tmp_path)
+        self._corrupt_shard(store, 0)
+        service = ShardedLinkPredictionService(store)
+        service.top_k(0, k=10)
+        assert service.tracer.counters.get("serve.degraded", 0) >= 1
+        before = service.tracer.counters.get("serve.cache_hit", 0)
+        service.top_k(0, k=10)
+        assert service.tracer.counters.get("serve.cache_hit", 0) == before
+
+    def test_ready_and_stats_survive_degradation(self, tmp_path):
+        store = _publish(tmp_path)
+        self._corrupt_shard(store, 1)
+        service = ShardedLinkPredictionService(store)
+        assert service.ready()
+        stats = service.stats()
+        assert stats["n_shards"] == 2
+        assert stats["shard_health"]["1"] == "missing"
+
+
+class TestServiceSurface:
+    def test_reload_picks_up_new_version(self, tmp_path):
+        store = _publish(tmp_path)
+        service = ShardedLinkPredictionService(store)
+        assert service.version == 1
+        assert service.reload() is False  # no newer version
+        plan = _plan()
+        store.publish(
+            _StubModel(
+                plan,
+                [_flat_estimate(plan.members[s].size) for s in range(2)],
+                (1.0, 1.0),
+            )
+        )
+        assert service.reload() is True
+        assert service.version == 2
+
+    def test_score_uses_stitched_scale(self, tmp_path):
+        service = ShardedLinkPredictionService(
+            _publish(tmp_path, values=(1.0, 1.0), scales=(1.0, 0.5))
+        )
+        assert service.score(5, 6) == pytest.approx(0.5)
+        assert service.score(0, 1) == pytest.approx(1.0)
+        assert service.score(2, 2) == 0.0
+
+    def test_micro_batcher_coalesces_sharded_queries(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        expected = service.top_k(3, k=4)
+        service.cache.invalidate()
+        with MicroBatcher(service, max_batch=8, max_wait_ms=1.0) as batcher:
+            assert batcher.submit(3, k=4) == expected
+
+    def test_metrics_text_renders(self, tmp_path):
+        service = ShardedLinkPredictionService(_publish(tmp_path))
+        service.top_k(0, k=3)
+        text = service.metrics_text()
+        assert "sharding_healthy_shards" in text or "sharding" in text

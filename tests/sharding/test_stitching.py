@@ -1,0 +1,91 @@
+"""Anchor-based cross-shard score calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.factored.estimate import FactoredEstimate
+from repro.sharding.partition import plan_shards
+from repro.sharding.stitching import (
+    boundary_disagreement,
+    fit_stitch_scales,
+)
+
+
+def _estimate_from_dense(matrix, rank=None):
+    """An exact FactoredEstimate of a small dense symmetric matrix."""
+    u, s, vt = np.linalg.svd(matrix)
+    rank = matrix.shape[0] if rank is None else rank
+    return FactoredEstimate(u[:, :rank], s[:rank], vt[:rank])
+
+
+def _two_shard_setup(scale=2.0, n=30, seed=3):
+    """Two shards sharing anchors, shard 1 scored ``scale`` × shard 0.
+
+    Both shards carry the *same* underlying score structure on their
+    shared pairs, so the exact stitch multiplies shard 1 by
+    ``1 / scale``.
+    """
+    rng = np.random.default_rng(seed)
+    labels = (np.arange(n) >= n // 2).astype(int)
+    adjacency = np.ones((n, n)) - np.eye(n)
+    from scipy import sparse
+
+    plan = plan_shards(
+        labels, 2, adjacency=sparse.csr_matrix(adjacency),
+        anchor_fraction=0.3,
+    )
+    truth = rng.random((n, n))
+    truth = (truth + truth.T) / 2.0
+    estimates = []
+    for s, factor in ((0, 1.0), (1, scale)):
+        members = plan.members[s]
+        estimates.append(
+            _estimate_from_dense(factor * truth[np.ix_(members, members)])
+        )
+    return plan, estimates
+
+
+class TestFitStitchScales:
+    def test_single_shard_is_identity(self):
+        plan = plan_shards(np.zeros(8, dtype=int), 1)
+        scales = fit_stitch_scales(plan, [_estimate_from_dense(np.eye(8))])
+        assert scales.shape == (1,)
+        assert scales[0] == pytest.approx(1.0)
+
+    def test_recovers_known_scale_ratio(self):
+        plan, estimates = _two_shard_setup(scale=2.0)
+        scales = fit_stitch_scales(plan, estimates)
+        assert scales[0] == pytest.approx(1.0)
+        assert scales[1] == pytest.approx(0.5, rel=1e-6)
+
+    def test_no_overlap_defaults_to_ones(self):
+        plan = plan_shards(np.array([0, 0, 1, 1]), 2)  # no adjacency → no anchors
+        estimates = [
+            _estimate_from_dense(np.ones((2, 2))) for _ in range(2)
+        ]
+        scales = fit_stitch_scales(plan, estimates)
+        assert np.allclose(scales, 1.0)
+
+    def test_rejects_wrong_estimate_count(self):
+        plan = plan_shards(np.array([0, 0, 1, 1]), 2)
+        with pytest.raises(ValueError):
+            fit_stitch_scales(plan, [_estimate_from_dense(np.ones((2, 2)))])
+
+
+class TestBoundaryDisagreement:
+    def test_stitched_scales_align_boundary_scores(self):
+        plan, estimates = _two_shard_setup(scale=3.0)
+        scales = fit_stitch_scales(plan, estimates)
+        stitched = boundary_disagreement(plan, estimates, scales)
+        unstitched = boundary_disagreement(plan, estimates, np.ones(2))
+        assert stitched < 1e-6
+        assert unstitched > 0.5  # 3× mismatch before calibration
+
+    def test_zero_when_nothing_overlaps(self):
+        plan = plan_shards(np.array([0, 0, 1, 1]), 2)
+        estimates = [
+            _estimate_from_dense(np.ones((2, 2))) for _ in range(2)
+        ]
+        assert boundary_disagreement(plan, estimates, np.ones(2)) == 0.0
