@@ -109,44 +109,72 @@ def test_topk_cold_vs_warm_latency(benchmark, served):
     # Warm queries are dictionary lookups; cold ones partition a 2000-row.
     assert warm_stats["p50_ms"] <= cold_stats["p50_ms"]
     assert cold_stats["p99_ms"] < 1e3  # sanity: nothing pathological
-    # The registry's streaming quantiles must agree with direct timing to
-    # within the window approximation (same order of magnitude).
+    # Cache counters live in the hot tier now; a drain must reconcile
+    # the registry series with the cache's own integers.
+    served.cells.drain()
     http_family = served.registry.get("serving.cache.hits")
     assert http_family is not None and http_family.value >= N_QUERIES
 
 
 def test_batch_topk_beats_singles(benchmark, served):
-    """One vectorized batch pass must beat per-user python loops."""
+    """One vectorized batch pass must beat per-user python loops.
+
+    A single cold pass per strategy was flaky: the first strategy to run
+    paid numpy dispatch warmup and allocator growth for both, and one GC
+    pause could flip the verdict.  Both paths are now warmed untimed,
+    each strategy is timed over several cache-invalidated repeats, and
+    the assertion compares per-strategy *medians* — the recorded speedup
+    is a stable number instead of a coin flip.
+    """
     users = list(range(200))
+    repeats = 5
 
     def run():
+        # Warm both code paths untimed (dispatch caches, allocator).
         served.cache.invalidate()
-        start = time.perf_counter()
-        for user in users:
+        for user in users[:8]:
             served.top_k(user, TOP_K)
-        singles = time.perf_counter() - start
         served.cache.invalidate()
-        start = time.perf_counter()
-        served.batch_top_k(users, TOP_K)
-        batched = time.perf_counter() - start
-        return singles, batched
+        served.batch_top_k(users[:8], TOP_K)
+        singles_times = []
+        batched_times = []
+        for _ in range(repeats):
+            served.cache.invalidate()
+            start = time.perf_counter()
+            for user in users:
+                served.top_k(user, TOP_K)
+            singles_times.append(time.perf_counter() - start)
+            served.cache.invalidate()
+            start = time.perf_counter()
+            served.batch_top_k(users, TOP_K)
+            batched_times.append(time.perf_counter() - start)
+        return singles_times, batched_times
 
-    singles, batched = benchmark.pedantic(run, rounds=1, iterations=1)
+    singles_times, batched_times = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    singles = float(np.median(singles_times))
+    batched = float(np.median(batched_times))
+    speedup = singles / max(batched, 1e-9)
     print(
-        f"\n200 rankings: singles={singles * 1e3:.1f}ms "
+        f"\n200 rankings ({repeats} repeats, medians): "
+        f"singles={singles * 1e3:.1f}ms "
         f"batched={batched * 1e3:.1f}ms "
-        f"(speedup {singles / max(batched, 1e-9):.1f}x)"
+        f"(speedup {speedup:.1f}x)"
     )
     record_snapshot(
         "batch_vs_singles",
         {
-            "singles_ms": singles * 1e3,
-            "batched_ms": batched * 1e3,
-            "speedup": singles / max(batched, 1e-9),
+            "singles_median_ms": singles * 1e3,
+            "batched_median_ms": batched * 1e3,
+            "speedup": speedup,
+            "repeats": repeats,
         },
         context=_CONTEXT,
     )
-    assert batched < singles * 2  # vectorized pass must not regress badly
+    assert speedup > 1.0, (
+        f"batched pass must beat sequential singles, got {speedup:.2f}x"
+    )
 
 
 def test_batcher_throughput(benchmark, served):
@@ -294,10 +322,13 @@ def test_batcher_mixed_k_coalescing(benchmark, served):
 def test_telemetry_overhead(benchmark, published_store):
     """The disabled path (NullTracer+NullRegistry) must stay near-free.
 
-    The instrumented service records every query into spans, counters and
-    histograms; the disabled one takes the seed-identical null path.  The
-    recorded snapshot makes the gap a regressable number; the in-test
-    assertion is deliberately loose because CI timing is noisy.
+    The instrumented service runs the full production telemetry stack —
+    sampling tracer, striped hot counters/histograms, cache sync — while
+    the disabled one takes the null path.  Five cache-invalidated passes
+    per side, per-pass median, best-of-passes: robust to GC pauses.  The
+    recorded ``overhead_pct`` is the number the CI ``telemetry-overhead``
+    gate holds under 5% (tools/check_telemetry_gate.py); the in-test
+    assertion stays loose because shared-runner timing is noisy.
     """
     users = np.arange(N_QUERIES) % N_USERS
     disabled = LinkPredictionService(
@@ -317,10 +348,9 @@ def test_telemetry_overhead(benchmark, published_store):
         ):
             service.top_k(0, TOP_K)  # prime numpy dispatch caches
             passes = []
-            for _ in range(3):
+            for _ in range(5):
                 service.cache.invalidate()
                 passes.append(_time_queries(service, users, TOP_K))
-            # Per-pass median, then best-of-passes: robust to GC pauses.
             timings[label] = min(
                 float(np.median(one_pass)) for one_pass in passes
             )

@@ -17,6 +17,7 @@ from repro.experiments.publishing import (
 )
 from repro.experiments.serialize import dump_result
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiler import ContinuousProfiler
 from repro.observability.report import default_report_path
 
 
@@ -67,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "implies --report)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the continuous self-profiler during the experiment and "
+        "print a table of wall-clock samples attributed to active span "
+        "labels (solver rounds, SVT, per-shard fits)",
+    )
+    parser.add_argument(
         "--publish",
         metavar="STORE_DIR",
         nargs="?",
@@ -99,6 +107,12 @@ def main(argv=None) -> int:
         metrics_registry = MetricsRegistry()
         if args.report is None:
             args.report = ""  # --metrics implies the traced --report path
+    profiler = None
+    if args.profile:
+        # Unlabeled samples are kept: without --report the experiment may
+        # run with a null tracer, so leaf frames alone still tell where
+        # the wall clock went.
+        profiler = ContinuousProfiler(include_unlabeled=True).start()
     for index, name in enumerate(names):
         if index:
             print("\n" + "=" * 72 + "\n")
@@ -128,6 +142,10 @@ def main(argv=None) -> int:
             )
             dump_result(result, path)
             print(f"[written {path}]")
+    if profiler is not None:
+        profiler.stop()
+        print()
+        print(profiler.render_table())
     if metrics_registry is not None:
         with open(args.metrics, "w", encoding="utf-8") as handle:
             handle.write(metrics_registry.render())

@@ -76,6 +76,16 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the Prometheus text-format rules.
+
+    HELP lines escape only backslash and newline (quotes stay literal,
+    unlike label values), so a help string containing either still
+    round-trips through a text-format parser as one line.
+    """
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
     if not names:
         return ""
@@ -146,6 +156,19 @@ class Counter(_Metric):
     def value(self) -> float:
         with self._lock:
             return self._value
+
+    def _set_total(self, value: float) -> None:
+        """Overwrite the total (monotone: never moves the counter down).
+
+        This is the drain target for lock-striped hot-tier cells
+        (:mod:`repro.observability.cells`): the drain recomputes the
+        merged total from per-thread cells and *overwrites* the registry
+        series to match, which is idempotent and exact at quiescence.
+        The max() guard keeps the series monotone if a racing drain
+        observed a slightly staler merge.
+        """
+        with self._lock:
+            self._value = max(self._value, float(value))
 
 
 class Gauge(_Metric):
@@ -263,6 +286,35 @@ class Histogram(_Metric):
                 running += bucket_count
                 cumulative.append(running)
             return cumulative, self._sum, self._count
+
+    def _set_state(
+        self,
+        bucket_counts: Sequence[int],
+        total_sum: float,
+        total_count: int,
+        window: Sequence[float],
+    ) -> None:
+        """Overwrite the histogram to a merged striped-cell state.
+
+        Drain target for :class:`repro.observability.cells.StripedHistogram`:
+        ``bucket_counts`` are per-bucket (non-cumulative) counts aligned
+        with this histogram's bounds, ``window`` replaces the recent
+        quantile window.  Monotone guard as in :meth:`Counter._set_total`.
+        """
+        counts = [int(c) for c in bucket_counts]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"expected {len(self._counts)} bucket counts, "
+                f"got {len(counts)}"
+            )
+        with self._lock:
+            if int(total_count) < self._count:
+                return  # stale merge; a fresher drain already landed
+            self._counts = counts
+            self._sum = float(total_sum)
+            self._count = int(total_count)
+            self._summary._window.clear()
+            self._summary._window.extend(float(v) for v in window)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -466,7 +518,9 @@ class MetricsRegistry:
             if family.kind == "counter" and not exposed.endswith("_total"):
                 exposed += "_total"
             if family.help:
-                lines.append(f"# HELP {exposed} {family.help}")
+                lines.append(
+                    f"# HELP {exposed} {_escape_help(family.help)}"
+                )
             lines.append(f"# TYPE {exposed} {family.kind}")
             for values, child in family.children():
                 if family.kind == "histogram":

@@ -1,0 +1,463 @@
+"""Head-sampled request tracing for the serving hot path.
+
+:class:`SamplingTracer` replaces unconditional span capture with a
+per-request decision made once, at the edge, from the trace id alone
+(:func:`repro.observability.propagation.sampling_decision` — CRC-32
+against a per-route threshold).  The three resulting span paths are:
+
+* **no active trace** — ``span()`` returns the shared null span: the
+  solver-style cold names keep their registry-histogram bridge, but a
+  bare hot-path call costs one contextvar read and one dict probe;
+* **unsampled trace** — a :class:`_WatchSpan` that records nothing
+  unless the block raises, in which case the span (and the whole trace)
+  is promoted to an error trace — errors are *always* captured;
+* **sampled trace** — a real :class:`~repro.observability.tracer.Span`
+  tree rooted at the request, stitched across the micro-batcher and
+  scatter-gather shard workers via grafted child spans.
+
+Counters recorded through a sampling tracer live in lock-striped
+:mod:`~repro.observability.cells`, so the ``tracer.count``/``counters``
+surface stays intact while the record path takes no lock.  Committed
+traces land in a bounded in-memory buffer (``finished()``) for tests,
+debugging endpoints and post-hoc "explain this p99" queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+import repro.observability.profiler as _profiler
+from repro.observability.cells import CellBank
+from repro.observability.propagation import (
+    _ACTIVE,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    sampling_threshold,
+)
+from repro.observability.tracer import (
+    _COUNTER_BRIDGE,
+    _NULL_SPAN,
+    _SPAN_HISTOGRAMS,
+    Span,
+    Tracer,
+)
+
+#: Default head-sampling rate: 1 in 100 requests carries a full span tree.
+DEFAULT_SAMPLE_RATE = 0.01
+
+_SAMPLE_SCALE = 1 << 32
+
+
+def _decide(trace_id: str, threshold: int) -> bool:
+    """Threshold form of the deterministic head-sampling decision."""
+    if threshold >= _SAMPLE_SCALE:
+        return True
+    if threshold <= 0:
+        return False
+    return (zlib.crc32(trace_id.encode("utf-8")) & 0xFFFFFFFF) < threshold
+
+
+class ActiveTrace:
+    """One in-flight request trace: context, span tree, error state.
+
+    Doubles as the carrier bound into the propagation contextvar, so
+    ``span()`` sites and downstream workers reach it without threading
+    it through call signatures.
+    """
+
+    __slots__ = (
+        "context",
+        "route",
+        "request_id",
+        "sampled",
+        "error",
+        "error_message",
+        "duration",
+        "root",
+        "_span_stack",
+    )
+
+    is_recording = True
+
+    def __init__(
+        self,
+        context: TraceContext,
+        route: str,
+        request_id: Optional[str] = None,
+    ) -> None:
+        self.context = context
+        self.route = route
+        self.request_id = request_id
+        self.sampled = context.sampled
+        self.error = False
+        self.error_message: Optional[str] = None
+        self.duration = 0.0
+        self.root: Optional[Span] = None
+        self._span_stack: List[Span] = []
+        if self.sampled:
+            self.ensure_root()
+
+    def ensure_root(self) -> Span:
+        """The trace's root span, created on first need."""
+        if self.root is None:
+            self.root = Span(name=f"request.{self.route}")
+            self._span_stack = [self.root]
+        return self.root
+
+    def mark_error(self, message: str = "") -> None:
+        """Flag the trace as errored (promotes it past head sampling)."""
+        self.error = True
+        if message and self.error_message is None:
+            self.error_message = str(message)
+
+    def add_span(
+        self,
+        name: str,
+        duration: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> Span:
+        """Graft one pre-timed child span (batcher pass, remote shard)."""
+        node = Span(
+            name=name, duration=float(duration), attrs=attrs, error=error
+        )
+        self.ensure_root().children.append(node)
+        return node
+
+    def spans(self) -> Iterator[Span]:
+        """Depth-first iteration over the recorded span tree."""
+        if self.root is not None:
+            yield from self.root.iter_spans()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible view of the whole trace."""
+        payload: Dict[str, Any] = {
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "route": self.route,
+            "request_id": self.request_id,
+            "sampled": self.sampled,
+            "error": self.error,
+            "seconds": float(self.duration),
+        }
+        if self.error_message:
+            payload["error_message"] = self.error_message
+        if self.root is not None:
+            payload["spans"] = self.root.to_dict()
+        return payload
+
+
+class _RecordedSpan:
+    """Span context manager for sampled traces (records into the tree)."""
+
+    __slots__ = ("_tracer", "_record", "_name", "_node")
+
+    def __init__(
+        self, tracer: "SamplingTracer", record: ActiveTrace, name: str
+    ) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._name = name
+        self._node: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        record = self._record
+        record.ensure_root()
+        node = Span(name=self._name, start=time.perf_counter())
+        record._span_stack[-1].children.append(node)
+        record._span_stack.append(node)
+        self._node = node
+        if _profiler.TRACKING:
+            _profiler.push_label(self._name)
+        return node
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        node = self._node
+        node.duration = time.perf_counter() - node.start
+        record = self._record
+        if len(record._span_stack) > 1:
+            record._span_stack.pop()
+        if _profiler.TRACKING:
+            _profiler.pop_label()
+        if exc is not None:
+            node.error = f"{exc_type.__name__}: {exc}"
+            record.mark_error(node.error)
+        self._tracer._bridge_span(self._name, node.duration)
+        return None
+
+
+class _WatchSpan:
+    """Span context manager for unsampled traces: records only on error.
+
+    The success path allocates this object, reads two clocks and
+    records nothing; when the block raises, the span materializes with
+    its duration and the owning trace is promoted to an error trace.
+    """
+
+    __slots__ = ("_tracer", "_record", "_name", "_start")
+
+    def __init__(
+        self, tracer: "SamplingTracer", record: ActiveTrace, name: str
+    ) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = time.perf_counter()
+        if _profiler.TRACKING:
+            _profiler.push_label(self._name)
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if _profiler.TRACKING:
+            _profiler.pop_label()
+        duration = time.perf_counter() - self._start
+        if exc is not None:
+            message = f"{exc_type.__name__}: {exc}"
+            self._record.add_span(self._name, duration, error=message)
+            self._record.mark_error(message)
+        self._tracer._bridge_span(self._name, duration)
+        return None
+
+
+class _BridgedSpan:
+    """Span context manager for bridge-mapped names outside any trace.
+
+    Keeps cold solver/serving spans (``svt``, ``serve.reload``, …)
+    feeding their registry histograms even though no request trace is
+    active to record them.
+    """
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "SamplingTracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._start = time.perf_counter()
+        if _profiler.TRACKING:
+            _profiler.push_label(self._name)
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def __exit__(self, *exc_info) -> None:
+        if _profiler.TRACKING:
+            _profiler.pop_label()
+        self._tracer._bridge_span(
+            self._name, time.perf_counter() - self._start
+        )
+        return None
+
+
+class SamplingTracer(Tracer):
+    """A tracer whose span capture is head-sampled per request.
+
+    Parameters
+    ----------
+    registry:
+        Optional metrics registry the striped cells drain into.
+    default_rate:
+        Head-sampling probability for routes without an explicit rate.
+    route_rates:
+        Per-route overrides, e.g. ``{"topk": 0.05, "score": 0.0}``.
+    buffer_size:
+        Bound on retained finished traces (sampled or errored).
+    cells:
+        Optional shared :class:`~repro.observability.cells.CellBank`;
+        by default the tracer owns a private bank over ``registry``.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        default_rate: float = DEFAULT_SAMPLE_RATE,
+        route_rates: Optional[Dict[str, float]] = None,
+        buffer_size: int = 256,
+        cells: Optional[CellBank] = None,
+    ) -> None:
+        super().__init__(registry)
+        self.cells = cells if cells is not None else CellBank(registry)
+        self.default_rate = float(default_rate)
+        self.route_rates = dict(route_rates or {})
+        self._default_threshold = sampling_threshold(self.default_rate)
+        self._route_thresholds = {
+            route: sampling_threshold(rate)
+            for route, rate in self.route_rates.items()
+        }
+        self._buffer: deque = deque(maxlen=int(buffer_size))
+        self._buffer_lock = threading.Lock()
+        self._hot: Dict[str, Any] = {}
+        self._c_started = self.cells.counter(
+            "trace.started",
+            help="Request traces opened at the edge.",
+            registry_name="trace.started",
+        )
+        self._c_sampled = self.cells.counter(
+            "trace.sampled",
+            help="Request traces head-sampled into full span capture.",
+            registry_name="trace.sampled",
+        )
+        self._c_errors = self.cells.counter(
+            "trace.errors",
+            help="Request traces promoted to the buffer by an error.",
+            registry_name="trace.errors",
+        )
+
+    # -- counters over striped cells -------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, Any]:
+        """Merged striped-cell totals (ints where integral)."""
+        merged: Dict[str, Any] = {}
+        for name, total in self.cells.counter_totals().items():
+            merged[name] = int(total) if total.is_integer() else total
+        return merged
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment a striped counter (no lock on the record path)."""
+        try:
+            cell = self._hot[name]
+        except KeyError:
+            cell = self.cells.counter(
+                name, registry_name=_COUNTER_BRIDGE.get(name)
+            )
+            self._hot[name] = cell
+        cell.inc(value)
+
+    def hot_counter(self, name: str, registry_name: Optional[str] = None):
+        """The striped cell for ``name`` — bind once, ``.inc()`` per hit."""
+        cell = self._hot.get(name)
+        if cell is None:
+            cell = self.cells.counter(
+                name,
+                registry_name=registry_name or _COUNTER_BRIDGE.get(name),
+            )
+            self._hot[name] = cell
+        return cell
+
+    def hot_histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        registry_name: Optional[str] = None,
+    ):
+        """A striped histogram handle (power-of-two bucket index)."""
+        if buckets is None:
+            return self.cells.histogram(name, registry_name=registry_name)
+        return self.cells.histogram(
+            name, buckets=buckets, registry_name=registry_name
+        )
+
+    def drain(self) -> None:
+        """Flush striped cells into the attached registry."""
+        self.cells.drain()
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample_rate_for(self, route: str) -> float:
+        """The effective head-sampling rate for ``route``."""
+        return self.route_rates.get(route, self.default_rate)
+
+    def _threshold_for(self, route: str) -> int:
+        return self._route_thresholds.get(route, self._default_threshold)
+
+    # -- request traces ---------------------------------------------------
+
+    @contextmanager
+    def trace(
+        self,
+        route: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[TraceContext] = None,
+        request_id: Optional[str] = None,
+    ) -> Iterator[ActiveTrace]:
+        """Open one request trace; sampling decided here, once.
+
+        ``parent`` (a cross-hop :class:`TraceContext`) pins both the
+        trace id and the upstream sampling verdict; otherwise the
+        decision is a pure function of the (given or minted) trace id,
+        so it is reproducible offline.  The record commits to the
+        finished-trace buffer iff sampled or errored; exceptions raised
+        inside the block mark the trace errored and propagate.
+        """
+        if parent is not None:
+            context = TraceContext(
+                parent.trace_id, new_span_id(), parent.sampled
+            )
+        else:
+            tid = trace_id if trace_id else new_trace_id()
+            context = TraceContext(
+                tid, new_span_id(), _decide(tid, self._threshold_for(route))
+            )
+        record = ActiveTrace(context, route, request_id=request_id)
+        self._c_started.inc()
+        token = _ACTIVE.set(record)
+        start = time.perf_counter()
+        try:
+            yield record
+        except BaseException as exc:
+            record.mark_error(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            _ACTIVE.reset(token)
+            record.duration = time.perf_counter() - start
+            self._finish(record)
+
+    def _finish(self, record: ActiveTrace) -> None:
+        if record.sampled:
+            self._c_sampled.inc()
+        if record.error:
+            self._c_errors.inc()
+        if record.sampled or record.error:
+            root = record.ensure_root()
+            root.duration = record.duration
+            if record.error_message and root.error is None:
+                root.error = record.error_message
+            with self._buffer_lock:
+                self._buffer.append(record)
+
+    def finished(self) -> List[ActiveTrace]:
+        """Committed traces, oldest first (bounded by ``buffer_size``)."""
+        with self._buffer_lock:
+            return list(self._buffer)
+
+    def find_trace(self, trace_id: str) -> Optional[ActiveTrace]:
+        """The most recent committed trace with ``trace_id``, if any."""
+        with self._buffer_lock:
+            for record in reversed(self._buffer):
+                if record.context.trace_id == trace_id:
+                    return record
+        return None
+
+    # -- spans ------------------------------------------------------------
+
+    def span(self, name: str):  # type: ignore[override]
+        """A span scoped to the active trace's sampling verdict.
+
+        Outside any trace this is (nearly) free: bridge-mapped solver
+        names get a timing shim, everything else the shared null span.
+        """
+        carrier = _ACTIVE.get()
+        if carrier is not None and carrier.__class__ is ActiveTrace:
+            if carrier.sampled:
+                return _RecordedSpan(self, carrier, name)
+            return _WatchSpan(self, carrier, name)
+        if name in _SPAN_HISTOGRAMS or _profiler.TRACKING:
+            return _BridgedSpan(self, name)
+        return _NULL_SPAN
+
+    def _bridge_span(self, name: str, duration: float) -> None:
+        """Feed a span duration into its mapped registry histogram."""
+        if self._bridging():
+            series = _SPAN_HISTOGRAMS.get(name)
+            if series is not None:
+                self.registry.histogram(series).observe(duration)

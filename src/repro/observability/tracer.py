@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+import repro.observability.profiler as _profiler
 from repro.observability.records import IterationRecord
 
 # Solver-side bridge into a MetricsRegistry: which tracer events surface as
@@ -71,6 +72,8 @@ class Span:
     start: float = 0.0
     duration: float = 0.0
     children: List["Span"] = field(default_factory=list)
+    attrs: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible view of the span subtree."""
@@ -78,6 +81,10 @@ class Span:
             "name": self.name,
             "seconds": float(self.duration),
         }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.error:
+            payload["error"] = self.error
         if self.children:
             payload["children"] = [child.to_dict() for child in self.children]
         return payload
@@ -87,6 +94,74 @@ class Span:
         yield self
         for child in self.children:
             yield from child.iter_spans()
+
+
+class _InertTrace:
+    """What :meth:`Tracer.trace` yields when nothing is recorded.
+
+    Shares the request-trace surface (``context``, ``sampled``,
+    ``mark_error``) so HTTP-edge code is tracer-agnostic; every field is
+    a class attribute and the single instance is reused.
+    """
+
+    __slots__ = ()
+
+    context = None
+    sampled = False
+    error = False
+    is_recording = False
+
+    def mark_error(self, message: str = "") -> None:
+        """Discard the error mark (nothing is being recorded)."""
+        return None
+
+
+_INERT_TRACE = _InertTrace()
+
+
+class _CounterAdapter:
+    """A hot-counter handle backed by ``tracer.count`` (full tracers)."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def inc(self, value: float = 1.0) -> None:
+        """Forward the increment to the owning tracer's counter."""
+        self._tracer.count(self._name, value)
+
+
+class _HistogramAdapter:
+    """A hot-histogram handle backed by ``tracer.metric`` (full tracers)."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def observe(self, value: float) -> None:
+        """Forward the sample to the owning tracer's metric stream."""
+        self._tracer.metric(self._name, value)
+
+
+class _NullCell:
+    """Shared do-nothing hot counter/histogram for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0) -> None:
+        """Discard the increment."""
+        return None
+
+    def observe(self, value: float) -> None:
+        """Discard the sample."""
+        return None
+
+
+_NULL_CELL = _NullCell()
 
 
 class Tracer:
@@ -108,7 +183,7 @@ class Tracer:
 
     def __init__(self, registry=None) -> None:
         self.roots: List[Span] = []
-        self.counters: Dict[str, int] = {}
+        self._counter_store: Dict[str, int] = {}
         self.metrics: Dict[str, List[float]] = {}
         self.iterations: List[IterationRecord] = []
         self._stack: List[Span] = []
@@ -116,6 +191,16 @@ class Tracer:
         # solver events additionally publish scrapeable series
         # (solver.svt_seconds, solver.objective, solver.rank, …).
         self.registry = registry
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Monotonic counters recorded so far, keyed by name.
+
+        A property so subclasses (:class:`SamplingTracer
+        <repro.observability.sampling.SamplingTracer>`) can materialize
+        the view from striped cells instead of a plain dict.
+        """
+        return self._counter_store
 
     def _bridging(self) -> bool:
         registry = self.registry
@@ -131,15 +216,70 @@ class Tracer:
         else:
             self.roots.append(node)
         self._stack.append(node)
+        tracking = _profiler.TRACKING
+        if tracking:
+            _profiler.push_label(name)
         try:
             yield node
         finally:
             node.duration = time.perf_counter() - node.start
             self._stack.pop()
+            if tracking:
+                _profiler.pop_label()
             if self._bridging():
                 series = _SPAN_HISTOGRAMS.get(name)
                 if series is not None:
                     self.registry.histogram(series).observe(node.duration)
+
+    # -- request traces --------------------------------------------------
+    @contextmanager
+    def trace(
+        self,
+        route: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[Any] = None,
+        request_id: Optional[str] = None,
+    ) -> Iterator[Any]:
+        """Open one request-scoped trace around a served route.
+
+        The base tracer records it as a plain ``request.<route>`` span
+        and yields the shared inert trace handle (no context, no
+        sampling); :class:`SamplingTracer
+        <repro.observability.sampling.SamplingTracer>` overrides this
+        with real trace contexts, head sampling and error promotion.
+        """
+        with self.span(f"request.{route}"):
+            yield _INERT_TRACE
+
+    # -- hot-tier handles ------------------------------------------------
+    def hot_counter(self, name: str, registry_name: Optional[str] = None):
+        """A pre-bindable ``.inc()`` handle for a hot-path counter.
+
+        Serving code binds these once at construction so the per-request
+        cost is a single method call.  The base tracer adapts onto
+        :meth:`count`; :class:`SamplingTracer
+        <repro.observability.sampling.SamplingTracer>` returns a
+        lock-free striped cell draining into ``registry_name``.
+        """
+        return _CounterAdapter(self, name)
+
+    def hot_histogram(
+        self,
+        name: str,
+        buckets: Optional[Any] = None,
+        registry_name: Optional[str] = None,
+    ):
+        """A pre-bindable ``.observe()`` handle for a hot-path histogram.
+
+        Base-tracer counterpart of :meth:`hot_counter`: adapts onto
+        :meth:`metric`; the sampling tracer returns a striped histogram
+        with a power-of-two bucket index.
+        """
+        return _HistogramAdapter(self, name)
+
+    def drain(self) -> None:
+        """Flush hot-tier cells into the registry (no-op on the base)."""
+        return None
 
     def iter_spans(self) -> Iterator[Span]:
         """Depth-first iteration over every recorded span."""
@@ -158,7 +298,8 @@ class Tracer:
     # -- counters & metrics ---------------------------------------------
     def count(self, name: str, value: int = 1) -> None:
         """Increment a monotonic counter."""
-        self.counters[name] = self.counters.get(name, 0) + int(value)
+        store = self._counter_store
+        store[name] = store.get(name, 0) + int(value)
         if self._bridging():
             series = _COUNTER_BRIDGE.get(name)
             if series is not None:
@@ -235,6 +376,30 @@ class NullTracer(Tracer):
     def record_iteration(self, record: IterationRecord) -> None:
         """Discard the iteration record."""
         return None
+
+    @contextmanager
+    def trace(
+        self,
+        route: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[Any] = None,
+        request_id: Optional[str] = None,
+    ) -> Iterator[Any]:
+        """Yield the shared inert trace without recording anything."""
+        yield _INERT_TRACE
+
+    def hot_counter(self, name: str, registry_name: Optional[str] = None):
+        """Return the shared do-nothing hot-counter handle."""
+        return _NULL_CELL
+
+    def hot_histogram(
+        self,
+        name: str,
+        buckets: Optional[Any] = None,
+        registry_name: Optional[str] = None,
+    ):
+        """Return the shared do-nothing hot-histogram handle."""
+        return _NULL_CELL
 
 
 def is_tracing(tracer: Optional[Tracer]) -> bool:

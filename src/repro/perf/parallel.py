@@ -21,6 +21,14 @@ picklable; on platforms where process pools cannot start (sandboxes
 without semaphores) it degrades to the thread pool, which is
 result-identical because workers are required to be pure functions of
 their item.
+
+Both fan-outs snapshot the caller's **runtime context** — request id,
+run id and active trace context, via
+:func:`~repro.observability.propagation.inject_runtime_context` — and
+re-bind it inside every worker (thread *or* child process), so log
+records and spans emitted by per-item work carry the same correlation
+ids as the request that triggered it.  The payload is a small dict of
+strings; pickling it to children costs nothing measurable.
 """
 
 from __future__ import annotations
@@ -32,6 +40,11 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from itertools import repeat
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.observability.propagation import (
+    activate_runtime_context,
+    inject_runtime_context,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -58,15 +71,19 @@ def parallel_map(
     ``results[i]`` corresponds to ``items[i]`` regardless of completion
     order, and ``seconds[i]`` is that item's own wall time (not the
     batch's).  With one item or ``max_workers=1`` the items run
-    sequentially on the calling thread.
+    sequentially on the calling thread.  Each worker thread runs under
+    the submitting thread's runtime context (request id / trace), so
+    per-item logs stay correlated with the triggering request.
     """
     items = list(items)
     seconds = [0.0] * len(items)
+    runtime = inject_runtime_context()
 
     def timed(index_item: Tuple[int, T]) -> R:
         index, item = index_item
         start = time.perf_counter()
-        result = fn(item)
+        with activate_runtime_context(runtime):
+            result = fn(item)
         seconds[index] = time.perf_counter() - start
         return result
 
@@ -81,14 +98,20 @@ def parallel_map(
     return results, seconds
 
 
-def _timed_call(fn: Callable[[T], R], item: T) -> Tuple[R, float]:
+def _timed_call(
+    fn: Callable[[T], R], item: T, runtime=None
+) -> Tuple[R, float]:
     """Run one item in a worker process, returning (result, seconds).
 
     Module-level so it pickles; the item's own wall time is measured
-    inside the child, excluding fork/dispatch overhead.
+    inside the child, excluding fork/dispatch overhead.  ``runtime`` is
+    the parent's serialized runtime context (request id / run id /
+    trace); it is re-bound around ``fn`` so the child's log records and
+    bridged spans correlate with the originating request.
     """
     start = time.perf_counter()
-    result = fn(item)
+    with activate_runtime_context(runtime):
+        result = fn(item)
     return result, time.perf_counter() - start
 
 
@@ -106,20 +129,26 @@ def parallel_map_processes(
     interpreters, so Python-level work scales past the GIL.  ``fn`` and
     every item must be picklable, and ``fn`` must be a pure function of
     its item: results are collected by input index, which is what makes
-    the output independent of worker scheduling.  When the platform
-    cannot start a process pool at all, the call falls back to the
-    thread pool (purity makes that result-identical).
+    the output independent of worker scheduling.  The caller's runtime
+    context travels to each child in the task payload and is re-bound
+    there via contextvars, so cross-process work keeps its request and
+    trace correlation.  When the platform cannot start a process pool at
+    all, the call falls back to the thread pool (purity makes that
+    result-identical).
     """
     items = list(items)
     if not items:
         return [], []
     workers = default_workers(len(items), max_workers)
+    runtime = inject_runtime_context()
     if workers == 1:
-        pairs = [_timed_call(fn, item) for item in items]
+        pairs = [_timed_call(fn, item, runtime) for item in items]
         return [r for r, _ in pairs], [s for _, s in pairs]
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pairs = list(pool.map(_timed_call, repeat(fn), items))
+            pairs = list(
+                pool.map(_timed_call, repeat(fn), items, repeat(runtime))
+            )
     except (
         OSError,
         PermissionError,

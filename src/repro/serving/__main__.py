@@ -20,8 +20,11 @@ from repro.models.base import TransferTask
 from repro.models.persistence import load_predictor
 from repro.models.slampred import SlamPred, SlamPredH, SlamPredT
 from repro.networks.social import SocialGraph
+from repro.observability.cells import CellAggregator, CellBank
 from repro.observability.logging import configure_logging
-from repro.observability.metrics import NullRegistry
+from repro.observability.metrics import MetricsRegistry, NullRegistry
+from repro.observability.profiler import global_profiler
+from repro.observability.sampling import DEFAULT_SAMPLE_RATE, SamplingTracer
 from repro.observability.tracer import NullTracer
 from repro.reliability.faults import configure_from_env
 from repro.serving.artifacts import ArtifactStore
@@ -99,6 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
         "/metrics serves an empty document)",
     )
     serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=DEFAULT_SAMPLE_RATE,
+        help="head-sampling probability for request traces in [0, 1] "
+        "(error traces are always captured)",
+    )
+    serve.add_argument(
+        "--trace-route-rate",
+        action="append",
+        default=[],
+        metavar="ROUTE=RATE",
+        help="per-route sampling override, e.g. --trace-route-rate "
+        "topk=1.0 (repeatable)",
+    )
+    serve.add_argument(
+        "--aggregator-interval",
+        type=float,
+        default=1.0,
+        help="seconds between background drains of the striped metric "
+        "cells into the registry",
+    )
+    serve.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the continuous self-profiler (samples attributed to "
+        "active span labels; inspect at /debug/profile)",
+    )
+    serve.add_argument(
         "--no-batcher",
         action="store_true",
         help="answer each request directly instead of micro-batching",
@@ -126,6 +157,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline; overruns answer 503 (default: none)",
     )
     return parser
+
+
+def _parse_route_rates(pairs):
+    """Parse repeated ``ROUTE=RATE`` flags into ``{route: float}``.
+
+    The tracer samples by route *label* (``topk``, ``score``, …), so
+    path-style keys (``/v1/topk``) are normalized through the server's
+    route vocabulary; unknown paths abort rather than silently never
+    matching.
+    """
+    from repro.serving.http import ROUTE_LABELS
+
+    rates = {}
+    for pair in pairs:
+        route, _, rate = pair.partition("=")
+        if not route or not rate:
+            raise SystemExit(
+                f"--trace-route-rate expects ROUTE=RATE, got {pair!r}"
+            )
+        if route.startswith("/"):
+            label = ROUTE_LABELS.get(route)
+            if label is None:
+                known = ", ".join(sorted(ROUTE_LABELS))
+                raise SystemExit(
+                    f"--trace-route-rate: unknown route {route!r} "
+                    f"(known: {known})"
+                )
+            route = label
+        try:
+            rates[route] = float(rate)
+        except ValueError:
+            raise SystemExit(
+                f"--trace-route-rate rate must be a number, got {rate!r}"
+            ) from None
+    return rates
 
 
 def run_publish(args: argparse.Namespace) -> int:
@@ -189,12 +255,36 @@ def run_serve(args: argparse.Namespace) -> int:
     armed = configure_from_env()
     if armed:
         print(f"chaos mode: faults armed at {', '.join(sorted(armed))}")
-    service_kwargs = {}
+    aggregator = None
+    profiler = None
     if args.no_telemetry:
+        # Null fast path: no registry locks, no striped cells, and — by
+        # contract — no background telemetry threads at all.
         service_kwargs = {
             "tracer": NullTracer(),
             "registry": NullRegistry(),
         }
+    else:
+        registry = MetricsRegistry()
+        cells = CellBank(registry)
+        route_rates = _parse_route_rates(args.trace_route_rate)
+        tracer = SamplingTracer(
+            registry,
+            default_rate=args.trace_sample_rate,
+            route_rates=route_rates,
+            cells=cells,
+        )
+        service_kwargs = {
+            "tracer": tracer,
+            "registry": registry,
+            "cells": cells,
+        }
+        aggregator = CellAggregator(
+            cells, interval_s=args.aggregator_interval
+        ).start()
+        if args.profile:
+            profiler = global_profiler()
+            profiler.start()
     service = LinkPredictionService(
         args.store, cache_size=args.cache_size, **service_kwargs
     )
@@ -228,6 +318,10 @@ def run_serve(args: argparse.Namespace) -> int:
         server.server_close()
         if batcher is not None:
             batcher.stop()
+        if profiler is not None:
+            profiler.stop()
+        if aggregator is not None:
+            aggregator.stop()
     return 0
 
 

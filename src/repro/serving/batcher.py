@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.exceptions import ConfigurationError, DeadlineExceededError
 from repro.observability.logging import current_request_id, get_logger
 from repro.observability.metrics import BATCH_SIZE_BUCKETS
+from repro.observability.propagation import current_trace
 from repro.serving.service import LinkPredictionService, Ranking
 from repro.utils.validation import check_integer
 
@@ -32,12 +33,16 @@ _log = get_logger("repro.serving.batcher")
 class _Pending:
     """One waiting request: inputs, a completion event, and a result slot.
 
-    The submitting thread's request id is captured at construction so the
-    worker thread — which runs outside any request context — can still
-    attribute the batch's work to the HTTP requests it coalesced.
+    The submitting thread's request id *and* active trace carrier are
+    captured at construction so the worker thread — which runs outside
+    any request context — can still attribute the batch's work to the
+    HTTP requests it coalesced, and graft a ``batcher.batch`` span back
+    onto each recording trace before waking its waiter.
     """
 
-    __slots__ = ("user", "k", "event", "result", "error", "request_id")
+    __slots__ = (
+        "user", "k", "event", "result", "error", "request_id", "trace"
+    )
 
     def __init__(self, user: int, k: int):
         self.user = user
@@ -46,6 +51,7 @@ class _Pending:
         self.result: Optional[Ranking] = None
         self.error: Optional[BaseException] = None
         self.request_id = current_request_id()
+        self.trace = current_trace()
 
 
 class MicroBatcher:
@@ -211,16 +217,48 @@ class MicroBatcher:
         # by k here used to issue one scoring pass per distinct k, which
         # under mixed load made the batcher *slower* than sequential
         # queries.
+        start = time.perf_counter()
         try:
             rankings = self.service.batch_top_k_mixed(
                 [pending.user for pending in batch],
                 [pending.k for pending in batch],
             )
         except BaseException as exc:  # propagate to every waiter
+            message = f"{type(exc).__name__}: {exc}"
             for pending in batch:
+                self._graft_span(pending, start, len(batch), error=message)
                 pending.error = exc
                 pending.event.set()
             return
         for pending, ranking in zip(batch, rankings):
+            self._graft_span(pending, start, len(batch))
             pending.result = ranking
             pending.event.set()
+
+    @staticmethod
+    def _graft_span(
+        pending: _Pending,
+        start: float,
+        batch_size: int,
+        error: Optional[str] = None,
+    ) -> None:
+        """Attach the batch pass as a child span of the request's trace.
+
+        Runs on the worker thread *before* ``event.set()``, so the
+        submitting thread never races the graft; recording traces end up
+        with one ``batcher.batch`` span carrying the coalesced batch
+        size — the cross-thread half of the stitched span tree.
+        """
+        trace = pending.trace
+        if trace is None or not getattr(trace, "is_recording", False):
+            return
+        if not (trace.sampled or error):
+            return
+        trace.add_span(
+            "batcher.batch",
+            time.perf_counter() - start,
+            attrs={"batch_size": batch_size},
+            error=error,
+        )
+        if error:
+            trace.mark_error(error)

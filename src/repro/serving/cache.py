@@ -16,6 +16,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
+from repro.observability.cells import CellBank
 from repro.observability.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.utils.validation import check_integer
 
@@ -35,6 +36,13 @@ class RankingCache:
         when given, hit/miss/eviction/invalidation counters and a size
         gauge are published as ``serving.cache.*`` series alongside the
         cache's own integer counters.
+    cells:
+        Optional :class:`~repro.observability.cells.CellBank`.  When
+        given, the hot get/put path skips the registry entirely (the
+        cache's own lock-guarded integers remain the source of truth)
+        and the ``serving.cache.*`` series are overwrite-synced from
+        those integers at every bank drain — same exposed numbers, no
+        extra lock traffic per request.
 
     Examples
     --------
@@ -52,6 +60,7 @@ class RankingCache:
         self,
         capacity: int = 1024,
         registry: Optional[MetricsRegistry] = None,
+        cells: Optional[CellBank] = None,
     ):
         self.capacity = check_integer(capacity, "capacity", minimum=1)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
@@ -60,6 +69,11 @@ class RankingCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        if cells is not None and registry is not None and registry.enabled:
+            # Hot tier: no per-request registry writes; the bank drain
+            # overwrite-syncs the series from the integers below.
+            cells.add_source(self._sync_registry)
+            registry = NULL_REGISTRY
         registry = registry if registry is not None else NULL_REGISTRY
         self._m_hits = registry.counter(
             "serving.cache.hits", help="Ranking cache hits."
@@ -77,6 +91,30 @@ class RankingCache:
         self._m_size = registry.gauge(
             "serving.cache.size", help="Entries currently cached."
         )
+
+    def _sync_registry(self, registry: MetricsRegistry) -> None:
+        """Overwrite the ``serving.cache.*`` series to match the integers."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            evictions = self._evictions
+            invalidations = self._invalidations
+            size = len(self._entries)
+        registry.counter(
+            "serving.cache.hits", help="Ranking cache hits."
+        )._unlabeled()._set_total(hits)
+        registry.counter(
+            "serving.cache.misses", help="Ranking cache misses."
+        )._unlabeled()._set_total(misses)
+        registry.counter(
+            "serving.cache.evictions", help="LRU evictions."
+        )._unlabeled()._set_total(evictions)
+        registry.counter(
+            "serving.cache.invalidations",
+            help="Wholesale invalidations (artifact reloads).",
+        )._unlabeled()._set_total(invalidations)
+        registry.gauge(
+            "serving.cache.size", help="Entries currently cached."
+        ).set(size)
 
     def __len__(self) -> int:
         return len(self._entries)

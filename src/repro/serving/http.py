@@ -1,6 +1,6 @@
 """Stdlib-only JSON/HTTP front-end for the link-prediction service.
 
-A thin :class:`ThreadingHTTPServer` exposing seven endpoints:
+A thin :class:`ThreadingHTTPServer` exposing eight endpoints:
 
 ========================  =====================================================
 ``GET /healthz``          liveness + served artifact version
@@ -10,13 +10,21 @@ A thin :class:`ThreadingHTTPServer` exposing seven endpoints:
 ``GET /v1/score``         ``?u=U&v=V`` → raw pair confidence
 ``GET /v1/stats``         cache/queue counters, uptime, reload state
 ``GET /metrics``          the whole registry in Prometheus text format
+``GET /debug/profile``    the continuous profiler's attributed sample table
 ========================  =====================================================
 
 Every request is traced end to end: the handler binds a **request id**
 (honouring an incoming ``X-Request-Id`` header, generating one otherwise)
 into the logging context, so records emitted anywhere down the stack —
-service, cache, micro-batcher — carry the same id, and the response echoes
-it back as ``X-Request-Id``.  Per-route latency lands in the
+service, cache, micro-batcher, per-shard workers — carry the same id, the
+response echoes it back as ``X-Request-Id``, and top-k/score payloads
+carry it in-band.  The handler is also the **trace edge**: it parses an
+incoming ``X-Trace-Context`` header (or mints a fresh
+:class:`~repro.observability.propagation.TraceContext`), opens one
+request trace on the service's tracer — head-sampled when that tracer is
+a :class:`~repro.observability.sampling.SamplingTracer`, with any 5xx
+promoting the trace to always-captured error status — and echoes the
+context back as ``X-Trace-Context``.  Per-route latency lands in the
 ``serving.http.request_seconds{route,method,status}`` histogram, errors in
 ``serving.http.errors{route}``, and each request is additionally traced on
 the service's :class:`~repro.observability.Tracer` (an ``http.<route>``
@@ -63,19 +71,22 @@ from repro.observability.logging import (
     new_request_id,
     request_context,
 )
+from repro.observability.profiler import global_profiler
+from repro.observability.propagation import TraceContext
 from repro.reliability.faults import InjectedFaultError, fault_point
 from repro.serving.batcher import MicroBatcher
 from repro.serving.service import LinkPredictionService
 
 _log = get_logger("repro.serving.http")
 
-_ROUTE_LABELS = {
+ROUTE_LABELS = {
     "/healthz": "healthz",
     "/readyz": "readyz",
     "/v1/topk": "topk",
     "/v1/score": "score",
     "/v1/stats": "stats",
     "/metrics": "metrics",
+    "/debug/profile": "debug",
 }
 """Fixed route-label vocabulary — unknown paths collapse to ``other`` so a
 scanner cannot explode the metric cardinality."""
@@ -211,6 +222,7 @@ class _Handler(BaseHTTPRequestHandler):
     _started: Optional[float] = None
     _deadline: Optional[float] = None
     _last_status: Optional[int] = None
+    _trace_context: Optional[TraceContext] = None
 
     # -- routing --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
@@ -223,6 +235,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/topk": lambda: self._topk_get(query),
             "/v1/score": lambda: self._score(query),
             "/metrics": lambda: self._metrics(),
+            "/debug/profile": lambda: self._profile(query),
         }
         self._dispatch(url.path, routes)
 
@@ -242,7 +255,11 @@ class _Handler(BaseHTTPRequestHandler):
             None if deadline_s is None else self._started + deadline_s
         )
         self._last_status = None
-        route = _ROUTE_LABELS.get(path, "other")
+        self._trace_context = None
+        route = ROUTE_LABELS.get(path, "other")
+        parent = TraceContext.from_header(
+            self.headers.get("X-Trace-Context")
+        )
         admitted = self.server.inflight_acquire()
         try:
             with request_context(self._request_id):
@@ -254,19 +271,44 @@ class _Handler(BaseHTTPRequestHandler):
                         "overloaded: too many requests in flight; "
                         "retry with backoff",
                     )
+                    self._observe_latency(route, status)
+                    self._send(status, payload)
                 else:
-                    status, payload = self._handle(path, routes, route)
-                # Observe before the body hits the socket: a client that
-                # reads a response and immediately scrapes /metrics must
-                # see this request's sample (the send itself is microseconds
-                # of buffered writes and would race the next scrape).
-                self.server.request_latency.labels(
-                    route=route, method=self.command, status=str(status)
-                ).observe(time.perf_counter() - self._started)
-                self._send(status, payload)
+                    with tracer.trace(
+                        route, parent=parent, request_id=self._request_id
+                    ) as req_trace:
+                        status, payload = self._handle(path, routes, route)
+                        if status >= 500:
+                            # _handle answers every exception as JSON, so
+                            # the watch spans never see one raise; promote
+                            # the trace from the status code instead —
+                            # this is what makes "errors always captured"
+                            # hold at any sampling rate.
+                            req_trace.mark_error(
+                                payload.get("error", f"http {status}")
+                                if isinstance(payload, dict)
+                                else f"http {status}"
+                            )
+                        self._trace_context = req_trace.context
+                        # Observe before the body hits the socket: a client
+                        # that reads a response and immediately scrapes
+                        # /metrics must see this request's sample (the send
+                        # itself is microseconds of buffered writes and
+                        # would race the next scrape).
+                        self._observe_latency(route, status)
+                    # The trace commits when the block above exits — also
+                    # before the send, so a client that reads the response
+                    # and immediately queries the trace buffer finds it.
+                    self._send(status, payload)
         finally:
             if admitted:
                 self.server.inflight_release()
+
+    def _observe_latency(self, route: str, status: int) -> None:
+        """Record this request into the labeled latency histogram."""
+        self.server.request_latency.labels(
+            route=route, method=self.command, status=str(status)
+        ).observe(time.perf_counter() - self._started)
 
     def _handle(self, path: str, routes: Dict, route: str) -> Tuple[int, Union[Dict, str]]:
         """Run one admitted request; every failure maps to a JSON error."""
@@ -374,6 +416,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _metrics(self) -> Tuple[int, str]:
         return 200, self.server.service.metrics_text()
 
+    def _profile(self, query: Dict) -> Tuple[int, Dict]:
+        """The continuous profiler's aggregate table (``?top=N``)."""
+        top = _int_param(query, "top", default=50)
+        return 200, global_profiler().snapshot(top=top)
+
     def _topk_get(self, query: Dict) -> Tuple[int, Dict]:
         user = _int_param(query, "user")
         k = _int_param(query, "k", default=10)
@@ -387,7 +434,9 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._remaining_budget()  # shed instead of serving a dead request
             ranking = self.server.service.top_k(user, k)
-        return 200, _topk_payload(self.server.service, user, k, ranking)
+        payload = _topk_payload(self.server.service, user, k, ranking)
+        payload["request_id"] = self._request_id
+        return 200, payload
 
     def _topk_post(self) -> Tuple[int, Dict]:
         body = self._read_json()
@@ -399,6 +448,7 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, {
                 "k": k,
                 "version": service.version,
+                "request_id": self._request_id,
                 "results": [
                     _topk_payload(service, user, k, ranking)
                     for user, ranking in zip(users, rankings)
@@ -408,7 +458,9 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("POST /v1/topk requires 'user' or 'users'")
         user = int(body["user"])
         ranking = service.top_k(user, k)
-        return 200, _topk_payload(service, user, k, ranking)
+        payload = _topk_payload(service, user, k, ranking)
+        payload["request_id"] = self._request_id
+        return 200, payload
 
     def _score(self, query: Dict) -> Tuple[int, Dict]:
         u = _int_param(query, "u")
@@ -447,6 +499,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(blob)))
         if self._request_id is not None:
             self.send_header("X-Request-Id", self._request_id)
+        if self._trace_context is not None:
+            self.send_header(
+                "X-Trace-Context", self._trace_context.to_header()
+            )
         self.end_headers()
         self.wfile.write(blob)
 

@@ -36,8 +36,10 @@ from repro.exceptions import (
     SerializationError,
     UnknownNodeError,
 )
+from repro.observability.cells import CellBank
 from repro.observability.logging import get_logger
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.sampling import SamplingTracer
 from repro.observability.tracer import Tracer
 from repro.reliability.breaker import OPEN, CircuitBreaker
 from repro.reliability.faults import fault_point
@@ -75,8 +77,12 @@ class LinkPredictionService:
     cache_size:
         Capacity of the per-user ranking cache.
     tracer:
-        Telemetry sink; a fresh live :class:`Tracer` is created when omitted
-        so ``stats()`` always has counters to report.
+        Telemetry sink; a fresh
+        :class:`~repro.observability.sampling.SamplingTracer` (striped
+        counters, head-sampled spans) is created when omitted so
+        ``stats()`` always has counters to report while the hot path
+        stays lock-free.  Pass a plain :class:`Tracer` to capture every
+        span unconditionally.
     version:
         Pin an explicit artifact version instead of the latest.
     registry:
@@ -87,6 +93,12 @@ class LinkPredictionService:
         :class:`~repro.observability.metrics.NullRegistry` (paired with a
         :class:`~repro.observability.NullTracer`) for the zero-overhead
         uninstrumented path.
+    cells:
+        Optional shared :class:`~repro.observability.cells.CellBank` for
+        the hot-tier striped metrics; a private bank over ``registry``
+        is created when omitted.  Pass one explicitly to share cells
+        between the service, its tracer and a
+        :class:`~repro.observability.cells.CellAggregator`.
 
     Examples
     --------
@@ -110,13 +122,28 @@ class LinkPredictionService:
         registry: Optional[MetricsRegistry] = None,
         load_retry: Optional[RetryPolicy] = None,
         reload_breaker: Optional[CircuitBreaker] = None,
+        cells: Optional[CellBank] = None,
     ):
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.cells = cells if cells is not None else CellBank(self.registry)
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else SamplingTracer(self.registry, cells=self.cells)
+        )
         if self.tracer.registry is None and self.tracer.enabled:
             self.tracer.registry = self.registry
-        self.cache = RankingCache(cache_size, registry=self.registry)
+        self.cache = RankingCache(
+            cache_size, registry=self.registry, cells=self.cells
+        )
+        # Pre-bound hot-path counter handles: one attribute read + one
+        # ``.inc()`` per request instead of dict lookups in ``count``.
+        self._c_requests = self.tracer.hot_counter("serve.requests")
+        self._c_topk = self.tracer.hot_counter("serve.topk_requests")
+        self._c_score = self.tracer.hot_counter("serve.score_requests")
+        self._c_hit = self.tracer.hot_counter("serve.cache_hit")
+        self._c_miss = self.tracer.hot_counter("serve.cache_miss")
         self._lock = threading.RLock()
         self._artifact: LoadedArtifact = None
         self._candidates: np.ndarray = None
@@ -299,8 +326,8 @@ class LinkPredictionService:
         never a dense materialization.
         """
         with self.tracer.span("serve.score"):
-            self.tracer.count("serve.requests")
-            self.tracer.count("serve.score_requests")
+            self._c_requests.inc()
+            self._c_score.inc()
             u, v = self._check_user(u), self._check_user(v)
             return float(self._artifact.predictor.score_pairs([(u, v)])[0])
 
@@ -322,16 +349,16 @@ class LinkPredictionService:
         ``(version, user, k)``.
         """
         with self.tracer.span("serve.top_k"):
-            self.tracer.count("serve.requests")
-            self.tracer.count("serve.topk_requests")
+            self._c_requests.inc()
+            self._c_topk.inc()
             user = self._check_user(user)
             k = check_integer(k, "k", minimum=1)
             key = (self.version, user, k)
             cached = self.cache.get(key)
             if cached is not None:
-                self.tracer.count("serve.cache_hit")
+                self._c_hit.inc()
                 return cached
-            self.tracer.count("serve.cache_miss")
+            self._c_miss.inc()
             with self._lock:
                 ranking = _rank_row(self._candidates[user], k)
             self.cache.put(key, ranking)
@@ -367,8 +394,8 @@ class LinkPredictionService:
                 )
             ks = [check_integer(k, "k", minimum=1) for k in ks]
             users = [self._check_user(u) for u in users]
-            self.tracer.count("serve.requests", len(users))
-            self.tracer.count("serve.topk_requests", len(users))
+            self._c_requests.inc(len(users))
+            self._c_topk.inc(len(users))
             version = self.version
             answers: Dict[Tuple[int, int], Ranking] = {}
             missing: List[Tuple[int, int]] = []
@@ -376,10 +403,10 @@ class LinkPredictionService:
                 pair = (user, k)
                 cached = self.cache.get((version, user, k))
                 if cached is not None:
-                    self.tracer.count("serve.cache_hit")
+                    self._c_hit.inc()
                     answers[pair] = cached
                 elif pair not in answers:
-                    self.tracer.count("serve.cache_miss")
+                    self._c_miss.inc()
                     answers[pair] = None
                     missing.append(pair)
             if missing:
@@ -408,8 +435,16 @@ class LinkPredictionService:
         return uptime
 
     def metrics_text(self) -> str:
-        """The registry rendered as Prometheus text (uptime refreshed)."""
+        """The registry rendered as Prometheus text (uptime refreshed).
+
+        Hot-tier cells are drained first, so a scrape always sees the
+        merged striped totals even when no background aggregator runs.
+        """
         self.observe_uptime()
+        self.cells.drain()
+        tracer_drain = getattr(self.tracer, "drain", None)
+        if tracer_drain is not None:
+            tracer_drain()
         return self.registry.render()
 
     def stats(self) -> Dict:

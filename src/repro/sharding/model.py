@@ -41,7 +41,7 @@ from scipy import sparse
 
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.factored.estimate import FactoredEstimate
-from repro.observability.tracer import NullTracer, Tracer
+from repro.observability.tracer import NullTracer, Span, Tracer
 from repro.perf.parallel import parallel_map, parallel_map_processes
 from repro.sharding.partition import (
     ShardPlan,
@@ -370,7 +370,7 @@ class ShardedSlamPred:
         fan_out = (
             parallel_map_processes if self.use_processes else parallel_map
         )
-        with self.tracer.span("sharding.fit_shards"):
+        with self.tracer.span("sharding.fit_shards") as fit_node:
             outcomes, seconds = fan_out(
                 fit_shard, jobs, max_workers=self.max_workers
             )
@@ -389,6 +389,16 @@ class ShardedSlamPred:
                 "resumed": outcome["resumed"],
                 "seconds": float(spent),
             }
+            if isinstance(fit_node, Span):
+                # Graft each worker's wall time back as a child span so a
+                # recorded fit shows per-shard timing under fit_shards
+                # (workers ran in other processes; their spans are local).
+                fit_node.children.append(
+                    Span(
+                        name=f"sharding.fit_shard[{s:03d}]",
+                        duration=float(spent),
+                    )
+                )
             self.tracer.metric("sharding.shard_seconds", float(spent))
             if outcome["resumed"]:
                 self.tracer.count("sharding.shard_resumed")

@@ -33,8 +33,10 @@ from repro.exceptions import (
     SerializationError,
     UnknownNodeError,
 )
-from repro.observability.logging import get_logger
+from repro.observability.cells import CellBank
+from repro.observability.logging import current_request_id, get_logger
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.sampling import SamplingTracer
 from repro.observability.tracer import Tracer
 from repro.reliability.breaker import OPEN, CircuitBreaker
 from repro.reliability.retry import call_with_retry
@@ -62,7 +64,15 @@ class ShardedLinkPredictionService:
         Capacity of the merged-ranking cache (keyed by version, user, k).
     tracer, registry:
         Telemetry sinks, created live when omitted — same contract as
-        the unsharded service.
+        the unsharded service (the default tracer is a
+        :class:`~repro.observability.sampling.SamplingTracer` recording
+        onto the striped cell bank).
+    cells:
+        Optional :class:`~repro.observability.cells.CellBank` shared
+        with other components; created when omitted.  All hot-path
+        counters and the per-shard timing histogram record into this
+        bank and reach the registry only at drain time
+        (``metrics_text``/aggregator).
     version:
         Pin an explicit artifact version instead of the latest.
     shard_failure_threshold:
@@ -81,6 +91,7 @@ class ShardedLinkPredictionService:
         load_retry=None,
         reload_breaker: Optional[CircuitBreaker] = None,
         shard_failure_threshold: int = 3,
+        cells: Optional[CellBank] = None,
     ):
         self.store = (
             store
@@ -88,10 +99,17 @@ class ShardedLinkPredictionService:
             else ShardedArtifactStore(store)
         )
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.cells = cells if cells is not None else CellBank(self.registry)
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else SamplingTracer(self.registry, cells=self.cells)
+        )
         if self.tracer.registry is None and self.tracer.enabled:
             self.tracer.registry = self.registry
-        self.cache = RankingCache(cache_size, registry=self.registry)
+        self.cache = RankingCache(
+            cache_size, registry=self.registry, cells=self.cells
+        )
         self._lock = threading.RLock()
         self._artifact: Optional[LoadedShardedArtifact] = None
         self._breakers: Dict[int, CircuitBreaker] = {}
@@ -110,6 +128,24 @@ class ShardedLinkPredictionService:
         )
         self._m_uptime = self.registry.gauge(
             "serving.uptime_seconds", help="Seconds since service start."
+        )
+        # Pre-bound hot cells: one attribute load + float add per hit on
+        # the scatter-gather path, no dict lookup and no registry lock.
+        self._c_requests = self.tracer.hot_counter("serve.requests")
+        self._c_topk = self.tracer.hot_counter("serve.topk_requests")
+        self._c_score = self.tracer.hot_counter("serve.score_requests")
+        self._c_hit = self.tracer.hot_counter("serve.cache_hit")
+        self._c_miss = self.tracer.hot_counter("serve.cache_miss")
+        self._c_unavailable = self.tracer.hot_counter(
+            "serve.shard_unavailable"
+        )
+        self._c_shortcircuit = self.tracer.hot_counter(
+            "serve.shard_shortcircuit"
+        )
+        self._c_shard_errors = self.tracer.hot_counter("serve.shard_errors")
+        self._c_degraded = self.tracer.hot_counter("serve.degraded")
+        self._h_shard_seconds = self.tracer.hot_histogram(
+            "serve.shard_seconds", registry_name="sharding.shard_seconds"
         )
         self._load_retry = (
             load_retry if load_retry is not None else DEFAULT_LOAD_RETRY
@@ -246,11 +282,11 @@ class ShardedLinkPredictionService:
         artifact = self._artifact
         estimate = artifact.estimates.get(shard)
         if estimate is None:
-            self.tracer.count("serve.shard_unavailable")
+            self._c_unavailable.inc()
             return None
         breaker = self._breakers[shard]
         if not breaker.allow():
-            self.tracer.count("serve.shard_shortcircuit")
+            self._c_shortcircuit.inc()
             return None
         try:
             local = artifact.plan.local_indices(shard, users)
@@ -259,11 +295,12 @@ class ShardedLinkPredictionService:
             rows *= float(artifact.scales[shard])
         except Exception as exc:
             breaker.record_failure()
-            self.tracer.count("serve.shard_errors")
+            self._c_shard_errors.inc()
             _log.warning(
                 "shard scoring failed; degrading to remaining shards",
                 shard=shard,
                 error=str(exc),
+                request_id=current_request_id(),
             )
             return None
         breaker.record_success()
@@ -295,7 +332,14 @@ class ShardedLinkPredictionService:
             user_block = np.array(
                 [users[p] for p in positions], dtype=np.int64
             )
-            rows = self._shard_rows(shard, user_block)
+            # Per-shard child span: inside a sampled request trace this
+            # stitches one `serve.shard[NNN]` node per fan-out leg under
+            # the request's span tree; outside a trace it costs one
+            # is-recording check.
+            start = time.perf_counter()
+            with self.tracer.span(f"serve.shard[{shard:03d}]"):
+                rows = self._shard_rows(shard, user_block)
+            self._h_shard_seconds.observe(time.perf_counter() - start)
             if rows is None:
                 degraded = True
                 continue
@@ -347,8 +391,8 @@ class ShardedLinkPredictionService:
     def score(self, u: int, v: int) -> float:
         """Stitched confidence for ``(u, v)``: max over co-modeling shards."""
         with self.tracer.span("serve.score"):
-            self.tracer.count("serve.requests")
-            self.tracer.count("serve.score_requests")
+            self._c_requests.inc()
+            self._c_score.inc()
             u, v = self._check_user(u), self._check_user(v)
             if u == v:
                 return 0.0
@@ -388,21 +432,21 @@ class ShardedLinkPredictionService:
         retries the full scatter.
         """
         with self.tracer.span("serve.top_k"):
-            self.tracer.count("serve.requests")
-            self.tracer.count("serve.topk_requests")
+            self._c_requests.inc()
+            self._c_topk.inc()
             user = self._check_user(user)
             k = check_integer(k, "k", minimum=1)
             key = (self.version, user, k)
             cached = self.cache.get(key)
             if cached is not None:
-                self.tracer.count("serve.cache_hit")
+                self._c_hit.inc()
                 return cached
-            self.tracer.count("serve.cache_miss")
+            self._c_miss.inc()
             with self._lock:
                 merged, degraded = self._gather([user])
                 ranking = self._rank_merged(user, merged[0], k)
             if degraded:
-                self.tracer.count("serve.degraded")
+                self._c_degraded.inc()
             else:
                 self.cache.put(key, ranking)
             return ranking
@@ -429,8 +473,8 @@ class ShardedLinkPredictionService:
                 )
             ks = [check_integer(k, "k", minimum=1) for k in ks]
             users = [self._check_user(u) for u in users]
-            self.tracer.count("serve.requests", len(users))
-            self.tracer.count("serve.topk_requests", len(users))
+            self._c_requests.inc(len(users))
+            self._c_topk.inc(len(users))
             version = self.version
             answers: Dict[Tuple[int, int], Ranking] = {}
             missing: List[Tuple[int, int]] = []
@@ -438,10 +482,10 @@ class ShardedLinkPredictionService:
                 pair = (user, k)
                 cached = self.cache.get((version, user, k))
                 if cached is not None:
-                    self.tracer.count("serve.cache_hit")
+                    self._c_hit.inc()
                     answers[pair] = cached
                 elif pair not in answers:
-                    self.tracer.count("serve.cache_miss")
+                    self._c_miss.inc()
                     answers[pair] = None
                     missing.append(pair)
             if missing:
@@ -455,7 +499,7 @@ class ShardedLinkPredictionService:
                         if not degraded:
                             self.cache.put((version, user, k), ranking)
                 if degraded:
-                    self.tracer.count("serve.degraded", len(missing))
+                    self._c_degraded.inc(len(missing))
             return [answers[(user, k)] for user, k in zip(users, ks)]
 
     # -- introspection --------------------------------------------------
@@ -471,8 +515,17 @@ class ShardedLinkPredictionService:
         return uptime
 
     def metrics_text(self) -> str:
-        """The registry rendered as Prometheus text (uptime refreshed)."""
+        """The registry rendered as Prometheus text (uptime refreshed).
+
+        Drains the striped cell bank (and the tracer's, when it keeps
+        one) first, so scrapes observe every hot-path increment even
+        without a background aggregator.
+        """
         self.observe_uptime()
+        self.cells.drain()
+        tracer_drain = getattr(self.tracer, "drain", None)
+        if tracer_drain is not None:
+            tracer_drain()
         return self.registry.render()
 
     def shard_health(self) -> Dict[int, str]:

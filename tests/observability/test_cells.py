@@ -1,0 +1,344 @@
+"""Striped metric cells: exactness, bucket index, drain, aggregator."""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.cells import (
+    CellAggregator,
+    CellBank,
+    PowerOfTwoBucketIndex,
+    StripedCounter,
+    StripedHistogram,
+)
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestPowerOfTwoBucketIndex:
+    def test_matches_bisect_on_default_latency_buckets(self):
+        index = PowerOfTwoBucketIndex(DEFAULT_LATENCY_BUCKETS)
+        for value in (
+            0.0,
+            -1.0,
+            1e-12,
+            5e-4,
+            1e-3,
+            0.0011,
+            0.24999,
+            0.25,
+            0.2500001,
+            10.0,
+            10.0001,
+            1e9,
+        ):
+            assert index(value) == bisect_left(
+                DEFAULT_LATENCY_BUCKETS, value
+            ), value
+
+    def test_exact_bounds_land_in_their_own_bucket(self):
+        bounds = (0.5, 1.0, 2.0, 8.0)
+        index = PowerOfTwoBucketIndex(bounds)
+        for i, bound in enumerate(bounds):
+            assert index(bound) == i
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PowerOfTwoBucketIndex((1.0, 1.0, 2.0))
+
+    def test_non_positive_bounds_fall_back_to_bisect(self):
+        bounds = (-1.0, 0.0, 1.0, 2.0)
+        index = PowerOfTwoBucketIndex(bounds)
+        for value in (-2.0, -1.0, -0.5, 0.0, 0.5, 1.5, 3.0):
+            assert index(value) == bisect_left(bounds, value)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=1e-9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        ),
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e10,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_equals_bisect_left(self, bounds, values):
+        bounds = sorted(bounds)
+        index = PowerOfTwoBucketIndex(bounds)
+        for value in values:
+            assert index(value) == bisect_left(bounds, value)
+
+
+class TestStripedCounter:
+    def test_single_thread_total(self):
+        counter = StripedCounter("demo")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.total() == 3.5
+
+    def test_empty_total_is_float_zero(self):
+        total = StripedCounter("demo").total()
+        assert total == 0.0
+        assert isinstance(total, float)
+
+    def test_hammered_across_threads_is_exact_at_quiescence(self):
+        counter = StripedCounter("demo")
+        n_threads, per_thread = 8, 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.total() == n_threads * per_thread
+
+
+class TestStripedHistogram:
+    def test_merged_state_matches_observations(self):
+        hist = StripedHistogram("demo", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        counts, total, count, window = hist.merged_state()
+        assert counts == [1, 1, 1]  # 100.0 overflows past the last bound
+        assert count == 4
+        assert total == pytest.approx(105.0)
+        assert sorted(window) == [0.5, 1.5, 3.0, 100.0]
+
+    def test_snapshot_quantiles(self):
+        hist = StripedHistogram("demo")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50"] == pytest.approx(50.0, abs=1.0)
+        assert snap["p99"] == pytest.approx(99.0, abs=1.0)
+
+    def test_threads_record_into_independent_cells(self):
+        hist = StripedHistogram("demo", buckets=(10.0,))
+        barrier = threading.Barrier(4)
+
+        def record():
+            barrier.wait()
+            for _ in range(1000):
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts, total, count, _ = hist.merged_state()
+        assert counts == [4000]
+        assert count == 4000
+        assert total == pytest.approx(4000.0)
+
+
+class TestCellBank:
+    def test_counter_is_created_once(self):
+        bank = CellBank()
+        assert bank.counter("a") is bank.counter("a")
+
+    def test_drain_overwrites_registry_series(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        cell = bank.counter("hot.hits", registry_name="serving.hot_hits")
+        cell.inc(7)
+        bank.drain()
+        assert "repro_serving_hot_hits_total 7" in registry.render()
+
+    def test_drain_is_idempotent(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        bank.counter("hot.hits", registry_name="serving.hot_hits").inc(3)
+        bank.drain()
+        bank.drain()
+        bank.drain()
+        assert "repro_serving_hot_hits_total 3" in registry.render()
+
+    def test_drain_histogram_state(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        hist = bank.histogram(
+            "hot.lat",
+            buckets=(1.0, 5.0),
+            registry_name="serving.hot_latency",
+        )
+        for value in (0.5, 0.7, 3.0, 10.0):
+            hist.observe(value)
+        bank.drain()
+        snap = registry.histogram(
+            "serving.hot_latency", buckets=(1.0, 5.0)
+        ).snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(14.2)
+
+    def test_drain_without_registry_is_noop(self):
+        bank = CellBank(None)
+        bank.counter("hot.hits", registry_name="x").inc()
+        bank.drain()  # must not raise
+
+    def test_drain_against_null_registry_is_noop(self):
+        null = NullRegistry()
+        bank = CellBank(null)
+        bank.counter("hot.hits", registry_name="x").inc()
+        bank.drain()
+        assert null.render() == ""
+
+    def test_unlinked_counter_never_reaches_registry(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        bank.counter("internal.only").inc(5)
+        bank.drain()
+        assert "internal" not in registry.render()
+        assert bank.counter_totals() == {"internal.only": 5.0}
+
+    def test_sources_run_on_drain(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        seen = []
+        bank.add_source(seen.append)
+        bank.drain()
+        assert seen == [registry]
+
+
+class TestCellAggregator:
+    def test_background_drain_reaches_registry(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        bank.counter("hot.hits", registry_name="serving.hot_hits").inc(2)
+        done = threading.Event()
+        original = bank.drain
+
+        def drain_and_signal():
+            original()
+            done.set()
+
+        bank.drain = drain_and_signal
+        with CellAggregator(bank, interval_s=0.01):
+            assert done.wait(timeout=5.0)
+        assert "repro_serving_hot_hits_total 2" in registry.render()
+
+    def test_stop_performs_final_drain(self):
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        aggregator = CellAggregator(bank, interval_s=60.0).start()
+        bank.counter("hot.hits", registry_name="serving.hot_hits").inc(9)
+        aggregator.stop()
+        assert "repro_serving_hot_hits_total 9" in registry.render()
+        assert not aggregator.running
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            CellAggregator(CellBank(), interval_s=0.0)
+
+
+class TestInterleavedDrainProperty:
+    """Satellite 4: striped cells drained mid-flight merge exactly."""
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=1e-6,
+                    max_value=1e4,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=0,
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_drain_interleaving_equals_single_threaded(
+        self, per_thread_values, rng
+    ):
+        buckets = (0.001, 0.1, 1.0, 100.0)
+        registry = MetricsRegistry()
+        bank = CellBank(registry)
+        hist = bank.histogram(
+            "hot.lat", buckets=buckets, registry_name="prop.latency"
+        )
+        counter = bank.counter("hot.n", registry_name="prop.count")
+
+        def record(values):
+            for value in values:
+                hist.observe(value)
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=record, args=(values,))
+            for values in per_thread_values
+        ]
+        for t in threads:
+            t.start()
+        # Interleave drains with thread completion in a seeded-random
+        # order: overwrite-to-match must make every schedule converge.
+        for t in rng.sample(threads, len(threads)):
+            if rng.random() < 0.5:
+                bank.drain()
+            t.join()
+            bank.drain()
+        bank.drain()
+
+        # Single-threaded reference over the same multiset of values.
+        reference = MetricsRegistry()
+        ref_hist = reference.histogram("prop.latency", buckets=buckets)
+        all_values = [v for values in per_thread_values for v in values]
+        for value in all_values:
+            ref_hist.observe(value)
+
+        drained = registry.histogram(
+            "prop.latency", buckets=buckets
+        ).snapshot()
+        expected = ref_hist.snapshot()
+        assert drained["count"] == expected["count"]
+        assert drained["sum"] == pytest.approx(expected["sum"])
+        total = registry.counter("prop.count").value
+        assert total == len(all_values)
+        # Bucket vectors are exact (integers; no float accumulation).
+        counts, _, _, window = hist.merged_state()
+        expected_counts = [0] * len(buckets)
+        for value in all_values:
+            index = bisect_left(buckets, value)
+            if index < len(buckets):
+                expected_counts[index] += 1
+        assert counts == expected_counts
+        # Quantiles are exact whenever the window kept every sample:
+        # same multiset in both windows, and quantile() sorts first.
+        if len(all_values) and len(window) == len(all_values):
+            for q in ("p50", "p95", "p99"):
+                if not math.isnan(expected[q]):
+                    assert drained[q] == expected[q]

@@ -274,3 +274,77 @@ def test_default_latency_buckets_sorted_and_subsecond_resolution():
     assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
     assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001  # resolves cache hits
     assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0  # resolves cold solver calls
+
+
+class TestExpositionEscaping:
+    """Prometheus text-format escaping survives adversarial strings."""
+
+    NASTY = [
+        'plain',
+        'with "quotes"',
+        "newline\nin the middle",
+        "backslash\\tail",
+        'all \\ of "them"\ntogether',
+        '\\n literal-backslash-n',
+        'trailing backslash \\',
+    ]
+
+    @staticmethod
+    def _unescape_label(value):
+        out, i = [], 0
+        while i < len(value):
+            ch = value[i]
+            if ch == "\\" and i + 1 < len(value):
+                nxt = value[i + 1]
+                if nxt == "n":
+                    out.append("\n")
+                    i += 2
+                    continue
+                if nxt in ("\\", '"'):
+                    out.append(nxt)
+                    i += 2
+                    continue
+            out.append(ch)
+            i += 1
+        return "".join(out)
+
+    def test_nasty_label_values_round_trip(self, registry):
+        family = registry.counter("demo.nasty", labels=("value",))
+        for nasty in self.NASTY:
+            family.labels(value=nasty).inc()
+        text = registry.render()
+        seen = []
+        for line in text.splitlines():
+            if not line.startswith("repro_demo_nasty_total{"):
+                continue
+            assert line.count("\n") == 0  # escaping kept it one line
+            start = line.index('value="') + len('value="')
+            end = line.rindex('"')
+            seen.append(self._unescape_label(line[start:end]))
+        assert sorted(seen) == sorted(self.NASTY)
+
+    def test_help_text_escapes_newline_and_backslash(self, registry):
+        registry.counter(
+            "demo.helpful",
+            help='first line\nsecond line with \\ and "quotes"',
+        ).inc()
+        text = registry.render()
+        help_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("# HELP repro_demo_helpful")
+        ]
+        assert help_lines == [
+            '# HELP repro_demo_helpful_total first line\\nsecond '
+            'line with \\\\ and "quotes"'
+        ]
+
+    def test_escaped_render_stays_line_structured(self, registry):
+        family = registry.counter(
+            "demo.structured",
+            labels=("tag",),
+            help="multi\nline help",
+        )
+        family.labels(tag="a\nb").inc()
+        for line in registry.render().splitlines():
+            assert line.startswith(("#", "repro_"))

@@ -136,3 +136,55 @@ class TestCoalescing:
         assert results == expected
         # All four mixed-k requests coalesced into a single batch.
         assert service.tracer.counters["batcher.batches"] == before + 1
+
+
+class TestTraceGrafting:
+    """The worker grafts a batcher.batch span back onto request traces."""
+
+    def test_sampled_trace_gains_batch_span(self, service):
+        from repro.observability.sampling import SamplingTracer
+
+        tracer = SamplingTracer(
+            service.registry, default_rate=1.0, cells=service.cells
+        )
+        service.tracer = tracer
+        with MicroBatcher(service, max_wait_ms=0.0) as batcher:
+            with tracer.trace("topk") as trace:
+                batcher.submit(user=0, k=3)
+        batch_spans = [
+            span for span in trace.spans() if span.name == "batcher.batch"
+        ]
+        assert len(batch_spans) == 1
+        assert batch_spans[0].attrs["batch_size"] >= 1
+        assert batch_spans[0].duration > 0.0
+
+    def test_batch_failure_promotes_error_trace(self, service):
+        from repro.observability.sampling import SamplingTracer
+
+        tracer = SamplingTracer(
+            service.registry, default_rate=0.0, cells=service.cells
+        )
+        service.tracer = tracer
+        with MicroBatcher(service, max_wait_ms=0.0) as batcher:
+            with pytest.raises(UnknownNodeError):
+                with tracer.trace("topk"):
+                    batcher.submit(user=10_000, k=3)
+        finished = tracer.finished()
+        assert len(finished) == 1
+        assert finished[0].error
+        assert any(
+            span.name == "batcher.batch" and span.error
+            for span in finished[0].spans()
+        )
+
+    def test_unsampled_clean_submit_grafts_nothing(self, service):
+        from repro.observability.sampling import SamplingTracer
+
+        tracer = SamplingTracer(
+            service.registry, default_rate=0.0, cells=service.cells
+        )
+        service.tracer = tracer
+        with MicroBatcher(service, max_wait_ms=0.0) as batcher:
+            with tracer.trace("topk"):
+                batcher.submit(user=0, k=3)
+        assert tracer.finished() == []

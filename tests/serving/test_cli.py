@@ -25,6 +25,34 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestRouteRateParsing:
+    """Path-style keys must normalize to the tracer's route labels."""
+
+    def test_paths_normalize_to_route_labels(self):
+        from repro.serving.__main__ import _parse_route_rates
+
+        rates = _parse_route_rates(
+            ["/v1/topk=0.5", "/v1/score=0.0", "topk=0.25"]
+        )
+        # The tracer samples by label, so the path key must land on the
+        # label; the later bare-label entry wins over the path form.
+        assert rates == {"topk": 0.25, "score": 0.0}
+
+    def test_unknown_path_aborts_instead_of_never_matching(self):
+        from repro.serving.__main__ import _parse_route_rates
+
+        with pytest.raises(SystemExit, match="unknown route"):
+            _parse_route_rates(["/v1/nope=0.5"])
+
+    def test_malformed_pairs_abort(self):
+        from repro.serving.__main__ import _parse_route_rates
+
+        with pytest.raises(SystemExit, match="ROUTE=RATE"):
+            _parse_route_rates(["topk"])
+        with pytest.raises(SystemExit, match="number"):
+            _parse_route_rates(["topk=fast"])
+
+
 class TestPublishCommand:
     def test_publish_from_npz(self, tmp_path, predictor, capsys):
         npz = str(tmp_path / "model.npz")

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -215,3 +216,103 @@ class TestReadiness:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestTraceEdge:
+    """Trace minting, header echo/parse, request-id payloads, profiler."""
+
+    def test_topk_payload_carries_request_id(self, endpoint):
+        request = urllib.request.Request(
+            f"{endpoint}/v1/topk?user=0&k=3",
+            headers={"X-Request-Id": "rid-topk-1"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.load(response)
+        assert payload["request_id"] == "rid-topk-1"
+
+    def test_response_echoes_trace_context_header(self, endpoint):
+        with urllib.request.urlopen(
+            f"{endpoint}/v1/topk?user=0&k=3", timeout=10
+        ) as response:
+            header = response.headers.get("X-Trace-Context")
+        assert header is not None
+        parts = header.rsplit("-", 2)
+        assert len(parts) == 3 and parts[2] in ("00", "01")
+
+    def test_incoming_trace_header_pins_trace_id(self, service):
+        from repro.observability.sampling import SamplingTracer
+
+        service.tracer = SamplingTracer(
+            service.registry, default_rate=0.0, cells=service.cells
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            request = urllib.request.Request(
+                f"{base}/v1/topk?user=0&k=3",
+                headers={"X-Trace-Context": "feedface00c0ffee-12345678-01"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                echoed = response.headers["X-Trace-Context"]
+            assert echoed.startswith("feedface00c0ffee-")
+            # Upstream said sampled=01, so the trace commits regardless
+            # of the local rate-0 default.
+            trace = service.tracer.find_trace("feedface00c0ffee")
+            assert trace is not None and trace.sampled
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_server_error_commits_error_trace(self, service, monkeypatch):
+        from repro.observability.sampling import SamplingTracer
+
+        service.tracer = SamplingTracer(
+            service.registry, default_rate=0.0, cells=service.cells
+        )
+        monkeypatch.setattr(
+            service,
+            "top_k",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            code, _ = _error(f"{base}/v1/topk?user=0&k=3")
+            assert code == 500
+            finished = service.tracer.finished()
+            assert len(finished) == 1
+            assert finished[0].error and not finished[0].sampled
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_debug_profile_route(self, endpoint):
+        from repro.observability.profiler import global_profiler
+
+        payload = _get(f"{endpoint}/debug/profile?top=5")
+        assert payload["running"] == global_profiler().running
+        assert "entries" in payload and "total_samples" in payload
+
+    def test_debug_profile_reports_samples_when_running(self, endpoint):
+        from repro.observability.profiler import global_profiler
+
+        profiler = global_profiler()
+        profiler.reset()
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            payload = _get(f"{endpoint}/debug/profile")
+            while (
+                payload["total_samples"] == 0
+                and time.monotonic() < deadline
+            ):
+                _get(f"{endpoint}/v1/topk?user=0&k=3")
+                payload = _get(f"{endpoint}/debug/profile")
+            assert payload["running"]
+        finally:
+            profiler.stop()
+            profiler.reset()

@@ -191,3 +191,79 @@ class TestServiceSurface:
         service.top_k(0, k=3)
         text = service.metrics_text()
         assert "sharding_healthy_shards" in text or "sharding" in text
+
+
+class TestStitchedTracing:
+    """Tentpole: one sharded request → one stitched cross-shard trace."""
+
+    def _traced_service(self, tmp_path, **tracer_kwargs):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.sampling import SamplingTracer
+
+        registry = MetricsRegistry()
+        tracer = SamplingTracer(registry, **tracer_kwargs)
+        service = ShardedLinkPredictionService(
+            _publish(tmp_path), tracer=tracer, registry=registry
+        )
+        return service, tracer
+
+    def test_sharded_topk_produces_one_stitched_trace(self, tmp_path):
+        service, tracer = self._traced_service(tmp_path, default_rate=1.0)
+        with tracer.trace("topk") as trace:
+            service.top_k(3, k=5)  # boundary user → both shards
+        finished = tracer.finished()
+        assert len(finished) == 1
+        assert finished[0] is trace
+        names = [span.name for span in trace.spans()]
+        assert names[0] == "request.topk"
+        assert "serve.top_k" in names
+        shard_spans = [
+            span
+            for span in trace.spans()
+            if span.name.startswith("serve.shard[")
+        ]
+        assert [span.name for span in shard_spans] == [
+            "serve.shard[000]",
+            "serve.shard[001]",
+        ]
+        assert all(span.duration >= 0.0 for span in shard_spans)
+        # The shard spans are children of serve.top_k, not loose roots.
+        top_k_span = next(
+            span for span in trace.spans() if span.name == "serve.top_k"
+        )
+        descendants = list(top_k_span.iter_spans())
+        assert all(span in descendants for span in shard_spans)
+
+    def test_unsampled_request_records_no_spans(self, tmp_path):
+        service, tracer = self._traced_service(tmp_path, default_rate=0.0)
+        with tracer.trace("topk"):
+            service.top_k(3, k=5)
+        assert tracer.finished() == []
+
+    def test_sampling_reproducible_from_trace_id(self, tmp_path):
+        from repro.observability.propagation import sampling_decision
+
+        service, tracer = self._traced_service(tmp_path, default_rate=0.4)
+        for trace_id in (f"{i:016x}" for i in range(20)):
+            with tracer.trace("topk", trace_id=trace_id) as trace:
+                service.top_k(3, k=5)
+            service.cache.invalidate()
+            assert trace.sampled == sampling_decision(trace_id, 0.4)
+
+    def test_shard_seconds_histogram_drains_to_registry(self, tmp_path):
+        service, tracer = self._traced_service(tmp_path, default_rate=0.0)
+        service.top_k(3, k=5)
+        text = service.metrics_text()
+        assert "repro_sharding_shard_seconds_count 2" in text
+
+    def test_hot_counters_survive_drain_cycle(self, tmp_path):
+        service, tracer = self._traced_service(tmp_path, default_rate=0.0)
+        service.top_k(3, k=5)
+        service.top_k(3, k=5)  # second hits the cache
+        counters = service.stats()["counters"]
+        assert counters["serve.requests"] == 2
+        assert counters["serve.cache_hit"] == 1
+        assert counters["serve.cache_miss"] == 1
+        text = service.metrics_text()
+        assert "repro_serving_cache_hits_total 1" in text
+        assert "repro_serving_cache_misses_total 1" in text

@@ -33,6 +33,8 @@ import urllib.request
 import numpy as np
 
 from repro.models.persistence import FrozenPredictor
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sampling import SamplingTracer
 from repro.reliability.faults import GLOBAL_INJECTOR, configure_from_env
 from repro.serving.artifacts import ArtifactStore
 from repro.serving.http import make_server
@@ -85,7 +87,13 @@ def main() -> int:
         store.publish(
             FrozenPredictor((scores + scores.T) / 2, {"name": "chaos-smoke"})
         )
-        service = LinkPredictionService(store)
+        # Head sampling at rate 0: the only way a trace can commit is the
+        # always-capture-on-error promotion, which step 2 asserts below.
+        registry = MetricsRegistry()
+        tracer = SamplingTracer(registry, default_rate=0.0)
+        service = LinkPredictionService(
+            store, tracer=tracer, registry=registry
+        )
         server = make_server(service, port=0, request_deadline_s=10.0)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
@@ -104,6 +112,29 @@ def main() -> int:
             print(
                 f"chaos smoke: {oks}/{len(statuses)} served, "
                 f"{errors} clean JSON failures"
+            )
+
+            # Sampling is 0: every committed trace must be an errored
+            # one, and every 5xx answered above must have committed one
+            # — the always-capture-on-error promise under live faults.
+            server_errors = sum(1 for s in statuses if s >= 500)
+            committed = tracer.finished()
+            not_errored = [t for t in committed if not t.error]
+            if not_errored:
+                raise SystemExit(
+                    f"rate-0 tracer committed {len(not_errored)} "
+                    "clean traces"
+                )
+            if len(committed) != server_errors:
+                raise SystemExit(
+                    f"{server_errors} 5xx answers but "
+                    f"{len(committed)} error traces committed"
+                )
+            if any(not list(t.spans()) for t in committed):
+                raise SystemExit("error trace committed without spans")
+            print(
+                f"chaos smoke: all {server_errors} 5xx answers captured "
+                "as error traces (sampling rate 0)"
             )
 
             # A corrupt publish must never replace the serving artifact.

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI gate: the hot-tier telemetry overhead must stay under its budget.
+
+Reads the repo-root ``BENCH_serving.json`` trajectory file, finds the
+most recent ``telemetry_overhead`` snapshot (written by
+``benchmarks/test_serving_latency.py::test_telemetry_overhead``), and
+fails the build when its ``overhead_pct`` — the cold top-k median gap
+between a fully instrumented service and the NullTracer/NullRegistry
+path — exceeds the budget (default 5%).
+
+Run from the repo root, after the benchmarks step has refreshed the
+trajectory file::
+
+    python tools/check_telemetry_gate.py [--budget-pct 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BUDGET_PCT = 5.0
+TRAJECTORY_FILE = "BENCH_serving.json"
+SECTION = "telemetry_overhead"
+
+
+def latest_overhead(path: str) -> dict:
+    """The stats dict of the newest ``telemetry_overhead`` snapshot."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    snapshots = [
+        snap
+        for snap in data.get("snapshots", [])
+        if snap.get("section") == SECTION
+    ]
+    if not snapshots:
+        raise SystemExit(
+            f"gate error: no '{SECTION}' snapshot in {path}; "
+            "run the serving benchmarks first"
+        )
+    return snapshots[-1]
+
+
+def main(argv=None) -> int:
+    """Check the latest overhead snapshot against the budget."""
+    parser = argparse.ArgumentParser(
+        description="Fail when telemetry overhead exceeds its budget."
+    )
+    parser.add_argument(
+        "--budget-pct",
+        type=float,
+        default=DEFAULT_BUDGET_PCT,
+        help="maximum tolerated overhead_pct (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--file",
+        default=TRAJECTORY_FILE,
+        help="trajectory file to read (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    snapshot = latest_overhead(args.file)
+    stats = snapshot.get("stats", {})
+    overhead = stats.get("overhead_pct")
+    if overhead is None:
+        raise SystemExit(
+            f"gate error: snapshot has no overhead_pct: {stats}"
+        )
+    print(
+        f"telemetry overhead: {overhead:+.2f}% "
+        f"(disabled {stats.get('disabled_median_ms', float('nan')):.3f}ms, "
+        f"instrumented "
+        f"{stats.get('instrumented_median_ms', float('nan')):.3f}ms, "
+        f"recorded {snapshot.get('recorded_at', '?')})"
+    )
+    if overhead > args.budget_pct:
+        print(
+            f"FAIL: overhead {overhead:+.2f}% exceeds the "
+            f"{args.budget_pct:.1f}% budget — the hot tier has regressed"
+        )
+        return 1
+    print(f"OK: within the {args.budget_pct:.1f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
