@@ -64,8 +64,26 @@ class ArtifactCorruptError(SerializationError):
     """
 
 
+class WalCorruptError(SerializationError):
+    """A write-ahead-log segment failed validation *before* its tail.
+
+    Torn or half-written records at the very tail of the newest segment are
+    expected after a crash and are silently truncated during recovery; a
+    checksum/framing failure anywhere *earlier* means the log lost already
+    durable records and recovery must stop loudly rather than replay a
+    hole."""
+
+
 class ReliabilityError(ReproError):
     """Base class for the failures of the reliability layer itself."""
+
+
+class BackpressureError(ReliabilityError):
+    """The streaming ingest queue stayed full past the caller's timeout.
+
+    Raised *before* anything is written to the write-ahead log, so a shed
+    delta is never acknowledged and never replayed; callers retry with
+    backoff or drop the delta knowingly."""
 
 
 class RetryExhaustedError(ReliabilityError):

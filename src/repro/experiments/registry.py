@@ -17,6 +17,10 @@ _log = get_logger("repro.experiments")
 from repro.experiments.figure3 import main as figure3_main, run_figure3
 from repro.experiments.figure4 import main as figure4_main, run_figure4
 from repro.experiments.figure5 import main as figure5_main, run_figure5
+from repro.experiments.streaming_staleness import (
+    main as streaming_staleness_main,
+    run_streaming_staleness,
+)
 from repro.experiments.table1 import main as table1_main, run_table1
 from repro.experiments.table2 import main as table2_main, run_table2
 
@@ -26,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "figure3": figure3_main,
     "figure4": figure4_main,
     "figure5": figure5_main,
+    "streaming-staleness": streaming_staleness_main,
 }
 """Experiment name → printing entry point."""
 
@@ -35,6 +40,7 @@ RESULT_RUNNERS: Dict[str, Callable[..., dict]] = {
     "figure3": run_figure3,
     "figure4": run_figure4,
     "figure5": run_figure5,
+    "streaming-staleness": run_streaming_staleness,
 }
 """Experiment name → structured-result runner (used for --json output)."""
 

@@ -20,6 +20,8 @@ drive):
 ``serving.reload``        :meth:`LinkPredictionService.reload`
 ``serving.request``       the HTTP dispatch path (before routing)
 ``sharding.shard_read``   per-shard reads of a sharded artifact load
+``streaming.wal.fsync``   the fsync gating every WAL append acknowledgement
+``streaming.wal.torn_write``  mid-record WAL write (leaves a real torn tail)
 ======================  ======================================================
 
 Environment configuration (read by :func:`configure_from_env`, which the
@@ -63,6 +65,8 @@ KNOWN_SITES: Dict[str, str] = {
     "serving.reload": "service hot-swap reload",
     "serving.request": "HTTP request dispatch",
     "sharding.shard_read": "per-shard artifact read inside a sharded load",
+    "streaming.wal.fsync": "the fsync gating a WAL append acknowledgement",
+    "streaming.wal.torn_write": "mid-record WAL write leaving a torn tail",
 }
 """Site name → human description; :meth:`FaultInjector.arm` validates
 against this registry so chaos configs cannot silently target a typo."""
@@ -85,6 +89,12 @@ _DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
     ),
     "sharding.shard_read": lambda: ArtifactCorruptError(
         "injected: shard artifact failed its integrity check"
+    ),
+    "streaming.wal.fsync": lambda: OSError(
+        "injected: WAL fsync failed before acknowledgement"
+    ),
+    "streaming.wal.torn_write": lambda: InjectedFaultError(
+        "injected: WAL write torn mid-record"
     ),
 }
 """What each site raises when armed without an explicit ``error``.

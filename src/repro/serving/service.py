@@ -29,6 +29,7 @@ from itertools import repeat
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 
 from repro.exceptions import (
     ConfigurationError,
@@ -123,6 +124,7 @@ class LinkPredictionService:
         load_retry: Optional[RetryPolicy] = None,
         reload_breaker: Optional[CircuitBreaker] = None,
         cells: Optional[CellBank] = None,
+        enable_degraded_tier: bool = False,
     ):
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -171,6 +173,20 @@ class LinkPredictionService:
         self._load_retry = (
             load_retry if load_retry is not None else DEFAULT_LOAD_RETRY
         )
+        # Degraded tier (DESIGN.md §16.5): a common-neighbor scorer built
+        # from the published adjacency, served while the reload breaker is
+        # open or a caller (the streaming pipeline) engaged it explicitly.
+        self._enable_degraded = bool(enable_degraded_tier)
+        self._degraded_scorer = None
+        self._degraded_reason: Optional[str] = None
+        self._m_degraded = self.registry.gauge(
+            "serving.degraded_mode",
+            help="1 while answers come from the degraded common-neighbor tier.",
+        )
+        self._m_degraded_requests = self.registry.counter(
+            "serving.degraded.requests",
+            help="Requests answered by the degraded tier.",
+        )
         # The breaker only guards *reloads*: once it trips, reload calls
         # short-circuit and the already-installed artifact keeps serving
         # (stale-serve) until the recovery probe finds a healthy store.
@@ -209,12 +225,27 @@ class LinkPredictionService:
         else:
             scores = predictor.score_matrix
             candidates = np.array(scores, dtype=float)
-            if artifact.adjacency is not None:
-                candidates[artifact.adjacency > 0] = -np.inf
+            adjacency = artifact.adjacency
+            if adjacency is not None:
+                if sparse.issparse(adjacency):
+                    # Sparse published graphs (the streaming pipeline's
+                    # shape) mask via coordinates — no dense expansion.
+                    coo = adjacency.tocoo()
+                    known = coo.data > 0
+                    candidates[coo.row[known], coo.col[known]] = -np.inf
+                else:
+                    candidates[adjacency > 0] = -np.inf
             np.fill_diagonal(candidates, -np.inf)
+        scorer = None
+        if self._enable_degraded and artifact.adjacency is not None:
+            from repro.serving.degraded import CommonNeighborScorer
+
+            scorer = CommonNeighborScorer(artifact.adjacency)
         with self._lock:
             self._artifact = artifact
             self._candidates = candidates
+            if scorer is not None:
+                self._degraded_scorer = scorer
         self._m_version.set(artifact.version)
 
     @property
@@ -290,6 +321,51 @@ class LinkPredictionService:
             )
             return True
 
+    # -- degraded tier --------------------------------------------------
+    def engage_degraded(self, reason: str = "engaged") -> bool:
+        """Explicitly switch answers to the degraded common-neighbor tier.
+
+        Called by the streaming pipeline when its refit breaker opens.
+        Returns ``False`` (and stays on the model) when the tier is
+        disabled or no published adjacency exists to build it from.
+        """
+        if not self._enable_degraded or self._degraded_scorer is None:
+            return False
+        self._degraded_reason = str(reason)
+        self._degraded()
+        _log.warning("degraded tier engaged", reason=reason)
+        return True
+
+    def disengage_degraded(self) -> None:
+        """Clear an explicit engagement (breaker-driven entry may remain)."""
+        self._degraded_reason = None
+        self._degraded()
+
+    def _degraded(self) -> bool:
+        """Whether this request should be answered by the degraded tier.
+
+        True while the tier is enabled, buildable, and either explicitly
+        engaged or forced by an **open** reload breaker (the store is
+        misbehaving, so the installed model's staleness is unbounded).
+        Also refreshes the ``serving.degraded_mode`` gauge so scrapes see
+        transitions without waiting for a query.
+        """
+        active = (
+            self._enable_degraded
+            and self._degraded_scorer is not None
+            and (
+                self._degraded_reason is not None
+                or self._reload_breaker.state == OPEN
+            )
+        )
+        self._m_degraded.set(1.0 if active else 0.0)
+        return active
+
+    @property
+    def degraded_active(self) -> bool:
+        """Public read of the degraded-tier state (refreshes the gauge)."""
+        return self._degraded()
+
     # -- readiness ------------------------------------------------------
     @property
     def reload_breaker(self) -> CircuitBreaker:
@@ -329,6 +405,9 @@ class LinkPredictionService:
             self._c_requests.inc()
             self._c_score.inc()
             u, v = self._check_user(u), self._check_user(v)
+            if self._degraded():
+                self._m_degraded_requests.inc()
+                return self._degraded_scorer.score(u, v)
             return float(self._artifact.predictor.score_pairs([(u, v)])[0])
 
     def is_known_link(self, u: int, v: int) -> bool:
@@ -353,6 +432,11 @@ class LinkPredictionService:
             self._c_topk.inc()
             user = self._check_user(user)
             k = check_integer(k, "k", minimum=1)
+            if self._degraded():
+                # Degraded answers are not model answers: never read from
+                # or write to the version-keyed ranking cache.
+                self._m_degraded_requests.inc()
+                return self._degraded_scorer.top_k(user, k)
             key = (self.version, user, k)
             cached = self.cache.get(key)
             if cached is not None:
@@ -396,6 +480,9 @@ class LinkPredictionService:
             users = [self._check_user(u) for u in users]
             self._c_requests.inc(len(users))
             self._c_topk.inc(len(users))
+            if self._degraded():
+                self._m_degraded_requests.inc(len(users))
+                return self._degraded_scorer.batch_top_k_mixed(users, ks)
             version = self.version
             answers: Dict[Tuple[int, int], Ranking] = {}
             missing: List[Tuple[int, int]] = []
@@ -461,6 +548,8 @@ class LinkPredictionService:
             "last_reload_error": self._last_reload_error,
             "ready": self.ready(),
             "reload_breaker": self._reload_breaker.state,
+            "degraded": self._degraded(),
+            "degraded_reason": self._degraded_reason,
         }
 
 

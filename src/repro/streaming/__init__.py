@@ -1,0 +1,50 @@
+"""Crash-safe streaming ingestion and continuous publish (DESIGN.md §16).
+
+The subsystem turns the offline fit→publish cycle into a durable loop:
+
+* :mod:`repro.streaming.deltas` — sequenced link/attribute deltas and the
+  replayable :class:`StreamState` they fold into;
+* :mod:`repro.streaming.wal` — the segmented, sha256-framed write-ahead
+  log whose fsync *is* the acknowledgement;
+* :mod:`repro.streaming.ingest` — the bounded, backpressured submit API;
+* :mod:`repro.streaming.refit` — warm refits (checkpoint + retained SVT
+  subspace + factored estimate) producing publishable predictors;
+* :mod:`repro.streaming.pipeline` — recovery, cadenced ticks, publish →
+  hot-swap, and degraded-tier engagement;
+* :mod:`repro.streaming.evaluation` — the staleness-vs-AUC cadence sweep
+  over :mod:`repro.temporal` slices.
+
+The headline guarantee: ``kill -9`` at any point after an acknowledged
+submit loses nothing — recovery replays the WAL to a bit-identical state
+digest.
+"""
+
+from repro.streaming.deltas import (
+    ATTR_SET,
+    Delta,
+    LINK_ADD,
+    LINK_REMOVE,
+    StreamState,
+    attribute_set,
+    link_add,
+    link_remove,
+)
+from repro.streaming.ingest import StreamIngestor
+from repro.streaming.pipeline import StreamingPipeline
+from repro.streaming.refit import WarmRefitter
+from repro.streaming.wal import WriteAheadLog
+
+__all__ = [
+    "ATTR_SET",
+    "Delta",
+    "LINK_ADD",
+    "LINK_REMOVE",
+    "StreamState",
+    "StreamIngestor",
+    "StreamingPipeline",
+    "WarmRefitter",
+    "WriteAheadLog",
+    "attribute_set",
+    "link_add",
+    "link_remove",
+]

@@ -1,0 +1,336 @@
+"""Streaming deltas and the replayable graph state they mutate.
+
+A :class:`Delta` is one immutable link or attribute mutation; the write
+ahead log stores its canonical byte encoding, and a :class:`StreamState`
+applies acknowledged deltas in sequence order.  Two properties carry the
+crash-safety story:
+
+* **idempotent per sequence number** — :meth:`StreamState.apply` skips any
+  record whose sequence number is not strictly greater than
+  ``applied_seq``, so replaying a WAL that overlaps an already-restored
+  snapshot (the normal recovery shape) cannot double-apply;
+* **idempotent per operation** — link adds/removes and attribute writes
+  have *set* semantics (``add`` overwrites the weight, ``remove`` of an
+  absent pair is a no-op), so an at-least-once producer that retries a
+  failed append can never diverge the state.
+
+:meth:`StreamState.digest` is the bit-exactness oracle: two states reach
+the same digest iff every link weight, attribute value, user count and
+applied sequence number are identical, which is what the SIGKILL recovery
+test compares against an uninterrupted apply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ArtifactCorruptError, ConfigurationError
+
+STATE_SCHEMA_VERSION = 1
+
+LINK_ADD = "link.add"
+LINK_REMOVE = "link.remove"
+ATTR_SET = "attr.set"
+
+_KINDS = (LINK_ADD, LINK_REMOVE, ATTR_SET)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One immutable stream mutation.
+
+    Attributes
+    ----------
+    kind:
+        ``link.add`` / ``link.remove`` mutate the undirected edge
+        ``{u, v}``; ``attr.set`` writes attribute index ``v`` of user
+        ``u``.
+    u, v:
+        User index pair (``v`` is the attribute index for ``attr.set``).
+    value:
+        Link weight (``link.add``) or attribute value (``attr.set``);
+        ignored by ``link.remove``.
+    """
+
+    kind: str
+    u: int
+    v: int
+    value: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown delta kind {self.kind!r}; known kinds: {_KINDS}"
+            )
+        if int(self.u) < 0 or int(self.v) < 0:
+            raise ConfigurationError(
+                f"delta indices must be non-negative, got ({self.u}, {self.v})"
+            )
+        if self.kind != ATTR_SET and int(self.u) == int(self.v):
+            raise ConfigurationError(
+                f"link deltas must not be self-loops, got ({self.u}, {self.v})"
+            )
+        object.__setattr__(self, "u", int(self.u))
+        object.__setattr__(self, "v", int(self.v))
+        object.__setattr__(self, "value", float(self.value))
+
+    def encode(self) -> bytes:
+        """Canonical byte payload (sorted-key JSON, repr-exact floats)."""
+        return json.dumps(
+            {"kind": self.kind, "u": self.u, "v": self.v, "value": self.value},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Delta":
+        """Parse :meth:`encode` output; corruption raises loudly."""
+        try:
+            body = json.loads(payload.decode("utf-8"))
+            return cls(
+                kind=body["kind"],
+                u=body["u"],
+                v=body["v"],
+                value=body["value"],
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise ArtifactCorruptError(
+                f"undecodable delta payload: {exc}"
+            ) from exc
+
+
+def link_add(u: int, v: int, weight: float = 1.0) -> Delta:
+    """Convenience constructor for a ``link.add`` delta."""
+    return Delta(LINK_ADD, u, v, weight)
+
+
+def link_remove(u: int, v: int) -> Delta:
+    """Convenience constructor for a ``link.remove`` delta."""
+    return Delta(LINK_REMOVE, u, v, 0.0)
+
+
+def attribute_set(user: int, attribute: int, value: float) -> Delta:
+    """Convenience constructor for an ``attr.set`` delta."""
+    return Delta(ATTR_SET, user, attribute, value)
+
+
+class StreamState:
+    """The deterministic fold of acknowledged deltas: links + attributes.
+
+    Parameters
+    ----------
+    n_users:
+        Fixed user population; deltas referencing users outside
+        ``[0, n_users)`` are rejected at apply time.
+
+    Examples
+    --------
+    >>> state = StreamState(4)
+    >>> state.apply(1, link_add(0, 1))
+    True
+    >>> state.apply(1, link_add(0, 1))  # replayed seq: skipped
+    False
+    >>> state.applied_seq
+    1
+    """
+
+    def __init__(self, n_users: int):
+        self.n_users = int(n_users)
+        if self.n_users < 2:
+            raise ConfigurationError(
+                f"streaming state needs n_users >= 2, got {n_users}"
+            )
+        self._links: Dict[Tuple[int, int], float] = {}
+        self._attributes: Dict[Tuple[int, int], float] = {}
+        self.applied_seq = 0
+
+    # -- mutation -------------------------------------------------------
+    def _check_user(self, index: int) -> int:
+        if not 0 <= index < self.n_users:
+            raise ConfigurationError(
+                f"user index {index} out of range (0..{self.n_users - 1})"
+            )
+        return index
+
+    def apply(self, seq: int, delta: Delta) -> bool:
+        """Apply one sequenced delta; ``False`` when it was already applied.
+
+        Sequence numbers must arrive in the order the WAL assigned them;
+        anything at or below ``applied_seq`` is a replayed duplicate and
+        is skipped without touching the state.
+        """
+        seq = int(seq)
+        if seq <= self.applied_seq:
+            return False
+        if delta.kind == ATTR_SET:
+            self._check_user(delta.u)
+            self._attributes[(delta.u, delta.v)] = delta.value
+        else:
+            key = (min(delta.u, delta.v), max(delta.u, delta.v))
+            self._check_user(key[0])
+            self._check_user(key[1])
+            if delta.kind == LINK_ADD:
+                self._links[key] = delta.value
+            else:
+                self._links.pop(key, None)
+        self.applied_seq = seq
+        return True
+
+    def apply_many(self, records: Iterable[Tuple[int, Delta]]) -> int:
+        """Apply ``(seq, delta)`` records in order; returns how many applied."""
+        applied = 0
+        for seq, delta in records:
+            if self.apply(seq, delta):
+                applied += 1
+        return applied
+
+    # -- reads ----------------------------------------------------------
+    @property
+    def n_links(self) -> int:
+        """Number of live undirected links."""
+        return len(self._links)
+
+    def link_weight(self, u: int, v: int) -> float:
+        """Weight of the undirected link ``{u, v}`` (0.0 when absent)."""
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        return self._links.get(key, 0.0)
+
+    def attribute(self, user: int, attribute: int) -> float:
+        """Current value of one user attribute (0.0 when never written)."""
+        return self._attributes.get((int(user), int(attribute)), 0.0)
+
+    def to_csr(self) -> sparse.csr_matrix:
+        """The symmetric adjacency as a deterministic CSR matrix."""
+        if not self._links:
+            return sparse.csr_matrix((self.n_users, self.n_users))
+        keys = sorted(self._links)
+        rows = np.fromiter((k[0] for k in keys), dtype=np.int64, count=len(keys))
+        cols = np.fromiter((k[1] for k in keys), dtype=np.int64, count=len(keys))
+        vals = np.fromiter(
+            (self._links[k] for k in keys), dtype=float, count=len(keys)
+        )
+        matrix = sparse.coo_matrix(
+            (
+                np.concatenate([vals, vals]),
+                (np.concatenate([rows, cols]), np.concatenate([cols, rows])),
+            ),
+            shape=(self.n_users, self.n_users),
+        )
+        return matrix.tocsr()
+
+    def attribute_matrix(self, n_attributes: Optional[int] = None) -> sparse.csr_matrix:
+        """Users × attributes CSR of every written attribute value."""
+        if n_attributes is None:
+            n_attributes = 1 + max(
+                (idx for _, idx in self._attributes), default=-1
+            )
+        keys = sorted(self._attributes)
+        rows = [k[0] for k in keys]
+        cols = [k[1] for k in keys]
+        vals = [self._attributes[k] for k in keys]
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(self.n_users, max(0, n_attributes))
+        )
+
+    def digest(self) -> str:
+        """Sha256 over the full state: the bit-exact recovery oracle."""
+        hasher = hashlib.sha256()
+        hasher.update(f"v{STATE_SCHEMA_VERSION}:{self.n_users}:".encode())
+        hasher.update(f"seq={self.applied_seq};".encode())
+        for (u, v), weight in sorted(self._links.items()):
+            hasher.update(f"L{u},{v}={weight!r};".encode())
+        for (u, a), value in sorted(self._attributes.items()):
+            hasher.update(f"A{u},{a}={value!r};".encode())
+        return hasher.hexdigest()
+
+    # -- durability -----------------------------------------------------
+    def save(self, path: str) -> str:
+        """Atomically snapshot the state (staged write + ``os.replace``).
+
+        The archive embeds the state digest; :meth:`load` refuses any file
+        whose content does not hash back to it, so a torn snapshot write
+        degrades to "replay more of the WAL", never to silent corruption.
+        """
+        links = sorted(self._links.items())
+        attrs = sorted(self._attributes.items())
+        payload = {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "n_users": self.n_users,
+            "applied_seq": self.applied_seq,
+        }
+        meta_json = json.dumps(payload, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, staging = tempfile.mkstemp(dir=directory, suffix=".state-staging")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    meta=np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8),
+                    link_keys=np.asarray(
+                        [k for k, _ in links], dtype=np.int64
+                    ).reshape(-1, 2),
+                    link_values=np.asarray([w for _, w in links], dtype=float),
+                    attr_keys=np.asarray(
+                        [k for k, _ in attrs], dtype=np.int64
+                    ).reshape(-1, 2),
+                    attr_values=np.asarray([v for _, v in attrs], dtype=float),
+                    digest=np.frombuffer(
+                        self.digest().encode("ascii"), dtype=np.uint8
+                    ),
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, path)
+        except BaseException:
+            if os.path.exists(staging):
+                os.unlink(staging)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "StreamState":
+        """Load a snapshot, re-deriving and checking its embedded digest."""
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+                link_keys = np.asarray(data["link_keys"], dtype=np.int64)
+                link_values = np.asarray(data["link_values"], dtype=float)
+                attr_keys = np.asarray(data["attr_keys"], dtype=np.int64)
+                attr_values = np.asarray(data["attr_values"], dtype=float)
+                stored = bytes(data["digest"]).decode("ascii")
+        except (
+            KeyError,
+            ValueError,
+            OSError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+            UnicodeDecodeError,
+        ) as exc:
+            raise ArtifactCorruptError(
+                f"cannot read state snapshot {path}: {exc}"
+            ) from exc
+        state = cls(int(meta["n_users"]))
+        for (u, v), weight in zip(link_keys, link_values):
+            state._links[(int(u), int(v))] = float(weight)
+        for (u, a), value in zip(attr_keys, attr_values):
+            state._attributes[(int(u), int(a))] = float(value)
+        state.applied_seq = int(meta["applied_seq"])
+        actual = state.digest()
+        if actual != stored:
+            raise ArtifactCorruptError(
+                f"state snapshot {path} failed its integrity check: stored "
+                f"sha256 {stored[:12]}… but content hashes to {actual[:12]}…"
+            )
+        return state

@@ -19,6 +19,7 @@ class TestRegistry:
             "figure3",
             "figure4",
             "figure5",
+            "streaming-staleness",
         }
 
     def test_lookup(self):

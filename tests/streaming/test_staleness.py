@@ -1,0 +1,89 @@
+"""The staleness-vs-AUC cadence sweep over temporal slices."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming.deltas import StreamState
+from repro.streaming.evaluation import (
+    evaluate_cadence,
+    snapshot_deltas,
+    staleness_auc_sweep,
+)
+from repro.streaming.refit import WarmRefitter
+from repro.temporal.snapshots import evolve_snapshots
+
+
+def _tiny_refitter():
+    return WarmRefitter(inner_iterations=5, outer_iterations=2)
+
+
+class TestSnapshotDeltas:
+    def test_diff_reconstructs_snapshot(self):
+        sequence = evolve_snapshots(n_nodes=20, n_steps=3, random_state=1)
+        n = sequence.n_nodes
+        state = StreamState(n)
+        seq = 0
+        previous = np.zeros((n, n))
+        for snapshot in sequence.snapshots:
+            for delta in snapshot_deltas(previous, snapshot):
+                seq += 1
+                state.apply(seq, delta)
+            previous = snapshot
+        np.testing.assert_array_equal(
+            state.to_csr().toarray(), sequence.snapshots[-1]
+        )
+
+    def test_empty_diff(self):
+        adjacency = np.zeros((4, 4))
+        assert snapshot_deltas(adjacency, adjacency) == []
+
+
+class TestEvaluateCadence:
+    def test_returns_aucs_and_staleness(self):
+        sequence = evolve_snapshots(n_nodes=24, n_steps=4, random_state=2)
+        row = evaluate_cadence(
+            sequence, cadence=2, refitter=_tiny_refitter(), n_negatives=40,
+            random_state=2,
+        )
+        assert 0.0 <= row["mean_auc"] <= 1.0
+        assert row["mean_staleness_steps"] >= 0.0
+        assert row["refits"] >= 1
+
+    def test_rejects_bad_cadence(self):
+        sequence = evolve_snapshots(n_nodes=10, n_steps=3, random_state=0)
+        with pytest.raises(ConfigurationError):
+            evaluate_cadence(sequence, cadence=0)
+
+    def test_higher_cadence_refits_less(self):
+        sequence = evolve_snapshots(n_nodes=24, n_steps=6, random_state=3)
+        fast = evaluate_cadence(
+            sequence, 1, refitter=_tiny_refitter(), n_negatives=20, random_state=3
+        )
+        slow = evaluate_cadence(
+            sequence, 4, refitter=_tiny_refitter(), n_negatives=20, random_state=3
+        )
+        assert fast["refits"] > slow["refits"]
+        assert slow["mean_staleness_steps"] > fast["mean_staleness_steps"]
+
+
+class TestSweep:
+    def test_sweep_has_one_row_per_cadence(self):
+        sweep = staleness_auc_sweep(
+            n_nodes=20,
+            n_steps=3,
+            cadences=(1, 2),
+            n_negatives=20,
+            random_state=4,
+            refitter_factory=_tiny_refitter,
+        )
+        assert [row["cadence"] for row in sweep["rows"]] == [1, 2]
+
+    def test_experiment_runner_renders_text(self):
+        from repro.experiments.streaming_staleness import run_streaming_staleness
+
+        result = run_streaming_staleness(
+            scale=20, n_steps=3, cadences=(1,), n_negatives=20, random_state=5
+        )
+        assert "refit cadence" in result["text"]
+        assert result["rows"]

@@ -1,0 +1,158 @@
+"""WAL framing, recovery, rotation, compaction and fault sites."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError, WalCorruptError
+from repro.observability.metrics import MetricsRegistry
+from repro.reliability.faults import GLOBAL_INJECTOR, InjectedFaultError
+from repro.streaming.wal import WriteAheadLog, _FRAME_OVERHEAD
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    GLOBAL_INJECTOR.reset()
+    yield
+    GLOBAL_INJECTOR.reset()
+
+
+def _segments(directory):
+    return sorted(f for f in os.listdir(directory) if f.endswith(".seg"))
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.append(b"one") == 1
+        assert wal.append(b"two") == 2
+        assert list(wal.replay()) == [(1, b"one"), (2, b"two")]
+        assert list(wal.replay(after_seq=1)) == [(2, b"two")]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"a")
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        assert reopened.last_seq == 1
+        assert reopened.append(b"b") == 2
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            wal.append(b"x" * (1 << 25))
+
+    def test_empty_wal(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        assert wal.last_seq == 0
+        assert list(wal.replay()) == []
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"keep me")
+        wal.close()
+        (segment,) = _segments(str(tmp_path))
+        with open(tmp_path / segment, "ab") as handle:
+            handle.write(b"WAL1\x07garbage-half-record")
+        recovered = WriteAheadLog(str(tmp_path))
+        assert recovered.torn_tail_truncations == 1
+        assert list(recovered.replay()) == [(1, b"keep me")]
+        assert recovered.append(b"next") == 2
+
+    def test_flipped_bit_in_tail_record_truncates(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"first")
+        wal.append(b"second")
+        wal.close()
+        (segment,) = _segments(str(tmp_path))
+        path = tmp_path / segment
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0xFF  # corrupt the digest of the last record
+        path.write_bytes(raw)
+        recovered = WriteAheadLog(str(tmp_path))
+        assert list(recovered.replay()) == [(1, b"first")]
+
+    def test_corruption_before_newest_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_max_bytes=_FRAME_OVERHEAD + 4)
+        for i in range(4):  # one record per segment at this size
+            wal.append(b"%04d" % i)
+        wal.close()
+        segments = _segments(str(tmp_path))
+        assert len(segments) > 2
+        first = tmp_path / segments[0]
+        raw = bytearray(first.read_bytes())
+        raw[-1] ^= 0xFF
+        first.write_bytes(raw)
+        with pytest.raises(WalCorruptError):
+            WriteAheadLog(str(tmp_path))
+
+
+class TestRotationCompaction:
+    def test_rotates_at_segment_cap(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_max_bytes=_FRAME_OVERHEAD + 4)
+        for i in range(5):
+            wal.append(b"%04d" % i)
+        assert len(_segments(str(tmp_path))) == 5
+        assert [seq for seq, _ in wal.replay()] == [1, 2, 3, 4, 5]
+
+    def test_truncate_through_removes_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_max_bytes=_FRAME_OVERHEAD + 4)
+        for i in range(5):
+            wal.append(b"%04d" % i)
+        removed = wal.truncate_through(3)
+        assert removed == 3
+        assert [seq for seq, _ in wal.replay()] == [4, 5]
+        # Newest segment always survives, even when fully covered.
+        assert wal.truncate_through(5) == 1
+        assert wal.last_seq == 5
+        reopened_after = WriteAheadLog(str(tmp_path))
+        assert reopened_after.last_seq == 5
+
+    def test_replay_after_compaction_starts_midstream(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_max_bytes=_FRAME_OVERHEAD + 4)
+        for i in range(4):
+            wal.append(b"%04d" % i)
+        wal.truncate_through(2)
+        assert wal.first_seq == 3
+        assert [seq for seq, _ in wal.replay()] == [3, 4]
+
+
+class TestFaultSites:
+    def test_fsync_fault_rolls_back_and_never_acks(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"durable")
+        GLOBAL_INJECTOR.arm("streaming.wal.fsync", times=1)
+        with pytest.raises(OSError):
+            wal.append(b"lost-but-never-acked")
+        assert wal.last_seq == 1
+        assert list(wal.replay()) == [(1, b"durable")]
+        # Retry after the fault succeeds and reuses the sequence number.
+        assert wal.append(b"retried") == 2
+
+    def test_torn_write_fault_leaves_then_repairs_tail(self, tmp_path):
+        registry = MetricsRegistry()
+        wal = WriteAheadLog(str(tmp_path), registry=registry)
+        wal.append(b"durable")
+        GLOBAL_INJECTOR.arm("streaming.wal.torn_write", times=1)
+        with pytest.raises(InjectedFaultError):
+            wal.append(b"torn")
+        # Real torn bytes are on disk until the next append repairs them.
+        (segment,) = _segments(str(tmp_path))
+        clean = wal._clean_end
+        assert os.path.getsize(tmp_path / segment) > clean
+        assert wal.append(b"after") == 2
+        assert wal.torn_tail_truncations == 1
+        assert list(wal.replay()) == [(1, b"durable"), (2, b"after")]
+
+    def test_torn_write_fault_survives_reopen(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(b"durable")
+        GLOBAL_INJECTOR.arm("streaming.wal.torn_write", times=1)
+        with pytest.raises(InjectedFaultError):
+            wal.append(b"torn")
+        wal.close()
+        recovered = WriteAheadLog(str(tmp_path))
+        assert recovered.torn_tail_truncations == 1
+        assert list(recovered.replay()) == [(1, b"durable")]

@@ -14,7 +14,13 @@ fault-injection flag armed:
 4. drive reloads until the reload circuit breaker trips, then check
    ``/readyz`` reports not-ready while ``/healthz`` stays live;
 5. scrape ``/metrics`` and fail unless the reliability series
-   (retries, breaker state, shed/degraded counters) are exposed.
+   (retries, breaker state, shed/degraded counters) are exposed;
+6. **streaming leg** — run a full ingest→WAL→warm-refit→publish→hot-swap
+   cycle with the ``streaming.wal.*`` sites armed: every acknowledged
+   delta must survive a simulated crash (digest-identical recovery), at
+   least one version must publish, forcing the reload breaker open must
+   switch answers to the degraded common-neighbor tier, and the HTTP
+   surface must never 5xx outside injected sites.
 
 Run from the repo root::
 
@@ -179,7 +185,124 @@ def main() -> int:
     if missing:
         raise SystemExit(f"missing reliability series on /metrics: {missing}")
     print("chaos smoke: ok — degradation clean, reliability series exposed")
+    _streaming_leg()
     return 0
+
+
+def _streaming_leg() -> None:
+    """Ingest → WAL → warm-refit → publish → hot-swap under armed faults."""
+    from repro.exceptions import ReproError
+    from repro.reliability.breaker import CircuitBreaker
+    from repro.streaming import StreamState, StreamingPipeline, link_add
+    from repro.streaming.refit import WarmRefitter
+
+    armed = configure_from_env()  # the main leg's finally disarmed them
+    n_users = 16
+    n_deltas = 120
+    rng = np.random.default_rng(4321)
+    with tempfile.TemporaryDirectory() as tmp:
+        import os
+
+        store = ArtifactStore(os.path.join(tmp, "store"))
+        pipeline = StreamingPipeline(
+            os.path.join(tmp, "stream"),
+            n_users=n_users,
+            store=store,
+            refitter=WarmRefitter(inner_iterations=5, outer_iterations=2),
+            snapshot_every=3,
+        )
+        oracle = StreamState(n_users)
+        injected_failures = 0
+        for index in range(n_deltas):
+            u = int(rng.integers(0, n_users - 1))
+            v = int(rng.integers(u + 1, n_users))
+            delta = link_add(u, v, float(rng.integers(1, 4)))
+            for _ in range(6):  # at-least-once producer retries
+                try:
+                    seq = pipeline.submit(delta)
+                except (ReproError, OSError):
+                    injected_failures += 1
+                    continue
+                oracle.apply(seq, delta)
+                break
+            else:
+                raise SystemExit(
+                    "submit failed 6 straight times at 10% fault rate"
+                )
+            if (index + 1) % 40 == 0:
+                pipeline.tick()
+        pipeline.tick()
+        if pipeline.publishes < 1:
+            raise SystemExit(
+                "streaming leg never published a version under chaos "
+                f"(last error: {pipeline.last_refit_error})"
+            )
+        # Crash: abandon the in-memory pipeline, recover from disk, and
+        # demand the digest of an uninterrupted apply of every ack.
+        pipeline.close()
+        recovered = StreamingPipeline(os.path.join(tmp, "stream"), n_users=n_users)
+        if recovered.state.digest() != oracle.digest():
+            raise SystemExit(
+                "recovered stream state diverged from the acked oracle: "
+                f"{recovered.stats()}"
+            )
+        recovered.close()
+        print(
+            f"chaos smoke: streaming leg acked {oracle.applied_seq} deltas "
+            f"({injected_failures} injected WAL faults retried), "
+            f"{pipeline.publishes} publishes, recovery digest-identical"
+        )
+
+        # Degraded tier: trip the reload breaker past its threshold and
+        # demand the common-neighbor tier answers (and exits afterwards).
+        GLOBAL_INJECTOR.reset()
+        registry = MetricsRegistry()
+        clock = {"t": 0.0}  # injectable so recovery needs no real sleep
+        service = LinkPredictionService(
+            store,
+            registry=registry,
+            enable_degraded_tier=True,
+            reload_breaker=CircuitBreaker(
+                "reload", failure_threshold=3, recovery_timeout=1.0,
+                registry=registry, clock=lambda: clock["t"],
+            ),
+        )
+        server = make_server(service, port=0, request_deadline_s=10.0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            GLOBAL_INJECTOR.arm("serving.reload", probability=1.0)
+            for _ in range(4):
+                service.reload()
+            if not service.degraded_active:
+                raise SystemExit(
+                    "reload breaker open but degraded tier not engaged"
+                )
+            status, payload = _get(base, "/v1/topk?user=0&k=3")
+            if status != 200:
+                raise SystemExit(
+                    f"degraded tier answered {status}, wanted 200"
+                )
+            if "serving_degraded_mode 1" not in service.metrics_text():
+                raise SystemExit("serving.degraded_mode gauge not raised")
+            GLOBAL_INJECTOR.reset()
+            clock["t"] += 10.0  # past recovery_timeout: next probe admitted
+            service.reload()  # recovery probe passes; breaker closes
+            if service.degraded_active:
+                raise SystemExit("degraded tier failed to exit after recovery")
+            status, _ = _get(base, "/v1/topk?user=0&k=3")
+            if status != 200:
+                raise SystemExit(f"post-recovery query answered {status}")
+        finally:
+            GLOBAL_INJECTOR.reset()
+            server.shutdown()
+            server.server_close()
+        print(
+            "chaos smoke: streaming leg ok — degraded tier engaged past "
+            "breaker threshold, exited after recovery, no 5xx outside "
+            f"injected sites (armed: {', '.join(sorted(armed))})"
+        )
 
 
 if __name__ == "__main__":

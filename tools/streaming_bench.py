@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Streaming ingest bench: ack latency, throughput, delta→servable e2e.
+
+Three numbers for the crash-safe ingestion path, recorded as a
+``bench_streaming`` snapshot in ``BENCH_serving.json``:
+
+* **ack latency / throughput** — p50/p95/p99 of :meth:`submit` (encode →
+  WAL append → fsync → acknowledge) over a burst of fsynced deltas, plus
+  the sustained acks/second of that burst;
+* **apply throughput** — deltas/second of the replay-into-state step
+  (:meth:`apply_pending`), the recovery-speed proxy;
+* **delta→servable latency** — wall-clock from one submit to the
+  refit→publish→hot-swap reload completing for a version that contains
+  it, over a few submit→tick cycles against a real artifact store and
+  service.
+
+With ``--check`` the run compares ack p99 and e2e seconds against the
+newest committed ``bench_streaming`` snapshot and **fails (exit 1) on a
+>2x regression** — the CI smoke gate, same contract as
+``solver_bench.py --check``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/streaming_bench.py          # record
+    PYTHONPATH=src python tools/streaming_bench.py --check  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, "benchmarks")
+
+from trajectory import (  # noqa: E402
+    BENCH_PATH,
+    load_trajectory,
+    percentile_summary,
+    record_snapshot,
+)
+
+from repro.reliability.checkpoints import CheckpointManager  # noqa: E402
+from repro.serving.artifacts import ArtifactStore  # noqa: E402
+from repro.serving.service import LinkPredictionService  # noqa: E402
+from repro.streaming import StreamingPipeline, link_add  # noqa: E402
+from repro.streaming.refit import WarmRefitter  # noqa: E402
+
+REGRESSION_FACTOR = 2.0
+
+
+def _random_links(n_users, count, seed):
+    """A deterministic burst of weighted link.add deltas."""
+    rng = np.random.default_rng(seed)
+    deltas = []
+    for _ in range(count):
+        u = int(rng.integers(0, n_users - 1))
+        v = int(rng.integers(u + 1, n_users))
+        deltas.append(link_add(u, v, float(rng.integers(1, 4))))
+    return deltas
+
+
+def _ingest_leg(pipeline, deltas):
+    """Submit every delta (fsynced); return (ack_seconds, acks_per_sec)."""
+    ack_seconds = []
+    start = time.perf_counter()
+    for delta in deltas:
+        t0 = time.perf_counter()
+        pipeline.submit(delta)
+        ack_seconds.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    return ack_seconds, len(deltas) / elapsed
+
+
+def _apply_leg(pipeline):
+    """Replay the pending WAL suffix into state; return deltas/second."""
+    pending = pipeline.wal.last_seq - pipeline.state.applied_seq
+    start = time.perf_counter()
+    pipeline.apply_pending()
+    elapsed = time.perf_counter() - start
+    return pending / max(elapsed, 1e-9)
+
+
+def _e2e_leg(pipeline, service, deltas, cycles):
+    """Submit → tick → reloaded: seconds until each delta is servable."""
+    latencies = []
+    for index in range(cycles):
+        delta = deltas[index]
+        start = time.perf_counter()
+        seq = pipeline.submit(delta)
+        pipeline.tick()
+        latencies.append(time.perf_counter() - start)
+        meta = service.artifact.manifest.get("meta", {})
+        if int(meta.get("applied_seq", -1)) < seq:
+            raise SystemExit(
+                f"served version excludes acked seq {seq}: {meta!r}"
+            )
+    return latencies
+
+
+def _baseline(path):
+    """Newest committed bench_streaming stats, or None."""
+    for snap in reversed(load_trajectory(path)["snapshots"]):
+        if snap.get("section") == "bench_streaming":
+            return snap["stats"]
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-users", type=int, default=32, dest="n_users")
+    parser.add_argument("--deltas", type=int, default=500)
+    parser.add_argument("--e2e-cycles", type=int, default=3, dest="e2e_cycles")
+    parser.add_argument("--path", default=BENCH_PATH)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of recording; "
+        "exit 1 on a >2x ack-p99 or e2e regression",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(os.path.join(tmp, "store"))
+        pipeline = StreamingPipeline(
+            os.path.join(tmp, "stream"),
+            n_users=args.n_users,
+            store=store,
+            refitter=WarmRefitter(
+                inner_iterations=8,
+                outer_iterations=2,
+                checkpoint_manager=CheckpointManager(
+                    os.path.join(tmp, "checkpoints")
+                ),
+            ),
+            snapshot_every=1,
+        )
+        deltas = _random_links(args.n_users, args.deltas + args.e2e_cycles, 11)
+
+        ack_seconds, acks_per_sec = _ingest_leg(
+            pipeline, deltas[: args.deltas]
+        )
+        ack = percentile_summary(ack_seconds)
+        print(
+            f"ingest: {args.deltas} fsynced acks at {acks_per_sec:.0f}/s, "
+            f"p50 {ack['p50_ms']:.2f}ms, p99 {ack['p99_ms']:.2f}ms"
+        )
+
+        applies_per_sec = _apply_leg(pipeline)
+        print(f"apply: {applies_per_sec:.0f} deltas/s replayed into state")
+
+        pipeline.tick()  # first publish so the service can boot
+        service = LinkPredictionService(store)
+        pipeline.service = service
+        e2e_seconds = _e2e_leg(
+            pipeline, service, deltas[args.deltas :], args.e2e_cycles
+        )
+        e2e_mean = sum(e2e_seconds) / len(e2e_seconds)
+        print(
+            f"delta->servable: mean {e2e_mean:.2f}s over "
+            f"{args.e2e_cycles} submit->tick->reload cycles "
+            f"(warm source: {pipeline.refitter.last_warm_source})"
+        )
+        pipeline.close()
+
+    stats = {
+        "acks_per_sec": acks_per_sec,
+        "ack_p50_ms": ack["p50_ms"],
+        "ack_p95_ms": ack["p95_ms"],
+        "ack_p99_ms": ack["p99_ms"],
+        "applies_per_sec": applies_per_sec,
+        "e2e_seconds_mean": e2e_mean,
+    }
+    if args.check:
+        baseline = _baseline(args.path)
+        if baseline is None:
+            print(
+                "FAIL: no committed bench_streaming baseline in "
+                f"{args.path}; run without --check first and commit the file"
+            )
+            return 1
+        for key in ("ack_p99_ms", "e2e_seconds_mean"):
+            if stats[key] > REGRESSION_FACTOR * float(baseline[key]):
+                print(
+                    f"FAIL: {key} {stats[key]:.3f} vs committed baseline "
+                    f"{baseline[key]:.3f} (> {REGRESSION_FACTOR:.0f}x)"
+                )
+                return 1
+        print(
+            f"OK: ack p99 {stats['ack_p99_ms']:.2f}ms vs baseline "
+            f"{float(baseline['ack_p99_ms']):.2f}ms, e2e "
+            f"{e2e_mean:.2f}s vs {float(baseline['e2e_seconds_mean']):.2f}s "
+            f"(<= {REGRESSION_FACTOR:.0f}x)"
+        )
+        return 0
+
+    record_snapshot(
+        "bench_streaming",
+        stats,
+        context={
+            "n_users": args.n_users,
+            "n_deltas": args.deltas,
+            "e2e_cycles": args.e2e_cycles,
+            "fsync": True,
+        },
+        path=args.path,
+    )
+    print(f"recorded bench_streaming to {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
