@@ -1,0 +1,98 @@
+"""Regression tests for the trajectory file's per-key retention cap.
+
+``record_snapshot`` must keep the history diffable without letting
+``BENCH_serving.json`` grow one record per CI run forever: each
+``(section, context)`` key retains only the newest
+``MAX_SNAPSHOTS_PER_KEY`` snapshots, and distinct contexts (different
+benchmark scales, different front ends) age out independently.
+"""
+
+from trajectory import (
+    MAX_SNAPSHOTS_PER_KEY,
+    latest_snapshots,
+    load_trajectory,
+    record_snapshot,
+)
+
+
+class TestSnapshotPruning:
+    def test_one_key_keeps_only_newest_snapshots(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        total = MAX_SNAPSHOTS_PER_KEY + 5
+        for i in range(total):
+            record_snapshot(
+                "topk_warm",
+                {"p50_ms": float(i)},
+                context={"scale": "small"},
+                path=path,
+            )
+        snapshots = load_trajectory(path)["snapshots"]
+        assert len(snapshots) == MAX_SNAPSHOTS_PER_KEY
+        kept = [snap["stats"]["p50_ms"] for snap in snapshots]
+        # Newest win, original order preserved.
+        assert kept == [
+            float(i)
+            for i in range(total - MAX_SNAPSHOTS_PER_KEY, total)
+        ]
+
+    def test_different_contexts_age_independently(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        for i in range(MAX_SNAPSHOTS_PER_KEY + 3):
+            record_snapshot(
+                "bench_loadgen",
+                {"qps": float(i)},
+                context={"frontend": "aio"},
+                path=path,
+            )
+        # A single snapshot under a different context must survive the
+        # other key's churn.
+        record_snapshot(
+            "bench_loadgen",
+            {"qps": 1.0},
+            context={"frontend": "legacy"},
+            path=path,
+        )
+        for i in range(3):
+            record_snapshot(
+                "bench_loadgen",
+                {"qps": 100.0 + i},
+                context={"frontend": "aio"},
+                path=path,
+            )
+        snapshots = load_trajectory(path)["snapshots"]
+        legacy = [
+            snap
+            for snap in snapshots
+            if snap.get("context", {}).get("frontend") == "legacy"
+        ]
+        aio = [
+            snap
+            for snap in snapshots
+            if snap.get("context", {}).get("frontend") == "aio"
+        ]
+        assert len(legacy) == 1
+        assert len(aio) == MAX_SNAPSHOTS_PER_KEY
+
+    def test_sections_age_independently(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        record_snapshot("topk_cold", {"p50_ms": 1.0}, path=path)
+        for i in range(MAX_SNAPSHOTS_PER_KEY + 2):
+            record_snapshot("topk_warm", {"p50_ms": float(i)}, path=path)
+        assert len(latest_snapshots("topk_cold", path=path)) == 1
+        warm = latest_snapshots(
+            "topk_warm", limit=MAX_SNAPSHOTS_PER_KEY + 2, path=path
+        )
+        assert len(warm) == MAX_SNAPSHOTS_PER_KEY
+
+    def test_context_key_is_order_insensitive(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        for i in range(MAX_SNAPSHOTS_PER_KEY + 1):
+            # Alternate dict insertion order; both spell the same key.
+            context = (
+                {"a": 1, "b": 2} if i % 2 == 0 else {"b": 2, "a": 1}
+            )
+            record_snapshot(
+                "batcher", {"p50_ms": float(i)}, context=context, path=path
+            )
+        snapshots = load_trajectory(path)["snapshots"]
+        assert len(snapshots) == MAX_SNAPSHOTS_PER_KEY

@@ -8,7 +8,11 @@ snapshot against history instead of re-deriving a baseline by hand, which
 is what makes "<5% serving overhead" an enforceable regression gate
 rather than folklore.
 
-Snapshots are appended, never rewritten: the file is the trajectory.
+Snapshots are appended, never edited — but not unbounded: each
+``record_snapshot`` call prunes the file to the newest
+:data:`MAX_SNAPSHOTS_PER_KEY` entries per ``(section, context)`` key, so
+the trajectory keeps enough history to diff against without growing
+linearly in CI runs forever.
 """
 
 from __future__ import annotations
@@ -32,6 +36,35 @@ BENCH_SOLVER_PATH = os.path.join(
 """Solver hot-path trajectory: same snapshot format, separate file, so the
 fit-time history and the serving-latency history stay independently
 diffable."""
+
+MAX_SNAPSHOTS_PER_KEY = 8
+"""How many snapshots each ``(section, context)`` key retains — newest
+win; older ones are pruned on the next :func:`record_snapshot`."""
+
+
+def _snapshot_key(record: Dict) -> str:
+    """The pruning identity of one snapshot: section + canonical context.
+
+    Context is serialized with sorted keys so two runs recording the
+    same logical configuration collapse to one key regardless of dict
+    ordering; snapshots with different contexts (say, two scales of the
+    same benchmark) age out independently.
+    """
+    context = record.get("context") or {}
+    return f"{record.get('section')}|{json.dumps(context, sort_keys=True)}"
+
+
+def _prune(snapshots: List[Dict], limit: int) -> List[Dict]:
+    """Drop all but the newest ``limit`` snapshots per key, keeping order."""
+    kept: List[Dict] = []
+    seen: Dict[str, int] = {}
+    for record in reversed(snapshots):
+        key = _snapshot_key(record)
+        if seen.get(key, 0) < limit:
+            seen[key] = seen.get(key, 0) + 1
+            kept.append(record)
+    kept.reverse()
+    return kept
 
 
 def percentile_summary(samples_seconds: Sequence[float]) -> Dict[str, float]:
@@ -118,6 +151,9 @@ def record_snapshot(
             key: _scalar(value) for key, value in context.items()
         }
     trajectory["snapshots"].append(record)
+    trajectory["snapshots"] = _prune(
+        trajectory["snapshots"], MAX_SNAPSHOTS_PER_KEY
+    )
     trajectory["schema_version"] = SCHEMA_VERSION
     # Write-then-rename so a crashed benchmark never truncates history.
     directory = os.path.dirname(path)

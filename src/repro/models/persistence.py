@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 import zipfile
 from typing import Dict
@@ -153,19 +154,46 @@ def content_digest(matrix: np.ndarray, metadata_json: str) -> str:
     return hasher.hexdigest()
 
 
+_DIGEST_CHUNK_BYTES = 1 << 16
+"""Hashing window for :func:`factored_content_digest` — small enough that
+verifying a memory-mapped artifact never materializes more than one chunk
+of factor bytes on the Python heap (the zero-copy reload guarantee)."""
+
+
+def _hash_array(hasher, array: np.ndarray) -> None:
+    """Feed one array's C-order bytes to ``hasher`` in bounded chunks.
+
+    Contiguous arrays (including ``np.load(..., mmap_mode="r")`` memmaps)
+    are hashed straight from their buffer — no full-array copy is ever
+    made, which is what keeps artifact verification O(chunk) in resident
+    memory regardless of factor size.  The byte stream is identical to
+    ``np.ascontiguousarray(array).tobytes()``, so digests are layout- and
+    version-stable.
+    """
+    if array.size == 0:
+        return  # tobytes() of an empty array is b"": contribute nothing
+    if not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array)
+    view = memoryview(array.reshape(-1).view(np.uint8))
+    step = _DIGEST_CHUNK_BYTES
+    for start in range(0, len(view), step):
+        hasher.update(view[start : start + step])
+
+
 def factored_content_digest(arrays: Dict, metadata_json: str) -> str:
     """Sha256 hex digest binding factor arrays to their metadata blob.
 
     Arrays are hashed in sorted key order — name, shape, contiguous
     float/int bytes — so corrupting any single factor file (or swapping
-    two) changes the digest.
+    two) changes the digest.  Hashing streams each array in bounded
+    chunks, so verifying memory-mapped factors stays constant-memory.
     """
     hasher = hashlib.sha256()
     for key in sorted(arrays):
-        array = np.ascontiguousarray(arrays[key])
+        array = np.asarray(arrays[key])
         hasher.update(key.encode("ascii"))
         hasher.update(repr(array.shape).encode("ascii"))
-        hasher.update(array.tobytes())
+        _hash_array(hasher, array)
     hasher.update(metadata_json.encode("utf-8"))
     return hasher.hexdigest()
 
@@ -320,6 +348,125 @@ def load_predictor(path: str) -> FrozenPredictor:
             _estimate_from_arrays(arrays, path), metadata
         )
     return FrozenPredictor(matrix, metadata)
+
+
+FACTORED_LAYOUT_MODEL_JSON = "model.json"
+"""Header file of the raw-``.npy`` factored layout (format marker,
+metadata blob and the content digest binding the factor files)."""
+
+_FACTORED_LAYOUT_FORMAT = "factored-npy"
+_FACTORED_LAYOUT_VERSION = 1
+
+
+def save_factored_layout(model: MatrixPredictor, directory: str) -> Dict:
+    """Write a factored predictor as raw ``.npy`` files plus ``model.json``.
+
+    The memory-mappable sibling of the factored ``.npz`` archive: each
+    O(nk) array lands in its own *uncompressed* ``<name>.npy`` file (numpy
+    only honours ``mmap_mode`` for plain ``.npy``), and ``model.json``
+    carries the format marker, the metadata blob and the same
+    :func:`factored_content_digest` the archive format embeds — so
+    tampering with any factor file is caught even when the enclosing
+    manifest's per-file checksums were rewritten to match.
+
+    Returns ``{filename: absolute path}`` for every file written, so the
+    caller (the artifact store) can checksum and manifest them.
+    """
+    estimate = model.factored_estimate  # fitted check before disk I/O
+    metadata_json = json.dumps(_extract_metadata(model))
+    arrays = _factored_arrays(estimate)
+    written = {}
+    for key in _factored_keys():
+        filename = f"{key}.npy"
+        path = os.path.join(directory, filename)
+        np.save(path, arrays[key])
+        written[filename] = path
+    header = {
+        "format": _FACTORED_LAYOUT_FORMAT,
+        "format_version": _FACTORED_LAYOUT_VERSION,
+        "metadata_json": metadata_json,
+        "digest": factored_content_digest(arrays, metadata_json),
+    }
+    header_path = os.path.join(directory, FACTORED_LAYOUT_MODEL_JSON)
+    with open(header_path, "w", encoding="utf-8") as handle:
+        json.dump(header, handle, indent=2, sort_keys=True)
+    written[FACTORED_LAYOUT_MODEL_JSON] = header_path
+    return written
+
+
+def load_factored_layout(
+    directory: str, mmap_mode: "str | None" = "r"
+) -> FrozenFactoredPredictor:
+    """Read a predictor written by :func:`save_factored_layout`.
+
+    With the default ``mmap_mode="r"`` the factor arrays come back as
+    read-only memory maps: loading touches O(1) heap regardless of n·k,
+    and the kernel pages factor bytes in on first access — this is what
+    makes hot-swap ``reload()`` near-free.  Pass ``mmap_mode=None`` to
+    materialize ordinary writable arrays instead (the opt-out for callers
+    that mutate factors in place).
+
+    Integrity holds on both paths: the ``model.json`` digest is recomputed
+    by streaming over the (possibly mapped) arrays in bounded chunks and
+    compared before anything is deserialized into an estimate.
+
+    Raises
+    ------
+    SerializationError
+        Unreadable/missing files or an unsupported layout version.
+    ArtifactCorruptError
+        A factor file whose bytes no longer match the stored digest.
+    """
+    header_path = os.path.join(directory, FACTORED_LAYOUT_MODEL_JSON)
+    try:
+        with open(header_path, "r", encoding="utf-8") as handle:
+            header = json.load(handle)
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot load factored layout {directory}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise SerializationError(
+            f"corrupt factored layout header {header_path}: {exc}"
+        ) from exc
+    if (
+        header.get("format") != _FACTORED_LAYOUT_FORMAT
+        or header.get("format_version") != _FACTORED_LAYOUT_VERSION
+    ):
+        raise SerializationError(
+            f"unsupported factored layout {header.get('format')!r} "
+            f"v{header.get('format_version')!r} in {header_path}"
+        )
+    metadata_json = header.get("metadata_json", "{}")
+    arrays = {}
+    try:
+        for key in _factored_keys():
+            arrays[key] = np.load(
+                os.path.join(directory, f"{key}.npy"),
+                mmap_mode=mmap_mode,
+                allow_pickle=False,
+            )
+    except (OSError, ValueError, EOFError) as exc:
+        raise SerializationError(
+            f"cannot load factored layout {directory}: {exc}"
+        ) from exc
+    actual = factored_content_digest(arrays, metadata_json)
+    stored = header.get("digest")
+    if actual != stored:
+        raise ArtifactCorruptError(
+            f"factored layout {directory} failed its integrity check: "
+            f"stored sha256 {str(stored)[:12]}… but content hashes to "
+            f"{actual[:12]}… (truncated or tampered factor file)"
+        )
+    try:
+        metadata = json.loads(metadata_json)
+    except ValueError as exc:
+        raise SerializationError(
+            f"cannot load factored layout {directory}: {exc}"
+        ) from exc
+    return FrozenFactoredPredictor(
+        _estimate_from_arrays(arrays, directory), metadata
+    )
 
 
 def _factored_keys():

@@ -7,14 +7,17 @@ Three subcommands cover the publish → inspect → serve lifecycle:
   write it into an :class:`~repro.serving.artifacts.ArtifactStore`.
 * ``inspect`` — print a version's manifest (name, hyper-parameters,
   per-file checksums) after re-verifying its integrity.
-* ``serve`` — start the JSON/HTTP endpoint on the store's latest version.
+* ``serve`` — start the JSON/HTTP endpoint on the store's latest version
+  (asyncio front end by default; ``--legacy`` keeps the threaded server).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 
 from repro.models.base import TransferTask
 from repro.models.persistence import load_predictor
@@ -27,6 +30,7 @@ from repro.observability.profiler import global_profiler
 from repro.observability.sampling import DEFAULT_SAMPLE_RATE, SamplingTracer
 from repro.observability.tracer import NullTracer
 from repro.reliability.faults import configure_from_env
+from repro.serving.aio import make_async_server
 from repro.serving.artifacts import ArtifactStore
 from repro.serving.batcher import MicroBatcher
 from repro.serving.http import make_server
@@ -70,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     publish.add_argument(
         "--outer-iterations", type=int, default=10, help="CCCP rounds"
+    )
+    publish.add_argument(
+        "--factored",
+        action="store_true",
+        help="fit the O(nk) factored estimate instead of the dense one "
+        "(required for the memory-mappable npy layout)",
+    )
+    publish.add_argument(
+        "--layout",
+        choices=("npz", "npy"),
+        default="npz",
+        help="factored artifact layout: npz (compressed archive) or npy "
+        "(one file per array, memory-mappable on load); dense publishes "
+        "always use npz",
     )
 
     inspect = commands.add_parser(
@@ -156,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-request deadline; overruns answer 503 (default: none)",
     )
+    serve.add_argument(
+        "--legacy",
+        action="store_true",
+        help="serve through the thread-per-connection front end instead "
+        "of the asyncio one (the parity oracle)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="asyncio front end: scoring worker threads "
+        "(default: min(32, cpus + 4); ignored with --legacy)",
+    )
     return parser
 
 
@@ -196,7 +227,7 @@ def _parse_route_rates(pairs):
 
 def run_publish(args: argparse.Namespace) -> int:
     """Fit or import a predictor and publish it; prints the new version."""
-    store = ArtifactStore(args.store)
+    store = ArtifactStore(args.store, layout=args.layout)
     if args.npz is not None:
         model = load_predictor(args.npz)
         graph = None
@@ -207,6 +238,7 @@ def run_publish(args: argparse.Namespace) -> int:
         model = _MODELS[args.model](
             inner_iterations=args.inner_iterations,
             outer_iterations=args.outer_iterations,
+            factored=args.factored,
         ).fit(task)
         graph = SocialGraph.from_network(aligned.target)
         meta = {
@@ -214,6 +246,7 @@ def run_publish(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "seed": args.seed,
             "variant": args.model,
+            "factored": args.factored,
         }
     version = store.publish(model, graph=graph, meta=meta)
     print(f"published {model.name} as v{version:04d} -> {store.path(version)}")
@@ -296,26 +329,55 @@ def run_serve(args: argparse.Namespace) -> int:
     deadline_s = (
         None if args.deadline_ms is None else args.deadline_ms / 1000.0
     )
-    server = make_server(
-        service,
-        args.host,
-        args.port,
-        batcher,
-        max_inflight=args.max_inflight,
-        request_deadline_s=deadline_s,
-    )
-    host, port = server.server_address[:2]
-    print(
-        f"serving {service.stats()['model']} v{service.version:04d} "
-        f"({service.n_users} users) on http://{host}:{port} "
-        f"(metrics: http://{host}:{port}/metrics)"
-    )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        if args.legacy:
+            server = make_server(
+                service,
+                args.host,
+                args.port,
+                batcher,
+                max_inflight=args.max_inflight,
+                request_deadline_s=deadline_s,
+            )
+            host, port = server.server_address[:2]
+            _print_banner(service, host, port, frontend="legacy")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+        else:
+            server = make_async_server(
+                service,
+                args.host,
+                args.port,
+                batcher,
+                max_inflight=args.max_inflight,
+                request_deadline_s=deadline_s,
+                max_workers=args.workers,
+            )
+
+            def _drain(signum, frame):
+                """Begin graceful drain; the wait loop below observes exit."""
+                server.shutdown(wait=False)
+
+            # SIGTERM (and Ctrl-C) trigger the drain protocol: stop
+            # accepting, finish in-flight within the deadline budget,
+            # flush the batcher, then exit — never an abrupt close.
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+            server.start()
+            host, port = server.server_address
+            _print_banner(service, host, port, frontend="asyncio")
+            try:
+                while server.running:
+                    time.sleep(0.2)
+            except KeyboardInterrupt:
+                server.shutdown(wait=True)
+            finally:
+                server.server_close()
     finally:
-        server.server_close()
         if batcher is not None:
             batcher.stop()
         if profiler is not None:
@@ -323,6 +385,15 @@ def run_serve(args: argparse.Namespace) -> int:
         if aggregator is not None:
             aggregator.stop()
     return 0
+
+
+def _print_banner(service, host, port, frontend: str) -> None:
+    """The one startup line shared by both front ends."""
+    print(
+        f"serving {service.stats()['model']} v{service.version:04d} "
+        f"({service.n_users} users) on http://{host}:{port} "
+        f"[{frontend}] (metrics: http://{host}:{port}/metrics)"
+    )
 
 
 def main(argv=None) -> int:

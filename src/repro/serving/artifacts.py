@@ -37,8 +37,11 @@ import numpy as np
 from repro.exceptions import ArtifactCorruptError, SerializationError
 from repro.models.base import MatrixPredictor
 from repro.models.persistence import (
+    FACTORED_LAYOUT_MODEL_JSON,
     FrozenPredictor,
+    load_factored_layout,
     load_predictor,
+    save_factored_layout,
     save_predictor,
 )
 from repro.reliability.faults import fault_point
@@ -53,12 +56,28 @@ _VERSION_DIR = re.compile(r"^v(\d{4,})$")
 _STAGING_PREFIX = ".staging-"
 
 
+_HASH_CHUNK_BYTES = 1 << 17
+"""Read window for :func:`file_sha256` — one reused 128 KiB buffer, so
+verifying arbitrarily large artifact files never allocates more than this
+on the heap (part of the zero-copy ``reload()`` budget)."""
+
+
 def file_sha256(path: str) -> str:
-    """Sha256 hex digest of a file's bytes (streamed, constant memory)."""
+    """Sha256 hex digest of a file's bytes (streamed, constant memory).
+
+    Reads into one preallocated buffer via ``readinto`` instead of
+    allocating a fresh ``bytes`` per chunk, keeping the peak heap cost of
+    hashing a multi-gigabyte factor file at :data:`_HASH_CHUNK_BYTES`.
+    """
     hasher = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            hasher.update(chunk)
+    buffer = bytearray(_HASH_CHUNK_BYTES)
+    view = memoryview(buffer)
+    with open(path, "rb", buffering=0) as handle:
+        while True:
+            read = handle.readinto(buffer)
+            if not read:
+                break
+            hasher.update(view[:read])
     return hasher.hexdigest()
 
 
@@ -104,6 +123,23 @@ class ArtifactStore:
     root:
         The store directory; created (with parents) on first use.
 
+    Parameters
+    ----------
+    layout:
+        On-disk shape of *factored* publishes.  ``"npz"`` (default) keeps
+        the single compressed ``model.npz`` archive; ``"npy"`` writes one
+        uncompressed ``.npy`` file per factor array plus a ``model.json``
+        header, which is the only layout numpy can memory-map.  Dense
+        publishes always use ``model.npz``.  Loading is layout-agnostic:
+        every store reads both layouts, so the flag only shapes what this
+        store *writes*.
+    mmap:
+        Whether ``load`` maps npy-layout factor arrays with
+        ``np.load(..., mmap_mode="r")`` (default) instead of copying them
+        onto the heap.  Pass ``False`` — the opt-out for writable paths —
+        to materialize ordinary arrays.  Has no effect on ``.npz``
+        versions, which numpy cannot map.
+
     Examples
     --------
     >>> import tempfile
@@ -116,8 +152,14 @@ class ArtifactStore:
     (3, 3)
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, layout: str = "npz", mmap: bool = True):
         self.root = str(root)
+        if layout not in ("npz", "npy"):
+            raise SerializationError(
+                f"layout must be 'npz' or 'npy', got {layout!r}"
+            )
+        self.layout = layout
+        self.mmap = bool(mmap)
         os.makedirs(self.root, exist_ok=True)
 
     # -- layout ---------------------------------------------------------
@@ -203,9 +245,17 @@ class ArtifactStore:
         )
         os.makedirs(staging)
         try:
-            model_path = os.path.join(staging, _MODEL_FILE)
-            save_predictor(model, model_path)
-            files = {_MODEL_FILE: self._file_entry(model_path)}
+            if factored and self.layout == "npy":
+                # Memory-mappable layout: one raw .npy per factor array.
+                written = save_factored_layout(model, staging)
+                files = {
+                    name: self._file_entry(path)
+                    for name, path in sorted(written.items())
+                }
+            else:
+                model_path = os.path.join(staging, _MODEL_FILE)
+                save_predictor(model, model_path)
+                files = {_MODEL_FILE: self._file_entry(model_path)}
             if adjacency is not None:
                 graph_path = os.path.join(staging, _GRAPH_FILE)
                 if _sparse.issparse(adjacency):
@@ -226,6 +276,9 @@ class ArtifactStore:
                 "name": model.name,
                 "model_class": type(model).__name__,
                 "kind": "factored" if factored else "dense",
+                "layout": (
+                    "npy" if factored and self.layout == "npy" else "npz"
+                ),
                 "n_users": n_users,
                 "created_at": time.time(),  # wall-clock: a timestamp, not a duration
                 "hyper_parameters": _scalar_params(model),
@@ -323,7 +376,15 @@ class ArtifactStore:
         fault_point("artifact.read")
         manifest = self.verify(version)
         directory = self.path(version)
-        predictor = load_predictor(os.path.join(directory, _MODEL_FILE))
+        if FACTORED_LAYOUT_MODEL_JSON in manifest.get("files", {}):
+            # Raw-.npy factored layout: map the factor arrays read-only
+            # (unless this store opted out), so installing the artifact
+            # never copies the O(nk) payload onto the heap.
+            predictor = load_factored_layout(
+                directory, mmap_mode="r" if self.mmap else None
+            )
+        else:
+            predictor = load_predictor(os.path.join(directory, _MODEL_FILE))
         adjacency = None
         if _GRAPH_FILE in manifest.get("files", {}):
             graph_path = os.path.join(directory, _GRAPH_FILE)

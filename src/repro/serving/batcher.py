@@ -128,6 +128,21 @@ class MicroBatcher:
         self._worker.join()
         self._worker = None
 
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until every queued request has been handed to a batch.
+
+        Used by graceful drain: the front end stops admitting work, then
+        flushes so no waiter is left blocked on an abandoned queue entry.
+        Returns ``True`` when the queue emptied within ``timeout``
+        seconds, ``False`` otherwise (the worker may be wedged).
+        """
+        deadline = time.perf_counter() + max(0.0, timeout)
+        while not self._queue.empty():
+            if not self.running or time.perf_counter() >= deadline:
+                return self._queue.empty()
+            time.sleep(0.001)
+        return True
+
     def __enter__(self) -> "MicroBatcher":
         """Start on entry."""
         return self.start()

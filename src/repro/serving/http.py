@@ -47,6 +47,13 @@ Degradation is explicit, never accidental (DESIGN.md §11):
   ``serving.request`` chaos site — is answered as a JSON 500, so a bug in
   one handler can never leak a raw stack trace or tear the worker down.
 
+The endpoint logic itself lives in :class:`EndpointRouter`, a
+transport-independent dispatcher shared verbatim with the asyncio front
+end (:mod:`repro.serving.aio`): both servers parse bytes their own way,
+then hand ``(method, path, query, body, request_id, deadline)`` to the
+same router so route tables, exception→status mapping and metric series
+cannot drift between the two.
+
 Only the standard library is used — a serving container needs numpy and
 nothing else.
 """
@@ -93,35 +100,36 @@ scanner cannot explode the metric cardinality."""
 
 _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+SHED_MESSAGE = (
+    "overloaded: too many requests in flight; retry with backoff"
+)
+"""The uniform 503 body text for load-shed answers on every front end."""
 
-class LinkPredictionServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one service (and optional batcher)."""
 
-    daemon_threads = True
+class EndpointRouter:
+    """Transport-independent endpoint dispatch for one service.
+
+    Owns the route tables, the exception→status ladder, the per-request
+    deadline budget and every HTTP-level metric series.  The threaded
+    server's handler and the asyncio server's executor workers both call
+    :meth:`dispatch` with already-parsed request pieces, so the two front
+    ends answer byte-identical JSON for the same request and account it
+    into the same metric families.
+    """
 
     def __init__(
         self,
-        address: Tuple[str, int],
         service: LinkPredictionService,
         batcher: Optional[MicroBatcher] = None,
-        max_inflight: Optional[int] = None,
         request_deadline_s: Optional[float] = None,
     ):
-        super().__init__(address, _Handler)
-        self.service = service
-        self.batcher = batcher
-        if max_inflight is not None and int(max_inflight) < 1:
-            raise ValueError(
-                f"max_inflight must be >= 1, got {max_inflight}"
-            )
         if request_deadline_s is not None and request_deadline_s <= 0:
             raise ValueError(
                 f"request_deadline_s must be positive, got {request_deadline_s}"
             )
-        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.service = service
+        self.batcher = batcher
         self.request_deadline_s = request_deadline_s
-        self._inflight = 0
-        self._inflight_lock = threading.Lock()
         registry = service.registry
         self.request_latency = registry.histogram(
             "serving.http.request_seconds",
@@ -145,6 +153,280 @@ class LinkPredictionServer(ThreadingHTTPServer):
             help="Requests answered 5xx (internal error or degradation).",
             labels=("route",),
         )
+
+    # -- shared plumbing -------------------------------------------------
+    def observe(
+        self, route: str, method: str, status: int, seconds: float
+    ) -> None:
+        """Record one answered request into the labeled latency histogram."""
+        self.request_latency.labels(
+            route=route, method=method, status=str(status)
+        ).observe(seconds)
+
+    def error_payload(
+        self, status: int, message: str, request_id: Optional[str]
+    ) -> Dict:
+        """The uniform JSON body of every 4xx/5xx answer."""
+        return {
+            "error": message,
+            "status": status,
+            "request_id": request_id,
+        }
+
+    def shed(self, request_id: Optional[str]) -> Tuple[int, Dict]:
+        """Account one load-shed request and build its 503 answer."""
+        self.service.tracer.count("http.shed")
+        self.shed_requests.inc()
+        return 503, self.error_payload(503, SHED_MESSAGE, request_id)
+
+    def remaining_budget(
+        self, deadline: Optional[float], fallback: float = 30.0
+    ) -> float:
+        """Seconds left before ``deadline`` (``fallback`` when unbounded).
+
+        ``deadline`` is an absolute :func:`time.perf_counter` instant.
+        Raises :class:`~repro.exceptions.DeadlineExceededError` — mapped
+        to 503 by :meth:`dispatch` — once the budget is already spent.
+        """
+        if deadline is None:
+            return fallback
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"request exceeded its {self.request_deadline_s}s deadline"
+            )
+        return remaining
+
+    # -- dispatch --------------------------------------------------------
+    def dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Dict,
+        body: bytes,
+        request_id: Optional[str],
+        deadline: Optional[float],
+    ) -> Tuple[int, Union[Dict, str]]:
+        """Answer one admitted request; every failure maps to a JSON error.
+
+        ``query`` is the already-parsed query dict, ``body`` the raw POST
+        bytes (empty for GET) and ``deadline`` an absolute
+        :func:`time.perf_counter` instant or ``None``.  The caller is
+        expected to have bound the request id into the logging context
+        and opened the request trace; spans emitted here attach to it.
+        """
+        tracer = self.service.tracer
+        route = ROUTE_LABELS.get(path, "other")
+        if method == "GET":
+            routes = {
+                "/healthz": lambda: self._healthz(),
+                "/readyz": lambda: self._readyz(request_id),
+                "/v1/stats": lambda: self._stats(),
+                "/v1/topk": lambda: self._topk_get(
+                    query, request_id, deadline
+                ),
+                "/v1/score": lambda: self._score(query),
+                "/metrics": lambda: self._metrics(),
+                "/debug/profile": lambda: self._profile(query),
+            }
+        elif method == "POST":
+            routes = {
+                "/v1/topk": lambda: self._topk_post(body, request_id)
+            }
+        else:
+            return 501, self.error_payload(
+                501, f"unsupported method: {method}", request_id
+            )
+        handler = routes.get(path)
+        if handler is None:
+            tracer.count("http.not_found")
+            self.not_found.inc()
+            return 404, self.error_payload(
+                404, f"no such endpoint: {path}", request_id
+            )
+        with tracer.span(f"http.{path.lstrip('/').replace('/', '.')}"):
+            tracer.count("http.requests")
+            try:
+                fault_point("serving.request")
+                return handler()
+            except (DeadlineExceededError, CircuitOpenError) as exc:
+                # Degradation, not caller error: the request was valid but
+                # cannot be answered in time / the dependency is fenced off.
+                tracer.count("http.degraded")
+                self.server_errors.labels(route=route).inc()
+                return 503, self.error_payload(503, str(exc), request_id)
+            except InjectedFaultError as exc:
+                # Chaos faults stand in for arbitrary internal crashes, so
+                # they take the same path a real unhandled error would.
+                tracer.count("http.failures")
+                self.server_errors.labels(route=route).inc()
+                return 500, self.error_payload(
+                    500,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                    request_id,
+                )
+            except (ReproError, ValueError) as exc:
+                tracer.count("http.errors")
+                self.request_errors.labels(route=route).inc()
+                return 400, self.error_payload(400, str(exc), request_id)
+            except Exception as exc:  # the contract: never an unhandled 500
+                tracer.count("http.failures")
+                self.server_errors.labels(route=route).inc()
+                _log.error(
+                    "unhandled error answering request",
+                    route=route,
+                    error=f"{type(exc).__name__}: {exc}",
+                    request_id=request_id,
+                )
+                return 500, self.error_payload(
+                    500,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                    request_id,
+                )
+
+    # -- endpoints -------------------------------------------------------
+    def _healthz(self) -> Tuple[int, Dict]:
+        """Liveness plus the currently-served artifact version."""
+        service = self.service
+        return 200, {
+            "status": "ok",
+            "version": service.version,
+            "model": service.artifact.manifest.get("name"),
+            "n_users": service.n_users,
+        }
+
+    def _readyz(self, request_id: Optional[str]) -> Tuple[int, Dict]:
+        """Readiness — liveness stays on ``/healthz``; this gate flips to
+        503 while the reload breaker is open (stale-serving replica)."""
+        service = self.service
+        breaker_state = service.reload_breaker.state
+        if service.ready():
+            return 200, {
+                "status": "ready",
+                "version": service.version,
+                "reload_breaker": breaker_state,
+            }
+        payload = self.error_payload(
+            503,
+            f"not ready: reload circuit breaker is {breaker_state}; "
+            "serving stale artifact",
+            request_id,
+        )
+        payload["reload_breaker"] = breaker_state
+        return 503, payload
+
+    def _stats(self) -> Tuple[int, Dict]:
+        """Cache/queue counters, uptime and reload state."""
+        return 200, self.service.stats()
+
+    def _metrics(self) -> Tuple[int, str]:
+        """The whole registry rendered as Prometheus text 0.0.4."""
+        return 200, self.service.metrics_text()
+
+    def _profile(self, query: Dict) -> Tuple[int, Dict]:
+        """The continuous profiler's aggregate table (``?top=N``)."""
+        top = _int_param(query, "top", default=50)
+        return 200, global_profiler().snapshot(top=top)
+
+    def _topk_get(
+        self,
+        query: Dict,
+        request_id: Optional[str],
+        deadline: Optional[float],
+    ) -> Tuple[int, Dict]:
+        """Single-user ranked candidates, batched when a batcher runs."""
+        user = _int_param(query, "user")
+        k = _int_param(query, "k", default=10)
+        batcher = self.batcher
+        if batcher is not None and batcher.running:
+            # The remaining request budget becomes the batcher wait bound,
+            # so a deadline overrun surfaces as a 503 instead of a stall.
+            ranking = batcher.submit(
+                user, k, timeout=self.remaining_budget(deadline)
+            )
+        else:
+            # Shed instead of serving a dead request.
+            self.remaining_budget(deadline)
+            ranking = self.service.top_k(user, k)
+        payload = _topk_payload(self.service, user, k, ranking)
+        payload["request_id"] = request_id
+        return 200, payload
+
+    def _topk_post(
+        self, body: bytes, request_id: Optional[str]
+    ) -> Tuple[int, Dict]:
+        """Single- or multi-user top-k from a JSON body."""
+        parsed = _read_json(body)
+        k = int(parsed.get("k", 10))
+        service = self.service
+        if "users" in parsed:
+            users = [int(u) for u in parsed["users"]]
+            rankings = service.batch_top_k(users, k)
+            return 200, {
+                "k": k,
+                "version": service.version,
+                "request_id": request_id,
+                "results": [
+                    _topk_payload(service, user, k, ranking)
+                    for user, ranking in zip(users, rankings)
+                ],
+            }
+        if "user" not in parsed:
+            raise ValueError("POST /v1/topk requires 'user' or 'users'")
+        user = int(parsed["user"])
+        ranking = service.top_k(user, k)
+        payload = _topk_payload(service, user, k, ranking)
+        payload["request_id"] = request_id
+        return 200, payload
+
+    def _score(self, query: Dict) -> Tuple[int, Dict]:
+        """Raw pair confidence plus the known-link flag."""
+        u = _int_param(query, "u")
+        v = _int_param(query, "v")
+        service = self.service
+        return 200, {
+            "u": u,
+            "v": v,
+            "score": service.score(u, v),
+            "known_link": service.is_known_link(u, v),
+            "version": service.version,
+        }
+
+
+class LinkPredictionServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service (and optional batcher)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: LinkPredictionService,
+        batcher: Optional[MicroBatcher] = None,
+        max_inflight: Optional[int] = None,
+        request_deadline_s: Optional[float] = None,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.batcher = batcher
+        if max_inflight is not None and int(max_inflight) < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.router = EndpointRouter(
+            service, batcher, request_deadline_s=request_deadline_s
+        )
+        self.request_deadline_s = self.router.request_deadline_s
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        # Metric handles stay addressable on the server for callers that
+        # predate the router split.
+        self.request_latency = self.router.request_latency
+        self.request_errors = self.router.request_errors
+        self.not_found = self.router.not_found
+        self.shed_requests = self.router.shed_requests
+        self.server_errors = self.router.server_errors
 
     # -- load-shedding accounting ---------------------------------------
     def inflight_acquire(self) -> bool:
@@ -214,49 +496,41 @@ def serve(
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Route table + JSON plumbing for :class:`LinkPredictionServer`."""
+    """Socket/bytes plumbing around the shared :class:`EndpointRouter`."""
 
     server: LinkPredictionServer
 
     _request_id: Optional[str] = None
     _started: Optional[float] = None
-    _deadline: Optional[float] = None
     _last_status: Optional[int] = None
     _trace_context: Optional[TraceContext] = None
 
     # -- routing --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
-        url = urlparse(self.path)
-        query = parse_qs(url.query)
-        routes = {
-            "/healthz": lambda: self._healthz(),
-            "/readyz": lambda: self._readyz(),
-            "/v1/stats": lambda: self._stats(),
-            "/v1/topk": lambda: self._topk_get(query),
-            "/v1/score": lambda: self._score(query),
-            "/metrics": lambda: self._metrics(),
-            "/debug/profile": lambda: self._profile(query),
-        }
-        self._dispatch(url.path, routes)
+        """Answer one GET through the shared router."""
+        self._dispatch(b"")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
-        url = urlparse(self.path)
-        routes = {"/v1/topk": lambda: self._topk_post()}
-        self._dispatch(url.path, routes)
+        """Read the framed body, then answer through the shared router."""
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        self._dispatch(body)
 
-    def _dispatch(self, path: str, routes: Dict) -> None:
-        service = self.server.service
-        tracer = service.tracer
+    def _dispatch(self, body: bytes) -> None:
+        router = self.server.router
+        tracer = self.server.service.tracer
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
         incoming = self.headers.get("X-Request-Id")
         self._request_id = (incoming or new_request_id())[:64]
         self._started = time.perf_counter()
         deadline_s = self.server.request_deadline_s
-        self._deadline = (
+        deadline = (
             None if deadline_s is None else self._started + deadline_s
         )
         self._last_status = None
         self._trace_context = None
-        route = ROUTE_LABELS.get(path, "other")
+        route = ROUTE_LABELS.get(url.path, "other")
         parent = TraceContext.from_header(
             self.headers.get("X-Trace-Context")
         )
@@ -264,22 +538,23 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             with request_context(self._request_id):
                 if not admitted:
-                    tracer.count("http.shed")
-                    self.server.shed_requests.inc()
-                    status, payload = 503, self._error_payload(
-                        503,
-                        "overloaded: too many requests in flight; "
-                        "retry with backoff",
-                    )
+                    status, payload = router.shed(self._request_id)
                     self._observe_latency(route, status)
                     self._send(status, payload)
                 else:
                     with tracer.trace(
                         route, parent=parent, request_id=self._request_id
                     ) as req_trace:
-                        status, payload = self._handle(path, routes, route)
+                        status, payload = router.dispatch(
+                            self.command,
+                            url.path,
+                            query,
+                            body,
+                            self._request_id,
+                            deadline,
+                        )
                         if status >= 500:
-                            # _handle answers every exception as JSON, so
+                            # dispatch answers every exception as JSON, so
                             # the watch spans never see one raise; promote
                             # the trace from the status code instead —
                             # this is what makes "errors always captured"
@@ -306,186 +581,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _observe_latency(self, route: str, status: int) -> None:
         """Record this request into the labeled latency histogram."""
-        self.server.request_latency.labels(
-            route=route, method=self.command, status=str(status)
-        ).observe(time.perf_counter() - self._started)
-
-    def _handle(self, path: str, routes: Dict, route: str) -> Tuple[int, Union[Dict, str]]:
-        """Run one admitted request; every failure maps to a JSON error."""
-        tracer = self.server.service.tracer
-        handler = routes.get(path)
-        if handler is None:
-            tracer.count("http.not_found")
-            self.server.not_found.inc()
-            return 404, self._error_payload(
-                404, f"no such endpoint: {path}"
-            )
-        with tracer.span(f"http.{path.lstrip('/').replace('/', '.')}"):
-            tracer.count("http.requests")
-            try:
-                fault_point("serving.request")
-                return handler()
-            except (DeadlineExceededError, CircuitOpenError) as exc:
-                # Degradation, not caller error: the request was valid but
-                # cannot be answered in time / the dependency is fenced off.
-                tracer.count("http.degraded")
-                self.server.server_errors.labels(route=route).inc()
-                return 503, self._error_payload(503, str(exc))
-            except InjectedFaultError as exc:
-                # Chaos faults stand in for arbitrary internal crashes, so
-                # they take the same path a real unhandled error would.
-                tracer.count("http.failures")
-                self.server.server_errors.labels(route=route).inc()
-                return 500, self._error_payload(
-                    500, f"internal error: {type(exc).__name__}: {exc}"
-                )
-            except (ReproError, ValueError) as exc:
-                tracer.count("http.errors")
-                self.server.request_errors.labels(route=route).inc()
-                return 400, self._error_payload(400, str(exc))
-            except Exception as exc:  # the contract: never an unhandled 500
-                tracer.count("http.failures")
-                self.server.server_errors.labels(route=route).inc()
-                _log.error(
-                    "unhandled error answering request",
-                    route=route,
-                    error=f"{type(exc).__name__}: {exc}",
-                    request_id=self._request_id,
-                )
-                return 500, self._error_payload(
-                    500, f"internal error: {type(exc).__name__}: {exc}"
-                )
-
-    # -- deadline & error plumbing --------------------------------------
-    def _error_payload(self, status: int, message: str) -> Dict:
-        """The uniform JSON body of every 4xx/5xx answer."""
-        return {
-            "error": message,
-            "status": status,
-            "request_id": self._request_id,
-        }
-
-    def _remaining_budget(self, fallback: float = 30.0) -> float:
-        """Seconds left before this request's deadline (``fallback`` if none).
-
-        Raises :class:`~repro.exceptions.DeadlineExceededError` — mapped to
-        503 by the dispatcher — once the budget is already spent.
-        """
-        if self._deadline is None:
-            return fallback
-        remaining = self._deadline - time.perf_counter()
-        if remaining <= 0:
-            raise DeadlineExceededError(
-                f"request exceeded its {self.server.request_deadline_s}s "
-                "deadline"
-            )
-        return remaining
-
-    # -- endpoints ------------------------------------------------------
-    def _healthz(self) -> Tuple[int, Dict]:
-        service = self.server.service
-        return 200, {
-            "status": "ok",
-            "version": service.version,
-            "model": service.artifact.manifest.get("name"),
-            "n_users": service.n_users,
-        }
-
-    def _readyz(self) -> Tuple[int, Dict]:
-        """Readiness — liveness stays on ``/healthz``; this gate flips to
-        503 while the reload breaker is open (stale-serving replica)."""
-        service = self.server.service
-        breaker_state = service.reload_breaker.state
-        if service.ready():
-            return 200, {
-                "status": "ready",
-                "version": service.version,
-                "reload_breaker": breaker_state,
-            }
-        payload = self._error_payload(
-            503,
-            f"not ready: reload circuit breaker is {breaker_state}; "
-            "serving stale artifact",
+        self.server.router.observe(
+            route, self.command, status, time.perf_counter() - self._started
         )
-        payload["reload_breaker"] = breaker_state
-        return 503, payload
-
-    def _stats(self) -> Tuple[int, Dict]:
-        return 200, self.server.service.stats()
-
-    def _metrics(self) -> Tuple[int, str]:
-        return 200, self.server.service.metrics_text()
-
-    def _profile(self, query: Dict) -> Tuple[int, Dict]:
-        """The continuous profiler's aggregate table (``?top=N``)."""
-        top = _int_param(query, "top", default=50)
-        return 200, global_profiler().snapshot(top=top)
-
-    def _topk_get(self, query: Dict) -> Tuple[int, Dict]:
-        user = _int_param(query, "user")
-        k = _int_param(query, "k", default=10)
-        batcher = self.server.batcher
-        if batcher is not None and batcher.running:
-            # The remaining request budget becomes the batcher wait bound,
-            # so a deadline overrun surfaces as a 503 instead of a stall.
-            ranking = batcher.submit(
-                user, k, timeout=self._remaining_budget()
-            )
-        else:
-            self._remaining_budget()  # shed instead of serving a dead request
-            ranking = self.server.service.top_k(user, k)
-        payload = _topk_payload(self.server.service, user, k, ranking)
-        payload["request_id"] = self._request_id
-        return 200, payload
-
-    def _topk_post(self) -> Tuple[int, Dict]:
-        body = self._read_json()
-        k = int(body.get("k", 10))
-        service = self.server.service
-        if "users" in body:
-            users = [int(u) for u in body["users"]]
-            rankings = service.batch_top_k(users, k)
-            return 200, {
-                "k": k,
-                "version": service.version,
-                "request_id": self._request_id,
-                "results": [
-                    _topk_payload(service, user, k, ranking)
-                    for user, ranking in zip(users, rankings)
-                ],
-            }
-        if "user" not in body:
-            raise ValueError("POST /v1/topk requires 'user' or 'users'")
-        user = int(body["user"])
-        ranking = service.top_k(user, k)
-        payload = _topk_payload(service, user, k, ranking)
-        payload["request_id"] = self._request_id
-        return 200, payload
-
-    def _score(self, query: Dict) -> Tuple[int, Dict]:
-        u = _int_param(query, "u")
-        v = _int_param(query, "v")
-        service = self.server.service
-        return 200, {
-            "u": u,
-            "v": v,
-            "score": service.score(u, v),
-            "known_link": service.is_known_link(u, v),
-            "version": service.version,
-        }
 
     # -- plumbing -------------------------------------------------------
-    def _read_json(self) -> Dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
-        try:
-            body = json.loads(raw.decode("utf-8") or "{}")
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(body, dict):
-            raise ValueError("request body must be a JSON object")
-        return body
-
     def _send(self, status: int, payload: Union[Dict, str]) -> None:
         if isinstance(payload, str):
             blob = payload.encode("utf-8")
@@ -524,6 +624,17 @@ class _Handler(BaseHTTPRequestHandler):
             client=self.client_address[0] if self.client_address else None,
             request_id=self._request_id,
         )
+
+
+def _read_json(raw: bytes) -> Dict:
+    """Decode one JSON-object request body (empty bytes → ``{}``)."""
+    try:
+        body = json.loads(raw.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    return body
 
 
 def _topk_payload(service, user: int, k: int, ranking) -> Dict:

@@ -33,6 +33,7 @@ succeeds.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Dict, Optional
 
@@ -159,6 +160,7 @@ class StreamingPipeline:
         self.last_refit_error: Optional[str] = None
         self._last_publish_at = time.monotonic()
         self._degraded_engaged = False
+        self._tick_lock = threading.Lock()
 
     # -- recovery -------------------------------------------------------
     def _recover_state(self, n_users: int) -> StreamState:
@@ -301,21 +303,32 @@ class StreamingPipeline:
             self._degraded_engaged = False
 
     def tick(self) -> Dict:
-        """One cadence step: apply → (snapshot+compact) → refit → publish."""
-        self.ticks += 1
-        applied = self.apply_pending()
-        compacted = 0
-        if self.ticks % self.snapshot_every == 0:
-            compacted = self.snapshot()
-        version = self.refit_and_publish()
-        return {
-            "tick": self.ticks,
-            "applied": applied,
-            "compacted_segments": compacted,
-            "published_version": version,
-            "staleness_seconds": self.update_staleness(),
-            "breaker": self.refit_breaker.state,
-        }
+        """One cadence step: apply → (snapshot+compact) → refit → publish.
+
+        Serialized against :meth:`close` (and concurrent ticks) by a
+        lock, so a graceful drain can never observe a half-finished
+        publish: either the tick's ``store.publish`` completed — the
+        version directory was atomically renamed into place — or it
+        never started.  mmap-safety rides on the same ordering: the
+        store never deletes old version directories, so factor arrays
+        mapped from a previous version stay valid pages while a new one
+        is staged and swapped in.
+        """
+        with self._tick_lock:
+            self.ticks += 1
+            applied = self.apply_pending()
+            compacted = 0
+            if self.ticks % self.snapshot_every == 0:
+                compacted = self.snapshot()
+            version = self.refit_and_publish()
+            return {
+                "tick": self.ticks,
+                "applied": applied,
+                "compacted_segments": compacted,
+                "published_version": version,
+                "staleness_seconds": self.update_staleness(),
+                "breaker": self.refit_breaker.state,
+            }
 
     # -- introspection --------------------------------------------------
     def stats(self) -> Dict:
@@ -335,6 +348,16 @@ class StreamingPipeline:
             "torn_tail_truncations": self.wal.torn_tail_truncations,
         }
 
-    def close(self) -> None:
-        """Release the WAL append handle (state stays recoverable on disk)."""
-        self.wal.close()
+    def close(self, drain: bool = True) -> None:
+        """Release the WAL append handle (state stays recoverable on disk).
+
+        With ``drain`` (the default) the call first takes the tick lock,
+        blocking until any in-flight :meth:`tick` — including its
+        publish-and-rename — has completed, so shutdown never abandons a
+        staging directory or tears a publish mid-swap.
+        """
+        if drain:
+            with self._tick_lock:
+                self.wal.close()
+        else:
+            self.wal.close()

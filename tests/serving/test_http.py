@@ -11,16 +11,9 @@ import pytest
 from repro.serving.batcher import MicroBatcher
 from repro.serving.http import make_server
 
-
-@pytest.fixture()
-def endpoint(service):
-    """A live server on a free port; yields its base URL."""
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield f"http://127.0.0.1:{server.server_address[1]}"
-    server.shutdown()
-    server.server_close()
+# The `endpoint` fixture (tests/serving/conftest.py) is parametrized over
+# the legacy threaded server and the asyncio front end, so every test in
+# this module runs against both.
 
 
 def _get(url):

@@ -16,19 +16,10 @@ from repro.observability.logging import configure_logging
 from repro.observability.metrics import MetricsRegistry, NullRegistry
 from repro.observability.tracer import NullTracer
 from repro.serving.batcher import MicroBatcher
-from repro.serving.http import make_server
 from repro.serving.service import LinkPredictionService
 
-
-@pytest.fixture()
-def endpoint(service):
-    """A live server on a free port; yields (base URL, service)."""
-    server = make_server(service, port=0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    yield f"http://127.0.0.1:{server.server_address[1]}"
-    server.shutdown()
-    server.server_close()
+# The `endpoint` fixture comes from tests/serving/conftest.py and is
+# parametrized over the legacy and asyncio front ends.
 
 
 def _get_raw(url, headers=None):

@@ -185,8 +185,76 @@ def main() -> int:
     if missing:
         raise SystemExit(f"missing reliability series on /metrics: {missing}")
     print("chaos smoke: ok — degradation clean, reliability series exposed")
+    _aio_leg()
     _streaming_leg()
     return 0
+
+
+def _aio_leg() -> None:
+    """The same fault-injection contract against the asyncio front end.
+
+    Identical promises, different transport: every response under armed
+    faults is valid JSON honouring the error contract, and — with head
+    sampling at rate 0 — every injected 5xx commits exactly one errored
+    trace with spans, even though the request crossed the event-loop →
+    executor hop.
+    """
+    from repro.serving.aio import make_async_server
+
+    armed = configure_from_env()  # the main leg's finally disarmed them
+    rng = np.random.default_rng(11)
+    scores = rng.normal(size=(N_USERS, N_USERS))
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        store.publish(
+            FrozenPredictor((scores + scores.T) / 2, {"name": "chaos-aio"})
+        )
+        registry = MetricsRegistry()
+        tracer = SamplingTracer(registry, default_rate=0.0)
+        service = LinkPredictionService(
+            store, tracer=tracer, registry=registry
+        )
+        server = make_async_server(service, port=0, request_deadline_s=10.0)
+        server.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            statuses = []
+            for i in range(N_REQUESTS):
+                status, payload = _get(
+                    base, f"/v1/topk?user={i % N_USERS}&k=5"
+                )
+                statuses.append(status)
+                if status == 200 and len(payload["candidates"]) != 5:
+                    raise SystemExit(f"aio: bad 200 payload: {payload!r}")
+            oks = sum(1 for s in statuses if s == 200)
+            if oks == 0:
+                raise SystemExit("aio: chaos took the service fully down")
+            server_errors = sum(1 for s in statuses if s >= 500)
+            committed = tracer.finished()
+            not_errored = [t for t in committed if not t.error]
+            if not_errored:
+                raise SystemExit(
+                    f"aio: rate-0 tracer committed {len(not_errored)} "
+                    "clean traces"
+                )
+            if len(committed) != server_errors:
+                raise SystemExit(
+                    f"aio: {server_errors} 5xx answers but "
+                    f"{len(committed)} error traces committed"
+                )
+            if any(not list(t.spans()) for t in committed):
+                raise SystemExit(
+                    "aio: error trace committed without spans"
+                )
+        finally:
+            GLOBAL_INJECTOR.reset()
+            server.shutdown()
+            server.server_close()
+    print(
+        f"chaos smoke: asyncio leg ok — {oks}/{len(statuses)} served, "
+        f"all {server_errors} 5xx captured as error traces "
+        f"(armed: {', '.join(sorted(armed))})"
+    )
 
 
 def _streaming_leg() -> None:
